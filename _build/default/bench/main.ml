@@ -1,0 +1,705 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, printing our measured numbers next to the published ones.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- table1  -- run one experiment
+     experiments: fig2a fig2b table1 table2 table3 fig8 ablation micro
+
+   Absolute numbers differ from the paper (the substrate here is an
+   analytical model + event simulator, not a VU9P board); EXPERIMENTS.md
+   discusses shape-level agreement. *)
+
+module F = Lcmm.Framework
+module Metric = Lcmm.Metric
+module Dnnk = Lcmm.Dnnk
+
+let line = String.make 78 '-'
+
+let header title =
+  Printf.printf "\n%s\n== %s\n%s\n%!" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Paper reference numbers (Table 1 of the paper).                     *)
+
+type paper_row = {
+  p_umm_ms : float;
+  p_umm_tops : float;
+  p_lcmm_ms : float;
+  p_lcmm_tops : float;
+  p_speedup : float;
+}
+
+let paper_table1 model dtype =
+  match model, dtype with
+  | "resnet152", Tensor.Dtype.I8 ->
+    Some { p_umm_ms = 18.806; p_umm_tops = 1.227; p_lcmm_ms = 13.258; p_lcmm_tops = 1.747; p_speedup = 1.42 }
+  | "resnet152", Tensor.Dtype.I16 ->
+    Some { p_umm_ms = 22.253; p_umm_tops = 1.126; p_lcmm_ms = 15.243; p_lcmm_tops = 1.644; p_speedup = 1.46 }
+  | "resnet152", Tensor.Dtype.F32 ->
+    Some { p_umm_ms = 125.720; p_umm_tops = 0.184; p_lcmm_ms = 86.754; p_lcmm_tops = 0.266; p_speedup = 1.45 }
+  | "googlenet", Tensor.Dtype.I8 ->
+    Some { p_umm_ms = 5.589; p_umm_tops = 0.936; p_lcmm_ms = 4.650; p_lcmm_tops = 1.148; p_speedup = 1.23 }
+  | "googlenet", Tensor.Dtype.I16 ->
+    Some { p_umm_ms = 6.366; p_umm_tops = 0.668; p_lcmm_ms = 4.929; p_lcmm_tops = 0.863; p_speedup = 1.29 }
+  | "googlenet", Tensor.Dtype.F32 ->
+    Some { p_umm_ms = 24.454; p_umm_tops = 0.213; p_lcmm_ms = 19.439; p_lcmm_tops = 0.269; p_speedup = 1.25 }
+  | "inception_v4", Tensor.Dtype.I8 ->
+    Some { p_umm_ms = 7.110; p_umm_tops = 1.293; p_lcmm_ms = 6.030; p_lcmm_tops = 1.528; p_speedup = 1.17 }
+  | "inception_v4", Tensor.Dtype.I16 ->
+    Some { p_umm_ms = 9.595; p_umm_tops = 0.968; p_lcmm_ms = 6.972; p_lcmm_tops = 1.319; p_speedup = 1.36 }
+  | "inception_v4", Tensor.Dtype.F32 ->
+    Some { p_umm_ms = 37.515; p_umm_tops = 0.213; p_lcmm_ms = 28.255; p_lcmm_tops = 0.325; p_speedup = 1.33 }
+  | _, (Tensor.Dtype.I8 | Tensor.Dtype.I16 | Tensor.Dtype.F32) -> None
+
+(* Paper Table 2: (UMM bram/uram %, LCMM bram/uram %, POL %). *)
+let paper_table2 model dtype =
+  match model, dtype with
+  | "resnet152", Tensor.Dtype.I8 -> Some ((8, 15), (34, 87), 94)
+  | "resnet152", Tensor.Dtype.I16 -> Some ((8, 21), (30, 82), 94)
+  | "resnet152", Tensor.Dtype.F32 -> Some ((12, 25), (27, 82), 84)
+  | "googlenet", Tensor.Dtype.I8 -> Some ((8, 10), (26, 84), 83)
+  | "googlenet", Tensor.Dtype.I16 -> Some ((8, 17), (22, 86), 82)
+  | "googlenet", Tensor.Dtype.F32 -> Some ((10, 25), (28, 80), 61)
+  | "inception_v4", Tensor.Dtype.I8 -> Some ((8, 13), (26, 88), 78)
+  | "inception_v4", Tensor.Dtype.I16 -> Some ((8, 18), (21, 88), 79)
+  | "inception_v4", Tensor.Dtype.F32 -> Some ((10, 24), (22, 80), 66)
+  | _, (Tensor.Dtype.I8 | Tensor.Dtype.I16 | Tensor.Dtype.F32) -> None
+
+let suite = [ "resnet152"; "googlenet"; "inception_v4" ]
+
+(* Comparisons are expensive; compute each (model, dtype) once. *)
+let comparison_cache : (string * Tensor.Dtype.t, F.comparison) Hashtbl.t =
+  Hashtbl.create 16
+
+let comparison model dtype =
+  match Hashtbl.find_opt comparison_cache (model, dtype) with
+  | Some c -> c
+  | None ->
+    let g = Models.Zoo.build model in
+    let c = F.compare_designs ~model dtype g in
+    Hashtbl.replace comparison_cache (model, dtype) c;
+    c
+
+(* ------------------------------------------------------------------ *)
+
+let fig2a () =
+  header "Fig. 2(a): roofline of the VU9P, Inception-v4, 8-bit";
+  let g = Models.Zoo.build "inception_v4" in
+  let cfg = Accel.Config.make ~style:Accel.Config.Umm Tensor.Dtype.I8 in
+  let points = Accel.Roofline.points cfg g in
+  Printf.printf "ridge point: %.1f ops/byte; peak %.2f Tops; interface %.1f GB/s\n"
+    (Accel.Roofline.ridge_point cfg)
+    (Accel.Config.peak_ops cfg /. 1e12)
+    (Accel.Config.interface_bandwidth cfg /. 1e9);
+  (* The series the paper scatters: (intensity, attainable) per layer. *)
+  Printf.printf "%-26s %10s %10s %6s\n" "layer" "ops/byte" "att.Tops" "bound";
+  List.iteri
+    (fun i p ->
+      if i mod 12 = 0 then
+        Printf.printf "%-26s %10.1f %10.3f %6s\n" p.Accel.Roofline.layer_name
+          p.Accel.Roofline.intensity p.Accel.Roofline.attainable_tops
+          (if p.Accel.Roofline.tiled_memory_bound then "MEM" else "cmp"))
+    points;
+  Printf.printf "  (every 12th of %d layers shown)\n" (List.length points);
+  let mb, total, frac = Accel.Roofline.summary points in
+  Printf.printf "memory-bound layers: %d / %d (%.0f%%)   [paper: 82 / 141 (58%%)]\n"
+    mb total (100. *. frac)
+
+let table1 () =
+  header "Table 1: UMM vs LCMM (latency, throughput, utilization, speedup)";
+  Printf.printf "%-13s %-4s | %9s %6s | %9s %6s | %5s %5s %5s | %6s %7s\n"
+    "model" "prec" "UMM ms" "Tops" "LCMM ms" "Tops" "DSP%" "CLB%" "SRAM%"
+    "ours x" "paper x";
+  let speedups = ref [] in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun dtype ->
+          let c = comparison model dtype in
+          let paper = paper_table1 model dtype in
+          Printf.printf
+            "%-13s %-4s | %9.3f %6.3f | %9.3f %6.3f | %5.0f %5.0f %5.0f | %6.2f %7s\n%!"
+            model
+            (Tensor.Dtype.to_string dtype)
+            (c.F.umm.F.latency_seconds *. 1e3)
+            c.F.umm.F.tops
+            (c.F.lcmm.F.latency_seconds *. 1e3)
+            c.F.lcmm.F.tops
+            (100. *. c.F.lcmm.F.dsp_util)
+            (100. *. c.F.lcmm.F.clb_util)
+            (100. *. c.F.lcmm.F.sram_util)
+            c.F.speedup
+            (match paper with
+            | Some p -> Printf.sprintf "%.2f" p.p_speedup
+            | None -> "-");
+          speedups := c.F.speedup :: !speedups)
+        Tensor.Dtype.all)
+    suite;
+  let avg =
+    List.fold_left ( +. ) 0. !speedups /. float_of_int (List.length !speedups)
+  in
+  Printf.printf "average speedup: x%.2f   [paper: x1.36]\n" avg;
+  let rows =
+    List.concat_map
+      (fun model -> List.map (fun dtype -> comparison model dtype) Tensor.Dtype.all)
+      suite
+  in
+  Lcmm.Report.write_text_file ~path:"table1.csv" (Lcmm.Report.csv_of_comparisons rows);
+  Printf.printf "(series written to table1.csv)\n" 
+
+let table2 () =
+  header "Table 2: on-chip memory utilization (BRAM/URAM %, POL)";
+  Printf.printf "%-13s %-4s | %15s | %15s | %16s %9s\n" "model" "prec"
+    "UMM bram/uram" "LCMM bram/uram" "POL ours" "paper";
+  List.iter
+    (fun model ->
+      List.iter
+        (fun dtype ->
+          let c = comparison model dtype in
+          let helped, bound = F.helped_layers c.F.lcmm_plan in
+          let pol = 100. *. c.F.lcmm_plan.F.pol in
+          let paper = paper_table2 model dtype in
+          Printf.printf
+            "%-13s %-4s | %5.0f%% / %5.0f%% | %5.0f%% / %5.0f%% | %5.0f%% (%3d/%3d) %9s\n%!"
+            model
+            (Tensor.Dtype.to_string dtype)
+            (100. *. c.F.umm.F.bram_util)
+            (100. *. c.F.umm.F.uram_util)
+            (100. *. c.F.lcmm.F.bram_util)
+            (100. *. c.F.lcmm.F.uram_util)
+            pol helped bound
+            (match paper with
+            | Some (_, _, pol) -> Printf.sprintf "%d%%" pol
+            | None -> "-"))
+        Tensor.Dtype.all)
+    suite
+
+let table3 () =
+  header "Table 3: comparison with state-of-the-art design styles (16-bit)";
+  (* Published numbers for [3] Cloud-DNN (ResNet-50) and [17] TGPA
+     (ResNet-152) on the same VU9P. *)
+  Printf.printf "%-34s %10s %10s %10s\n" "design" "Tops" "ms/image" "SRAM MB";
+  let report name tops ms sram =
+    Printf.printf "%-34s %10.3f %10.2f %10.1f\n" name tops ms sram
+  in
+  report "Cloud-DNN [3] RN-50 (paper)" 1.235 8.12 (7.20 +. 27.68);
+  report "TGPA [17] RN-152 (paper)" 1.463 17.34 (6.45 +. 19.56);
+  report "LCMM RN-152 (paper)" 1.644 15.24 (2.84 +. 27.68);
+  Printf.printf "%s\n" (String.make 66 '.');
+  List.iter
+    (fun (model, style_name, policy) ->
+      let g = Models.Zoo.build model in
+      let dtype = Tensor.Dtype.I16 in
+      let c = comparison model dtype in
+      (* Evaluate the rival style's allocation policy on our substrate. *)
+      let m = c.F.lcmm_plan.F.metric in
+      let o =
+        Lcmm.Policies.run m ~dtype
+          ~capacity_bytes:(Accel.Config.sram_budget_bytes c.F.lcmm_plan.F.config)
+          [] policy
+      in
+      let tops =
+        2. *. float_of_int (Dnn_graph.Graph.total_macs g)
+        /. o.Lcmm.Policies.latency /. 1e12
+      in
+      report
+        (Printf.sprintf "%s %s (ours%s)" style_name model
+           (if o.Lcmm.Policies.feasible then "" else ", infeasible"))
+        tops
+        (o.Lcmm.Policies.latency *. 1e3)
+        (float_of_int o.Lcmm.Policies.used_bytes /. 1e6))
+    [ ("resnet50", "all-features", Lcmm.Policies.All_features);
+      ("resnet152", "stream-tile", Lcmm.Policies.Stream_tile) ];
+  List.iter
+    (fun model ->
+      let c = comparison model Tensor.Dtype.I16 in
+      report
+        (Printf.sprintf "LCMM %s (ours)" model)
+        c.F.lcmm.F.tops
+        (c.F.lcmm.F.latency_seconds *. 1e3)
+        (c.F.lcmm.F.sram_util
+        *. float_of_int (Fpga.Device.sram_bytes Fpga.Device.vu9p)
+        /. 1e6))
+    [ "resnet50"; "resnet152" ]
+
+let fig8 () =
+  header "Fig. 8: per-inception-block throughput, GoogLeNet 16-bit";
+  let g = Models.Zoo.build "googlenet" in
+  let dtype = Tensor.Dtype.I16 in
+  let dse = Accel.Dse.run ~style:Accel.Config.Lcmm dtype g in
+  let cfg = dse.Accel.Dse.config in
+  let plan_with options = F.plan ~options cfg g in
+  let base = F.default_options in
+  let variants =
+    [ ("feat-reuse", { base with F.weight_prefetch = false });
+      ("wt-prefetch", { base with F.feature_reuse = false });
+      ("full-LCMM", base) ]
+  in
+  let simulate plan =
+    Sim.Engine.simulate ?prefetch:plan.F.prefetch plan.F.metric
+      ~on_chip:plan.F.allocation.Dnnk.on_chip
+  in
+  let reference_plan = plan_with base in
+  let umm_run = Sim.Engine.simulate_umm reference_plan.F.metric in
+  let umm_rows = Sim.Report.per_block g umm_run in
+  let variant_runs =
+    List.map (fun (name, options) -> (name, simulate (plan_with options))) variants
+  in
+  let variant_rows =
+    List.map (fun (name, run) -> (name, Sim.Report.per_block g run)) variant_runs
+  in
+  Printf.printf "%-16s %10s" "block" "UMM";
+  List.iter (fun (name, _) -> Printf.printf " %12s" name) variant_rows;
+  Printf.printf "   (Tops)\n";
+  List.iteri
+    (fun i umm_row ->
+      Printf.printf "%-16s %10.3f" umm_row.Sim.Report.block umm_row.Sim.Report.tops;
+      List.iter
+        (fun (_, rows) ->
+          let row = List.nth rows i in
+          Printf.printf " %12.3f" row.Sim.Report.tops)
+        variant_rows;
+      print_newline ())
+    umm_rows;
+  Printf.printf "%-16s %10.3f" "TOTAL ms" (umm_run.Sim.Engine.total *. 1e3);
+  List.iter
+    (fun (_, run) -> Printf.printf " %12.3f" (run.Sim.Engine.total *. 1e3))
+    variant_runs;
+  print_newline ();
+  (* Extensions: simulation-guided refinement of the weight allocation,
+     and the steady state where weights persist across inferences. *)
+  let refined =
+    Sim.Refine.run ?prefetch:reference_plan.F.prefetch reference_plan.F.metric
+      ~on_chip:reference_plan.F.allocation.Dnnk.on_chip
+  in
+  Printf.printf
+    "full LCMM + sim-guided refinement: %.3f ms (unpinned %d weights)\n"
+    (refined.Sim.Refine.refined_total *. 1e3)
+    (List.length refined.Sim.Refine.unpinned);
+  let steady =
+    Sim.Engine.simulate ~weights_resident:true reference_plan.F.metric
+      ~on_chip:reference_plan.F.allocation.Dnnk.on_chip
+  in
+  Printf.printf "full LCMM, steady state (weights resident): %.3f ms\n"
+    (steady.Sim.Engine.total *. 1e3);
+  let batch =
+    Sim.Engine.simulate_batch ?prefetch:reference_plan.F.prefetch ~images:64
+      reference_plan.F.metric
+      ~on_chip:reference_plan.F.allocation.Dnnk.on_chip
+  in
+  Printf.printf "batch of 64 images: %.1f img/s (first %.3f ms, steady %.3f ms)\n"
+    batch.Sim.Engine.images_per_second
+    (batch.Sim.Engine.first_image *. 1e3)
+    (batch.Sim.Engine.steady_image *. 1e3)
+
+let fig2b () =
+  header "Fig. 2(b): design space of per-block allocation, Inception-v4 8-bit";
+  let g = Models.Zoo.build "inception_v4" in
+  let dtype = Tensor.Dtype.I8 in
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm dtype in
+  let metric = Metric.build g (Accel.Latency.profile_graph cfg g) in
+  let blocks =
+    List.map
+      (fun b -> (b, Lcmm.Design_space.block_items metric ~block:b))
+      Models.Inception_v4.block_names
+  in
+  let t0 = Unix.gettimeofday () in
+  let points =
+    Lcmm.Design_space.sweep metric ~dtype
+      ~total_macs:(Dnn_graph.Graph.total_macs g) ~blocks
+  in
+  Printf.printf "swept %d design points in %.1f s\n" (List.length points)
+    (Unix.gettimeofday () -. t0);
+  Lcmm.Report.write_text_file ~path:"fig2b.csv"
+    (Lcmm.Report.csv_of_design_points points);
+  Printf.printf "(all %d points written to fig2b.csv)\n" (List.length points);
+  let frontier = Lcmm.Design_space.pareto points in
+  Printf.printf "pareto frontier: %d points\n" (List.length frontier);
+  Printf.printf "%10s %10s %8s\n" "SRAM MB" "lat ms" "Tops";
+  List.iteri
+    (fun i p ->
+      if i mod 4 = 0 then
+        Printf.printf "%10.2f %10.3f %8.3f\n"
+          (float_of_int p.Lcmm.Design_space.sram_bytes /. 1e6)
+          (p.Lcmm.Design_space.latency *. 1e3)
+          p.Lcmm.Design_space.tops)
+    frontier;
+  (* The paper's observation: near-capacity points far from the best. *)
+  let device = float_of_int (Fpga.Device.sram_bytes Fpga.Device.vu9p) in
+  let near_limit =
+    List.filter
+      (fun p ->
+        let b = float_of_int p.Lcmm.Design_space.sram_bytes in
+        b > 0.6 *. device && b <= device)
+      points
+  in
+  let best_overall =
+    List.fold_left (fun acc p -> max acc p.Lcmm.Design_space.tops) 0. points
+  in
+  (match near_limit with
+  | [] -> Printf.printf "no points near the device limit\n"
+  | _ :: _ ->
+    let lo =
+      List.fold_left (fun acc p -> min acc p.Lcmm.Design_space.tops) infinity near_limit
+    in
+    let hi =
+      List.fold_left (fun acc p -> max acc p.Lcmm.Design_space.tops) 0. near_limit
+    in
+    Printf.printf
+      "near the device limit (60-100%% of %.0f MB): %d points, %.3f..%.3f Tops (best anywhere %.3f)\n"
+      (device /. 1e6) (List.length near_limit) lo hi best_overall);
+  (* More memory does not imply more performance: count inverted pairs. *)
+  let arr = Array.of_list points in
+  let n = Array.length arr in
+  let inversions = ref 0 and pairs = ref 0 in
+  let stride = 37 in
+  for i = 0 to n - stride - 1 do
+    let a = arr.(i) and b = arr.(i + stride) in
+    if a.Lcmm.Design_space.sram_bytes < b.Lcmm.Design_space.sram_bytes then begin
+      incr pairs;
+      if a.Lcmm.Design_space.tops > b.Lcmm.Design_space.tops then incr inversions
+    end
+  done;
+  if !pairs > 0 then
+    Printf.printf "memory/performance inversions in sampled pairs: %d / %d (%.0f%%)\n"
+      !inversions !pairs
+      (100. *. float_of_int !inversions /. float_of_int !pairs)
+
+let ablation () =
+  header "Ablation: allocator variants, sharing, splitting, coloring";
+  let dtype = Tensor.Dtype.I16 in
+  Printf.printf "%-13s | %9s %9s %9s %9s (predicted ms)\n" "model" "umm"
+    "greedy" "dnnk" "dnnk-ex";
+  List.iter
+    (fun model ->
+      let g = Models.Zoo.build model in
+      let dse = Accel.Dse.run ~style:Accel.Config.Lcmm dtype g in
+      let cfg = dse.Accel.Dse.config in
+      let metric = Metric.build g (Accel.Latency.profile_graph cfg g) in
+      let items = Metric.eligible_items metric ~memory_bound_only:true in
+      let vbufs =
+        List.mapi
+          (fun i item ->
+            Lcmm.Vbuffer.singleton ~vbuf_id:i item
+              ~size_bytes:(Metric.item_size_bytes dtype metric item))
+          items
+      in
+      let capacity_bytes = Accel.Config.sram_budget_bytes cfg in
+      let run p =
+        (Lcmm.Policies.run metric ~dtype ~capacity_bytes vbufs p).Lcmm.Policies.latency
+        *. 1e3
+      in
+      Printf.printf "%-13s | %9.3f %9.3f %9.3f %9.3f\n%!" model
+        (run Lcmm.Policies.Umm_policy)
+        (run Lcmm.Policies.Greedy)
+        (run (Lcmm.Policies.Dnnk_policy Dnnk.Table_approx))
+        (run (Lcmm.Policies.Dnnk_policy Dnnk.Exact_iterative)))
+    suite;
+  (* Under what capacity do the allocator and sharing choices separate?
+     Repeat the comparison with the SRAM budget throttled. *)
+  (* Element-wise fusion: when both designs fuse residual adds into the
+     producing layer's drain (no DDR round-trip for the body branch), the
+     ResNet gap narrows toward the paper's band. *)
+  Printf.printf "\neltwise fusion (ResNet-152, UMM -> LCMM, predicted ms):\n";
+  let rn = Models.Zoo.build "resnet152" in
+  List.iter
+    (fun fused ->
+      let best style =
+        List.filter_map
+          (fun tile ->
+            let cfg = Accel.Config.make ~tile ~fused_eltwise:fused ~style dtype in
+            let res = Accel.Config.compute_resources cfg in
+            if Fpga.Resource.fits res ~within:Fpga.Device.vu9p.Fpga.Device.total
+            then
+              Some
+                (cfg, Accel.Latency.umm_total (Accel.Latency.profile_graph cfg rn))
+            else None)
+          (Accel.Dse.candidate_tiles ())
+        |> List.fold_left
+             (fun acc (c, l) ->
+               match acc with Some (_, bl) when bl <= l -> acc | _ -> Some (c, l))
+             None
+      in
+      match best Accel.Config.Umm, best Accel.Config.Lcmm with
+      | Some (_, umm_lat), Some (lcfg, _) ->
+        let plan = F.plan lcfg rn in
+        Printf.printf "  fusion %-3s: %9.3f -> %9.3f (x%.2f)\n%!"
+          (if fused then "on" else "off")
+          (umm_lat *. 1e3)
+          (plan.F.predicted_latency *. 1e3)
+          (umm_lat /. plan.F.predicted_latency)
+      | _, _ -> ())
+    [ false; true ];
+  (* Exact branch-and-bound reference at a capacity where it closes. *)
+  Printf.printf "\nexact reference (GoogLeNet i16, 4 MB budget):\n";
+  let gx = Models.Zoo.build "googlenet" in
+  let cfgx = (Accel.Dse.run ~style:Accel.Config.Lcmm dtype gx).Accel.Dse.config in
+  let mx = Metric.build gx (Accel.Latency.profile_graph cfgx gx) in
+  let vbx =
+    Metric.eligible_items mx ~memory_bound_only:true
+    |> List.mapi (fun i item ->
+           Lcmm.Vbuffer.singleton ~vbuf_id:i item
+             ~size_bytes:(Metric.item_size_bytes dtype mx item))
+  in
+  let capx = 4 * 1024 * 1024 in
+  let bb = Lcmm.Exact.solve ~node_budget:300_000 mx ~capacity_bytes:capx vbx in
+  let dn = Lcmm.Dnnk.allocate mx ~capacity_bytes:capx vbx in
+  Printf.printf "  branch-and-bound %9.3f ms (%s, %d nodes)\n"
+    (bb.Lcmm.Exact.latency *. 1e3)
+    (if bb.Lcmm.Exact.proven_optimal then "optimal" else "budget-truncated")
+    bb.Lcmm.Exact.nodes_explored;
+  Printf.printf "  dnnk             %9.3f ms (gap %.2f%%)\n"
+    (dn.Lcmm.Dnnk.predicted_latency *. 1e3)
+    (100. *. (dn.Lcmm.Dnnk.predicted_latency /. bb.Lcmm.Exact.latency -. 1.));
+  Printf.printf "\ncapacity sweep (GoogLeNet i16, DNNK vs greedy, predicted ms):\n";
+  let g = Models.Zoo.build "googlenet" in
+  let dse = Accel.Dse.run ~style:Accel.Config.Lcmm dtype g in
+  let cfg = dse.Accel.Dse.config in
+  let metric = Metric.build g (Accel.Latency.profile_graph cfg g) in
+  let items = Metric.eligible_items metric ~memory_bound_only:true in
+  let vbufs =
+    List.mapi
+      (fun i item ->
+        Lcmm.Vbuffer.singleton ~vbuf_id:i item
+          ~size_bytes:(Metric.item_size_bytes dtype metric item))
+      items
+  in
+  let full_capacity = Accel.Config.sram_budget_bytes cfg in
+  Printf.printf "  %-9s %9s %9s %9s %9s\n" "capacity" "umm" "greedy" "dnnk"
+    "dnnk-ex";
+  List.iter
+    (fun percent ->
+      let capacity_bytes = full_capacity * percent / 100 in
+      let run p =
+        (Lcmm.Policies.run metric ~dtype ~capacity_bytes vbufs p).Lcmm.Policies.latency
+        *. 1e3
+      in
+      Printf.printf "  %7d%% %9.3f %9.3f %9.3f %9.3f\n%!" percent
+        (run Lcmm.Policies.Umm_policy)
+        (run Lcmm.Policies.Greedy)
+        (run (Lcmm.Policies.Dnnk_policy Dnnk.Table_approx))
+        (run (Lcmm.Policies.Dnnk_policy Dnnk.Exact_iterative)))
+    [ 100; 25; 10; 5; 2 ];
+  Printf.printf "\npass toggles (GoogLeNet i16, predicted ms):\n";
+  let g = Models.Zoo.build "googlenet" in
+  let cfg = (Accel.Dse.run ~style:Accel.Config.Lcmm dtype g).Accel.Dse.config in
+  let base = F.default_options in
+  List.iter
+    (fun (name, options) ->
+      let p = F.plan ~options cfg g in
+      Printf.printf "  %-28s %9.3f\n%!" name (p.F.predicted_latency *. 1e3))
+    [ ("full LCMM", base);
+      ("no buffer sharing", { base with F.buffer_sharing = false });
+      ("no splitting", { base with F.buffer_splitting = false });
+      ("first-fit coloring", { base with F.coloring = Lcmm.Coloring.First_fit });
+      ("all layers eligible", { base with F.memory_bound_only = false });
+      ("feature reuse only", { base with F.weight_prefetch = false });
+      ("weight prefetch only", { base with F.feature_reuse = false }) ];
+  (* Sharing and splitting only separate once SRAM is scarce: repeat the
+     toggles with the tensor budget capped at 1.5 MB. *)
+  Printf.printf "\npass toggles under a 1.5 MB tensor budget (predicted ms):\n";
+  let tight = { base with F.capacity_override = Some (1_536 * 1024) } in
+  List.iter
+    (fun (name, options) ->
+      let p = F.plan ~options cfg g in
+      Printf.printf "  %-28s %9.3f\n%!" name (p.F.predicted_latency *. 1e3))
+    [ ("full LCMM", tight);
+      ("no buffer sharing", { tight with F.buffer_sharing = false });
+      ("no splitting", { tight with F.buffer_splitting = false });
+      ("first-fit coloring", { tight with F.coloring = Lcmm.Coloring.First_fit });
+      ("exact-iterative DNNK", { tight with F.compensation = Dnnk.Exact_iterative }) ];
+  (* Partial weight pinning: finer slices place partial tensors when whole
+     ones no longer fit (extension beyond the paper). *)
+  Printf.printf
+    "\nweight slicing under a 0.75 MB tensor budget (ResNet-152 i16, predicted ms):\n";
+  let rn = Models.Zoo.build "resnet152" in
+  let rn_cfg = (Accel.Dse.run ~style:Accel.Config.Lcmm dtype rn).Accel.Dse.config in
+  List.iter
+    (fun k ->
+      let p =
+        F.plan
+          ~options:
+            { base with
+              F.capacity_override = Some (768 * 1024);
+              weight_slices = k }
+          rn_cfg rn
+      in
+      Printf.printf "  %d slice(s): %9.3f\n%!" k (p.F.predicted_latency *. 1e3))
+    [ 1; 2; 4; 8 ]
+
+let energy () =
+  header "Energy: per-inference DDR traffic and energy (extension)";
+  Printf.printf "%-14s %-4s | %9s %9s | %9s %9s | %7s\n" "model" "prec"
+    "UMM GB" "LCMM GB" "UMM mJ" "LCMM mJ" "saving";
+  List.iter
+    (fun model ->
+      List.iter
+        (fun dtype ->
+          let c = comparison model dtype in
+          let m = c.F.lcmm_plan.F.metric in
+          let on_chip = c.F.lcmm_plan.F.allocation.Dnnk.on_chip in
+          let t_umm = Lcmm.Traffic.umm m in
+          let t_lcmm = Lcmm.Traffic.of_allocation m ~on_chip in
+          let e_umm =
+            Lcmm.Traffic.energy_of_allocation m ~dtype
+              ~on_chip:Lcmm.Metric.Item_set.empty
+          in
+          let e_lcmm = Lcmm.Traffic.energy_of_allocation m ~dtype ~on_chip in
+          let ju = Lcmm.Traffic.total_joules e_umm in
+          let jl = Lcmm.Traffic.total_joules e_lcmm in
+          Printf.printf "%-14s %-4s | %9.3f %9.3f | %9.3f %9.3f | %6.0f%%\n%!"
+            model
+            (Tensor.Dtype.to_string dtype)
+            (float_of_int (Lcmm.Traffic.total_bytes t_umm) /. 1e9)
+            (float_of_int (Lcmm.Traffic.total_bytes t_lcmm) /. 1e9)
+            (ju *. 1e3) (jl *. 1e3)
+            (100. *. (1. -. (jl /. ju))))
+        Tensor.Dtype.all)
+    suite
+
+let sensitivity () =
+  header "Sensitivity: calibration knobs vs headline speedup (GoogLeNet i16)";
+  let g = Models.Zoo.build "googlenet" in
+  let dtype = Tensor.Dtype.I16 in
+  (* Hold the tile shapes at the DSE winners of the default calibration
+     so the sweep isolates the memory system. *)
+  let umm_tile =
+    (Accel.Dse.run ~style:Accel.Config.Umm dtype g).Accel.Dse.config.Accel.Config.tile
+  in
+  let lcmm_tile =
+    (Accel.Dse.run ~style:Accel.Config.Lcmm dtype g).Accel.Dse.config.Accel.Config.tile
+  in
+  Format.printf "%a@."
+    (fun ppf () ->
+      Lcmm.Sensitivity.pp_points ppf "ddr-eff"
+        (Lcmm.Sensitivity.ddr_efficiency_sweep ~umm_tile ~lcmm_tile dtype g))
+    ();
+  Format.printf "%a@."
+    (fun ppf () ->
+      Lcmm.Sensitivity.pp_points ppf "burst-ovh"
+        (Lcmm.Sensitivity.burst_overhead_sweep ~umm_tile ~lcmm_tile dtype g))
+    ()
+
+let schedule_experiment () =
+  header "Schedule: memory-aware reordering vs builder order (extension)";
+  let dtype = Tensor.Dtype.I16 in
+  Printf.printf "%-14s | %8s %8s %8s | %9s %9s %9s\n" "model" "bfs-pk"
+    "build-pk" "mem-pk" "bfs-area" "bld-area" "mem-area";
+  List.iter
+    (fun name ->
+      let g = Models.Zoo.build name in
+      let peak order =
+        float_of_int (Dnn_graph.Schedule.peak_live_bytes dtype g order) /. 1e6
+      in
+      let area order =
+        float_of_int (Dnn_graph.Schedule.live_area dtype g order) /. 1e6
+      in
+      let bfs = Dnn_graph.Schedule.breadth_first g in
+      let bld = Dnn_graph.Schedule.default g in
+      let mem = Dnn_graph.Schedule.memory_aware dtype g in
+      Printf.printf "%-14s | %8.2f %8.2f %8.2f | %9.1f %9.1f %9.1f\n%!" name
+        (peak bfs) (peak bld) (peak mem) (area bfs) (area bld) (area mem))
+    (suite @ [ "densenet121"; "mobilenet_v2"; "squeezenet" ]);
+  Printf.printf
+    "(peak MB | liveness area MB-slots; lower is better.  The peak is set\n";
+  Printf.printf
+    " by the linear stem in all six models; the area shows the reordering.)\n" 
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per experiment's computational core. *)
+
+let micro () =
+  header "Bechamel micro-benchmarks of the framework kernels";
+  let open Bechamel in
+  let g = Models.Zoo.build "googlenet" in
+  let dtype = Tensor.Dtype.I16 in
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm dtype in
+  let profiles = Accel.Latency.profile_graph cfg g in
+  let metric = Metric.build g profiles in
+  let items = Array.of_list (Metric.eligible_items metric ~memory_bound_only:true) in
+  let sizes = Array.map (Metric.item_size_bytes dtype metric) items in
+  let intervals =
+    Array.map (Lcmm.Liveness.item_interval g ~prefetch_source:(fun _ -> None)) items
+  in
+  let interference = Lcmm.Interference.build ~items ~intervals () in
+  let vbufs = Lcmm.Coloring.color interference ~sizes in
+  let capacity_bytes = Accel.Config.sram_budget_bytes cfg in
+  let plan = F.plan cfg g in
+  let on_chip = plan.F.allocation.Dnnk.on_chip in
+  let tests =
+    [ Test.make ~name:"fig2a:roofline-points"
+        (Staged.stage (fun () -> ignore (Accel.Roofline.points cfg g)));
+      Test.make ~name:"table1:latency-profile"
+        (Staged.stage (fun () -> ignore (Accel.Latency.profile_graph cfg g)));
+      Test.make ~name:"table1:dnnk-allocate"
+        (Staged.stage (fun () -> ignore (Dnnk.allocate metric ~capacity_bytes vbufs)));
+      Test.make ~name:"table2:coloring"
+        (Staged.stage (fun () -> ignore (Lcmm.Coloring.color interference ~sizes)));
+      Test.make ~name:"fig8:simulate"
+        (Staged.stage (fun () ->
+             ignore
+               (Sim.Engine.simulate ?prefetch:plan.F.prefetch metric ~on_chip)));
+      Test.make ~name:"fig2b:subset-eval"
+        (Staged.stage (fun () -> ignore (Metric.total_latency metric ~on_chip)));
+      Test.make ~name:"table3:policy-greedy"
+        (Staged.stage (fun () ->
+             ignore
+               (Lcmm.Policies.run metric ~dtype ~capacity_bytes vbufs
+                  Lcmm.Policies.Greedy))) ]
+  in
+  let cfg_b = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg_b
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"lcmm" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ t ] ->
+        Printf.printf "%-34s %12.1f us/run (r2=%s)\n" name (t /. 1e3)
+          (match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-")
+      | Some _ | None -> Printf.printf "%-34s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let zoo () =
+  header "Zoo sweep: UMM vs LCMM across all thirteen models (16-bit)";
+  Printf.printf "%s\n" Lcmm.Report.comparison_header;
+  List.iter
+    (fun e ->
+      let model = e.Models.Zoo.model_name in
+      let c = comparison model Tensor.Dtype.I16 in
+      Printf.printf "%s\n%!" (Lcmm.Report.comparison_row c))
+    Models.Zoo.all
+
+let experiments =
+  [ ("fig2a", fig2a); ("table1", table1); ("table2", table2);
+    ("table3", table3); ("fig8", fig8); ("fig2b", fig2b);
+    ("ablation", ablation); ("energy", energy); ("sensitivity", sensitivity);
+    ("schedule", schedule_experiment); ("zoo", zoo); ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | [ _ ] | [] -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (known: %s)\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    requested

@@ -1,0 +1,300 @@
+(* lcmm: command-line front end for the LCMM reproduction.
+
+   Subcommands: models, summary, roofline, allocate, simulate, compare,
+   dot, export, info, schedule, trace, traffic, sensitivity.  Each
+   mirrors one way a user would interrogate the framework;
+   bench/main.exe is the separate harness that regenerates the paper's
+   tables and figures wholesale. *)
+
+open Cmdliner
+
+let model_arg =
+  let doc = "Model name (see the models subcommand)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let dtype_arg =
+  let parse s =
+    match Tensor.Dtype.of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown precision %S" s))
+  in
+  let print ppf d = Tensor.Dtype.pp ppf d in
+  let dtype_conv = Arg.conv (parse, print) in
+  let doc = "Numeric precision: i8, i16 or f32." in
+  Arg.(value & opt dtype_conv Tensor.Dtype.I16 & info [ "p"; "precision" ] ~doc)
+
+let device_arg =
+  let parse s =
+    match Fpga.Device.find s with
+    | Some d -> Ok d
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown device %S (known: %s)" s
+             (String.concat ", "
+                (List.map (fun d -> d.Fpga.Device.device_name) Fpga.Device.all))))
+  in
+  let print ppf d = Format.pp_print_string ppf d.Fpga.Device.device_name in
+  let device_conv = Arg.conv (parse, print) in
+  let doc = "Target device: vu9p (default), zu9eg or u250." in
+  Arg.(value & opt device_conv Fpga.Device.vu9p & info [ "d"; "device" ] ~doc)
+
+let build_model name =
+  match Models.Zoo.find name with
+  | Some e -> Ok (e.Models.Zoo.model_name, e.Models.Zoo.build ())
+  | None ->
+    Error
+      (Printf.sprintf "unknown model %S; known: %s" name
+         (String.concat ", "
+            (List.map (fun e -> e.Models.Zoo.model_name) Models.Zoo.all)))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("lcmm: " ^ msg);
+    exit 1
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        let g = e.Models.Zoo.build () in
+        Printf.printf "%-14s %4d nodes %7.2f GMACs %7.1f MB weights (i8)\n"
+          e.Models.Zoo.model_name
+          (Dnn_graph.Graph.node_count g)
+          (float_of_int (Dnn_graph.Graph.total_macs g) /. 1e9)
+          (float_of_int (Dnn_graph.Graph.weight_bytes Tensor.Dtype.I8 g) /. 1e6))
+      Models.Zoo.all
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the model zoo") Term.(const run $ const ())
+
+let summary_cmd =
+  let run name =
+    let _, g = or_die (build_model name) in
+    Format.printf "%a" Dnn_graph.Graph.pp_summary g
+  in
+  Cmd.v (Cmd.info "summary" ~doc:"Per-layer graph dump") Term.(const run $ model_arg)
+
+let roofline_cmd =
+  let run name dtype =
+    let _, g = or_die (build_model name) in
+    let cfg = Accel.Config.make ~style:Accel.Config.Umm dtype in
+    let points = Accel.Roofline.points cfg g in
+    List.iter (fun p -> Format.printf "%a@." Accel.Roofline.pp_point p) points;
+    let mb, total, frac = Accel.Roofline.summary points in
+    Format.printf "ridge = %.1f ops/byte; %d / %d layers memory bound (%.0f%%)@."
+      (Accel.Roofline.ridge_point cfg) mb total (100. *. frac)
+  in
+  Cmd.v
+    (Cmd.info "roofline" ~doc:"Roofline characterization (paper Fig. 2a)")
+    Term.(const run $ model_arg $ dtype_arg)
+
+let allocate_cmd =
+  let run name dtype =
+    let model, g = or_die (build_model name) in
+    let c = Lcmm.Framework.compare_designs ~model dtype g in
+    let p = c.Lcmm.Framework.lcmm_plan in
+    Format.printf "design: %a@." Accel.Config.pp p.Lcmm.Framework.config;
+    Format.printf "virtual buffers (%d):@."
+      (List.length p.Lcmm.Framework.vbufs);
+    List.iter
+      (fun vb ->
+        let on = List.mem vb p.Lcmm.Framework.allocation.Lcmm.Dnnk.chosen in
+        Format.printf "  %s %a@." (if on then "[on ]" else "[off]") Lcmm.Vbuffer.pp vb)
+      p.Lcmm.Framework.vbufs;
+    (match p.Lcmm.Framework.prefetch with
+    | None -> ()
+    | Some pdg -> Format.printf "prefetch edges:@.%a" Lcmm.Prefetch.pp pdg);
+    (let tile_bytes =
+       Accel.Tiling.buffer_bytes dtype p.Lcmm.Framework.config.Accel.Config.tile
+     in
+     match
+       Lcmm.Placement.place ~device:Fpga.Device.vu9p ~tile_bytes
+         p.Lcmm.Framework.allocation.Lcmm.Dnnk.chosen
+     with
+     | Ok map -> Format.printf "%a" Lcmm.Placement.pp map
+     | Error msg -> Format.printf "placement failed: %s@." msg);
+    let helped, bound = Lcmm.Framework.helped_layers p in
+    Format.printf
+      "UMM %.3f ms -> LCMM %.3f ms (x%.2f); POL %d/%d; tensor SRAM %.2f MB@."
+      (c.Lcmm.Framework.umm.Lcmm.Framework.latency_seconds *. 1e3)
+      (c.Lcmm.Framework.lcmm.Lcmm.Framework.latency_seconds *. 1e3)
+      c.Lcmm.Framework.speedup helped bound
+      (float_of_int p.Lcmm.Framework.tensor_sram_bytes /. 1e6)
+  in
+  Cmd.v
+    (Cmd.info "allocate" ~doc:"Run the LCMM framework and print the plan")
+    Term.(const run $ model_arg $ dtype_arg)
+
+let simulate_cmd =
+  let run name dtype =
+    let model, g = or_die (build_model name) in
+    let c = Lcmm.Framework.compare_designs ~model dtype g in
+    let p = c.Lcmm.Framework.lcmm_plan in
+    let m = p.Lcmm.Framework.metric in
+    let umm = Sim.Engine.simulate_umm m in
+    let lcmm =
+      Sim.Engine.simulate ?prefetch:p.Lcmm.Framework.prefetch m
+        ~on_chip:p.Lcmm.Framework.allocation.Lcmm.Dnnk.on_chip
+    in
+    Format.printf "simulated UMM %.3f ms, LCMM %.3f ms (x%.2f), prefetch wait %.3f ms@."
+      (umm.Sim.Engine.total *. 1e3) (lcmm.Sim.Engine.total *. 1e3)
+      (umm.Sim.Engine.total /. lcmm.Sim.Engine.total)
+      (lcmm.Sim.Engine.prefetch_wait *. 1e3);
+    let rows = Sim.Report.per_block g lcmm in
+    if rows <> [] then Format.printf "%a" Sim.Report.pp_rows rows
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Discrete-event simulation of UMM vs LCMM")
+    Term.(const run $ model_arg $ dtype_arg)
+
+let compare_cmd =
+  let run name dtype device =
+    let model, g = or_die (build_model name) in
+    let c = Lcmm.Framework.compare_designs ~device ~model dtype g in
+    let pr (r : Lcmm.Framework.design_report) =
+      Format.printf
+        "%-5s %8.3f ms %6.3f Tops %3.0f MHz dsp %3.0f%% clb %3.0f%% sram %3.0f%%@."
+        r.Lcmm.Framework.style_name
+        (r.Lcmm.Framework.latency_seconds *. 1e3)
+        r.Lcmm.Framework.tops r.Lcmm.Framework.freq_mhz
+        (100. *. r.Lcmm.Framework.dsp_util)
+        (100. *. r.Lcmm.Framework.clb_util)
+        (100. *. r.Lcmm.Framework.sram_util)
+    in
+    pr c.Lcmm.Framework.umm;
+    pr c.Lcmm.Framework.lcmm;
+    Format.printf "speedup x%.2f@." c.Lcmm.Framework.speedup
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"One row of the paper's Table 1")
+    Term.(const run $ model_arg $ dtype_arg $ device_arg)
+
+let export_cmd =
+  let out_arg =
+    Arg.(value & opt string "model.json" & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  let run name path =
+    let _, g = or_die (build_model name) in
+    Dnn_serial.Codec.write_file ~path g;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Serialize a model graph to JSON")
+    Term.(const run $ model_arg $ out_arg)
+
+let info_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Graph JSON file.")
+  in
+  let run path =
+    match Dnn_serial.Codec.read_file ~path with
+    | Error msg -> or_die (Error msg)
+    | Ok g ->
+      Printf.printf "%s: %d nodes, %.2f GMACs, %.1f MB weights (i8)\n" path
+        (Dnn_graph.Graph.node_count g)
+        (float_of_int (Dnn_graph.Graph.total_macs g) /. 1e9)
+        (float_of_int (Dnn_graph.Graph.weight_bytes Tensor.Dtype.I8 g) /. 1e6)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Summarize a serialized graph")
+    Term.(const run $ file_arg)
+
+let schedule_cmd =
+  let run name dtype =
+    let _, g = or_die (build_model name) in
+    let base = Dnn_graph.Schedule.peak_live_bytes dtype g (Dnn_graph.Schedule.default g) in
+    let order = Dnn_graph.Schedule.memory_aware dtype g in
+    let tuned = Dnn_graph.Schedule.peak_live_bytes dtype g order in
+    Printf.printf
+      "peak live feature bytes: builder order %.2f MB, memory-aware %.2f MB (%.0f%%)\n"
+      (float_of_int base /. 1e6)
+      (float_of_int tuned /. 1e6)
+      (100. *. float_of_int tuned /. float_of_int base)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Memory-aware schedule comparison")
+    Term.(const run $ model_arg $ dtype_arg)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  let run name dtype path =
+    let model, g = or_die (build_model name) in
+    let c = Lcmm.Framework.compare_designs ~model dtype g in
+    let p = c.Lcmm.Framework.lcmm_plan in
+    let run_result =
+      Sim.Engine.simulate ?prefetch:p.Lcmm.Framework.prefetch
+        p.Lcmm.Framework.metric
+        ~on_chip:p.Lcmm.Framework.allocation.Lcmm.Dnnk.on_chip
+    in
+    Sim.Trace.write_file ~path g run_result;
+    Printf.printf "wrote %s (open in a Chrome-tracing viewer)\n" path
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Export a Chrome-tracing timeline of the LCMM run")
+    Term.(const run $ model_arg $ dtype_arg $ out_arg)
+
+let traffic_cmd =
+  let run name dtype =
+    let model, g = or_die (build_model name) in
+    let c = Lcmm.Framework.compare_designs ~model dtype g in
+    let m = c.Lcmm.Framework.lcmm_plan.Lcmm.Framework.metric in
+    let on_chip =
+      c.Lcmm.Framework.lcmm_plan.Lcmm.Framework.allocation.Lcmm.Dnnk.on_chip
+    in
+    let show tag t =
+      Printf.printf "%-5s if %8.1f MB  wt %8.1f MB  of %8.1f MB  total %8.1f MB\n"
+        tag
+        (float_of_int t.Lcmm.Traffic.if_bytes /. 1e6)
+        (float_of_int t.Lcmm.Traffic.wt_bytes /. 1e6)
+        (float_of_int t.Lcmm.Traffic.of_bytes /. 1e6)
+        (float_of_int (Lcmm.Traffic.total_bytes t) /. 1e6)
+    in
+    show "UMM" (Lcmm.Traffic.umm m);
+    show "LCMM" (Lcmm.Traffic.of_allocation m ~on_chip);
+    let e = Lcmm.Traffic.energy_of_allocation m ~dtype ~on_chip in
+    Printf.printf
+      "LCMM energy/inference: %.3f mJ (ddr %.3f, sram %.3f, compute %.3f)\n"
+      (Lcmm.Traffic.total_joules e *. 1e3)
+      (e.Lcmm.Traffic.ddr_joules *. 1e3)
+      (e.Lcmm.Traffic.sram_joules *. 1e3)
+      (e.Lcmm.Traffic.compute_joules *. 1e3)
+  in
+  Cmd.v
+    (Cmd.info "traffic" ~doc:"Per-inference DDR traffic and energy")
+    Term.(const run $ model_arg $ dtype_arg)
+
+let sensitivity_cmd =
+  let run name dtype =
+    let _, g = or_die (build_model name) in
+    Format.printf "%a@." (fun ppf () ->
+        Lcmm.Sensitivity.pp_points ppf "ddr-eff"
+          (Lcmm.Sensitivity.ddr_efficiency_sweep dtype g)) ();
+    Format.printf "%a@." (fun ppf () ->
+        Lcmm.Sensitivity.pp_points ppf "burst-ovh"
+          (Lcmm.Sensitivity.burst_overhead_sweep dtype g)) ()
+  in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc:"Calibration sensitivity sweeps")
+    Term.(const run $ model_arg $ dtype_arg)
+
+let dot_cmd =
+  let out_arg =
+    Arg.(value & opt string "model.dot" & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  let run name path =
+    let _, g = or_die (build_model name) in
+    Dnn_graph.Dot.write_file ~path g;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export the graph as Graphviz")
+    Term.(const run $ model_arg $ out_arg)
+
+let () =
+  let info = Cmd.info "lcmm" ~doc:"Layer-conscious memory management for FPGA DNN accelerators" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ models_cmd; summary_cmd; roofline_cmd; allocate_cmd; simulate_cmd;
+            compare_cmd; dot_cmd; export_cmd; info_cmd; schedule_cmd; trace_cmd;
+            traffic_cmd; sensitivity_cmd ]))

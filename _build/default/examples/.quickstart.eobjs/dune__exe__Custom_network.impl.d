@@ -1,0 +1,1 @@
+examples/custom_network.ml: Dnn_graph Fpga Lcmm List Printf Sim Tensor

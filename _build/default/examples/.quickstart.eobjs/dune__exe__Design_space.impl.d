@@ -1,0 +1,1 @@
+examples/design_space.ml: Accel Dnn_graph Fpga Hashtbl Lcmm List Models Printf Tensor

@@ -1,0 +1,1 @@
+examples/inception_block.ml: Accel Array Dnn_graph Format Lcmm List Tensor

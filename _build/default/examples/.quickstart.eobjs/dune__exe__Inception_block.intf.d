@@ -1,0 +1,1 @@
+examples/inception_block.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fpga Lcmm List Models Printf Sim Tensor

@@ -1,0 +1,1 @@
+examples/verify_model.ml: Accel Array Dnn_graph Dnn_serial Interp Lcmm Printf String Tensor

@@ -1,0 +1,55 @@
+(* The paper's Fig. 2(b) design-space study: for each of Inception-v4's
+   14 inception blocks, choose whether its tensors live on or off chip —
+   16384 design points.  Prints the frontier and a histogram showing that
+   more on-chip memory does not imply more performance.
+
+   Run with:  dune exec examples/design_space.exe *)
+
+let () =
+  let g = Models.Zoo.build "inception_v4" in
+  let dtype = Tensor.Dtype.I8 in
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm dtype in
+  let metric = Lcmm.Metric.build g (Accel.Latency.profile_graph cfg g) in
+  let blocks =
+    List.map
+      (fun b -> (b, Lcmm.Design_space.block_items metric ~block:b))
+      Models.Inception_v4.block_names
+  in
+  Printf.printf "sweeping 2^%d = %d design points...\n%!" (List.length blocks)
+    (1 lsl List.length blocks);
+  let points =
+    Lcmm.Design_space.sweep metric ~dtype ~total_macs:(Dnn_graph.Graph.total_macs g)
+      ~blocks
+  in
+  let frontier = Lcmm.Design_space.pareto points in
+  Printf.printf "\nPareto frontier (%d of %d points):\n" (List.length frontier)
+    (List.length points);
+  List.iter
+    (fun p ->
+      Printf.printf "  %6.2f MB  %7.3f ms  %5.3f Tops  (mask %04x)\n"
+        (float_of_int p.Lcmm.Design_space.sram_bytes /. 1e6)
+        (p.Lcmm.Design_space.latency *. 1e3)
+        p.Lcmm.Design_space.tops p.Lcmm.Design_space.mask)
+    frontier;
+
+  (* The paper's observation: near the device limit, many points are far
+     from the best.  Bucket points by memory use and show the spread. *)
+  let device_mb = float_of_int (Fpga.Device.sram_bytes Fpga.Device.vu9p) /. 1e6 in
+  Printf.printf "\nperformance spread by on-chip memory bucket (device = %.0f MB):\n"
+    device_mb;
+  let bucket_mb = 8. in
+  let buckets = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let b = int_of_float (float_of_int p.Lcmm.Design_space.sram_bytes /. 1e6 /. bucket_mb) in
+      let lo, hi = try Hashtbl.find buckets b with Not_found -> (infinity, 0.) in
+      Hashtbl.replace buckets b
+        (min lo p.Lcmm.Design_space.tops, max hi p.Lcmm.Design_space.tops))
+    points;
+  Hashtbl.fold (fun b r acc -> (b, r) :: acc) buckets []
+  |> List.sort compare
+  |> List.iter (fun (b, (lo, hi)) ->
+         Printf.printf "  %3.0f-%3.0f MB: %.3f .. %.3f Tops\n"
+           (float_of_int b *. bucket_mb)
+           ((float_of_int b +. 1.) *. bucket_mb)
+           lo hi)

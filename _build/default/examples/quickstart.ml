@@ -1,0 +1,47 @@
+(* Quickstart: load a model from the zoo, run the LCMM framework against
+   the UMM baseline on a VU9P, and print the headline numbers.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let model = "googlenet" in
+  let dtype = Tensor.Dtype.I16 in
+  let graph = Models.Zoo.build model in
+
+  (* One call does everything: design-space exploration for both styles,
+     then the four LCMM passes on the chosen design. *)
+  let cmp = Lcmm.Framework.compare_designs ~model dtype graph in
+
+  let show (r : Lcmm.Framework.design_report) =
+    Printf.printf "  %-5s %8.3f ms  %5.3f Tops  (%.0f MHz, SRAM %.0f%%)\n"
+      r.Lcmm.Framework.style_name
+      (r.Lcmm.Framework.latency_seconds *. 1e3)
+      r.Lcmm.Framework.tops r.Lcmm.Framework.freq_mhz
+      (100. *. r.Lcmm.Framework.sram_util)
+  in
+  Printf.printf "%s @ %s on %s:\n" model
+    (Tensor.Dtype.to_string dtype)
+    Fpga.Device.vu9p.Fpga.Device.device_name;
+  show cmp.Lcmm.Framework.umm;
+  show cmp.Lcmm.Framework.lcmm;
+  Printf.printf "  speedup x%.2f\n\n" cmp.Lcmm.Framework.speedup;
+
+  (* The plan records what was pinned where. *)
+  let plan = cmp.Lcmm.Framework.lcmm_plan in
+  let alloc = plan.Lcmm.Framework.allocation in
+  Printf.printf "on-chip buffers: %d of %d virtual buffers, %d URAM blocks\n"
+    (List.length alloc.Lcmm.Dnnk.chosen)
+    (List.length plan.Lcmm.Framework.vbufs)
+    alloc.Lcmm.Dnnk.used_blocks;
+  let helped, bound = Lcmm.Framework.helped_layers plan in
+  Printf.printf "memory-bound layers helped: %d / %d\n" helped bound;
+
+  (* Cross-check the analytical plan with the event simulator. *)
+  let metric = plan.Lcmm.Framework.metric in
+  let sim =
+    Sim.Engine.simulate ?prefetch:plan.Lcmm.Framework.prefetch metric
+      ~on_chip:alloc.Lcmm.Dnnk.on_chip
+  in
+  Printf.printf "simulated LCMM: %.3f ms (prefetch wait %.3f ms)\n"
+    (sim.Sim.Engine.total *. 1e3)
+    (sim.Sim.Engine.prefetch_wait *. 1e3)

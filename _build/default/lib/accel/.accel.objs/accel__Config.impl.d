@@ -1,0 +1,1 @@
+lib/accel/config.ml: Format Fpga Pe_array Tensor Tiling

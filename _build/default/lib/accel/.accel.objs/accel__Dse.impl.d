@@ -1,0 +1,1 @@
+lib/accel/dse.ml: Config Fpga Latency List Tiling

@@ -1,0 +1,1 @@
+lib/accel/dse.mli: Config Dnn_graph Fpga Tensor Tiling

@@ -1,0 +1,1 @@
+lib/accel/latency.ml: Array Config Dnn_graph List Pe_array Tensor Tiling

@@ -1,0 +1,1 @@
+lib/accel/latency.mli: Config Dnn_graph

@@ -1,0 +1,1 @@
+lib/accel/pe_array.ml: Format Fpga List Tensor

@@ -1,0 +1,1 @@
+lib/accel/pe_array.mli: Format Fpga Tensor

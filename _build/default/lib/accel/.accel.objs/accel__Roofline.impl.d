@@ -1,0 +1,1 @@
+lib/accel/roofline.ml: Array Config Dnn_graph Format Latency List

@@ -1,0 +1,1 @@
+lib/accel/roofline.mli: Config Dnn_graph Format

@@ -1,0 +1,1 @@
+lib/accel/tiling.ml: Format Fpga Tensor

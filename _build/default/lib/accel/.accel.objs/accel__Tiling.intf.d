@@ -1,0 +1,1 @@
+lib/accel/tiling.mli: Format Tensor

@@ -1,0 +1,45 @@
+type result = {
+  config : Config.t;
+  umm_latency : float;
+  resources : Fpga.Resource.t;
+}
+
+let candidate_tiles () =
+  List.concat_map
+    (fun tm ->
+      List.concat_map
+        (fun tn ->
+          List.map (fun sp -> Tiling.make ~tm ~tn ~th:sp ~tw:sp) [ 7; 14; 28; 56 ])
+        [ 16; 32; 64 ])
+    [ 16; 32; 64 ]
+
+let run ?(device = Fpga.Device.vu9p) ?tiles ~style dtype g =
+  let tiles = match tiles with Some t -> t | None -> candidate_tiles () in
+  (* Large parts close timing with the full 83 % DSP budget; smaller parts
+     (or LUT-hungry precisions) need a smaller array, so the sweep also
+     descends the DSP-budget ladder. *)
+  let tiles =
+    List.concat_map
+      (fun fraction -> List.map (fun t -> (fraction, t)) tiles)
+      [ 0.83; 0.6; 0.4; 0.25; 0.12 ]
+  in
+  let evaluate (dsp_fraction, tile) =
+    let cfg = Config.make ~device ~dsp_fraction ~tile ~style dtype in
+    let resources = Config.compute_resources cfg in
+    if not (Fpga.Resource.fits resources ~within:device.Fpga.Device.total) then None
+    else
+      let umm_latency = Latency.umm_total (Latency.profile_graph cfg g) in
+      Some { config = cfg; umm_latency; resources }
+  in
+  let better a b =
+    if a.umm_latency < b.umm_latency then a
+    else if b.umm_latency < a.umm_latency then b
+    else if
+      Tiling.buffer_bytes dtype a.config.Config.tile
+      <= Tiling.buffer_bytes dtype b.config.Config.tile
+    then a
+    else b
+  in
+  match List.filter_map evaluate tiles with
+  | [] -> invalid_arg "Dse.run: no tile configuration fits the device"
+  | first :: rest -> List.fold_left better first rest

@@ -1,0 +1,210 @@
+module G = Dnn_graph.Graph
+module Op = Dnn_graph.Op
+module Values = Dnn_graph.Values
+module Shape = Tensor.Shape
+
+type profile = {
+  node_id : int;
+  latc : float;
+  if_terms : (int * float) list;
+  wt_term : float;
+  wt_load_once : float;
+  of_term : float;
+  of_value : int option;
+  if_stream_bytes : (int * int) list;
+  wt_stream_bytes : int;
+  wt_once_bytes : int;
+  of_stream_bytes : int;
+}
+
+let cycles_to_seconds cfg cycles =
+  float_of_int cycles /. (cfg.Config.freq_mhz *. 1e6)
+
+(* Compute seconds for one node on this design. *)
+let compute_seconds cfg g id =
+  let nd = G.node g id in
+  match nd.G.op with
+  | Op.Input _ | Op.Concat -> 0.
+  | Op.Conv { groups; kernel = kh, kw; out_channels; _ } ->
+    let out = G.output_shape g id in
+    let hw =
+      match Shape.as_feature out with
+      | Some f -> f.Shape.height * f.Shape.width
+      | None -> 1
+    in
+    let in_channels =
+      match G.input_shapes g id with
+      | [ shape ] -> (
+        match Shape.as_feature shape with Some f -> f.Shape.channels | None -> 0)
+      | [] | _ :: _ :: _ -> 0
+    in
+    let per_group =
+      Pe_array.conv_cycles cfg.Config.pe ~m:(out_channels / groups)
+        ~c:(in_channels / groups) ~hw ~k2:(kh * kw)
+    in
+    cycles_to_seconds cfg (groups * per_group)
+  | Op.Dense { out_features } ->
+    let in_features =
+      match G.input_shapes g id with
+      | [ shape ] -> Shape.elements shape
+      | [] | _ :: _ :: _ -> 0
+    in
+    let cycles =
+      Pe_array.conv_cycles cfg.Config.pe ~m:out_features ~c:in_features ~hw:1 ~k2:1
+    in
+    cycles_to_seconds cfg cycles
+  | Op.Pool _ | Op.Eltwise_add | Op.Upsample _ ->
+    let ops = G.aux_ops g id in
+    let cycles = (ops + cfg.Config.aux_ops_per_cycle - 1) / cfg.Config.aux_ops_per_cycle in
+    cycles_to_seconds cfg cycles
+
+(* DDR transaction counts per interface for the node's outer tile loops. *)
+let node_transactions cfg g id =
+  let nd = G.node g id in
+  match nd.G.op with
+  | Op.Conv _ -> (
+    match
+      Shape.as_feature (G.output_shape g id),
+      (match G.input_shapes g id with [ s ] -> Shape.as_feature s | _ -> None)
+    with
+    | Some out, Some input ->
+      Tiling.transactions cfg.Config.tile ~out_channels:out.Shape.channels
+        ~in_channels:input.Shape.channels ~out_h:out.Shape.height
+        ~out_w:out.Shape.width
+    | (None | Some _), _ -> { Tiling.if_txn = 1; wt_txn = 1; of_txn = 1 })
+  | Op.Dense { out_features } ->
+    let nm = (out_features + cfg.Config.tile.Tiling.tm - 1) / cfg.Config.tile.Tiling.tm in
+    { Tiling.if_txn = nm; wt_txn = nm; of_txn = 1 }
+  | Op.Input _ | Op.Pool _ | Op.Eltwise_add | Op.Concat | Op.Upsample _ ->
+    { Tiling.if_txn = 1; wt_txn = 0; of_txn = 1 }
+
+let node_trips cfg g id =
+  let nd = G.node g id in
+  match nd.G.op with
+  | Op.Conv { kernel; _ } -> (
+    match Shape.as_feature (G.output_shape g id) with
+    | Some f ->
+      Tiling.trips cfg.Config.tile ~out_channels:f.Shape.channels
+        ~out_h:f.Shape.height ~out_w:f.Shape.width ~kernel
+    | None -> { Tiling.if_trips = 1; wt_trips = 1; halo = 1.0 })
+  | Op.Dense { out_features } ->
+    (* Output-channel groups of the dense layer; weights stream once. *)
+    let nm = (out_features + cfg.Config.tile.Tiling.tm - 1) / cfg.Config.tile.Tiling.tm in
+    { Tiling.if_trips = nm; wt_trips = 1; halo = 1.0 }
+  | Op.Input _ | Op.Pool _ | Op.Eltwise_add | Op.Concat | Op.Upsample _ ->
+    { Tiling.if_trips = 1; wt_trips = 1; halo = 1.0 }
+
+(* With eltwise fusion, a value whose only consumer is the very next node
+   and that node is an element-wise add is consumed from the producing
+   layer's drain: its write-back and its re-read both disappear. *)
+let fused_into_next cfg g v =
+  cfg.Config.fused_eltwise
+  && (match Values.consumers g v with
+     | [ c ] when c = v + 1 -> (
+       match (G.node g c).G.op with
+       | Op.Eltwise_add -> true
+       | Op.Input _ | Op.Conv _ | Op.Pool _ | Op.Concat | Op.Upsample _
+       | Op.Dense _ -> false)
+     | _ -> false)
+
+let profile_node cfg g id =
+  let nd = G.node g id in
+  let bw = Config.interface_bandwidth cfg in
+  let dtype = cfg.Config.dtype in
+  let latc = compute_seconds cfg g id in
+  match nd.G.op with
+  | Op.Input _ | Op.Concat ->
+    { node_id = id; latc; if_terms = []; wt_term = 0.; wt_load_once = 0.;
+      of_term = 0.;
+      of_value = (match nd.G.op with Op.Input _ -> Some id | _ -> None);
+      if_stream_bytes = []; wt_stream_bytes = 0; wt_once_bytes = 0;
+      of_stream_bytes = 0 }
+  | Op.Conv _ | Op.Dense _ | Op.Pool _ | Op.Eltwise_add | Op.Upsample _ ->
+    let trips = node_trips cfg g id in
+    let txn = node_transactions cfg g id in
+    let ovh = cfg.Config.burst_overhead in
+    let sources =
+      List.filter (fun v -> not (fused_into_next cfg g v)) (Values.source_values g id)
+    in
+    (* Tile-load overhead of the input interface, split across the node's
+       source values (convs read one value; element-wise nodes read each
+       of theirs in one streaming pass). *)
+    let if_ovh_each =
+      match sources with
+      | [] -> 0.
+      | _ :: _ -> float_of_int txn.Tiling.if_txn *. ovh /. float_of_int (List.length sources)
+    in
+    let if_entries =
+      List.map
+        (fun v ->
+          let bytes = Shape.size_bytes dtype (G.output_shape g v) in
+          let streamed_bytes =
+            int_of_float
+              (float_of_int (bytes * trips.Tiling.if_trips) *. trips.Tiling.halo)
+          in
+          let streamed =
+            (float_of_int streamed_bytes /. bw) +. if_ovh_each
+          in
+          (v, streamed, streamed_bytes))
+        sources
+    in
+    let if_terms = List.map (fun (v, s, _) -> (v, s)) if_entries in
+    let if_stream_bytes = List.map (fun (v, _, b) -> (v, b)) if_entries in
+    let wt_bytes =
+      match G.weight_shape g id with
+      | None -> 0
+      | Some shape -> Shape.size_bytes dtype shape
+    in
+    let wt_load_once =
+      if wt_bytes = 0 then 0. else (float_of_int wt_bytes /. bw) +. ovh
+    in
+    let wt_term =
+      if wt_bytes = 0 then 0.
+      else
+        float_of_int (wt_bytes * trips.Tiling.wt_trips) /. bw
+        +. (float_of_int txn.Tiling.wt_txn *. ovh)
+    in
+    let of_bytes =
+      if fused_into_next cfg g id then 0
+      else Shape.size_bytes dtype (G.output_shape g id)
+    in
+    { node_id = id; latc; if_terms; wt_term; wt_load_once;
+      of_term =
+        (if of_bytes = 0 then 0.
+         else
+           (float_of_int of_bytes /. bw) +. (float_of_int txn.Tiling.of_txn *. ovh));
+      of_value = Some id;
+      if_stream_bytes;
+      wt_stream_bytes = wt_bytes * trips.Tiling.wt_trips;
+      wt_once_bytes = wt_bytes;
+      of_stream_bytes = of_bytes }
+
+let profile_graph cfg g =
+  Array.init (G.node_count g) (fun id -> profile_node cfg g id)
+
+let node_latency p ~if_on_chip ~wt_on_chip ~of_on_chip =
+  let if_time =
+    List.fold_left
+      (fun acc (v, t) -> if if_on_chip v then acc else acc +. t)
+      0. p.if_terms
+  in
+  let wt_time = if wt_on_chip then 0. else p.wt_term in
+  let of_time = if of_on_chip then 0. else p.of_term in
+  max p.latc (max if_time (max wt_time of_time))
+
+let umm_node_latency p =
+  node_latency p ~if_on_chip:(fun _ -> false) ~wt_on_chip:false ~of_on_chip:false
+
+let umm_total profiles =
+  Array.fold_left (fun acc p -> acc +. umm_node_latency p) 0. profiles
+
+let has_traffic p = p.if_terms <> [] || p.wt_term > 0. || p.of_term > 0.
+
+let is_memory_bound p = has_traffic p && umm_node_latency p > p.latc
+
+let memory_bound_count profiles =
+  Array.fold_left
+    (fun (mb, total) p ->
+      if has_traffic p then ((if is_memory_bound p then mb + 1 else mb), total + 1)
+      else (mb, total))
+    (0, 0) profiles

@@ -1,0 +1,58 @@
+(** Per-layer latency model (the paper's Eq. 1).
+
+    For each node the model produces its compute time and one transfer
+    term per data source: each input feature value it reads (resolved
+    through transparent concats), its weight tensor and its output value.
+    Compute and transfers overlap through double buffering, so a node's
+    latency is the maximum of its compute time and its per-interface
+    streaming times — an on-chip tensor contributes zero streaming time.
+
+    Transfer terms include the tile-reload factors of the design's
+    {!Tiling} configuration: streamed inputs are re-read once per
+    output-channel group (plus halo overread), streamed weights once per
+    spatial tile.  A pinned tensor is read from SRAM and pays no reload
+    at all; pinned weights are loaded exactly once per inference, off the
+    critical path when prefetching succeeds. *)
+
+type profile = {
+  node_id : int;
+  latc : float;                    (** Compute seconds. *)
+  if_terms : (int * float) list;   (** (value id, streaming seconds). *)
+  wt_term : float;                 (** Weight streaming seconds; 0 if none. *)
+  wt_load_once : float;            (** Seconds to load the weights once. *)
+  of_term : float;                 (** Output write-back seconds. *)
+  of_value : int option;           (** Value id written, when one exists. *)
+  if_stream_bytes : (int * int) list;
+      (** (value id, DDR bytes streamed incl. tile reloads). *)
+  wt_stream_bytes : int;           (** DDR bytes for streamed weights. *)
+  wt_once_bytes : int;             (** Bytes of one whole weight load. *)
+  of_stream_bytes : int;           (** DDR bytes written back. *)
+}
+
+val profile_node : Config.t -> Dnn_graph.Graph.t -> int -> profile
+
+val profile_graph : Config.t -> Dnn_graph.Graph.t -> profile array
+(** One profile per node, indexed by node id. *)
+
+val node_latency :
+  profile -> if_on_chip:(int -> bool) -> wt_on_chip:bool -> of_on_chip:bool ->
+  float
+(** Eq. 1 for one node under the given allocation: latency is
+    [max(latc, sum of off-chip if terms, wt term, of term)], where pinned
+    sources contribute zero. *)
+
+val umm_node_latency : profile -> float
+(** Node latency with everything streamed from DDR. *)
+
+val umm_total : profile array -> float
+(** Whole-network latency under uniform memory management (nodes run
+    sequentially, as in the paper's architecture). *)
+
+val is_memory_bound : profile -> bool
+(** True when some streaming term exceeds the node's compute time under
+    UMM — the paper's memory-bounded layer classification. *)
+
+val memory_bound_count : profile array -> int * int
+(** [(memory_bound, with_any_traffic)] — the second component counts
+    nodes that move any data at all (excludes transparent/input nodes),
+    the denominator of the paper's "58 % of layers" statistic. *)

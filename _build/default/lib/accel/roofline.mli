@@ -1,0 +1,34 @@
+(** Roofline characterization (paper Fig. 2a, after Williams et al.).
+
+    Each layer becomes a point (operation intensity, attainable
+    performance); the attainable roof is the minimum of the compute roof
+    (peak ops of the PE array) and the bandwidth roof of the off-chip
+    interface.  The memory-bound classification here is the single-pass
+    roofline one; the tiled model in {!Latency} refines it with reload
+    factors and is what the allocation passes use. *)
+
+type point = {
+  node_id : int;
+  layer_name : string;
+  intensity : float;        (** ops per off-chip byte, single pass. *)
+  attainable_tops : float;  (** Roofline-attainable performance, Tops. *)
+  roofline_bound : bool;    (** Intensity below the ridge point. *)
+  tiled_memory_bound : bool;(** {!Latency.is_memory_bound} (with reloads). *)
+}
+
+val ridge_point : Config.t -> float
+(** Intensity (ops/byte) at which the bandwidth roof meets the compute
+    roof. *)
+
+val attainable_tops : Config.t -> float -> float
+(** Attainable performance (Tops) at the given operation intensity. *)
+
+val points : Config.t -> Dnn_graph.Graph.t -> point list
+(** One point per layer that moves data (transparent and input nodes are
+    skipped), in topological order. *)
+
+val summary : point list -> int * int * float
+(** [(memory_bound, total, fraction)] over the tiled classification — the
+    paper's "82 of 141 layers (58 %)" style statistic. *)
+
+val pp_point : Format.formatter -> point -> unit

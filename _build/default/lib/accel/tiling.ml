@@ -1,0 +1,50 @@
+type t = { tm : int; tn : int; th : int; tw : int }
+
+let make ~tm ~tn ~th ~tw =
+  if tm <= 0 || tn <= 0 || th <= 0 || tw <= 0 then
+    invalid_arg "Tiling.make: non-positive tile dimension";
+  { tm; tn; th; tw }
+
+let max_kernel = 7
+
+(* Double-buffered input, weight and output tiles.  The input tile covers
+   the receptive field of a [th x tw] output tile at stride 1 and the
+   provisioned worst-case kernel. *)
+let buffer_bytes dtype t =
+  let b = Tensor.Dtype.bytes dtype in
+  let in_tile = t.tn * (t.th + max_kernel - 1) * (t.tw + max_kernel - 1) * b in
+  let wt_tile = t.tm * t.tn * max_kernel * max_kernel * b in
+  let out_tile = t.tm * t.th * t.tw * b in
+  2 * (in_tile + wt_tile + out_tile)
+
+let bram_blocks dtype t =
+  (buffer_bytes dtype t + Fpga.Resource.bram36_bytes - 1) / Fpga.Resource.bram36_bytes
+
+type trips = { if_trips : int; wt_trips : int; halo : float }
+
+let ceil_div a b = (a + b - 1) / b
+
+let trips t ~out_channels ~out_h ~out_w ~kernel:(kh, kw) =
+  let nm = ceil_div out_channels t.tm in
+  let nth = ceil_div out_h t.th in
+  let ntw = ceil_div out_w t.tw in
+  let nsp = nth * ntw in
+  let halo =
+    if nsp = 1 then 1.0
+    else
+      let eff_h = min t.th out_h and eff_w = min t.tw out_w in
+      let covered = float_of_int ((eff_h + kh - 1) * (eff_w + kw - 1)) in
+      covered /. float_of_int (eff_h * eff_w)
+  in
+  { if_trips = nm; wt_trips = nsp; halo }
+
+type transactions = { if_txn : int; wt_txn : int; of_txn : int }
+
+let transactions t ~out_channels ~in_channels ~out_h ~out_w =
+  let nm = ceil_div out_channels t.tm in
+  let nc = ceil_div in_channels t.tn in
+  let nsp = ceil_div out_h t.th * ceil_div out_w t.tw in
+  let loads = nm * nsp * nc in
+  { if_txn = loads; wt_txn = loads; of_txn = nm * nsp }
+
+let pp ppf t = Format.fprintf ppf "tm=%d tn=%d th=%d tw=%d" t.tm t.tn t.th t.tw

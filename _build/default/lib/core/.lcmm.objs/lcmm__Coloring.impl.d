@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Fun Interference List Metric Vbuffer

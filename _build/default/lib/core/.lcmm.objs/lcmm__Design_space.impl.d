@@ -1,0 +1,1 @@
+lib/core/design_space.ml: Array Dnn_graph Dnnk List Metric

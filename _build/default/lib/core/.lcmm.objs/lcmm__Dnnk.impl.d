@@ -1,0 +1,1 @@
+lib/core/dnnk.ml: Array Fpga Hashtbl List Metric Vbuffer

@@ -1,0 +1,1 @@
+lib/core/dnnk.mli: Metric Vbuffer

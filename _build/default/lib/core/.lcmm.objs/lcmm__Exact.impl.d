@@ -1,0 +1,1 @@
+lib/core/exact.ml: Accel Array Dnnk List Metric Vbuffer

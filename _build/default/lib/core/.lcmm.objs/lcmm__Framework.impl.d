@@ -1,0 +1,1 @@
+lib/core/framework.ml: Accel Array Coloring Dnn_graph Dnnk Fpga Interference List Liveness Metric Prefetch Splitting Tensor Vbuffer

@@ -1,0 +1,1 @@
+lib/core/framework.mli: Accel Coloring Dnn_graph Dnnk Fpga Metric Prefetch Tensor Vbuffer

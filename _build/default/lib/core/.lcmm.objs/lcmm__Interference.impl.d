@@ -1,0 +1,1 @@
+lib/core/interference.ml: Array Liveness Metric Printf Set Stdlib

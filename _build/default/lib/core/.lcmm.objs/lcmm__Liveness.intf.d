@@ -1,0 +1,1 @@
+lib/core/liveness.mli: Dnn_graph Format Metric

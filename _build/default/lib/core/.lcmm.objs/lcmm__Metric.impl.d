@@ -1,0 +1,1 @@
+lib/core/metric.ml: Accel Array Dnn_graph Format Hashtbl List Set Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/core/metric.mli: Accel Dnn_graph Format Hashtbl Set Tensor

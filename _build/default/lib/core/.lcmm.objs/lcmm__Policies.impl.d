@@ -1,0 +1,1 @@
+lib/core/policies.ml: Array Dnnk List Metric Printf Vbuffer

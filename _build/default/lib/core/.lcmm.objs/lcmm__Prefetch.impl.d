@@ -1,0 +1,1 @@
+lib/core/prefetch.ml: Accel Array Format Hashtbl List Metric Option Printf

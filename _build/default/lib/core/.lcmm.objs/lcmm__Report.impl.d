@@ -1,0 +1,1 @@
+lib/core/report.ml: Accel Buffer Design_space Dnnk Format Framework Fun List Metric Printf String Tensor

@@ -1,0 +1,1 @@
+lib/core/report.mli: Design_space Dnn_graph Framework

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Accel Format Framework List

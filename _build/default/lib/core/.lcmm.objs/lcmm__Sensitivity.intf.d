@@ -1,0 +1,1 @@
+lib/core/sensitivity.mli: Accel Dnn_graph Format Tensor

@@ -1,0 +1,1 @@
+lib/core/splitting.ml: Coloring Dnnk Interference List Vbuffer

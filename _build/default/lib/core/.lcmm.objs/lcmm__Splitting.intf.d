@@ -1,0 +1,1 @@
+lib/core/splitting.mli: Coloring Dnnk Interference Metric

@@ -1,0 +1,1 @@
+lib/core/traffic.ml: Accel Array Dnn_graph List Metric Tensor

@@ -1,0 +1,1 @@
+lib/core/vbuffer.ml: Format List Metric

@@ -1,0 +1,1 @@
+lib/core/vbuffer.mli: Format Metric

@@ -1,0 +1,61 @@
+type strategy = Min_growth | First_fit
+
+(* Mutable buffer accumulator during coloring. *)
+type partial = {
+  mutable size : int;
+  mutable members : (int * Metric.item * int) list;  (* index, item, size *)
+}
+
+let compatible interference part index =
+  List.for_all (fun (j, _, _) -> not (Interference.conflict interference index j))
+    part.members
+
+let order strategy interference sizes =
+  let indices = List.init (Array.length sizes) Fun.id in
+  match strategy with
+  | Min_growth ->
+    List.sort (fun a b -> compare sizes.(b) sizes.(a)) indices
+  | First_fit ->
+    List.sort
+      (fun a b -> compare (Interference.degree interference b) (Interference.degree interference a))
+      indices
+
+let color ?(strategy = Min_growth) interference ~sizes =
+  if Array.length sizes <> Interference.item_count interference then
+    invalid_arg "Coloring.color: sizes length mismatch";
+  let buffers : partial list ref = ref [] in
+  let place index =
+    let size = sizes.(index) in
+    let candidates =
+      List.filter (fun part -> compatible interference part index) !buffers
+    in
+    let chosen =
+      match strategy with
+      | First_fit -> (match candidates with part :: _ -> Some part | [] -> None)
+      | Min_growth ->
+        let growth part = max 0 (size - part.size) in
+        List.fold_left
+          (fun best part ->
+            match best with
+            | None -> Some part
+            | Some b -> if growth part < growth b then Some part else best)
+          None candidates
+    in
+    match chosen with
+    | Some part ->
+      part.size <- max part.size size;
+      part.members <- (index, Interference.item interference index, size) :: part.members
+    | None ->
+      buffers :=
+        !buffers
+        @ [ { size; members = [ (index, Interference.item interference index, size) ] } ]
+  in
+  List.iter place (order strategy interference sizes);
+  List.mapi
+    (fun vbuf_id part ->
+      Vbuffer.make ~vbuf_id
+        ~sized_members:(List.map (fun (_, item, s) -> (item, s)) part.members))
+    !buffers
+
+let total_bytes buffers =
+  List.fold_left (fun acc b -> acc + b.Vbuffer.size_bytes) 0 buffers

@@ -1,0 +1,206 @@
+type compensation = Table_approx | Exact_iterative
+
+type result = {
+  chosen : Vbuffer.t list;
+  spilled : Vbuffer.t list;
+  on_chip : Metric.Item_set.t;
+  predicted_latency : float;
+  capacity_blocks : int;
+  used_blocks : int;
+}
+
+let block_bytes = Fpga.Resource.uram_bytes
+
+let blocks_of_bytes bytes = (bytes + block_bytes - 1) / block_bytes
+
+let items_of_vbufs vbufs =
+  List.concat_map (fun vb -> vb.Vbuffer.members) vbufs
+
+let set_of_vbufs vbufs =
+  Metric.Item_set.of_list (items_of_vbufs vbufs)
+
+let finish metric ~capacity_blocks vbufs chosen_ids =
+  let chosen, spilled =
+    List.partition (fun vb -> List.mem vb.Vbuffer.vbuf_id chosen_ids) vbufs
+  in
+  let on_chip = set_of_vbufs chosen in
+  { chosen;
+    spilled;
+    on_chip;
+    predicted_latency = Metric.total_latency metric ~on_chip;
+    capacity_blocks;
+    used_blocks =
+      List.fold_left
+        (fun acc vb -> acc + blocks_of_bytes vb.Vbuffer.size_bytes)
+        0 chosen }
+
+(* Nodes whose latency any member of the buffer influences. *)
+let affected_nodes_of_vbuf metric vb =
+  List.concat_map (Metric.affected_nodes metric) vb.Vbuffer.members
+  |> List.sort_uniq compare
+
+(* One 0/1-knapsack DP over virtual buffers.  [gain_at] supplies the
+   value of buffer [i] when placed at source column [col] (allowing the
+   paper's table-based compensation); the memo of placement bits is
+   exposed to it through [pbuf_table]. *)
+let knapsack_dp ~capacity ~sizes ~gain_at =
+  let n = Array.length sizes in
+  let prev = Array.make (capacity + 1) 0. in
+  let curr = Array.make (capacity + 1) 0. in
+  let pbuf_table = Array.make_matrix (n + 1) (capacity + 1) false in
+  for i = 1 to n do
+    let s = sizes.(i - 1) in
+    for j = 0 to capacity do
+      let without = prev.(j) in
+      if s <= j then begin
+        let col = j - s in
+        let with_gain = prev.(col) +. gain_at ~index:(i - 1) ~col ~pbuf_table in
+        if with_gain > without then begin
+          curr.(j) <- with_gain;
+          pbuf_table.(i).(j) <- true
+        end
+        else curr.(j) <- without
+      end
+      else curr.(j) <- without
+    done;
+    Array.blit curr 0 prev 0 (capacity + 1)
+  done;
+  (* Backtrace the memo into the chosen index set. *)
+  let rec back i j acc =
+    if i = 0 then acc
+    else if pbuf_table.(i).(j) then back (i - 1) (j - sizes.(i - 1)) ((i - 1) :: acc)
+    else back (i - 1) j acc
+  in
+  back n capacity []
+
+(* Greedy repair after the DP: while spare capacity remains, pull back any
+   spilled buffer whose marginal gain against the chosen set is positive.
+   This recovers value the max-structure hides from per-row compensation
+   (a term only pays off once its node's larger terms are also pinned). *)
+let sweep_up metric ~capacity_blocks result =
+  let rec loop result =
+    let free = capacity_blocks - result.used_blocks in
+    let candidate =
+      List.filter_map
+        (fun vb ->
+          let blocks = blocks_of_bytes vb.Vbuffer.size_bytes in
+          if blocks > free then None
+          else
+            let gain =
+              Metric.marginal_gain_many metric ~on_chip:result.on_chip
+                vb.Vbuffer.members
+            in
+            if gain > 1e-15 then Some (gain, vb) else None)
+        result.spilled
+    in
+    match candidate with
+    | [] -> result
+    | first :: rest ->
+      let _, best =
+        List.fold_left (fun (bg, bv) (g, v) -> if g > bg then (g, v) else (bg, bv))
+          first rest
+      in
+      let chosen = best :: result.chosen in
+      let on_chip =
+        List.fold_left
+          (fun acc it -> Metric.Item_set.add it acc)
+          result.on_chip best.Vbuffer.members
+      in
+      loop
+        { result with
+          chosen;
+          spilled =
+            List.filter (fun vb -> vb.Vbuffer.vbuf_id <> best.Vbuffer.vbuf_id)
+              result.spilled;
+          on_chip;
+          predicted_latency = Metric.total_latency metric ~on_chip;
+          used_blocks = result.used_blocks + blocks_of_bytes best.Vbuffer.size_bytes }
+  in
+  loop result
+
+let allocate ?(compensation = Table_approx) ?(rounds = 4) metric ~capacity_bytes
+    vbufs =
+  if capacity_bytes < 0 then invalid_arg "Dnnk.allocate: negative capacity";
+  let capacity = capacity_bytes / block_bytes in
+  (* Process buffers in decreasing static-gain order: the row-memo
+     compensation then sees a node's dominant terms before its minor
+     ones. *)
+  let vbufs =
+    List.map
+      (fun vb ->
+        (Metric.marginal_gain_many metric ~on_chip:Metric.Item_set.empty
+           vb.Vbuffer.members, vb))
+      vbufs
+    |> List.stable_sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
+  let vbuf_arr = Array.of_list vbufs in
+  let n = Array.length vbuf_arr in
+  let sizes = Array.map (fun vb -> blocks_of_bytes vb.Vbuffer.size_bytes) vbuf_arr in
+  let total_blocks = Array.fold_left ( + ) 0 sizes in
+  if total_blocks <= capacity then
+    (* Everything fits: pinning all of it dominates any subset. *)
+    finish metric ~capacity_blocks:capacity vbufs
+      (List.map (fun vb -> vb.Vbuffer.vbuf_id) vbufs)
+  else
+  let affected = Array.map (affected_nodes_of_vbuf metric) vbuf_arr in
+  (* Which DP row owns each item, for compensation lookups. *)
+  let owner = Hashtbl.create 256 in
+  Array.iteri
+    (fun i vb -> List.iter (fun it -> Hashtbl.replace owner it i) vb.Vbuffer.members)
+    vbuf_arr;
+  match compensation with
+  | Table_approx ->
+    let gain_at ~index ~col ~pbuf_table =
+      let members = vbuf_arr.(index).Vbuffer.members in
+      let recorded item =
+        match Hashtbl.find_opt owner item with
+        | Some k when k < index -> pbuf_table.(k + 1).(col)
+        | Some _ | None -> false
+      in
+      let with_members item = recorded item || List.mem item members in
+      List.fold_left
+        (fun acc node ->
+          acc
+          +. Metric.node_latency_pred metric ~on:recorded node
+          -. Metric.node_latency_pred metric ~on:with_members node)
+        0. affected.(index)
+    in
+    let chosen = knapsack_dp ~capacity ~sizes ~gain_at in
+    sweep_up metric ~capacity_blocks:capacity
+      (finish metric ~capacity_blocks:capacity vbufs
+         (List.map (fun i -> vbuf_arr.(i).Vbuffer.vbuf_id) chosen))
+  | Exact_iterative ->
+    (* Round 0 seeds with static (empty-allocation) gains; later rounds
+       re-measure each buffer against the previous winner minus itself. *)
+    let gains = Array.make n 0. in
+    let seed baseline =
+      Array.iteri
+        (fun i vb ->
+          let without_self =
+            List.fold_left
+              (fun acc it -> Metric.Item_set.remove it acc)
+              baseline vb.Vbuffer.members
+          in
+          gains.(i) <- Metric.marginal_gain_many metric ~on_chip:without_self vb.Vbuffer.members)
+        vbuf_arr
+    in
+    let run () =
+      let gain_at ~index ~col:_ ~pbuf_table:_ = gains.(index) in
+      let chosen = knapsack_dp ~capacity ~sizes ~gain_at in
+      sweep_up metric ~capacity_blocks:capacity
+        (finish metric ~capacity_blocks:capacity vbufs
+           (List.map (fun i -> vbuf_arr.(i).Vbuffer.vbuf_id) chosen))
+    in
+    seed Metric.Item_set.empty;
+    let best = ref (run ()) in
+    let continue = ref true in
+    let round = ref 1 in
+    while !continue && !round < rounds do
+      seed !best.on_chip;
+      let next = run () in
+      if next.predicted_latency < !best.predicted_latency -. 1e-12 then best := next
+      else continue := false;
+      incr round
+    done;
+    !best

@@ -1,0 +1,47 @@
+(** DNNK — the DNN-knapsack on-chip memory allocator (paper Alg. 1).
+
+    Virtual buffers are knapsack items: weight = buffer size in URAM-block
+    granularity, value = the latency reduction its member tensors bring.
+    Because per-node latency is a [max] over transfer terms, member values
+    interact (pinning the second-largest term of a node buys nothing until
+    the largest is pinned too); the paper handles this with *pivot
+    compensation* against the DP memo.  Two variants are provided:
+
+    - {!Table_approx} — the paper's scheme: the gain of adding a buffer at
+      DP cell (i, j) is evaluated against the allocation bits the memo
+      recorded for earlier buffers at the source column, exactly as
+      Alg. 1's [pbuf_table] reads.  One DP pass.
+    - {!Exact_iterative} — re-seeds a compensation-free DP with marginal
+      gains measured against the previously chosen allocation and keeps
+      the best exactly-evaluated result; converges in a few rounds and
+      serves as the stronger reference in the ablation bench.
+
+    Both variants process buffers in decreasing static-gain order (so the
+    row memo sees a node's dominant terms first), take everything when
+    the whole problem fits (pinning more never hurts), and finish with a
+    greedy sweep-up that pulls back spilled buffers whose marginal gain
+    became positive once their nodes' larger terms were pinned — value
+    the max-structure hides from any single DP pass. *)
+
+type compensation = Table_approx | Exact_iterative
+
+type result = {
+  chosen : Vbuffer.t list;       (** Buffers granted physical SRAM. *)
+  spilled : Vbuffer.t list;      (** Buffers left in DDR. *)
+  on_chip : Metric.Item_set.t;   (** Items of the chosen buffers. *)
+  predicted_latency : float;     (** Exact Eq. 1 total for the result. *)
+  capacity_blocks : int;
+  used_blocks : int;
+}
+
+val block_bytes : int
+(** Allocation granularity: one URAM block (32 KiB). *)
+
+val blocks_of_bytes : int -> int
+(** Size in whole blocks, rounding up. *)
+
+val allocate :
+  ?compensation:compensation -> ?rounds:int -> Metric.t ->
+  capacity_bytes:int -> Vbuffer.t list -> result
+(** Run the allocator.  [rounds] (default 4) bounds {!Exact_iterative}
+    refinement.  Raises [Invalid_argument] on negative capacity. *)

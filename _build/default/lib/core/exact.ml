@@ -1,0 +1,96 @@
+type result = {
+  chosen : Vbuffer.t list;
+  on_chip : Metric.Item_set.t;
+  latency : float;
+  proven_optimal : bool;
+  nodes_explored : int;
+}
+
+(* Depth-first branch and bound over the buffers in decreasing
+   gain-density order.  State: index into the buffer array, the chosen
+   set so far, remaining capacity.  Bound: current total gain + for every
+   graph node still touchable by an open buffer, the node's remaining
+   reduction potential (its latency under the current set minus its
+   compute floor) — an upper bound because per-node reduction can never
+   dig below the compute floor. *)
+let solve ?(node_budget = 200_000) metric ~capacity_bytes vbufs =
+  if capacity_bytes < 0 then invalid_arg "Exact.solve: negative capacity";
+  let capacity = capacity_bytes / Dnnk.block_bytes in
+  (* Order by static gain density: good incumbents early = strong pruning. *)
+  let scored =
+    List.map
+      (fun vb ->
+        let gain =
+          Metric.marginal_gain_many metric ~on_chip:Metric.Item_set.empty
+            vb.Vbuffer.members
+        in
+        let blocks = max 1 (Dnnk.blocks_of_bytes vb.Vbuffer.size_bytes) in
+        (gain /. float_of_int blocks, vb))
+      vbufs
+    |> List.stable_sort (fun (a, _) (b, _) -> compare b a)
+  in
+  let arr = Array.of_list (List.map snd scored) in
+  let n = Array.length arr in
+  let blocks = Array.map (fun vb -> Dnnk.blocks_of_bytes vb.Vbuffer.size_bytes) arr in
+  (* Graph nodes each suffix of buffers can still touch. *)
+  let touched_from = Array.make (n + 1) [] in
+  for i = n - 1 downto 0 do
+    let here =
+      List.concat_map (Metric.affected_nodes metric) arr.(i).Vbuffer.members
+    in
+    touched_from.(i) <- List.sort_uniq compare (here @ touched_from.(i + 1))
+  done;
+  let umm = Accel.Latency.umm_total metric.Metric.profiles in
+  (* Seed the incumbent with DNNK's heuristic solution: the search then
+     starts from a strong bound and can only improve on it, so even a
+     budget-truncated run never loses to the heuristic. *)
+  let seed = Dnnk.allocate metric ~capacity_bytes vbufs in
+  let best_latency = ref (min umm seed.Dnnk.predicted_latency) in
+  let best_set = ref seed.Dnnk.chosen in
+  let explored = ref 0 in
+  let budget_hit = ref false in
+  let rec branch index chosen on_chip free gain =
+    if !explored >= node_budget then budget_hit := true
+    else begin
+      incr explored;
+      let latency_now = umm -. gain in
+      if latency_now < !best_latency -. 1e-15 then begin
+        best_latency := latency_now;
+        best_set := chosen
+      end;
+      if index < n then begin
+        (* Admissible optimism for the remaining suffix. *)
+        let potential =
+          List.fold_left
+            (fun acc node ->
+              acc
+              +. Metric.node_latency metric ~on_chip node
+              -. metric.Metric.profiles.(node).Accel.Latency.latc)
+            0. touched_from.(index)
+        in
+        if latency_now -. potential < !best_latency -. 1e-15 then begin
+          (* Take the buffer first (best-gain order), then skip it. *)
+          if blocks.(index) <= free then begin
+            let members = arr.(index).Vbuffer.members in
+            let extra = Metric.marginal_gain_many metric ~on_chip members in
+            let on_chip' =
+              List.fold_left (fun acc it -> Metric.Item_set.add it acc) on_chip members
+            in
+            branch (index + 1) (arr.(index) :: chosen) on_chip'
+              (free - blocks.(index)) (gain +. extra)
+          end;
+          branch (index + 1) chosen on_chip free gain
+        end
+      end
+    end
+  in
+  branch 0 [] Metric.Item_set.empty capacity 0.;
+  let chosen = !best_set in
+  let on_chip =
+    Metric.Item_set.of_list (List.concat_map (fun vb -> vb.Vbuffer.members) chosen)
+  in
+  { chosen;
+    on_chip;
+    latency = Metric.total_latency metric ~on_chip;
+    proven_optimal = not !budget_hit;
+    nodes_explored = !explored }

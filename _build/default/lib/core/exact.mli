@@ -1,0 +1,27 @@
+(** Branch-and-bound exact allocation (an extension beyond the paper).
+
+    {!Policies.Exact_small} enumerates subsets and stops being practical
+    around 20 buffers.  This solver searches the same space with
+    best-first branch and bound: the admissible bound adds, to the gain
+    already locked in, each touched node's *remaining* reduction
+    potential — its current Eq. 1 latency minus its compute floor — which
+    never underestimates what the open buffers could still achieve.
+    Problems in the low hundreds of buffers close exactly within seconds
+    when capacity pressure prunes well; a node budget caps the search and
+    reports whether the result is proven optimal.  The incumbent is
+    seeded with DNNK's solution, so even a truncated search never
+    returns anything worse than the heuristic. *)
+
+type result = {
+  chosen : Vbuffer.t list;
+  on_chip : Metric.Item_set.t;
+  latency : float;          (** Exact Eq. 1 total of the allocation. *)
+  proven_optimal : bool;    (** False when the node budget ran out. *)
+  nodes_explored : int;
+}
+
+val solve :
+  ?node_budget:int -> Metric.t -> capacity_bytes:int -> Vbuffer.t list ->
+  result
+(** [node_budget] (default 200_000) bounds the search tree.  Raises
+    [Invalid_argument] on negative capacity. *)

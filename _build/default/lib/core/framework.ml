@@ -1,0 +1,332 @@
+module G = Dnn_graph.Graph
+module Latency = Accel.Latency
+module Config = Accel.Config
+
+type options = {
+  feature_reuse : bool;
+  weight_prefetch : bool;
+  buffer_splitting : bool;
+  buffer_sharing : bool;
+  memory_bound_only : bool;
+  compensation : Dnnk.compensation;
+  coloring : Coloring.strategy;
+  capacity_override : int option;
+  weight_slices : int;
+}
+
+let default_options =
+  { feature_reuse = true;
+    weight_prefetch = true;
+    buffer_splitting = true;
+    buffer_sharing = true;
+    memory_bound_only = true;
+    compensation = Dnnk.Table_approx;
+    coloring = Coloring.Min_growth;
+    capacity_override = None;
+    weight_slices = 1 }
+
+type plan = {
+  config : Config.t;
+  options : options;
+  metric : Metric.t;
+  vbufs : Vbuffer.t list;
+  allocation : Dnnk.result;
+  prefetch : Prefetch.t option;
+  splitting_iterations : int;
+  predicted_latency : float;
+  pol : float;
+  tensor_sram_bytes : int;
+}
+
+let is_weight_item = function
+  | Metric.Weight_of _ | Metric.Weight_slice _ -> true
+  | Metric.Feature_value _ -> false
+
+let never_share a b = is_weight_item a <> is_weight_item b
+
+let unhidden_stalls prefetch on_chip =
+  match prefetch with
+  | None -> 0.
+  | Some pdg ->
+    Metric.Item_set.fold
+      (fun item acc ->
+        match item with
+        | Metric.Weight_of n -> acc +. Prefetch.stall_seconds pdg n
+        | Metric.Weight_slice { node; of_k; _ } ->
+          (* A slice loads 1/k of the tensor; its share of the unhidden
+             stall scales the same way. *)
+          acc +. (Prefetch.stall_seconds pdg node /. float_of_int of_k)
+        | Metric.Feature_value _ -> acc)
+      on_chip 0.
+
+let helped_and_bound metric on_chip =
+  let profiles = metric.Metric.profiles in
+  let helped = ref 0 and bound = ref 0 in
+  Array.iter
+    (fun p ->
+      if Latency.is_memory_bound p then begin
+        incr bound;
+        let id = p.Latency.node_id in
+        let now = Metric.node_latency metric ~on_chip id in
+        if now < Latency.umm_node_latency p -. 1e-12 then incr helped
+      end)
+    profiles;
+  (!helped, !bound)
+
+let plan ?(options = default_options) config g =
+  let profiles = Latency.profile_graph config g in
+  (* Slices below the allocation block size only waste rounding; cap the
+     per-node slice count so every slice spans at least one block. *)
+  let metric =
+    let dtype = config.Config.dtype in
+    let weight_slices n =
+      let bytes =
+        match G.weight_shape g n with
+        | None -> 0
+        | Some shape -> Tensor.Shape.size_bytes dtype shape
+      in
+      max 1 (min options.weight_slices (bytes / Dnnk.block_bytes))
+    in
+    Metric.build ~weight_slices g profiles
+  in
+  let eligible =
+    Metric.eligible_items metric ~memory_bound_only:options.memory_bound_only
+    |> List.filter (fun item ->
+           if is_weight_item item then options.weight_prefetch
+           else options.feature_reuse)
+  in
+  let items = Array.of_list eligible in
+  let dtype = config.Config.dtype in
+  let sizes = Array.map (Metric.item_size_bytes dtype metric) items in
+  (* Weight prefetching pass: PDG over the weight-eligible nodes, using
+     the UMM per-node latencies as the schedule-time estimate. *)
+  let weight_targets =
+    Array.to_list items
+    |> List.filter_map (function
+         | Metric.Weight_of n | Metric.Weight_slice { node = n; _ } -> Some n
+         | Metric.Feature_value _ -> None)
+    |> List.sort_uniq compare
+  in
+  let pdg =
+    if weight_targets = [] then None
+    else
+      Some
+        (Prefetch.build metric ~targets:weight_targets
+           ~node_latency:(fun id -> Latency.umm_node_latency profiles.(id)))
+  in
+  let prefetch_source n =
+    match pdg with None -> None | Some p -> Prefetch.source_of p n
+  in
+  let intervals =
+    Array.map (Liveness.item_interval g ~prefetch_source) items
+  in
+  let interference = Interference.build ~never_share ~items ~intervals () in
+  let vbufs =
+    if options.buffer_sharing then
+      Coloring.color ~strategy:options.coloring interference ~sizes
+    else
+      Array.to_list
+        (Array.mapi
+           (fun i item -> Vbuffer.singleton ~vbuf_id:i item ~size_bytes:sizes.(i))
+           items)
+  in
+  let capacity_bytes =
+    let budget = Config.sram_budget_bytes config in
+    match options.capacity_override with
+    | None -> budget
+    | Some cap -> min cap budget
+  in
+  let initial =
+    Dnnk.allocate ~compensation:options.compensation metric ~capacity_bytes vbufs
+  in
+  let allocation, splitting_iterations, vbufs =
+    if options.buffer_splitting && options.buffer_sharing then begin
+      let outcome =
+        Splitting.run ~compensation:options.compensation
+          ~strategy:options.coloring metric interference ~sizes ~capacity_bytes
+          initial
+      in
+      let final_vbufs =
+        outcome.Splitting.result.Dnnk.chosen @ outcome.Splitting.result.Dnnk.spilled
+      in
+      (outcome.Splitting.result, outcome.Splitting.iterations, final_vbufs)
+    end
+    else (initial, 0, vbufs)
+  in
+  (* DNNK values weight pinning by its Eq. 1 reduction, but a pinned
+     weight whose PDG source leaves too little headroom also costs its
+     unhidden stall.  Prune chosen buffers whose stalls outweigh their
+     benefit (whole buffers, keeping the sharing groups atomic). *)
+  let vbuf_stall vb =
+    match pdg with
+    | None -> 0.
+    | Some p ->
+      List.fold_left
+        (fun acc item ->
+          match item with
+          | Metric.Weight_of n -> acc +. Prefetch.stall_seconds p n
+          | Metric.Weight_slice { node; of_k; _ } ->
+            acc +. (Prefetch.stall_seconds p node /. float_of_int of_k)
+          | Metric.Feature_value _ -> acc)
+        0. vb.Vbuffer.members
+  in
+  let rec prune (allocation : Dnnk.result) =
+    let candidates =
+      List.filter_map
+        (fun vb ->
+          let stall = vbuf_stall vb in
+          if stall <= 0. then None
+          else
+            let without =
+              List.fold_left
+                (fun acc it -> Metric.Item_set.remove it acc)
+                allocation.Dnnk.on_chip vb.Vbuffer.members
+            in
+            let benefit =
+              Metric.marginal_gain_many metric ~on_chip:without vb.Vbuffer.members
+            in
+            if stall > benefit +. 1e-15 then Some (stall -. benefit, vb, without)
+            else None)
+        allocation.Dnnk.chosen
+    in
+    match candidates with
+    | [] -> allocation
+    | first :: rest ->
+      let _, worst, without =
+        List.fold_left
+          (fun ((bn, _, _) as best) ((n, _, _) as cand) ->
+            if n > bn then cand else best)
+          first rest
+      in
+      prune
+        { allocation with
+          Dnnk.chosen =
+            List.filter
+              (fun vb -> vb.Vbuffer.vbuf_id <> worst.Vbuffer.vbuf_id)
+              allocation.Dnnk.chosen;
+          spilled = worst :: allocation.Dnnk.spilled;
+          on_chip = without;
+          predicted_latency = Metric.total_latency metric ~on_chip:without;
+          used_blocks =
+            allocation.Dnnk.used_blocks
+            - Dnnk.blocks_of_bytes worst.Vbuffer.size_bytes }
+  in
+  let allocation = prune allocation in
+  (* Safety net: a plan must never lose to its own baseline.  Greedy
+     pruning can in principle strand a jointly-bad group (gains are
+     superadditive), so fall back to the empty allocation if the stall
+     accounting still leaves the plan behind UMM. *)
+  let allocation =
+    let total =
+      allocation.Dnnk.predicted_latency
+      +. unhidden_stalls pdg allocation.Dnnk.on_chip
+    in
+    if total > Latency.umm_total profiles +. 1e-15 then
+      { allocation with
+        Dnnk.chosen = [];
+        spilled = allocation.Dnnk.chosen @ allocation.Dnnk.spilled;
+        on_chip = Metric.Item_set.empty;
+        predicted_latency = Latency.umm_total profiles;
+        used_blocks = 0 }
+    else allocation
+  in
+  let stalls = unhidden_stalls pdg allocation.Dnnk.on_chip in
+  let helped, bound = helped_and_bound metric allocation.Dnnk.on_chip in
+  { config;
+    options;
+    metric;
+    vbufs;
+    allocation;
+    prefetch = pdg;
+    splitting_iterations;
+    predicted_latency = allocation.Dnnk.predicted_latency +. stalls;
+    pol = (if bound = 0 then 1. else float_of_int helped /. float_of_int bound);
+    tensor_sram_bytes = allocation.Dnnk.used_blocks * Dnnk.block_bytes }
+
+let latency p = p.predicted_latency
+
+let throughput_tops p g =
+  2. *. float_of_int (G.total_macs g) /. latency p /. 1e12
+
+let helped_layers p = helped_and_bound p.metric p.allocation.Dnnk.on_chip
+
+type design_report = {
+  style_name : string;
+  freq_mhz : float;
+  latency_seconds : float;
+  tops : float;
+  dsp_util : float;
+  clb_util : float;
+  sram_util : float;
+  bram_util : float;
+  uram_util : float;
+}
+
+(* Map a design's memory onto physical blocks: tile buffers take BRAM
+   first (they are many small banks), tensor buffers take URAM first
+   (they are large contiguous buffers), each overflowing into the other. *)
+let memory_blocks device ~tile_bytes ~tensor_bytes =
+  let total = device.Fpga.Device.total in
+  let bram_cap = total.Fpga.Resource.bram36 in
+  let uram_cap = total.Fpga.Resource.uram in
+  let tile_bram = (tile_bytes + Fpga.Resource.bram36_bytes - 1) / Fpga.Resource.bram36_bytes in
+  let tile_bram = min tile_bram bram_cap in
+  let tile_overflow_bytes = max 0 (tile_bytes - (tile_bram * Fpga.Resource.bram36_bytes)) in
+  let tensor_uram =
+    (tensor_bytes + Fpga.Resource.uram_bytes - 1) / Fpga.Resource.uram_bytes
+    + (tile_overflow_bytes + Fpga.Resource.uram_bytes - 1) / Fpga.Resource.uram_bytes
+  in
+  let tensor_uram_clamped = min tensor_uram uram_cap in
+  let overflow_bytes = (tensor_uram - tensor_uram_clamped) * Fpga.Resource.uram_bytes in
+  let extra_bram = (overflow_bytes + Fpga.Resource.bram36_bytes - 1) / Fpga.Resource.bram36_bytes in
+  (min bram_cap (tile_bram + extra_bram), tensor_uram_clamped)
+
+let report ~style_name device config g ~latency_seconds ~tensor_bytes ~buffer_count =
+  let total = device.Fpga.Device.total in
+  let compute = Config.compute_resources config in
+  let tile_bytes = Accel.Tiling.buffer_bytes config.Config.dtype config.Config.tile in
+  let bram_used, uram_used = memory_blocks device ~tile_bytes ~tensor_bytes in
+  let luts = compute.Fpga.Resource.luts + (2_000 * buffer_count) in
+  let fr used cap = if cap = 0 then 0. else float_of_int used /. float_of_int cap in
+  let sram_used_bytes =
+    (bram_used * Fpga.Resource.bram36_bytes) + (uram_used * Fpga.Resource.uram_bytes)
+  in
+  { style_name;
+    freq_mhz = config.Config.freq_mhz;
+    latency_seconds;
+    tops = 2. *. float_of_int (G.total_macs g) /. latency_seconds /. 1e12;
+    dsp_util = fr compute.Fpga.Resource.dsp total.Fpga.Resource.dsp;
+    clb_util = fr luts total.Fpga.Resource.luts;
+    sram_util = fr sram_used_bytes (Fpga.Device.sram_bytes device);
+    bram_util = fr bram_used total.Fpga.Resource.bram36;
+    uram_util = fr uram_used total.Fpga.Resource.uram }
+
+let report_of_plan ~style_name g p =
+  report ~style_name p.config.Config.device p.config g
+    ~latency_seconds:p.predicted_latency ~tensor_bytes:p.tensor_sram_bytes
+    ~buffer_count:(List.length p.allocation.Dnnk.chosen)
+
+type comparison = {
+  model : string;
+  dtype : Tensor.Dtype.t;
+  umm : design_report;
+  lcmm : design_report;
+  lcmm_plan : plan;
+  speedup : float;
+}
+
+let compare_designs ?options ?(device = Fpga.Device.vu9p) ~model dtype g =
+  let umm_dse = Accel.Dse.run ~device ~style:Config.Umm dtype g in
+  let lcmm_dse = Accel.Dse.run ~device ~style:Config.Lcmm dtype g in
+  let lcmm_plan = plan ?options lcmm_dse.Accel.Dse.config g in
+  let umm =
+    report ~style_name:"UMM" device umm_dse.Accel.Dse.config g
+      ~latency_seconds:umm_dse.Accel.Dse.umm_latency ~tensor_bytes:0 ~buffer_count:0
+  in
+  let lcmm = report_of_plan ~style_name:"LCMM" g lcmm_plan in
+  { model;
+    dtype;
+    umm;
+    lcmm;
+    lcmm_plan;
+    speedup = umm.latency_seconds /. lcmm.latency_seconds }

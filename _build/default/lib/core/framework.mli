@@ -1,0 +1,82 @@
+(** The LCMM framework driver (paper Fig. 4).
+
+    Runs the four passes in order on a design point: feature buffer reuse
+    (liveness + coloring), weight buffer prefetching (PDG + coloring),
+    DNNK allocation and buffer splitting; produces an allocation *plan*
+    with the latency/resource accounting the paper's tables report. *)
+
+type options = {
+  feature_reuse : bool;      (** Consider feature tensors (section 3.1). *)
+  weight_prefetch : bool;    (** Consider weight tensors (section 3.2). *)
+  buffer_splitting : bool;   (** Run the splitting pass (section 3.4). *)
+  buffer_sharing : bool;     (** Share buffers across disjoint lifespans;
+                                 off = one buffer per tensor (ablation). *)
+  memory_bound_only : bool;  (** Restrict items to memory-bound layers. *)
+  compensation : Dnnk.compensation;
+  coloring : Coloring.strategy;
+  capacity_override : int option;
+      (** Cap the tensor-buffer SRAM budget in bytes (embedded targets,
+          sensitivity studies); [None] uses the design's full budget. *)
+  weight_slices : int;
+      (** Partial weight pinning granularity: split every weight tensor
+          into this many channel-group slices, each an independent
+          allocation item (1 = the paper's whole-tensor granularity). *)
+}
+
+val default_options : options
+(** Everything on, [Table_approx] compensation, [Min_growth] coloring —
+    the paper's configuration. *)
+
+type plan = {
+  config : Accel.Config.t;
+  options : options;
+  metric : Metric.t;
+  vbufs : Vbuffer.t list;          (** All virtual buffers after sharing. *)
+  allocation : Dnnk.result;
+  prefetch : Prefetch.t option;    (** PDG, when weight prefetch ran. *)
+  splitting_iterations : int;
+  predicted_latency : float;       (** Eq. 1 total + unhidden prefetch stalls. *)
+  pol : float;                     (** Fraction of memory-bound layers helped. *)
+  tensor_sram_bytes : int;         (** SRAM granted to tensor buffers. *)
+}
+
+val plan : ?options:options -> Accel.Config.t -> Dnn_graph.Graph.t -> plan
+(** Run LCMM for a fixed design point. *)
+
+val latency : plan -> float
+
+val throughput_tops : plan -> Dnn_graph.Graph.t -> float
+(** Effective Tops: [2 * total MACs / latency / 1e12]. *)
+
+type design_report = {
+  style_name : string;
+  freq_mhz : float;
+  latency_seconds : float;
+  tops : float;
+  dsp_util : float;
+  clb_util : float;
+  sram_util : float;
+  bram_util : float;
+  uram_util : float;
+}
+
+type comparison = {
+  model : string;
+  dtype : Tensor.Dtype.t;
+  umm : design_report;
+  lcmm : design_report;
+  lcmm_plan : plan;
+  speedup : float;
+}
+
+val compare_designs :
+  ?options:options -> ?device:Fpga.Device.t -> model:string ->
+  Tensor.Dtype.t -> Dnn_graph.Graph.t -> comparison
+(** The paper's Table 1 experiment for one (model, precision) pair: DSE a
+    UMM baseline and an LCMM design, run the framework on the latter and
+    report both. *)
+
+val report_of_plan : style_name:string -> Dnn_graph.Graph.t -> plan -> design_report
+
+val helped_layers : plan -> int * int
+(** [(helped, memory_bound)] — numerator/denominator of {!plan.pol}. *)

@@ -1,0 +1,57 @@
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  items : Metric.item array;
+  intervals : Liveness.interval array;
+  never_share : Metric.item -> Metric.item -> bool;
+  mutable false_edges : Pair_set.t;
+}
+
+let build ?(never_share = fun _ _ -> false) ~items ~intervals () =
+  if Array.length items <> Array.length intervals then
+    invalid_arg "Interference.build: mismatched array lengths";
+  { items; intervals; never_share; false_edges = Pair_set.empty }
+
+let item_count t = Array.length t.items
+
+let check_index t i =
+  if i < 0 || i >= item_count t then
+    invalid_arg (Printf.sprintf "Interference: index %d out of range" i)
+
+let item t i =
+  check_index t i;
+  t.items.(i)
+
+let interval t i =
+  check_index t i;
+  t.intervals.(i)
+
+let ordered i j = if i < j then (i, j) else (j, i)
+
+let add_false_edge t i j =
+  check_index t i;
+  check_index t j;
+  if i = j then invalid_arg "Interference.add_false_edge: self edge";
+  t.false_edges <- Pair_set.add (ordered i j) t.false_edges
+
+let false_edges t = Pair_set.elements t.false_edges
+
+let conflict t i j =
+  check_index t i;
+  check_index t j;
+  i <> j
+  && (Liveness.overlaps t.intervals.(i) t.intervals.(j)
+     || t.never_share t.items.(i) t.items.(j)
+     || Pair_set.mem (ordered i j) t.false_edges)
+
+let degree t i =
+  check_index t i;
+  let d = ref 0 in
+  for j = 0 to item_count t - 1 do
+    if j <> i && conflict t i j then incr d
+  done;
+  !d

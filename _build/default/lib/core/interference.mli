@@ -1,0 +1,36 @@
+(** Interference graphs over allocation items (paper Fig. 5a).
+
+    Two items interfere when their lifespans overlap — they can then
+    never share a buffer.  The buffer-splitting pass additionally injects
+    *false* interference edges between chosen non-overlapping pairs to
+    force them into different virtual buffers. *)
+
+type t
+
+val build :
+  ?never_share:(Metric.item -> Metric.item -> bool) ->
+  items:Metric.item array -> intervals:Liveness.interval array -> unit -> t
+(** Raises [Invalid_argument] when the arrays differ in length.
+    [never_share] marks structurally incompatible pairs (e.g. a feature
+    and a weight tensor, which live in separate buffer pools) as
+    permanently conflicting regardless of lifespans. *)
+
+val item_count : t -> int
+
+val item : t -> int -> Metric.item
+(** Item at the given index. *)
+
+val interval : t -> int -> Liveness.interval
+
+val add_false_edge : t -> int -> int -> unit
+(** Force items at the two indices apart.  Idempotent; raises
+    [Invalid_argument] on equal or out-of-range indices. *)
+
+val false_edges : t -> (int * int) list
+(** Injected edges, as ordered index pairs. *)
+
+val conflict : t -> int -> int -> bool
+(** Lifespan overlap or false edge. *)
+
+val degree : t -> int -> int
+(** Number of items in conflict with the item at the given index. *)

@@ -1,0 +1,153 @@
+module G = Dnn_graph.Graph
+module Values = Dnn_graph.Values
+module Latency = Accel.Latency
+module Shape = Tensor.Shape
+
+type item =
+  | Feature_value of int
+  | Weight_of of int
+  | Weight_slice of { node : int; index : int; of_k : int }
+
+module Item_set = Set.Make (struct
+  type t = item
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  graph : G.t;
+  profiles : Latency.profile array;
+  affected : (item, int list) Hashtbl.t;
+  slices : int array;
+}
+
+let build ?(weight_slices = fun _ -> 1) graph profiles =
+  let affected = Hashtbl.create 256 in
+  let slices = Array.make (Array.length profiles) 1 in
+  Array.iter
+    (fun p ->
+      let id = p.Latency.node_id in
+      if p.Latency.wt_term > 0. then begin
+        let k = max 1 (weight_slices id) in
+        slices.(id) <- k;
+        if k = 1 then Hashtbl.replace affected (Weight_of id) [ id ]
+        else
+          for index = 0 to k - 1 do
+            Hashtbl.replace affected (Weight_slice { node = id; index; of_k = k }) [ id ]
+          done
+      end)
+    profiles;
+  (* A feature value affects its producer (output stream) and every
+     consumer (input stream). *)
+  for v = 0 to G.node_count graph - 1 do
+    if Values.is_value graph v then begin
+      let consumers = Values.consumers graph v in
+      let nodes =
+        if profiles.(v).Latency.of_term > 0. then v :: consumers else consumers
+      in
+      if nodes <> [] then Hashtbl.replace affected (Feature_value v) nodes
+    end
+  done;
+  { graph; profiles; affected; slices }
+
+let weight_bytes dtype t n =
+  match G.weight_shape t.graph n with
+  | None -> 0
+  | Some shape -> Shape.size_bytes dtype shape
+
+let item_size_bytes dtype t = function
+  | Feature_value v -> Shape.size_bytes dtype (G.output_shape t.graph v)
+  | Weight_of n -> weight_bytes dtype t n
+  | Weight_slice { node; of_k; _ } ->
+    (weight_bytes dtype t node + of_k - 1) / of_k
+
+let affected_nodes t item =
+  match Hashtbl.find_opt t.affected item with Some l -> l | None -> []
+
+(* Eq. 1 with fractional weight residency: the streamed share of a sliced
+   weight tensor scales its transfer term. *)
+let node_latency_pred t ~on id =
+  let p = t.profiles.(id) in
+  let k = t.slices.(id) in
+  let wt_time =
+    if p.Latency.wt_term <= 0. then 0.
+    else if k = 1 then if on (Weight_of id) then 0. else p.Latency.wt_term
+    else begin
+      let off = ref 0 in
+      for index = 0 to k - 1 do
+        if not (on (Weight_slice { node = id; index; of_k = k })) then incr off
+      done;
+      p.Latency.wt_term *. float_of_int !off /. float_of_int k
+    end
+  in
+  let if_time =
+    List.fold_left
+      (fun acc (v, seconds) -> if on (Feature_value v) then acc else acc +. seconds)
+      0. p.Latency.if_terms
+  in
+  let of_time = if on (Feature_value id) then 0. else p.Latency.of_term in
+  max p.Latency.latc (max if_time (max wt_time of_time))
+
+let node_latency t ~on_chip id =
+  node_latency_pred t ~on:(fun item -> Item_set.mem item on_chip) id
+
+let total_latency t ~on_chip =
+  let sum = ref 0. in
+  for id = 0 to Array.length t.profiles - 1 do
+    sum := !sum +. node_latency t ~on_chip id
+  done;
+  !sum
+
+let marginal_gain t ~on_chip item =
+  let nodes = affected_nodes t item in
+  let with_item = Item_set.add item on_chip in
+  List.fold_left
+    (fun acc id ->
+      acc +. node_latency t ~on_chip id -. node_latency t ~on_chip:with_item id)
+    0. nodes
+
+let marginal_gain_many t ~on_chip items =
+  let nodes =
+    List.concat_map (affected_nodes t) items |> List.sort_uniq compare
+  in
+  let with_items =
+    List.fold_left (fun acc it -> Item_set.add it acc) on_chip items
+  in
+  List.fold_left
+    (fun acc id ->
+      acc +. node_latency t ~on_chip id -. node_latency t ~on_chip:with_items id)
+    0. nodes
+
+(* Eq. 2 against the all-off-chip state: per affected node, the node's
+   UMM latency minus its latency with only this item pinned. *)
+let static_reduction t item = marginal_gain t ~on_chip:Item_set.empty item
+
+let eligible_items t ~memory_bound_only =
+  let memory_bound = Array.map Latency.is_memory_bound t.profiles in
+  let qualifies item =
+    (not memory_bound_only)
+    || List.exists (fun id -> memory_bound.(id)) (affected_nodes t item)
+  in
+  let is_input v =
+    match (G.node t.graph v).G.op with
+    | Dnn_graph.Op.Input _ -> true
+    | Dnn_graph.Op.Conv _ | Dnn_graph.Op.Pool _ | Dnn_graph.Op.Eltwise_add
+    | Dnn_graph.Op.Concat | Dnn_graph.Op.Upsample _ | Dnn_graph.Op.Dense _ ->
+      false
+  in
+  Hashtbl.fold
+    (fun item _nodes acc ->
+      let keep =
+        match item with
+        | Feature_value v ->
+          (not (is_input v)) && Values.consumers t.graph v <> [] && qualifies item
+        | Weight_of _ | Weight_slice _ -> qualifies item
+      in
+      if keep then item :: acc else acc)
+    t.affected []
+  |> List.sort compare
+
+let pp_item ppf = function
+  | Feature_value v -> Format.fprintf ppf "f%d" v
+  | Weight_of n -> Format.fprintf ppf "w%d" n
+  | Weight_slice { node; index; of_k } -> Format.fprintf ppf "w%d.%d/%d" node index of_k

@@ -1,0 +1,76 @@
+let plan_summary g plan =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let alloc = plan.Framework.allocation in
+  let umm = Accel.Latency.umm_total plan.Framework.metric.Metric.profiles in
+  add "design point : %s\n"
+    (Format.asprintf "%a" Accel.Config.pp plan.Framework.config);
+  add "virtual bufs : %d (%d on chip, %d spilled)\n"
+    (List.length plan.Framework.vbufs)
+    (List.length alloc.Dnnk.chosen)
+    (List.length alloc.Dnnk.spilled);
+  add "tensor SRAM  : %.2f MB in %d blocks\n"
+    (float_of_int plan.Framework.tensor_sram_bytes /. 1e6)
+    alloc.Dnnk.used_blocks;
+  let helped, bound = Framework.helped_layers plan in
+  add "POL          : %.0f%% (%d / %d memory-bound layers)\n"
+    (100. *. plan.Framework.pol) helped bound;
+  add "latency      : %.3f ms (UMM reference %.3f ms, x%.2f)\n"
+    (plan.Framework.predicted_latency *. 1e3)
+    (umm *. 1e3)
+    (umm /. plan.Framework.predicted_latency);
+  add "throughput   : %.3f Tops\n" (Framework.throughput_tops plan g);
+  Buffer.contents buf
+
+let comparison_header =
+  Printf.sprintf "%-14s %-4s %10s %7s %10s %7s %6s %6s %6s %8s" "model" "prec"
+    "umm_ms" "tops" "lcmm_ms" "tops" "dsp%" "clb%" "sram%" "speedup"
+
+let comparison_row c =
+  Printf.sprintf "%-14s %-4s %10.3f %7.3f %10.3f %7.3f %6.0f %6.0f %6.0f %8.2f"
+    c.Framework.model
+    (Tensor.Dtype.to_string c.Framework.dtype)
+    (c.Framework.umm.Framework.latency_seconds *. 1e3)
+    c.Framework.umm.Framework.tops
+    (c.Framework.lcmm.Framework.latency_seconds *. 1e3)
+    c.Framework.lcmm.Framework.tops
+    (100. *. c.Framework.lcmm.Framework.dsp_util)
+    (100. *. c.Framework.lcmm.Framework.clb_util)
+    (100. *. c.Framework.lcmm.Framework.sram_util)
+    c.Framework.speedup
+
+(* CSV fields here never contain commas or quotes, so quoting is not
+   needed; keep the writer trivial. *)
+let csv_of_comparisons comparisons =
+  let header =
+    "model,precision,umm_ms,umm_tops,lcmm_ms,lcmm_tops,dsp_util,clb_util,sram_util,speedup"
+  in
+  let row c =
+    Printf.sprintf "%s,%s,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f,%.4f"
+      c.Framework.model
+      (Tensor.Dtype.to_string c.Framework.dtype)
+      (c.Framework.umm.Framework.latency_seconds *. 1e3)
+      c.Framework.umm.Framework.tops
+      (c.Framework.lcmm.Framework.latency_seconds *. 1e3)
+      c.Framework.lcmm.Framework.tops
+      c.Framework.lcmm.Framework.dsp_util
+      c.Framework.lcmm.Framework.clb_util
+      c.Framework.lcmm.Framework.sram_util
+      c.Framework.speedup
+  in
+  String.concat "\n" (header :: List.map row comparisons) ^ "\n"
+
+let csv_of_design_points points =
+  let header = "mask,sram_bytes,latency_ms,tops" in
+  let row p =
+    Printf.sprintf "%d,%d,%.6f,%.6f" p.Design_space.mask p.Design_space.sram_bytes
+      (p.Design_space.latency *. 1e3)
+      p.Design_space.tops
+  in
+  String.concat "\n" (header :: List.map row points) ^ "\n"
+
+let write_text_file ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)

@@ -1,0 +1,26 @@
+(** Formatted reports and CSV export.
+
+    The CLI and the bench harness share these renderers so their output
+    stays consistent and testable: a human-readable plan summary, a
+    Table-1-style comparison table, and CSV series (design-space points,
+    comparisons) for external plotting. *)
+
+val plan_summary : Dnn_graph.Graph.t -> Framework.plan -> string
+(** Multi-line summary: design point, buffer counts, pinned bytes, POL,
+    predicted latency vs the UMM reference. *)
+
+val comparison_row : Framework.comparison -> string
+(** One aligned row: model, precision, UMM and LCMM latency/Tops,
+    utilizations, speedup. *)
+
+val comparison_header : string
+(** Column header matching {!comparison_row}. *)
+
+val csv_of_comparisons : Framework.comparison list -> string
+(** RFC-4180-style CSV (header + one line per comparison). *)
+
+val csv_of_design_points : Design_space.point list -> string
+(** CSV of (mask, sram_bytes, latency_ms, tops) — the paper's Fig. 2(b)
+    scatter, ready for plotting. *)
+
+val write_text_file : path:string -> string -> unit

@@ -1,0 +1,53 @@
+type outcome = {
+  result : Dnnk.result;
+  iterations : int;
+  false_edges : int;
+}
+
+(* Index of an item in the interference graph. *)
+let index_of interference item =
+  let n = Interference.item_count interference in
+  let rec find i =
+    if i >= n then None
+    else if Interference.item interference i = item then Some i
+    else find (i + 1)
+  in
+  find 0
+
+(* The split candidate: largest spilled buffer with >= 2 members whose top
+   two members are not already separated by an edge. *)
+let candidate interference spilled =
+  let viable vb =
+    match vb.Vbuffer.members with
+    | first :: second :: _ -> (
+      match index_of interference first, index_of interference second with
+      | Some i, Some j when not (Interference.conflict interference i j) ->
+        Some (vb, i, j)
+      | Some _, Some _ | None, _ | Some _, None -> None)
+    | [] | [ _ ] -> None
+  in
+  List.filter_map viable spilled
+  |> List.fold_left
+       (fun best ((vb, _, _) as cand) ->
+         match best with
+         | Some (b, _, _) when b.Vbuffer.size_bytes >= vb.Vbuffer.size_bytes -> best
+         | Some _ | None -> Some cand)
+       None
+
+let run ?(max_iterations = 16) ?compensation ?strategy metric interference
+    ~sizes ~capacity_bytes initial =
+  let rec loop best iterations edges =
+    if iterations >= max_iterations then
+      { result = best; iterations; false_edges = edges }
+    else
+      match candidate interference best.Dnnk.spilled with
+      | None -> { result = best; iterations; false_edges = edges }
+      | Some (_vb, i, j) ->
+        Interference.add_false_edge interference i j;
+        let vbufs = Coloring.color ?strategy interference ~sizes in
+        let next = Dnnk.allocate ?compensation metric ~capacity_bytes vbufs in
+        if next.Dnnk.predicted_latency < best.Dnnk.predicted_latency -. 1e-12 then
+          loop next (iterations + 1) (edges + 1)
+        else { result = best; iterations; false_edges = edges + 1 }
+  in
+  loop initial 0 0

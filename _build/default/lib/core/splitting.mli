@@ -1,0 +1,25 @@
+(** Buffer splitting (paper section 3.4).
+
+    Sharing makes spilling coarse: if DNNK spills a virtual buffer, every
+    tensor inside it goes to DDR, including small tensors with large
+    latency reductions ("misspilling").  The pass repairs this greedily:
+    take the largest spilled multi-member buffer, inject a false
+    interference edge between its size-defining tensor and its next
+    member, re-color and re-run DNNK; keep the result if the predicted
+    latency improved and repeat until no improvement, no candidate, or
+    the iteration bound. *)
+
+type outcome = {
+  result : Dnnk.result;
+  iterations : int;       (** Splitting rounds actually applied. *)
+  false_edges : int;      (** Edges injected in total. *)
+}
+
+val run :
+  ?max_iterations:int -> ?compensation:Dnnk.compensation ->
+  ?strategy:Coloring.strategy -> Metric.t -> Interference.t ->
+  sizes:int array -> capacity_bytes:int -> Dnnk.result -> outcome
+(** [run metric interference ~sizes ~capacity_bytes initial] improves on
+    [initial] (the DNNK result for the current coloring of
+    [interference]).  The interference graph is mutated (false edges
+    accumulate).  [max_iterations] defaults to 16. *)

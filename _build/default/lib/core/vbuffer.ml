@@ -1,0 +1,27 @@
+type t = {
+  vbuf_id : int;
+  size_bytes : int;
+  members : Metric.item list;
+}
+
+let make ~vbuf_id ~sized_members =
+  match sized_members with
+  | [] -> invalid_arg "Vbuffer.make: empty member list"
+  | _ :: _ ->
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> compare b a) sized_members
+    in
+    let size_bytes = match sorted with (_, s) :: _ -> s | [] -> 0 in
+    { vbuf_id; size_bytes; members = List.map fst sorted }
+
+let singleton ~vbuf_id item ~size_bytes =
+  { vbuf_id; size_bytes; members = [ item ] }
+
+let member_count t = List.length t.members
+
+let pp ppf t =
+  Format.fprintf ppf "vbuf%d(%d B: %a)" t.vbuf_id t.size_bytes
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Metric.pp_item)
+    t.members

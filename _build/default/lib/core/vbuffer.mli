@@ -1,0 +1,22 @@
+(** Virtual buffers (the paper's Fig. 5b / Fig. 7a).
+
+    A virtual buffer is a set of items with pairwise-disjoint lifespans
+    that will share one physical on-chip buffer if allocated; its size is
+    the largest member's size.  DNNK decides which virtual buffers get
+    physical SRAM. *)
+
+type t = {
+  vbuf_id : int;
+  size_bytes : int;              (** max over members. *)
+  members : Metric.item list;    (** In decreasing size order. *)
+}
+
+val make : vbuf_id:int -> sized_members:(Metric.item * int) list -> t
+(** Builds the buffer from (item, size) pairs.  Raises [Invalid_argument]
+    on an empty member list. *)
+
+val singleton : vbuf_id:int -> Metric.item -> size_bytes:int -> t
+
+val member_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/graph/builder.ml: Graph List Op Printf Tensor

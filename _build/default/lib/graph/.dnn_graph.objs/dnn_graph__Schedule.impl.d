@@ -1,0 +1,1 @@
+lib/graph/schedule.ml: Analysis Array Fun Graph List Values

@@ -1,0 +1,1 @@
+lib/graph/schedule.mli: Graph Tensor

@@ -1,0 +1,1 @@
+lib/graph/values.ml: Graph List Op

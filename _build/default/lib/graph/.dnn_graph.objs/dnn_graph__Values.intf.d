@@ -1,0 +1,1 @@
+lib/graph/values.mli: Graph Op

@@ -1,0 +1,94 @@
+type v = int
+
+type t = {
+  mutable rev_nodes : Graph.node list;
+  mutable shapes : Tensor.Shape.t list;  (* reversed, parallel to rev_nodes *)
+  mutable next_id : int;
+  mutable block : string option;
+}
+
+let create () = { rev_nodes = []; shapes = []; next_id = 0; block = None }
+
+let id (v : v) = v
+
+let shape b (v : v) =
+  let pos = b.next_id - 1 - v in
+  if v < 0 || pos < 0 then invalid_arg "Builder.shape: unknown value";
+  List.nth b.shapes pos
+
+let add_node b ~name ~op ~preds : v =
+  let inputs = List.map (fun p -> shape b p) preds in
+  match Op.output_shape op inputs with
+  | Error msg ->
+    invalid_arg (Printf.sprintf "Builder: layer %s (%s): %s" name (Op.name op) msg)
+  | Ok out ->
+    let node =
+      { Graph.id = b.next_id; node_name = name; op; preds; block = b.block }
+    in
+    b.rev_nodes <- node :: b.rev_nodes;
+    b.shapes <- out :: b.shapes;
+    b.next_id <- b.next_id + 1;
+    node.Graph.id
+
+let default_name b base = function
+  | Some name -> name
+  | None -> Printf.sprintf "%s_%d" base b.next_id
+
+let input b ?name ~channels ~height ~width () =
+  let name = default_name b "input" name in
+  add_node b ~name ~op:(Op.Input { channels; height; width }) ~preds:[]
+
+let conv b ?name ?(stride = (1, 1)) ?(padding = Op.Same) ?(groups = 1)
+    ~out_channels ~kernel src =
+  let name = default_name b "conv" name in
+  let op = Op.Conv { out_channels; kernel; stride; padding; groups } in
+  add_node b ~name ~op ~preds:[ src ]
+
+let pool b ?name ?(kind = Op.Max) ?stride ?(padding = Op.Valid) ~kernel src =
+  let name = default_name b "pool" name in
+  let pool_stride = match stride with Some s -> s | None -> kernel in
+  let op =
+    Op.Pool
+      { pool_kind = kind; pool_kernel = kernel; pool_stride;
+        pool_padding = padding; global = false }
+  in
+  add_node b ~name ~op ~preds:[ src ]
+
+let global_pool b ?name ?(kind = Op.Avg) src =
+  let name = default_name b "gpool" name in
+  let op =
+    Op.Pool
+      { pool_kind = kind; pool_kernel = (1, 1); pool_stride = (1, 1);
+        pool_padding = Op.Valid; global = true }
+  in
+  add_node b ~name ~op ~preds:[ src ]
+
+let add b ?name srcs =
+  let name = default_name b "add" name in
+  add_node b ~name ~op:Op.Eltwise_add ~preds:srcs
+
+let concat b ?name srcs =
+  let name = default_name b "concat" name in
+  add_node b ~name ~op:Op.Concat ~preds:srcs
+
+let upsample b ?name ~factor src =
+  let name = default_name b "upsample" name in
+  add_node b ~name ~op:(Op.Upsample { factor }) ~preds:[ src ]
+
+let dense b ?name ~out_features src =
+  let name = default_name b "dense" name in
+  add_node b ~name ~op:(Op.Dense { out_features }) ~preds:[ src ]
+
+let with_block b tag f =
+  let saved = b.block in
+  b.block <- Some tag;
+  let finally () = b.block <- saved in
+  match f () with
+  | result ->
+    finally ();
+    result
+  | exception e ->
+    finally ();
+    raise e
+
+let finish b = Graph.create_exn (List.rev b.rev_nodes)

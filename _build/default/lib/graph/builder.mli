@@ -1,0 +1,54 @@
+(** Imperative construction of computation graphs.
+
+    The builder hands out node ids as values of type {!v}, checks shapes
+    eagerly (a shape error raises immediately, pointing at the offending
+    layer), and produces a validated {!Graph.t}.  A current *block* tag can
+    be pushed around a group of layers so that per-block reports (the
+    paper's Fig. 8) know which nodes belong to which inception block. *)
+
+type t
+
+type v = private int
+(** A node id, usable as an operator input. *)
+
+val create : unit -> t
+
+val input : t -> ?name:string -> channels:int -> height:int -> width:int -> unit -> v
+(** Add the graph input. *)
+
+val conv :
+  t -> ?name:string -> ?stride:int * int -> ?padding:Op.padding ->
+  ?groups:int -> out_channels:int -> kernel:int * int -> v -> v
+(** Add a convolution reading from the given value. *)
+
+val pool :
+  t -> ?name:string -> ?kind:Op.pool_kind -> ?stride:int * int ->
+  ?padding:Op.padding -> kernel:int * int -> v -> v
+
+val global_pool : t -> ?name:string -> ?kind:Op.pool_kind -> v -> v
+
+val add : t -> ?name:string -> v list -> v
+(** Element-wise addition of two or more same-shaped values. *)
+
+val concat : t -> ?name:string -> v list -> v
+(** Channel concatenation. *)
+
+val upsample : t -> ?name:string -> factor:int -> v -> v
+(** Nearest-neighbour spatial upsampling. *)
+
+val dense : t -> ?name:string -> out_features:int -> v -> v
+
+val with_block : t -> string -> (unit -> 'a) -> 'a
+(** [with_block b tag f] tags every node added during [f ()] with [tag].
+    Nesting replaces the tag for the inner extent. *)
+
+val shape : t -> v -> Tensor.Shape.t
+(** Current output shape of a value (already inferred). *)
+
+val finish : t -> Graph.t
+(** Validate and freeze.  Raises [Invalid_argument] if the accumulated
+    nodes do not form a valid graph (cannot normally happen, since every
+    add checked shapes). *)
+
+val id : v -> int
+(** Expose the underlying node id (for tests and diagnostics). *)

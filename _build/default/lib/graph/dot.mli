@@ -1,0 +1,9 @@
+(** Graphviz export of computation graphs, for documentation and
+    debugging.  Nodes are labelled with operator mnemonic and output
+    shape; block tags become subgraph clusters. *)
+
+val to_dot : ?graph_name:string -> Graph.t -> string
+(** Render the graph as a Graphviz [digraph] document. *)
+
+val write_file : ?graph_name:string -> path:string -> Graph.t -> unit
+(** Write {!to_dot} output to [path]. *)

@@ -1,0 +1,158 @@
+let is_valid g order =
+  let n = Graph.node_count g in
+  Array.length order = n
+  && begin
+       let position = Array.make n (-1) in
+       let ok = ref true in
+       Array.iteri
+         (fun slot id ->
+           if id < 0 || id >= n || position.(id) >= 0 then ok := false
+           else position.(id) <- slot)
+         order;
+       !ok
+       && List.for_all
+            (fun nd ->
+              List.for_all (fun p -> position.(p) < position.(nd.Graph.id)) nd.Graph.preds)
+            (Graph.nodes g)
+     end
+
+let default g = Array.init (Graph.node_count g) Fun.id
+
+(* Greedy list scheduling: repeatedly pick the ready node with the best
+   immediate effect on the live set — bytes of input values it kills
+   (last remaining use) minus bytes of the value it creates.  Ties break
+   toward the original order for stability. *)
+let memory_aware dtype g =
+  let n = Graph.node_count g in
+  let value_bytes = Array.init n (fun id -> Analysis.value_bytes dtype g id) in
+  (* Consumers of each value (through transparent nodes the consumers are
+     already resolved); transparent nodes still consume their preds for
+     dependency purposes, so use raw preds for scheduling and resolved
+     sources for byte effects. *)
+  let remaining_uses = Array.make n 0 in
+  for id = 0 to n - 1 do
+    List.iter (fun v -> remaining_uses.(v) <- remaining_uses.(v) + 1)
+      (Values.source_values g id)
+  done;
+  let unscheduled_preds =
+    Array.init n (fun id -> List.length (Graph.node g id).Graph.preds)
+  in
+  let ready = ref [] in
+  for id = n - 1 downto 0 do
+    if unscheduled_preds.(id) = 0 then ready := id :: !ready
+  done;
+  let order = Array.make n 0 in
+  let score id =
+    let killed =
+      List.fold_left
+        (fun acc v -> if remaining_uses.(v) = 1 then acc + value_bytes.(v) else acc)
+        0
+        (List.sort_uniq compare (Values.source_values g id))
+    in
+    let created = if Values.is_value g id then value_bytes.(id) else 0 in
+    killed - created
+  in
+  for slot = 0 to n - 1 do
+    let best =
+      List.fold_left
+        (fun best id ->
+          match best with
+          | None -> Some (id, score id)
+          | Some (bid, bscore) ->
+            let s = score id in
+            if s > bscore || (s = bscore && id < bid) then Some (id, s) else best)
+        None !ready
+    in
+    match best with
+    | None -> invalid_arg "Schedule.memory_aware: graph has a cycle"
+    | Some (id, _) ->
+      order.(slot) <- id;
+      ready := List.filter (fun r -> r <> id) !ready;
+      List.iter
+        (fun v -> remaining_uses.(v) <- remaining_uses.(v) - 1)
+        (Values.source_values g id);
+      List.iter
+        (fun s ->
+          unscheduled_preds.(s) <- unscheduled_preds.(s) - 1;
+          if unscheduled_preds.(s) = 0 then ready := s :: !ready)
+        (Graph.succs g id)
+  done;
+  order
+
+let breadth_first g =
+  let n = Graph.node_count g in
+  let depth = Array.make n 0 in
+  for id = 0 to n - 1 do
+    List.iter
+      (fun p -> depth.(id) <- max depth.(id) (depth.(p) + 1))
+      (Graph.node g id).Graph.preds
+  done;
+  let order = Array.init n Fun.id in
+  (* Stable sort by depth keeps same-level nodes in id order, which keeps
+     the order a valid topological one. *)
+  Array.stable_sort (fun a b -> compare depth.(a) depth.(b)) order;
+  order
+
+let peak_live_bytes dtype g order =
+  if not (is_valid g order) then
+    invalid_arg "Schedule.peak_live_bytes: invalid schedule";
+  let n = Graph.node_count g in
+  let position = Array.make n 0 in
+  Array.iteri (fun slot id -> position.(id) <- slot) order;
+  (* A value's live interval in schedule slots. *)
+  let peak = ref 0 in
+  let delta = Array.make (n + 1) 0 in
+  for id = 0 to n - 1 do
+    if Values.is_value g id then begin
+      let uses = Values.consumers g id in
+      let last =
+        List.fold_left (fun acc u -> max acc position.(u)) position.(id) uses
+      in
+      let bytes = Analysis.value_bytes dtype g id in
+      delta.(position.(id)) <- delta.(position.(id)) + bytes;
+      delta.(last + 1) <- delta.(last + 1) - bytes
+    end
+  done;
+  let live = ref 0 in
+  for slot = 0 to n - 1 do
+    live := !live + delta.(slot);
+    peak := max !peak !live
+  done;
+  !peak
+
+let live_area dtype g order =
+  if not (is_valid g order) then invalid_arg "Schedule.live_area: invalid schedule";
+  let n = Graph.node_count g in
+  let position = Array.make n 0 in
+  Array.iteri (fun slot id -> position.(id) <- slot) order;
+  let area = ref 0 in
+  for id = 0 to n - 1 do
+    if Values.is_value g id then begin
+      let last =
+        List.fold_left
+          (fun acc u -> max acc position.(u))
+          position.(id) (Values.consumers g id)
+      in
+      area := !area + (Analysis.value_bytes dtype g id * (last - position.(id) + 1))
+    end
+  done;
+  !area
+
+let apply g order =
+  if not (is_valid g order) then invalid_arg "Schedule.apply: invalid schedule";
+  let n = Graph.node_count g in
+  let position = Array.make n 0 in
+  Array.iteri (fun slot id -> position.(id) <- slot) order;
+  let nodes =
+    Array.to_list
+      (Array.mapi
+         (fun slot old_id ->
+           let nd = Graph.node g old_id in
+           { Graph.id = slot;
+             node_name = nd.Graph.node_name;
+             op = nd.Graph.op;
+             preds = List.map (fun p -> position.(p)) nd.Graph.preds;
+             block = nd.Graph.block })
+         order)
+  in
+  Graph.create_exn nodes

@@ -1,0 +1,270 @@
+module G = Dnn_graph.Graph
+module Op = Dnn_graph.Op
+module Shape = Tensor.Shape
+
+type value = { shape : Shape.t; data : float array }
+
+let value_of_shape shape ~f =
+  { shape; data = Array.init (Shape.elements shape) f }
+
+(* Deterministic pseudo-noise in [-0.1, 0.1]: a small integer hash is
+   enough for test data. *)
+let noise seed salt i =
+  let h = ref (seed lxor (salt * 0x9e3779b1) lxor (i * 0x85ebca6b)) in
+  h := !h lxor (!h lsr 13);
+  h := !h * 0xc2b2ae35 land 0x3fffffff;
+  h := !h lxor (!h lsr 16);
+  (float_of_int (!h mod 2001) /. 1000. -. 1.) *. 0.1
+
+let synthetic_weights g ~seed id =
+  match G.weight_shape g id with
+  | None -> None
+  | Some shape -> Some (value_of_shape shape ~f:(noise seed id))
+
+let synthetic_input g ~seed =
+  value_of_shape (G.output_shape g 0) ~f:(noise seed 7919)
+
+let feature_dims shape =
+  match Shape.as_feature shape with
+  | Some f -> (f.Shape.channels, f.Shape.height, f.Shape.width)
+  | None -> invalid_arg "Interp: expected a feature value"
+
+let at value ~w ~c ~y ~x ~h = value.data.(((c * h) + y) * w + x)
+
+(* Padding at the start of one spatial axis, mirroring Op's output-size
+   rules: Same realizes out = ceil(in/s) with the smaller half of the
+   padding leading, Explicit is symmetric, Valid is none. *)
+let pad_begin padding ~extent ~k ~s =
+  match padding with
+  | Op.Valid -> 0
+  | Op.Explicit p -> p
+  | Op.Same ->
+    let out = (extent + s - 1) / s in
+    let needed = max 0 (((out - 1) * s) + k - extent) in
+    needed / 2
+
+(* Direct convolution over an output sub-range: output channels
+   [oc0, oc1), spatial rows [y0, y1), columns [x0, x1), input channels
+   restricted to [ic0, ic1) within the group (for tiled partial sums). *)
+let conv_range ~input ~weights ~out ~conv ~out_shape ~oc0 ~oc1 ~y0 ~y1 ~x0 ~x1
+    ~ic0 ~ic1 ~accumulate =
+  let ic_total, ih, iw = feature_dims input.shape in
+  let oc_total, _, _ = feature_dims out_shape in
+  let kh, kw = conv.Op.kernel in
+  let sh, sw = conv.Op.stride in
+  let groups = conv.Op.groups in
+  let ic_per_group = ic_total / groups in
+  let oc_per_group = oc_total / groups in
+  let pad_y = pad_begin conv.Op.padding ~extent:ih ~k:kh ~s:sh in
+  let pad_x = pad_begin conv.Op.padding ~extent:iw ~k:kw ~s:sw in
+  for oc = oc0 to oc1 - 1 do
+    let group = oc / oc_per_group in
+    for y = y0 to y1 - 1 do
+      for x = x0 to x1 - 1 do
+        let acc = ref 0. in
+        for ic = ic0 to ic1 - 1 do
+          let in_c = (group * ic_per_group) + ic in
+          for ky = 0 to kh - 1 do
+            let in_y = (y * sh) + ky - pad_y in
+            if in_y >= 0 && in_y < ih then
+              for kx = 0 to kw - 1 do
+                let in_x = (x * sw) + kx - pad_x in
+                if in_x >= 0 && in_x < iw then
+                  let wv =
+                    weights.data.((((oc * ic_per_group) + ic) * kh + ky) * kw + kx)
+                  in
+                  acc := !acc +. (wv *. at input ~w:iw ~c:in_c ~y:in_y ~x:in_x ~h:ih)
+              done
+          done
+        done;
+        let _, out_h, out_w = feature_dims out_shape in
+        let pos = ((oc * out_h) + y) * out_w + x in
+        if accumulate then out.(pos) <- out.(pos) +. !acc else out.(pos) <- !acc
+      done
+    done
+  done
+
+let conv_value ~input ~weights ~conv ~out_shape =
+  let oc, oh, ow = feature_dims out_shape in
+  let ic_total, _, _ = feature_dims input.shape in
+  let out = Array.make (Shape.elements out_shape) 0. in
+  conv_range ~input ~weights ~out ~conv ~out_shape ~oc0:0 ~oc1:oc ~y0:0 ~y1:oh
+    ~x0:0 ~x1:ow ~ic0:0 ~ic1:(ic_total / conv.Op.groups) ~accumulate:false;
+  { shape = out_shape; data = out }
+
+let pool_value ~input ~pool ~out_shape =
+  let c_total, ih, iw = feature_dims input.shape in
+  let _, oh, ow = feature_dims out_shape in
+  let out = Array.make (Shape.elements out_shape) 0. in
+  if pool.Op.global then begin
+    for c = 0 to c_total - 1 do
+      let acc = ref 0. and best = ref neg_infinity in
+      for y = 0 to ih - 1 do
+        for x = 0 to iw - 1 do
+          let v = at input ~w:iw ~c ~y ~x ~h:ih in
+          acc := !acc +. v;
+          if v > !best then best := v
+        done
+      done;
+      out.(c) <-
+        (match pool.Op.pool_kind with
+        | Op.Avg -> !acc /. float_of_int (ih * iw)
+        | Op.Max -> !best)
+    done;
+    { shape = out_shape; data = out }
+  end
+  else begin
+    let kh, kw = pool.Op.pool_kernel in
+    let sh, sw = pool.Op.pool_stride in
+    let pad_y = pad_begin pool.Op.pool_padding ~extent:ih ~k:kh ~s:sh in
+    let pad_x = pad_begin pool.Op.pool_padding ~extent:iw ~k:kw ~s:sw in
+    for c = 0 to c_total - 1 do
+      for y = 0 to oh - 1 do
+        for x = 0 to ow - 1 do
+          let acc = ref 0. and best = ref neg_infinity and count = ref 0 in
+          for ky = 0 to kh - 1 do
+            let in_y = (y * sh) + ky - pad_y in
+            if in_y >= 0 && in_y < ih then
+              for kx = 0 to kw - 1 do
+                let in_x = (x * sw) + kx - pad_x in
+                if in_x >= 0 && in_x < iw then begin
+                  let v = at input ~w:iw ~c ~y:in_y ~x:in_x ~h:ih in
+                  acc := !acc +. v;
+                  incr count;
+                  if v > !best then best := v
+                end
+              done
+          done;
+          out.(((c * oh) + y) * ow + x) <-
+            (match pool.Op.pool_kind with
+            | Op.Avg -> if !count = 0 then 0. else !acc /. float_of_int !count
+            | Op.Max -> !best)
+        done
+      done
+    done;
+    { shape = out_shape; data = out }
+  end
+
+let upsample_value ~input ~factor ~out_shape =
+  let c_total, ih, iw = feature_dims input.shape in
+  let _, oh, ow = feature_dims out_shape in
+  let out = Array.make (Shape.elements out_shape) 0. in
+  for c = 0 to c_total - 1 do
+    for y = 0 to oh - 1 do
+      for x = 0 to ow - 1 do
+        out.(((c * oh) + y) * ow + x) <-
+          at input ~w:iw ~c ~y:(y / factor) ~x:(x / factor) ~h:ih
+      done
+    done
+  done;
+  { shape = out_shape; data = out }
+
+let dense_value ~input ~weights ~out_shape =
+  let n_in = Shape.elements input.shape in
+  let n_out = Shape.elements out_shape in
+  let out = Array.make n_out 0. in
+  for o = 0 to n_out - 1 do
+    let acc = ref 0. in
+    for i = 0 to n_in - 1 do
+      acc := !acc +. (weights.data.((o * n_in) + i) *. input.data.(i))
+    done;
+    out.(o) <- !acc
+  done;
+  { shape = out_shape; data = out }
+
+let concat_value ~inputs ~out_shape =
+  let _, oh, ow = feature_dims out_shape in
+  let out = Array.make (Shape.elements out_shape) 0. in
+  let offset = ref 0 in
+  List.iter
+    (fun input ->
+      let c_total, _, _ = feature_dims input.shape in
+      Array.blit input.data 0 out (!offset * oh * ow) (c_total * oh * ow);
+      offset := !offset + c_total)
+    inputs;
+  { shape = out_shape; data = out }
+
+let add_value ~inputs ~out_shape =
+  let n = Shape.elements out_shape in
+  let out = Array.make n 0. in
+  List.iter (fun input -> Array.iteri (fun i v -> out.(i) <- out.(i) +. v) input.data) inputs;
+  { shape = out_shape; data = out }
+
+let weight_of ~weights id =
+  match weights id with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Interp: node %d has no weights" id)
+
+let run_with ~conv_exec ?weights g ~input =
+  let weights =
+    match weights with Some w -> w | None -> synthetic_weights g ~seed:0
+  in
+  let n = G.node_count g in
+  let results = Array.make n { shape = Shape.vector 1; data = [| 0. |] } in
+  for id = 0 to n - 1 do
+    let nd = G.node g id in
+    let out_shape = G.output_shape g id in
+    let inputs = List.map (fun p -> results.(p)) nd.G.preds in
+    results.(id) <-
+      (match nd.G.op, inputs with
+      | Op.Input _, [] ->
+        if not (Shape.equal input.shape out_shape) then
+          invalid_arg "Interp.run: input shape mismatch";
+        input
+      | Op.Conv conv, [ one ] ->
+        conv_exec ~input:one ~weights:(weight_of ~weights id) ~conv ~out_shape
+      | Op.Pool pool, [ one ] -> pool_value ~input:one ~pool ~out_shape
+      | Op.Upsample { factor }, [ one ] -> upsample_value ~input:one ~factor ~out_shape
+      | Op.Dense _, [ one ] ->
+        dense_value ~input:one ~weights:(weight_of ~weights id) ~out_shape
+      | Op.Eltwise_add, (_ :: _ :: _ as many) -> add_value ~inputs:many ~out_shape
+      | Op.Concat, (_ :: _ as many) -> concat_value ~inputs:many ~out_shape
+      | (Op.Input _ | Op.Conv _ | Op.Pool _ | Op.Upsample _ | Op.Dense _
+        | Op.Eltwise_add | Op.Concat), _ ->
+        invalid_arg "Interp.run: arity mismatch (graph was validated?)")
+  done;
+  results
+
+let run ?weights g ~input = run_with ~conv_exec:conv_value ?weights g ~input
+
+(* Tiled convolution: the accelerator's outer loops — output-channel
+   groups x spatial tiles x input-channel groups — with partial sums
+   accumulated in the output tile across input-channel groups. *)
+let conv_tiled tile ~input ~weights ~conv ~out_shape =
+  let oc, oh, ow = feature_dims out_shape in
+  let ic_total, _, _ = feature_dims input.shape in
+  let ic_per_group = ic_total / conv.Op.groups in
+  let out = Array.make (Shape.elements out_shape) 0. in
+  let tm = tile.Accel.Tiling.tm and tn = tile.Accel.Tiling.tn in
+  let th = tile.Accel.Tiling.th and tw = tile.Accel.Tiling.tw in
+  let rec chunks lo hi step acc =
+    if lo >= hi then List.rev acc
+    else chunks (lo + step) hi step ((lo, min hi (lo + step)) :: acc)
+  in
+  List.iter
+    (fun (oc0, oc1) ->
+      List.iter
+        (fun (y0, y1) ->
+          List.iter
+            (fun (x0, x1) ->
+              List.iter
+                (fun (ic0, ic1) ->
+                  conv_range ~input ~weights ~out ~conv ~out_shape ~oc0 ~oc1 ~y0
+                    ~y1 ~x0 ~x1 ~ic0 ~ic1 ~accumulate:true)
+                (chunks 0 ic_per_group tn []))
+            (chunks 0 ow tw []))
+        (chunks 0 oh th []))
+    (chunks 0 oc tm []);
+  { shape = out_shape; data = out }
+
+let run_tiled ?weights ~tile g ~input =
+  run_with ~conv_exec:(conv_tiled tile) ?weights g ~input
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Interp.max_abs_diff: shape mismatch";
+  let worst = ref 0. in
+  Array.iteri
+    (fun i v -> worst := max !worst (abs_float (v -. b.data.(i))))
+    a.data;
+  !worst

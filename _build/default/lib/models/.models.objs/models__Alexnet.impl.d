@@ -1,0 +1,1 @@
+lib/models/alexnet.ml: Dnn_graph

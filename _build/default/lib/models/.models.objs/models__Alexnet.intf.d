@@ -1,0 +1,1 @@
+lib/models/alexnet.mli: Dnn_graph

@@ -1,0 +1,1 @@
+lib/models/densenet.ml: Dnn_graph List Printf Tensor

@@ -1,0 +1,1 @@
+lib/models/densenet.mli: Dnn_graph

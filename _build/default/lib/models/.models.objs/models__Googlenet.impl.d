@@ -1,0 +1,1 @@
+lib/models/googlenet.ml: Dnn_graph List Printf

@@ -1,0 +1,1 @@
+lib/models/googlenet.mli: Dnn_graph

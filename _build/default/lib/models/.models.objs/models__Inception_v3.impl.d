@@ -1,0 +1,1 @@
+lib/models/inception_v3.ml: Dnn_graph List Printf

@@ -1,0 +1,1 @@
+lib/models/inception_v3.mli: Dnn_graph

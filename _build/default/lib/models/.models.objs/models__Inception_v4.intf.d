@@ -1,0 +1,1 @@
+lib/models/inception_v4.mli: Dnn_graph

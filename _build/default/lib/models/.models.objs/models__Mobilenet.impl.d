@@ -1,0 +1,1 @@
+lib/models/mobilenet.ml: Dnn_graph List Printf Tensor

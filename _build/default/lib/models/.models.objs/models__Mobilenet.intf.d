@@ -1,0 +1,1 @@
+lib/models/mobilenet.mli: Dnn_graph

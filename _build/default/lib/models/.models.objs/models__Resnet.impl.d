@@ -1,0 +1,1 @@
+lib/models/resnet.ml: Dnn_graph List Printf

@@ -1,0 +1,1 @@
+lib/models/resnet.mli: Dnn_graph

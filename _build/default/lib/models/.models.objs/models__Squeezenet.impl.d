@@ -1,0 +1,1 @@
+lib/models/squeezenet.ml: Dnn_graph List Printf

@@ -1,0 +1,1 @@
+lib/models/squeezenet.mli: Dnn_graph

@@ -1,0 +1,1 @@
+lib/models/vgg.ml: Dnn_graph List Printf

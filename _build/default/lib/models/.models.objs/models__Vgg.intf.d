@@ -1,0 +1,1 @@
+lib/models/vgg.mli: Dnn_graph

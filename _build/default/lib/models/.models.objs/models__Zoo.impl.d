@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Alexnet Densenet Dnn_graph Googlenet Inception_v3 Inception_v4 List Mobilenet Printf Resnet Squeezenet String Vgg

@@ -1,0 +1,1 @@
+lib/models/zoo.mli: Dnn_graph

@@ -1,0 +1,35 @@
+module B = Dnn_graph.Builder
+module Op = Dnn_graph.Op
+
+let name = "alexnet"
+
+let build () =
+  let b = B.create () in
+  let x = B.input b ~name:"data" ~channels:3 ~height:227 ~width:227 () in
+  let x =
+    B.conv b ~name:"conv1" ~kernel:(11, 11) ~stride:(4, 4) ~padding:Op.Valid
+      ~out_channels:96 x
+  in
+  let x = B.pool b ~name:"pool1" ~kernel:(3, 3) ~stride:(2, 2) x in
+  let x =
+    B.conv b ~name:"conv2" ~kernel:(5, 5) ~padding:(Op.Explicit 2)
+      ~out_channels:256 ~groups:2 x
+  in
+  let x = B.pool b ~name:"pool2" ~kernel:(3, 3) ~stride:(2, 2) x in
+  let x =
+    B.conv b ~name:"conv3" ~kernel:(3, 3) ~padding:(Op.Explicit 1)
+      ~out_channels:384 x
+  in
+  let x =
+    B.conv b ~name:"conv4" ~kernel:(3, 3) ~padding:(Op.Explicit 1)
+      ~out_channels:384 ~groups:2 x
+  in
+  let x =
+    B.conv b ~name:"conv5" ~kernel:(3, 3) ~padding:(Op.Explicit 1)
+      ~out_channels:256 ~groups:2 x
+  in
+  let x = B.pool b ~name:"pool5" ~kernel:(3, 3) ~stride:(2, 2) x in
+  let x = B.dense b ~name:"fc6" ~out_features:4096 x in
+  let x = B.dense b ~name:"fc7" ~out_features:4096 x in
+  let _logits = B.dense b ~name:"fc8" ~out_features:1000 x in
+  B.finish b

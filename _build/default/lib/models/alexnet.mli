@@ -1,0 +1,9 @@
+(** AlexNet (Krizhevsky et al., 2012): the classic linear-structure CNN.
+    Used in tests and examples as the simplest realistic workload — the
+    paper notes that plain double buffering (UMM) suffices for such
+    models, which LCMM should reproduce rather than regress. *)
+
+val name : string
+
+val build : unit -> Dnn_graph.Graph.t
+(** 5 convolutions + 3 dense layers, 227x227 input. *)

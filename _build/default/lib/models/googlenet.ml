@@ -1,0 +1,68 @@
+module B = Dnn_graph.Builder
+module Op = Dnn_graph.Op
+
+let name = "googlenet"
+
+let block_names =
+  [ "inception_3a"; "inception_3b"; "inception_4a"; "inception_4b";
+    "inception_4c"; "inception_4d"; "inception_4e"; "inception_5a";
+    "inception_5b" ]
+
+(* (#1x1, #3x3reduce, #3x3, #5x5reduce, #5x5, pool proj) per block, from
+   Table 1 of the GoogLeNet paper. *)
+let configs =
+  [ (64, 96, 128, 16, 32, 32);
+    (128, 128, 192, 32, 96, 64);
+    (192, 96, 208, 16, 48, 64);
+    (160, 112, 224, 24, 64, 64);
+    (128, 128, 256, 24, 64, 64);
+    (112, 144, 288, 32, 64, 64);
+    (256, 160, 320, 32, 128, 128);
+    (256, 160, 320, 32, 128, 128);
+    (384, 192, 384, 48, 128, 128) ]
+
+let inception b tag (n1, r3, n3, r5, n5, np) x =
+  B.with_block b tag (fun () ->
+    let cname suffix = Printf.sprintf "%s/%s" tag suffix in
+    let b1 = B.conv b ~name:(cname "1x1") ~kernel:(1, 1) ~out_channels:n1 x in
+    let b2r = B.conv b ~name:(cname "3x3_reduce") ~kernel:(1, 1) ~out_channels:r3 x in
+    let b2 = B.conv b ~name:(cname "3x3") ~kernel:(3, 3) ~out_channels:n3 b2r in
+    let b3r = B.conv b ~name:(cname "5x5_reduce") ~kernel:(1, 1) ~out_channels:r5 x in
+    let b3 = B.conv b ~name:(cname "5x5") ~kernel:(5, 5) ~out_channels:n5 b3r in
+    let b4p =
+      B.pool b ~name:(cname "pool") ~kernel:(3, 3) ~stride:(1, 1)
+        ~padding:(Op.Explicit 1) x
+    in
+    let b4 = B.conv b ~name:(cname "pool_proj") ~kernel:(1, 1) ~out_channels:np b4p in
+    B.concat b ~name:(cname "output") [ b1; b2; b3; b4 ])
+
+let build () =
+  let b = B.create () in
+  let x = B.input b ~name:"data" ~channels:3 ~height:224 ~width:224 () in
+  let x =
+    B.conv b ~name:"conv1/7x7_s2" ~kernel:(7, 7) ~stride:(2, 2)
+      ~padding:(Op.Explicit 3) ~out_channels:64 x
+  in
+  let x = B.pool b ~name:"pool1/3x3_s2" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Same x in
+  let x = B.conv b ~name:"conv2/3x3_reduce" ~kernel:(1, 1) ~out_channels:64 x in
+  let x = B.conv b ~name:"conv2/3x3" ~kernel:(3, 3) ~out_channels:192 x in
+  let x = B.pool b ~name:"pool2/3x3_s2" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Same x in
+  let blocks = List.combine block_names configs in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let drop n l = List.filteri (fun i _ -> i >= n) l in
+  let x =
+    List.fold_left (fun acc (tag, cfg) -> inception b tag cfg acc) x (take 2 blocks)
+  in
+  let x = B.pool b ~name:"pool3/3x3_s2" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Same x in
+  let x =
+    List.fold_left
+      (fun acc (tag, cfg) -> inception b tag cfg acc)
+      x (take 5 (drop 2 blocks))
+  in
+  let x = B.pool b ~name:"pool4/3x3_s2" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Same x in
+  let x =
+    List.fold_left (fun acc (tag, cfg) -> inception b tag cfg acc) x (drop 7 blocks)
+  in
+  let x = B.global_pool b ~name:"pool5/7x7_s1" x in
+  let _logits = B.dense b ~name:"loss3/classifier" ~out_features:1000 x in
+  B.finish b

@@ -1,0 +1,134 @@
+module B = Dnn_graph.Builder
+module Op = Dnn_graph.Op
+
+let name = "inception_v4"
+
+let block_names =
+  List.concat
+    [ List.init 4 (fun i -> Printf.sprintf "inception_a%d" (i + 1));
+      List.init 7 (fun i -> Printf.sprintf "inception_b%d" (i + 1));
+      List.init 3 (fun i -> Printf.sprintf "inception_c%d" (i + 1)) ]
+
+let conv b ~name ?(kernel = (1, 1)) ?(stride = (1, 1)) ?(padding = Op.Same) ~out x =
+  B.conv b ~name ~kernel ~stride ~padding ~out_channels:out x
+
+let avg_pool_same b ~name x =
+  B.pool b ~name ~kind:Op.Avg ~kernel:(3, 3) ~stride:(1, 1) ~padding:(Op.Explicit 1) x
+
+let max_pool_halve b ~name x =
+  B.pool b ~name ~kind:Op.Max ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid x
+
+(* Stem: 3x299x299 -> 384x35x35. *)
+let stem b x =
+  B.with_block b "stem" (fun () ->
+    let x = conv b ~name:"stem/conv1" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid ~out:32 x in
+    let x = conv b ~name:"stem/conv2" ~kernel:(3, 3) ~padding:Op.Valid ~out:32 x in
+    let x = conv b ~name:"stem/conv3" ~kernel:(3, 3) ~out:64 x in
+    let p1 = max_pool_halve b ~name:"stem/pool1" x in
+    let c1 = conv b ~name:"stem/conv4" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid ~out:96 x in
+    let x = B.concat b ~name:"stem/cat1" [ p1; c1 ] in
+    let a = conv b ~name:"stem/a_1x1" ~out:64 x in
+    let a = conv b ~name:"stem/a_3x3" ~kernel:(3, 3) ~padding:Op.Valid ~out:96 a in
+    let c = conv b ~name:"stem/b_1x1" ~out:64 x in
+    let c = conv b ~name:"stem/b_7x1" ~kernel:(7, 1) ~out:64 c in
+    let c = conv b ~name:"stem/b_1x7" ~kernel:(1, 7) ~out:64 c in
+    let c = conv b ~name:"stem/b_3x3" ~kernel:(3, 3) ~padding:Op.Valid ~out:96 c in
+    let x = B.concat b ~name:"stem/cat2" [ a; c ] in
+    let d = conv b ~name:"stem/c_3x3" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid ~out:192 x in
+    let p2 = max_pool_halve b ~name:"stem/pool2" x in
+    B.concat b ~name:"stem/cat3" [ d; p2 ])
+
+(* Inception-A: 384x35x35 -> 384x35x35. *)
+let inception_a b tag x =
+  B.with_block b tag (fun () ->
+    let cname s = Printf.sprintf "%s/%s" tag s in
+    let b1 = avg_pool_same b ~name:(cname "pool") x in
+    let b1 = conv b ~name:(cname "pool_1x1") ~out:96 b1 in
+    let b2 = conv b ~name:(cname "1x1") ~out:96 x in
+    let b3 = conv b ~name:(cname "3x3_r") ~out:64 x in
+    let b3 = conv b ~name:(cname "3x3") ~kernel:(3, 3) ~out:96 b3 in
+    let b4 = conv b ~name:(cname "d3x3_r") ~out:64 x in
+    let b4 = conv b ~name:(cname "d3x3_1") ~kernel:(3, 3) ~out:96 b4 in
+    let b4 = conv b ~name:(cname "d3x3_2") ~kernel:(3, 3) ~out:96 b4 in
+    B.concat b ~name:(cname "output") [ b1; b2; b3; b4 ])
+
+(* Reduction-A: 384x35x35 -> 1024x17x17. *)
+let reduction_a b x =
+  B.with_block b "reduction_a" (fun () ->
+    let b1 = max_pool_halve b ~name:"red_a/pool" x in
+    let b2 = conv b ~name:"red_a/3x3" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid ~out:384 x in
+    let b3 = conv b ~name:"red_a/d_r" ~out:192 x in
+    let b3 = conv b ~name:"red_a/d_3x3" ~kernel:(3, 3) ~out:224 b3 in
+    let b3 = conv b ~name:"red_a/d_3x3s2" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid ~out:256 b3 in
+    B.concat b ~name:"red_a/output" [ b1; b2; b3 ])
+
+(* Inception-B: 1024x17x17 -> 1024x17x17. *)
+let inception_b b tag x =
+  B.with_block b tag (fun () ->
+    let cname s = Printf.sprintf "%s/%s" tag s in
+    let b1 = avg_pool_same b ~name:(cname "pool") x in
+    let b1 = conv b ~name:(cname "pool_1x1") ~out:128 b1 in
+    let b2 = conv b ~name:(cname "1x1") ~out:384 x in
+    let b3 = conv b ~name:(cname "7_r") ~out:192 x in
+    let b3 = conv b ~name:(cname "7_1x7") ~kernel:(1, 7) ~out:224 b3 in
+    let b3 = conv b ~name:(cname "7_7x1") ~kernel:(7, 1) ~out:256 b3 in
+    let b4 = conv b ~name:(cname "d7_r") ~out:192 x in
+    let b4 = conv b ~name:(cname "d7_1x7a") ~kernel:(1, 7) ~out:192 b4 in
+    let b4 = conv b ~name:(cname "d7_7x1a") ~kernel:(7, 1) ~out:224 b4 in
+    let b4 = conv b ~name:(cname "d7_1x7b") ~kernel:(1, 7) ~out:224 b4 in
+    let b4 = conv b ~name:(cname "d7_7x1b") ~kernel:(7, 1) ~out:256 b4 in
+    B.concat b ~name:(cname "output") [ b1; b2; b3; b4 ])
+
+(* Reduction-B: 1024x17x17 -> 1536x8x8. *)
+let reduction_b b x =
+  B.with_block b "reduction_b" (fun () ->
+    let b1 = max_pool_halve b ~name:"red_b/pool" x in
+    let b2 = conv b ~name:"red_b/3x3_r" ~out:192 x in
+    let b2 = conv b ~name:"red_b/3x3" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid ~out:192 b2 in
+    let b3 = conv b ~name:"red_b/7_r" ~out:256 x in
+    let b3 = conv b ~name:"red_b/7_1x7" ~kernel:(1, 7) ~out:256 b3 in
+    let b3 = conv b ~name:"red_b/7_7x1" ~kernel:(7, 1) ~out:320 b3 in
+    let b3 = conv b ~name:"red_b/7_3x3" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid ~out:320 b3 in
+    B.concat b ~name:"red_b/output" [ b1; b2; b3 ])
+
+(* Inception-C: 1536x8x8 -> 1536x8x8. *)
+let inception_c b tag x =
+  B.with_block b tag (fun () ->
+    let cname s = Printf.sprintf "%s/%s" tag s in
+    let b1 = avg_pool_same b ~name:(cname "pool") x in
+    let b1 = conv b ~name:(cname "pool_1x1") ~out:256 b1 in
+    let b2 = conv b ~name:(cname "1x1") ~out:256 x in
+    let b3 = conv b ~name:(cname "s_r") ~out:384 x in
+    let b3a = conv b ~name:(cname "s_1x3") ~kernel:(1, 3) ~out:256 b3 in
+    let b3b = conv b ~name:(cname "s_3x1") ~kernel:(3, 1) ~out:256 b3 in
+    let b4 = conv b ~name:(cname "d_r") ~out:384 x in
+    let b4 = conv b ~name:(cname "d_1x3") ~kernel:(1, 3) ~out:448 b4 in
+    let b4 = conv b ~name:(cname "d_3x1") ~kernel:(3, 1) ~out:512 b4 in
+    let b4a = conv b ~name:(cname "d_3x1b") ~kernel:(3, 1) ~out:256 b4 in
+    let b4b = conv b ~name:(cname "d_1x3b") ~kernel:(1, 3) ~out:256 b4 in
+    B.concat b ~name:(cname "output") [ b1; b2; b3a; b3b; b4a; b4b ])
+
+let build () =
+  let b = B.create () in
+  let x = B.input b ~name:"data" ~channels:3 ~height:299 ~width:299 () in
+  let x = stem b x in
+  let x =
+    List.fold_left
+      (fun acc i -> inception_a b (Printf.sprintf "inception_a%d" i) acc)
+      x [ 1; 2; 3; 4 ]
+  in
+  let x = reduction_a b x in
+  let x =
+    List.fold_left
+      (fun acc i -> inception_b b (Printf.sprintf "inception_b%d" i) acc)
+      x [ 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let x = reduction_b b x in
+  let x =
+    List.fold_left
+      (fun acc i -> inception_c b (Printf.sprintf "inception_c%d" i) acc)
+      x [ 1; 2; 3 ]
+  in
+  let x = B.global_pool b ~name:"global_pool" x in
+  let _logits = B.dense b ~name:"classifier" ~out_features:1000 x in
+  B.finish b

@@ -1,0 +1,15 @@
+(** Inception-v4 (Szegedy et al., 2016).
+
+    Stem + 4 Inception-A + Reduction-A + 7 Inception-B + Reduction-B +
+    3 Inception-C + classifier, 299x299 input.  The fourteen inception
+    blocks (A1..A4, B1..B7, C1..C3) are block-tagged; they are the choice
+    variables of the paper's Fig. 2(b) design-space study (2^14 on/off
+    subsets). *)
+
+val name : string
+
+val build : unit -> Dnn_graph.Graph.t
+
+val block_names : string list
+(** The 14 inception block tags in network order (reductions excluded,
+    matching the paper's count). *)

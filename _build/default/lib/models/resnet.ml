@@ -1,0 +1,121 @@
+module B = Dnn_graph.Builder
+module Op = Dnn_graph.Op
+
+let name_152 = "resnet152"
+
+let name_50 = "resnet50"
+
+let name_34 = "resnet34"
+
+let name_next_50 = "resnext50"
+
+(* One bottleneck block: 1x1 reduce, 3x3 (carries the stride, optionally
+   grouped as in ResNeXt), 1x1 expand, with an identity or projection
+   shortcut. *)
+let bottleneck ?(groups = 1) b ~tag ~mid_channels ~out_channels ~stride ~project x =
+  B.with_block b tag (fun () ->
+    let cname suffix = Printf.sprintf "%s/%s" tag suffix in
+    let shortcut =
+      if project then
+        B.conv b ~name:(cname "proj") ~kernel:(1, 1) ~stride:(stride, stride)
+          ~out_channels x
+      else x
+    in
+    let y = B.conv b ~name:(cname "1x1a") ~kernel:(1, 1) ~out_channels:mid_channels x in
+    let y =
+      B.conv b ~name:(cname "3x3") ~kernel:(3, 3) ~stride:(stride, stride)
+        ~groups ~out_channels:mid_channels y
+    in
+    let y = B.conv b ~name:(cname "1x1b") ~kernel:(1, 1) ~out_channels y in
+    B.add b ~name:(cname "sum") [ shortcut; y ])
+
+let stage ?groups b ~index ~blocks ~mid_channels ~out_channels ~first_stride x =
+  let acc = ref x in
+  for bi = 1 to blocks do
+    let tag = Printf.sprintf "conv%d_b%d" index bi in
+    let stride = if bi = 1 then first_stride else 1 in
+    let project = bi = 1 in
+    acc := bottleneck ?groups b ~tag ~mid_channels ~out_channels ~stride ~project !acc
+  done;
+  !acc
+
+let build_plan ?groups plan =
+  let b = B.create () in
+  let x = B.input b ~name:"data" ~channels:3 ~height:224 ~width:224 () in
+  let x =
+    B.conv b ~name:"conv1" ~kernel:(7, 7) ~stride:(2, 2) ~padding:(Op.Explicit 3)
+      ~out_channels:64 x
+  in
+  let x = B.pool b ~name:"pool1" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Same x in
+  let x =
+    List.fold_left
+      (fun acc (index, blocks, mid, out, first_stride) ->
+        stage ?groups b ~index ~blocks ~mid_channels:mid ~out_channels:out
+          ~first_stride acc)
+      x plan
+  in
+  let x = B.global_pool b ~name:"pool5" x in
+  let _logits = B.dense b ~name:"fc1000" ~out_features:1000 x in
+  B.finish b
+
+let plan_of_counts (c2, c3, c4, c5) =
+  [ (2, c2, 64, 256, 1);
+    (3, c3, 128, 512, 2);
+    (4, c4, 256, 1024, 2);
+    (5, c5, 512, 2048, 2) ]
+
+let build_152 () = build_plan (plan_of_counts (3, 8, 36, 3))
+
+let build_50 () = build_plan (plan_of_counts (3, 4, 6, 3))
+
+(* Basic residual block: two 3x3 convolutions, stride on the first. *)
+let basic_block b ~tag ~channels ~stride ~project x =
+  B.with_block b tag (fun () ->
+    let cname suffix = Printf.sprintf "%s/%s" tag suffix in
+    let shortcut =
+      if project then
+        B.conv b ~name:(cname "proj") ~kernel:(1, 1) ~stride:(stride, stride)
+          ~out_channels:channels x
+      else x
+    in
+    let y =
+      B.conv b ~name:(cname "3x3a") ~kernel:(3, 3) ~stride:(stride, stride)
+        ~out_channels:channels x
+    in
+    let y = B.conv b ~name:(cname "3x3b") ~kernel:(3, 3) ~out_channels:channels y in
+    B.add b ~name:(cname "sum") [ shortcut; y ])
+
+let build_34 () =
+  let b = B.create () in
+  let x = B.input b ~name:"data" ~channels:3 ~height:224 ~width:224 () in
+  let x =
+    B.conv b ~name:"conv1" ~kernel:(7, 7) ~stride:(2, 2) ~padding:(Op.Explicit 3)
+      ~out_channels:64 x
+  in
+  let x = B.pool b ~name:"pool1" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Same x in
+  let acc = ref x in
+  List.iter
+    (fun (index, blocks, channels, first_stride) ->
+      for bi = 1 to blocks do
+        let tag = Printf.sprintf "conv%d_b%d" index bi in
+        let stride = if bi = 1 then first_stride else 1 in
+        let project = bi = 1 && index > 2 in
+        acc := basic_block b ~tag ~channels ~stride ~project !acc
+      done)
+    [ (2, 3, 64, 1); (3, 4, 128, 2); (4, 6, 256, 2); (5, 3, 512, 2) ];
+  let x = B.global_pool b ~name:"pool5" !acc in
+  let _logits = B.dense b ~name:"fc1000" ~out_features:1000 x in
+  B.finish b
+
+(* ResNeXt-50 32x4d: bottleneck width doubled relative to ResNet-50. *)
+let build_next_50 () =
+  build_plan ~groups:32
+    [ (2, 3, 128, 256, 1); (3, 4, 256, 512, 2); (4, 6, 512, 1024, 2);
+      (5, 3, 1024, 2048, 2) ]
+
+let build ~depth =
+  match depth with
+  | 50 -> build_50 ()
+  | 101 -> build_plan (plan_of_counts (3, 4, 23, 3))
+  | 152 -> build_152 ()
+  | d -> invalid_arg (Printf.sprintf "Resnet.build: unsupported depth %d" d)

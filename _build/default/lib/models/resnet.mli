@@ -1,0 +1,33 @@
+(** ResNet family (He et al., 2016), bottleneck variants.
+
+    Each residual stage is tagged [convN_x] (blocks individually tagged
+    [convN_bM]) for per-block reporting.  Batch normalization is folded
+    into the convolutions, as all inference-time accelerator designs do. *)
+
+val name_152 : string
+
+val name_50 : string
+
+val build_152 : unit -> Dnn_graph.Graph.t
+(** ResNet-152: bottleneck stages [3; 8; 36; 3], 224x224 input. *)
+
+val build_50 : unit -> Dnn_graph.Graph.t
+(** ResNet-50: bottleneck stages [3; 4; 6; 3], 224x224 input — the model
+    the Cloud-DNN comparison (paper Table 3) uses. *)
+
+val build : depth:int -> Dnn_graph.Graph.t
+(** Any standard bottleneck depth: 50, 101 or 152.  Raises
+    [Invalid_argument] on other depths. *)
+
+val name_34 : string
+
+val build_34 : unit -> Dnn_graph.Graph.t
+(** ResNet-34: *basic* residual blocks (two 3x3 convolutions) in stages
+    [3; 4; 6; 3] — the non-bottleneck branch of the family. *)
+
+val name_next_50 : string
+
+val build_next_50 : unit -> Dnn_graph.Graph.t
+(** ResNeXt-50 (32x4d): the ResNet-50 skeleton with doubled bottleneck
+    width and 32-way grouped 3x3 convolutions — exercises the grouped-
+    convolution paths of the cost model on a published architecture. *)

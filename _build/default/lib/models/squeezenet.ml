@@ -1,0 +1,48 @@
+module B = Dnn_graph.Builder
+module Op = Dnn_graph.Op
+
+let name = "squeezenet"
+
+(* (squeeze, expand1x1, expand3x3) per fire module, SqueezeNet 1.1. *)
+let configs =
+  [ (16, 64, 64); (16, 64, 64); (32, 128, 128); (32, 128, 128);
+    (48, 192, 192); (48, 192, 192); (64, 256, 256); (64, 256, 256) ]
+
+let block_names = List.mapi (fun i _ -> Printf.sprintf "fire%d" (i + 2)) configs
+
+let fire b ~tag (squeeze, e1, e3) x =
+  B.with_block b tag (fun () ->
+    let cname s = Printf.sprintf "%s/%s" tag s in
+    let s = B.conv b ~name:(cname "squeeze") ~kernel:(1, 1) ~out_channels:squeeze x in
+    let a = B.conv b ~name:(cname "expand1x1") ~kernel:(1, 1) ~out_channels:e1 s in
+    let c = B.conv b ~name:(cname "expand3x3") ~kernel:(3, 3) ~out_channels:e3 s in
+    B.concat b ~name:(cname "concat") [ a; c ])
+
+let build () =
+  let b = B.create () in
+  let x = B.input b ~name:"data" ~channels:3 ~height:227 ~width:227 () in
+  let x =
+    B.conv b ~name:"conv1" ~kernel:(3, 3) ~stride:(2, 2) ~padding:Op.Valid
+      ~out_channels:64 x
+  in
+  let x = B.pool b ~name:"pool1" ~kernel:(3, 3) ~stride:(2, 2) x in
+  let tagged = List.combine block_names configs in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let drop n l = List.filteri (fun i _ -> i >= n) l in
+  let x =
+    List.fold_left (fun acc (tag, cfg) -> fire b ~tag cfg acc) x (take 2 tagged)
+  in
+  let x = B.pool b ~name:"pool3" ~kernel:(3, 3) ~stride:(2, 2) x in
+  let x =
+    List.fold_left
+      (fun acc (tag, cfg) -> fire b ~tag cfg acc)
+      x (take 2 (drop 2 tagged))
+  in
+  let x = B.pool b ~name:"pool5" ~kernel:(3, 3) ~stride:(2, 2) x in
+  let x =
+    List.fold_left (fun acc (tag, cfg) -> fire b ~tag cfg acc) x (drop 4 tagged)
+  in
+  let x = B.conv b ~name:"conv10" ~kernel:(1, 1) ~out_channels:1000 x in
+  (* SqueezeNet classifies by global-pooling conv10 directly: no dense head. *)
+  let _logits = B.global_pool b ~name:"pool10" x in
+  B.finish b

@@ -1,0 +1,31 @@
+module B = Dnn_graph.Builder
+
+let name = "vgg16"
+
+let name_19 = "vgg19"
+
+(* Configurations D and E of the VGG paper: (convs-per-stage, channels). *)
+let stages = [ (2, 64); (2, 128); (3, 256); (3, 512); (3, 512) ]
+
+let stages_19 = [ (2, 64); (2, 128); (4, 256); (4, 512); (4, 512) ]
+
+let build_stages stages =
+  let b = B.create () in
+  let x = ref (B.input b ~name:"data" ~channels:3 ~height:224 ~width:224 ()) in
+  List.iteri
+    (fun si (convs, channels) ->
+      for ci = 1 to convs do
+        let layer_name = Printf.sprintf "conv%d_%d" (si + 1) ci in
+        x := B.conv b ~name:layer_name ~kernel:(3, 3) ~out_channels:channels !x
+      done;
+      let pool_name = Printf.sprintf "pool%d" (si + 1) in
+      x := B.pool b ~name:pool_name ~kernel:(2, 2) ~stride:(2, 2) !x)
+    stages;
+  let x = B.dense b ~name:"fc6" ~out_features:4096 !x in
+  let x = B.dense b ~name:"fc7" ~out_features:4096 x in
+  let _logits = B.dense b ~name:"fc8" ~out_features:1000 x in
+  B.finish b
+
+let build () = build_stages stages
+
+let build_19 () = build_stages stages_19

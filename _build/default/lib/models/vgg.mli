@@ -1,0 +1,12 @@
+(** VGG-16 (Simonyan & Zisserman, 2014): deep linear structure with large
+    uniform 3x3 convolutions; the canonical compute-bound workload. *)
+
+val name : string
+
+val build : unit -> Dnn_graph.Graph.t
+(** 13 convolutions + 3 dense layers, 224x224 input. *)
+
+val name_19 : string
+
+val build_19 : unit -> Dnn_graph.Graph.t
+(** VGG-19 (configuration E): 16 convolutions + 3 dense layers. *)

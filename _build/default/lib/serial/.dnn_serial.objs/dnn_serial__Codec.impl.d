@@ -1,0 +1,1 @@
+lib/serial/codec.ml: Dnn_graph Fun Json List Printf Result

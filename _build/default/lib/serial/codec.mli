@@ -1,0 +1,24 @@
+(** Graph (de)serialization.
+
+    The on-disk format is a versioned JSON document listing nodes in
+    topological order with their operator parameters, predecessors and
+    block tags; decoding re-runs the full graph validation (shape
+    inference included), so a loaded graph carries the same guarantees as
+    a built one. *)
+
+val format_version : int
+
+val graph_to_json : Dnn_graph.Graph.t -> Json.t
+
+val graph_of_json : Json.t -> (Dnn_graph.Graph.t, string) result
+
+val to_string : ?pretty:bool -> Dnn_graph.Graph.t -> string
+(** Serialize ([pretty] defaults to true). *)
+
+val of_string : string -> (Dnn_graph.Graph.t, string) result
+(** Parse and validate. *)
+
+val write_file : path:string -> Dnn_graph.Graph.t -> unit
+
+val read_file : path:string -> (Dnn_graph.Graph.t, string) result
+(** [Error] covers unreadable files as well as malformed content. *)

@@ -1,0 +1,1 @@
+lib/sim/refine.ml: Array Engine Lcmm List

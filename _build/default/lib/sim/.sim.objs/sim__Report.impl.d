@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Dnn_graph Engine Format List

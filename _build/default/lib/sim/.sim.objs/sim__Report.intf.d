@@ -1,0 +1,1 @@
+lib/sim/report.mli: Dnn_graph Engine Format

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Dnn_graph Dnn_serial Engine Fun List

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Dnn_graph Dnn_serial Engine

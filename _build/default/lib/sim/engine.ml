@@ -1,0 +1,163 @@
+module Metric = Lcmm.Metric
+module Latency = Accel.Latency
+
+type binding = Compute | Input_stream | Weight_stream | Output_stream
+
+type node_timing = {
+  node_id : int;
+  start : float;
+  finish : float;
+  wait : float;
+  binding : binding;
+}
+
+type run = {
+  timings : node_timing array;
+  total : float;
+  prefetch_wait : float;
+  wt_channel_busy : float;
+}
+
+let simulate ?(weights_resident = false) ?prefetch metric ~on_chip =
+  let profiles = metric.Metric.profiles in
+  let n = Array.length profiles in
+  (* Fraction of node [id]'s weight tensor resident on chip (slices pin
+     independently; an unsliced tensor is 0 or 1). *)
+  let pinned_fraction id =
+    let k = metric.Metric.slices.(id) in
+    if k = 1 then
+      if Metric.Item_set.mem (Metric.Weight_of id) on_chip then 1. else 0.
+    else begin
+      let count = ref 0 in
+      for index = 0 to k - 1 do
+        if Metric.Item_set.mem (Metric.Weight_slice { node = id; index; of_k = k }) on_chip
+        then incr count
+      done;
+      float_of_int !count /. float_of_int k
+    end
+  in
+  let pinned_weight id = pinned_fraction id > 0. in
+  (* Prefetch jobs released when their source node starts: target ->
+     ready time, filled in as the schedule advances. *)
+  let released = Array.make n [] in
+  (match prefetch with
+  | None -> ()
+  | Some _ when weights_resident -> ()
+  | Some pdg ->
+    List.iter
+      (fun e ->
+        if pinned_weight e.Lcmm.Prefetch.target then
+          released.(e.Lcmm.Prefetch.source) <-
+            e :: released.(e.Lcmm.Prefetch.source))
+      (Lcmm.Prefetch.edges pdg));
+  let weight_ready = Array.make n 0. in
+  (* Pinned weights with no PDG edge must load before their node; model
+     as released at time 0. *)
+  let has_edge = Array.make n false in
+  Array.iter (List.iter (fun e -> has_edge.(e.Lcmm.Prefetch.target) <- true)) released;
+  let timings = Array.make n { node_id = 0; start = 0.; finish = 0.; wait = 0.; binding = Compute } in
+  let wt_free = ref 0. in
+  let wt_busy = ref 0. in
+  let clock = ref 0. in
+  let prefetch_wait = ref 0. in
+  for id = 0 to n - 1 do
+    let p = profiles.(id) in
+    (* Release prefetch jobs whose source is this node; they queue on the
+       weight channel in target order. *)
+    List.iter
+      (fun e ->
+        (* Only the pinned share of a sliced tensor is prefetched. *)
+        let load =
+          e.Lcmm.Prefetch.load_seconds *. pinned_fraction e.Lcmm.Prefetch.target
+        in
+        let job_start = max !wt_free !clock in
+        let job_end = job_start +. load in
+        wt_free := job_end;
+        wt_busy := !wt_busy +. load;
+        weight_ready.(e.Lcmm.Prefetch.target) <- job_end)
+      (List.rev released.(id));
+    (* A pinned weight without a prefetch edge loads on demand. *)
+    if
+      pinned_weight id && (not weights_resident) && (not has_edge.(id))
+      && p.Latency.wt_load_once > 0.
+    then begin
+      let load = p.Latency.wt_load_once *. pinned_fraction id in
+      let job_start = max !wt_free !clock in
+      let job_end = job_start +. load in
+      wt_free := job_end;
+      wt_busy := !wt_busy +. load;
+      weight_ready.(id) <- max weight_ready.(id) job_end
+    end;
+    let ready = if pinned_weight id then weight_ready.(id) else 0. in
+    let start = max !clock ready in
+    let wait = start -. !clock in
+    prefetch_wait := !prefetch_wait +. wait;
+    let if_time =
+      List.fold_left
+        (fun acc (v, t) ->
+          if Metric.Item_set.mem (Metric.Feature_value v) on_chip then acc
+          else acc +. t)
+        0. p.Latency.if_terms
+    in
+    let of_time =
+      if Metric.Item_set.mem (Metric.Feature_value id) on_chip then 0.
+      else p.Latency.of_term
+    in
+    (* The streamed share of the weights occupies the (possibly
+       prefetch-delayed) weight channel for its streaming time. *)
+    let wt_component =
+      let streamed = p.Latency.wt_term *. (1. -. pinned_fraction id) in
+      if streamed <= 0. then 0.
+      else begin
+        let s = max start !wt_free in
+        let finish_wt = s +. streamed in
+        wt_free := finish_wt;
+        wt_busy := !wt_busy +. streamed;
+        finish_wt -. start
+      end
+    in
+    let components =
+      [ (Compute, p.Latency.latc); (Input_stream, if_time);
+        (Weight_stream, wt_component); (Output_stream, of_time) ]
+    in
+    let binding, duration =
+      List.fold_left
+        (fun (bb, bd) (b, d) -> if d > bd then (b, d) else (bb, bd))
+        (Compute, p.Latency.latc) components
+    in
+    let finish = start +. duration in
+    timings.(id) <- { node_id = id; start; finish; wait; binding };
+    clock := finish
+  done;
+  { timings;
+    total = !clock;
+    prefetch_wait = !prefetch_wait;
+    wt_channel_busy = !wt_busy }
+
+let simulate_umm metric = simulate metric ~on_chip:Metric.Item_set.empty
+
+type batch = {
+  first_image : float;
+  steady_image : float;
+  batch_total : float;
+  images_per_second : float;
+}
+
+let simulate_batch ?prefetch ~images metric ~on_chip =
+  if images < 1 then invalid_arg "Engine.simulate_batch: images < 1";
+  let first = (simulate ?prefetch metric ~on_chip).total in
+  let steady = (simulate ~weights_resident:true ?prefetch metric ~on_chip).total in
+  let batch_total = first +. (float_of_int (images - 1) *. steady) in
+  { first_image = first;
+    steady_image = steady;
+    batch_total;
+    images_per_second = float_of_int images /. batch_total }
+
+let bound_fraction run binding =
+  if run.total <= 0. then 0.
+  else
+    Array.fold_left
+      (fun acc t ->
+        if t.binding = binding then acc +. (t.finish -. t.start) else acc)
+      0. run.timings
+    /. run.total

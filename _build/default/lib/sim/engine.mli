@@ -1,0 +1,61 @@
+(** Discrete-event execution simulator.
+
+    Validates the analytical allocation model by actually scheduling the
+    network: nodes run sequentially on the compute array; each node's
+    streaming runs concurrently with its compute through double buffering
+    (so a node occupies [max] of its component times, as Eq. 1 assumes);
+    and — what the analytical model only approximates — the *weight DDR
+    interface is a real serialized channel* shared by streamed weight
+    tiles and background prefetches, so an over-optimistic PDG shows up
+    here as stall time instead of disappearing into an assumption.
+
+    A pinned weight's prefetch job is released when its PDG source node
+    starts (or at time 0 without a PDG) and the consuming node cannot
+    start before its weights arrive. *)
+
+type binding = Compute | Input_stream | Weight_stream | Output_stream
+(** Which Eq. 1 component a node's duration was bound by. *)
+
+type node_timing = {
+  node_id : int;
+  start : float;
+  finish : float;
+  wait : float;    (** Time spent stalled before start (prefetch). *)
+  binding : binding;
+}
+
+type run = {
+  timings : node_timing array;
+  total : float;            (** Finish time of the last node. *)
+  prefetch_wait : float;    (** Total stall attributable to prefetch. *)
+  wt_channel_busy : float;  (** Busy seconds of the weight interface. *)
+}
+
+val simulate :
+  ?weights_resident:bool -> ?prefetch:Lcmm.Prefetch.t -> Lcmm.Metric.t ->
+  on_chip:Lcmm.Metric.Item_set.t -> run
+(** Simulate one inference under the given allocation.  With
+    [weights_resident] (default false), pinned weights are assumed
+    already on chip — the steady state of batched inference, where
+    weight buffers persist across images and the prefetch traffic
+    amortizes away. *)
+
+val simulate_umm : Lcmm.Metric.t -> run
+(** Everything streamed — the UMM reference run. *)
+
+type batch = {
+  first_image : float;     (** Latency of image 1 (cold weight buffers). *)
+  steady_image : float;    (** Latency of each later image. *)
+  batch_total : float;     (** [first + (n-1) * steady]. *)
+  images_per_second : float;
+}
+
+val simulate_batch :
+  ?prefetch:Lcmm.Prefetch.t -> images:int -> Lcmm.Metric.t ->
+  on_chip:Lcmm.Metric.Item_set.t -> batch
+(** Steady-state batch throughput: the first image pays the weight
+    prefetching, later images find every pinned weight resident.  Raises
+    [Invalid_argument] when [images < 1]. *)
+
+val bound_fraction : run -> binding -> float
+(** Fraction of total time spent on nodes bound by the given component. *)

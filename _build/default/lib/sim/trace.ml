@@ -1,0 +1,44 @@
+module Json = Dnn_serial.Json
+
+let binding_name = function
+  | Engine.Compute -> "compute"
+  | Engine.Input_stream -> "input-stream"
+  | Engine.Weight_stream -> "weight-stream"
+  | Engine.Output_stream -> "output-stream"
+
+let us seconds = Json.Float (seconds *. 1e6)
+
+let duration_event ~name ~category ~start ~duration ~tid =
+  Json.Obj
+    [ ("name", Json.String name); ("cat", Json.String category);
+      ("ph", Json.String "X"); ("ts", us start); ("dur", us duration);
+      ("pid", Json.Int 1); ("tid", Json.Int tid) ]
+
+let to_json g run =
+  let events = ref [] in
+  Array.iter
+    (fun t ->
+      let nd = Dnn_graph.Graph.node g t.Engine.node_id in
+      let duration = t.Engine.finish -. t.Engine.start in
+      if duration > 0. then
+        events :=
+          duration_event ~name:nd.Dnn_graph.Graph.node_name
+            ~category:(binding_name t.Engine.binding) ~start:t.Engine.start
+            ~duration ~tid:1
+          :: !events;
+      if t.Engine.wait > 0. then
+        events :=
+          duration_event
+            ~name:(nd.Dnn_graph.Graph.node_name ^ ":stall")
+            ~category:"prefetch-stall"
+            ~start:(t.Engine.start -. t.Engine.wait)
+            ~duration:t.Engine.wait ~tid:2
+          :: !events)
+    run.Engine.timings;
+  Json.List (List.rev !events)
+
+let write_file ~path g run =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~indent:1 (to_json g run)))

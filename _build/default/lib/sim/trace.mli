@@ -1,0 +1,11 @@
+(** Chrome-tracing export of simulation runs.
+
+    Writes the `chrome://tracing` / Perfetto JSON array format: one
+    duration event per node on the "compute" track (colored by the Eq. 1
+    component that bound it) and one per stall.  Load the file in any
+    trace viewer to see where an allocation leaves the array idle. *)
+
+val to_json : Dnn_graph.Graph.t -> Engine.run -> Dnn_serial.Json.t
+(** The trace document. *)
+
+val write_file : path:string -> Dnn_graph.Graph.t -> Engine.run -> unit

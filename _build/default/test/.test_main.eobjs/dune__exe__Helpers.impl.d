@@ -1,0 +1,1 @@
+test/helpers.ml: Accel Dnn_graph Lcmm List Printf QCheck2 QCheck_alcotest Tensor

@@ -1,0 +1,1 @@
+test/test_accel.ml: Accel Alcotest Array Fpga Helpers List Models Tensor

@@ -1,0 +1,1 @@
+test/test_design_space.ml: Accel Alcotest Array Dnn_graph Helpers Lcmm List Printf Tensor

@@ -1,0 +1,1 @@
+test/test_dnnk.ml: Accel Alcotest Helpers Lcmm List Printf QCheck2 Tensor

@@ -1,0 +1,1 @@
+test/test_exact.ml: Accel Alcotest Helpers Lcmm List Models Printf Tensor

@@ -1,0 +1,1 @@
+test/test_framework.ml: Accel Alcotest Dnn_graph Helpers Lcmm List Models Tensor

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Dnn_graph Helpers List Printf String Tensor

@@ -1,0 +1,1 @@
+test/test_integration.ml: Accel Alcotest Dnn_graph Dnn_serial Lcmm List Models Sim Tensor

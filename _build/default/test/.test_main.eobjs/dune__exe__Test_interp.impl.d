@@ -1,0 +1,1 @@
+test/test_interp.ml: Accel Alcotest Array Dnn_graph Helpers Interp List Printf QCheck2 Tensor

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Array Hashtbl Helpers Lcmm List QCheck2

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Accel Alcotest Fpga Lcmm List Models Printf Sim Tensor

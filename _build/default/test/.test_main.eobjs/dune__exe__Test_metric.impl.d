@@ -1,0 +1,1 @@
+test/test_metric.ml: Accel Alcotest Array Helpers Lcmm List Printf QCheck2 Tensor

@@ -1,0 +1,1 @@
+test/test_models.ml: Accel Alcotest Dnn_graph Fpga List Models Tensor

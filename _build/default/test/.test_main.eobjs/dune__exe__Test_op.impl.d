@@ -1,0 +1,1 @@
+test/test_op.ml: Alcotest Dnn_graph Helpers QCheck2 Tensor

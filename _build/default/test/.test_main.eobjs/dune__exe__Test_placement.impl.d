@@ -1,0 +1,1 @@
+test/test_placement.ml: Accel Alcotest Fpga Helpers Lcmm List Models QCheck2 Tensor

@@ -1,0 +1,1 @@
+test/test_policies.ml: Accel Alcotest Helpers Lcmm List QCheck2 Tensor

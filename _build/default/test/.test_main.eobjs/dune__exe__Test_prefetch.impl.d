@@ -1,0 +1,1 @@
+test/test_prefetch.ml: Accel Alcotest Array Helpers Lcmm List

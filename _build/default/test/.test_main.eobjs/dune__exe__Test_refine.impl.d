@@ -1,0 +1,1 @@
+test/test_refine.ml: Accel Alcotest Helpers Lcmm List Models Sim Tensor

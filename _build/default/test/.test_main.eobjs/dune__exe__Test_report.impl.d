@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Fun Lcmm List Models String Sys Tensor

@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Accel Alcotest Dnn_graph Lazy Lcmm List Models Printf Tensor

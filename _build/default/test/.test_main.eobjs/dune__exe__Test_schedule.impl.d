@@ -1,0 +1,1 @@
+test/test_schedule.ml: Accel Alcotest Array Dnn_graph Helpers List Models Printf Tensor

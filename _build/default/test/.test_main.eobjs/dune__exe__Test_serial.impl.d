@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Dnn_graph Dnn_serial Filename Fun Hashtbl Helpers List Models QCheck2 Result Sys

@@ -1,0 +1,1 @@
+test/test_sim.ml: Accel Alcotest Array Dnn_serial Helpers Lcmm List Models Sim Tensor

@@ -1,0 +1,1 @@
+test/test_slicing.ml: Accel Alcotest Array Helpers Lcmm List Printf Sim Tensor

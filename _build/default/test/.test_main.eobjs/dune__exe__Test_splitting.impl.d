@@ -1,0 +1,1 @@
+test/test_splitting.ml: Alcotest Array Helpers Lcmm List Tensor

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Helpers List QCheck2 Tensor

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Accel Alcotest Array Helpers Lcmm Tensor

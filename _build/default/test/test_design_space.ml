@@ -1,0 +1,116 @@
+(* The per-block design space of Fig. 2(b). *)
+
+module DS = Lcmm.Design_space
+module Metric = Lcmm.Metric
+
+let dtype = Tensor.Dtype.I16
+
+(* A small model with three tagged blocks so the sweep is 8 points. *)
+let tagged_model () =
+  let module B = Dnn_graph.Builder in
+  let b = B.create () in
+  let x = B.input b ~channels:64 ~height:16 ~width:16 () in
+  let stage tag ch x =
+    B.with_block b tag (fun () ->
+        let c = B.conv b ~name:(tag ^ "/a") ~kernel:(3, 3) ~out_channels:ch x in
+        B.conv b ~name:(tag ^ "/b") ~kernel:(1, 1) ~out_channels:ch c)
+  in
+  let s1 = stage "s1" 64 x in
+  let s2 = stage "s2" 128 s1 in
+  let _s3 = stage "s3" 128 s2 in
+  B.finish b
+
+let setup () =
+  let g = tagged_model () in
+  let _, m = Helpers.metric_of g in
+  let blocks =
+    List.map (fun b -> (b, DS.block_items m ~block:b)) (Dnn_graph.Graph.blocks g)
+  in
+  (g, m, blocks)
+
+let test_sweep_size () =
+  let g, m, blocks = setup () in
+  let points = DS.sweep m ~dtype ~total_macs:(Dnn_graph.Graph.total_macs g) ~blocks in
+  Alcotest.(check int) "2^3 points" 8 (List.length points)
+
+let test_empty_mask_is_umm () =
+  let g, m, blocks = setup () in
+  let points = DS.sweep m ~dtype ~total_macs:(Dnn_graph.Graph.total_macs g) ~blocks in
+  match List.find_opt (fun p -> p.DS.mask = 0) points with
+  | None -> Alcotest.fail "mask 0 missing"
+  | Some p ->
+    Alcotest.(check int) "no memory" 0 p.DS.sram_bytes;
+    Alcotest.(check (float 1e-12)) "UMM latency"
+      (Accel.Latency.umm_total m.Metric.profiles)
+      p.DS.latency
+
+let test_full_mask_is_fastest () =
+  let g, m, blocks = setup () in
+  let points = DS.sweep m ~dtype ~total_macs:(Dnn_graph.Graph.total_macs g) ~blocks in
+  let full = List.find (fun p -> p.DS.mask = 7) points in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "full mask dominates latency" true
+        (full.DS.latency <= p.DS.latency +. 1e-12))
+    points
+
+let test_mask_monotone () =
+  let g, m, blocks = setup () in
+  let points = DS.sweep m ~dtype ~total_macs:(Dnn_graph.Graph.total_macs g) ~blocks in
+  let arr = Array.make 8 None in
+  List.iter (fun p -> arr.(p.DS.mask) <- Some p) points;
+  let get i = match arr.(i) with Some p -> p | None -> Alcotest.fail "missing mask" in
+  (* Supersets have lower-or-equal latency and higher-or-equal memory. *)
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      if a land b = a then begin
+        Alcotest.(check bool) "latency anti-monotone" true
+          ((get b).DS.latency <= (get a).DS.latency +. 1e-12);
+        Alcotest.(check bool) "memory monotone" true
+          ((get b).DS.sram_bytes >= (get a).DS.sram_bytes)
+      end
+    done
+  done
+
+let test_pareto () =
+  let g, m, blocks = setup () in
+  let points = DS.sweep m ~dtype ~total_macs:(Dnn_graph.Graph.total_macs g) ~blocks in
+  let frontier = DS.pareto points in
+  Alcotest.(check bool) "non-empty" true (frontier <> []);
+  (* No frontier point is dominated by any other point. *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "undominated" false
+            (p.DS.sram_bytes <= f.DS.sram_bytes && p.DS.latency < f.DS.latency -. 1e-12))
+        points)
+    frontier;
+  (* Frontier latencies strictly decrease as memory grows. *)
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a.DS.latency > b.DS.latency && decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "strictly improving" true (decreasing frontier)
+
+let test_block_items_disjoint () =
+  let _, _, blocks = setup () in
+  let all = List.concat_map snd blocks in
+  Alcotest.(check int) "no duplicates across blocks"
+    (List.length all)
+    (Metric.Item_set.cardinal (Metric.Item_set.of_list all))
+
+let test_too_many_blocks () =
+  let _, m, _ = setup () in
+  let fake = List.init 21 (fun i -> (Printf.sprintf "b%d" i, [])) in
+  Alcotest.check_raises "bound" (Invalid_argument "Design_space.sweep: too many blocks")
+    (fun () -> ignore (DS.sweep m ~dtype ~total_macs:1 ~blocks:fake))
+
+let suite =
+  [ Alcotest.test_case "sweep size" `Quick test_sweep_size;
+    Alcotest.test_case "empty mask = UMM" `Quick test_empty_mask_is_umm;
+    Alcotest.test_case "full mask fastest" `Quick test_full_mask_is_fastest;
+    Alcotest.test_case "mask monotone" `Quick test_mask_monotone;
+    Alcotest.test_case "pareto" `Quick test_pareto;
+    Alcotest.test_case "block items disjoint" `Quick test_block_items_disjoint;
+    Alcotest.test_case "too many blocks" `Quick test_too_many_blocks ]

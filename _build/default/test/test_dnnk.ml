@@ -1,0 +1,159 @@
+(* The DNNK allocator: capacity discipline, pivot compensation, and
+   optimality against exact enumeration on small problems. *)
+
+module Metric = Lcmm.Metric
+module Dnnk = Lcmm.Dnnk
+module Vbuffer = Lcmm.Vbuffer
+module Policies = Lcmm.Policies
+
+let dtype = Tensor.Dtype.I16
+
+(* Virtual buffers for a graph: one singleton buffer per eligible item
+   (sharing is exercised separately in the coloring tests). *)
+let singleton_vbufs m =
+  Metric.eligible_items m ~memory_bound_only:false
+  |> List.mapi (fun i item ->
+         Vbuffer.singleton ~vbuf_id:i item
+           ~size_bytes:(Metric.item_size_bytes dtype m item))
+
+let test_respects_capacity () =
+  let _, m = Helpers.metric_of (Helpers.inception_snippet ()) in
+  let vbufs = singleton_vbufs m in
+  List.iter
+    (fun capacity_bytes ->
+      let r = Dnnk.allocate m ~capacity_bytes vbufs in
+      Alcotest.(check bool) "within capacity" true
+        (r.Dnnk.used_blocks <= r.Dnnk.capacity_blocks);
+      Alcotest.(check int) "partition"
+        (List.length vbufs)
+        (List.length r.Dnnk.chosen + List.length r.Dnnk.spilled))
+    [ 0; 64 * 1024; 512 * 1024; 16 * 1024 * 1024 ]
+
+let test_zero_capacity_chooses_nothing () =
+  let _, m = Helpers.metric_of (Helpers.inception_snippet ()) in
+  let r = Dnnk.allocate m ~capacity_bytes:0 (singleton_vbufs m) in
+  Alcotest.(check int) "nothing chosen" 0 (List.length r.Dnnk.chosen);
+  Alcotest.(check (float 1e-12)) "latency = UMM"
+    (Accel.Latency.umm_total m.Metric.profiles)
+    r.Dnnk.predicted_latency
+
+let test_ample_capacity_takes_all_useful () =
+  let _, m = Helpers.metric_of (Helpers.inception_snippet ()) in
+  let vbufs = singleton_vbufs m in
+  let r = Dnnk.allocate m ~capacity_bytes:(256 * 1024 * 1024) vbufs in
+  (* With unlimited space, predicted latency equals the all-pinned bound. *)
+  let everything =
+    Metric.Item_set.of_list (List.concat_map (fun vb -> vb.Vbuffer.members) vbufs)
+  in
+  Alcotest.(check (float 1e-12)) "reaches all-pinned latency"
+    (Metric.total_latency m ~on_chip:everything)
+    r.Dnnk.predicted_latency
+
+let test_negative_capacity_rejected () =
+  let _, m = Helpers.metric_of (Helpers.chain ()) in
+  Alcotest.check_raises "negative" (Invalid_argument "Dnnk.allocate: negative capacity")
+    (fun () -> ignore (Dnnk.allocate m ~capacity_bytes:(-1) []))
+
+let test_blocks_of_bytes () =
+  Alcotest.(check int) "zero" 0 (Dnnk.blocks_of_bytes 0);
+  Alcotest.(check int) "one byte" 1 (Dnnk.blocks_of_bytes 1);
+  Alcotest.(check int) "exact block" 1 (Dnnk.blocks_of_bytes Dnnk.block_bytes);
+  Alcotest.(check int) "block + 1" 2 (Dnnk.blocks_of_bytes (Dnnk.block_bytes + 1))
+
+let test_pivot_compensation_counts_once () =
+  (* The paper's running example: a node with several memory terms.  The
+     gain of pinning both input and weights must equal the exact joint
+     gain, not the sum of the optimistic solo gains. *)
+  let _, m = Helpers.metric_of (Helpers.inception_snippet ()) in
+  let items = [ Metric.Feature_value 2; Metric.Weight_of 3 ] in
+  let sized =
+    List.mapi
+      (fun i it ->
+        Vbuffer.singleton ~vbuf_id:i it
+          ~size_bytes:(Metric.item_size_bytes dtype m it))
+      items
+  in
+  let r = Dnnk.allocate m ~capacity_bytes:(64 * 1024 * 1024) sized in
+  let exact =
+    Metric.total_latency m ~on_chip:(Metric.Item_set.of_list items)
+  in
+  Alcotest.(check (float 1e-12)) "DP latency is exact for its choice" exact
+    r.Dnnk.predicted_latency
+
+let both_variants f =
+  List.iter f [ Dnnk.Table_approx; Dnnk.Exact_iterative ]
+
+let test_variants_match_exact_enumeration () =
+  (* On problems small enough to enumerate, both DNNK variants should be
+     close to optimal; Exact_iterative within 2%, Table_approx within 10%. *)
+  let graphs = [ Helpers.inception_snippet (); Helpers.diamond (); Helpers.chain () ] in
+  List.iter
+    (fun g ->
+      let _, m = Helpers.metric_of g in
+      let vbufs = singleton_vbufs m in
+      let capacity_bytes = 2 * 1024 * 1024 in
+      let best =
+        Policies.run m ~dtype ~capacity_bytes vbufs Policies.Exact_small
+      in
+      both_variants (fun compensation ->
+          let r = Dnnk.allocate ~compensation m ~capacity_bytes vbufs in
+          let tolerance =
+            match compensation with
+            | Dnnk.Exact_iterative -> 1.02
+            | Dnnk.Table_approx -> 1.10
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "near-optimal (%f vs %f)" r.Dnnk.predicted_latency
+               best.Policies.latency)
+            true
+            (r.Dnnk.predicted_latency <= (best.Policies.latency *. tolerance) +. 1e-12)))
+    graphs
+
+let prop_never_worse_than_umm =
+  Helpers.qtest ~count:30 "DNNK never exceeds UMM latency"
+    (QCheck2.Gen.pair Helpers.random_graph_gen (QCheck2.Gen.int_range 0 64))
+    (fun (g, cap_blocks) ->
+      let _, m = Helpers.metric_of g in
+      let vbufs = singleton_vbufs m in
+      let r =
+        Dnnk.allocate m ~capacity_bytes:(cap_blocks * Dnnk.block_bytes) vbufs
+      in
+      r.Dnnk.predicted_latency
+      <= Accel.Latency.umm_total m.Metric.profiles +. 1e-9)
+
+let prop_capacity_monotone =
+  Helpers.qtest ~count:25 "more capacity never hurts"
+    Helpers.random_graph_gen (fun g ->
+      let _, m = Helpers.metric_of g in
+      let vbufs = singleton_vbufs m in
+      let lat cap = (Dnnk.allocate m ~capacity_bytes:cap vbufs).Dnnk.predicted_latency in
+      let small = lat (256 * 1024) in
+      let big = lat (8 * 1024 * 1024) in
+      big <= small +. 1e-9)
+
+let prop_matches_exact_on_random =
+  Helpers.qtest ~count:15 "exact-iterative within 5% of enumeration"
+    Helpers.random_graph_gen (fun g ->
+      let _, m = Helpers.metric_of g in
+      let vbufs = singleton_vbufs m in
+      if List.length vbufs > 18 then true
+      else begin
+        let capacity_bytes = 1024 * 1024 in
+        let best = Policies.run m ~dtype ~capacity_bytes vbufs Policies.Exact_small in
+        let r =
+          Dnnk.allocate ~compensation:Dnnk.Exact_iterative m ~capacity_bytes vbufs
+        in
+        r.Dnnk.predicted_latency <= (best.Policies.latency *. 1.05) +. 1e-12
+      end)
+
+let suite =
+  [ Alcotest.test_case "respects capacity" `Quick test_respects_capacity;
+    Alcotest.test_case "zero capacity" `Quick test_zero_capacity_chooses_nothing;
+    Alcotest.test_case "ample capacity" `Quick test_ample_capacity_takes_all_useful;
+    Alcotest.test_case "negative capacity" `Quick test_negative_capacity_rejected;
+    Alcotest.test_case "blocks of bytes" `Quick test_blocks_of_bytes;
+    Alcotest.test_case "pivot compensation" `Quick test_pivot_compensation_counts_once;
+    Alcotest.test_case "variants vs enumeration" `Quick test_variants_match_exact_enumeration;
+    prop_never_worse_than_umm;
+    prop_capacity_monotone;
+    prop_matches_exact_on_random ]

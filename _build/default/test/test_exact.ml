@@ -1,0 +1,88 @@
+(* Branch-and-bound exact allocator. *)
+
+module Metric = Lcmm.Metric
+module Exact = Lcmm.Exact
+module Policies = Lcmm.Policies
+module Vbuffer = Lcmm.Vbuffer
+
+let dtype = Tensor.Dtype.I16
+
+let singleton_vbufs m =
+  Metric.eligible_items m ~memory_bound_only:false
+  |> List.mapi (fun i item ->
+         Vbuffer.singleton ~vbuf_id:i item
+           ~size_bytes:(Metric.item_size_bytes dtype m item))
+
+let test_matches_enumeration () =
+  List.iter
+    (fun g ->
+      let _, m = Helpers.metric_of g in
+      let vbufs = singleton_vbufs m in
+      List.iter
+        (fun capacity_bytes ->
+          let bb = Exact.solve m ~capacity_bytes vbufs in
+          let enum =
+            Policies.run m ~dtype ~capacity_bytes vbufs Policies.Exact_small
+          in
+          Alcotest.(check bool) "proven optimal" true bb.Exact.proven_optimal;
+          Alcotest.(check (float 1e-12)) "same optimum" enum.Policies.latency
+            bb.Exact.latency)
+        [ 0; 256 * 1024; 1024 * 1024; 64 * 1024 * 1024 ])
+    [ Helpers.chain (); Helpers.diamond (); Helpers.inception_snippet () ]
+
+let test_dominates_heuristics_at_scale () =
+  (* GoogLeNet has far more items than enumeration can handle; B&B still
+     closes and must not lose to DNNK or greedy. *)
+  let g = Models.Zoo.build "googlenet" in
+  let _, m = Helpers.metric_of g in
+  let vbufs = singleton_vbufs m in
+  let capacity_bytes = 4 * 1024 * 1024 in
+  let bb = Exact.solve ~node_budget:300_000 m ~capacity_bytes vbufs in
+  (* Seeded with DNNK, the search can only improve on it, budget or not. *)
+  let dnnk = Policies.run m ~dtype ~capacity_bytes vbufs (Policies.Dnnk_policy Lcmm.Dnnk.Table_approx) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bb (%g) <= dnnk (%g)" bb.Exact.latency dnnk.Policies.latency)
+    true
+    (bb.Exact.latency <= dnnk.Policies.latency +. 1e-12);
+  if bb.Exact.proven_optimal then
+    List.iter
+      (fun p ->
+        let o = Policies.run m ~dtype ~capacity_bytes vbufs p in
+        Alcotest.(check bool)
+          (Printf.sprintf "bb (%g) <= %s (%g)" bb.Exact.latency
+             o.Policies.policy_name o.Policies.latency)
+          true
+          (bb.Exact.latency <= o.Policies.latency +. 1e-12))
+      [ Policies.Greedy; Policies.Dnnk_policy Lcmm.Dnnk.Exact_iterative ]
+
+let test_budget_degrades_gracefully () =
+  let g = Models.Zoo.build "googlenet" in
+  let _, m = Helpers.metric_of g in
+  let vbufs = singleton_vbufs m in
+  let r = Exact.solve ~node_budget:50 m ~capacity_bytes:(4 * 1024 * 1024) vbufs in
+  Alcotest.(check bool) "budget reported" false r.Exact.proven_optimal;
+  Alcotest.(check bool) "still sound" true
+    (r.Exact.latency <= Accel.Latency.umm_total m.Metric.profiles +. 1e-12);
+  Alcotest.(check bool) "explored within budget" true (r.Exact.nodes_explored <= 50)
+
+let test_rejects_negative_capacity () =
+  let _, m = Helpers.metric_of (Helpers.chain ()) in
+  Alcotest.check_raises "negative" (Invalid_argument "Exact.solve: negative capacity")
+    (fun () -> ignore (Exact.solve m ~capacity_bytes:(-1) []))
+
+let prop_never_worse_than_dnnk =
+  Helpers.qtest ~count:12 "B&B never loses to DNNK on random graphs"
+    Helpers.random_graph_gen (fun g ->
+      let _, m = Helpers.metric_of g in
+      let vbufs = singleton_vbufs m in
+      let capacity_bytes = 512 * 1024 in
+      let bb = Exact.solve m ~capacity_bytes vbufs in
+      let dnnk = Lcmm.Dnnk.allocate m ~capacity_bytes vbufs in
+      bb.Exact.latency <= dnnk.Lcmm.Dnnk.predicted_latency +. 1e-12)
+
+let suite =
+  [ Alcotest.test_case "matches enumeration" `Quick test_matches_enumeration;
+    Alcotest.test_case "dominates heuristics at scale" `Slow test_dominates_heuristics_at_scale;
+    Alcotest.test_case "budget degrades gracefully" `Quick test_budget_degrades_gracefully;
+    Alcotest.test_case "rejects negative capacity" `Quick test_rejects_negative_capacity;
+    prop_never_worse_than_dnnk ]

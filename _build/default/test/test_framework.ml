@@ -1,0 +1,124 @@
+(* End-to-end LCMM framework runs and option toggles. *)
+
+module F = Lcmm.Framework
+module Metric = Lcmm.Metric
+module Dnnk = Lcmm.Dnnk
+
+let plan_for ?options g =
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm Tensor.Dtype.I16 in
+  F.plan ?options cfg g
+
+let test_plan_improves () =
+  let g = Helpers.inception_snippet () in
+  let p = plan_for g in
+  let umm = Accel.Latency.umm_total p.F.metric.Metric.profiles in
+  Alcotest.(check bool) "improves" true (p.F.predicted_latency < umm);
+  Alcotest.(check bool) "pol in range" true (p.F.pol >= 0. && p.F.pol <= 1.);
+  Alcotest.(check bool) "capacity respected" true
+    (p.F.tensor_sram_bytes <= Accel.Config.sram_budget_bytes p.F.config)
+
+let test_option_toggles () =
+  let g = Helpers.inception_snippet () in
+  let base = F.default_options in
+  let full = plan_for ~options:base g in
+  let feature_only = plan_for ~options:{ base with weight_prefetch = false } g in
+  let weight_only = plan_for ~options:{ base with feature_reuse = false } g in
+  let nothing =
+    plan_for ~options:{ base with feature_reuse = false; weight_prefetch = false } g
+  in
+  (* Each pass alone is at most as good as both together. *)
+  Alcotest.(check bool) "full <= feature-only" true
+    (full.F.predicted_latency <= feature_only.F.predicted_latency +. 1e-12);
+  Alcotest.(check bool) "full <= weight-only" true
+    (full.F.predicted_latency <= weight_only.F.predicted_latency +. 1e-12);
+  Alcotest.(check (float 1e-12)) "no passes = UMM"
+    (Accel.Latency.umm_total nothing.F.metric.Metric.profiles)
+    nothing.F.predicted_latency;
+  (* Feature-only plans pin no weights. *)
+  Alcotest.(check bool) "no weights pinned" true
+    (Metric.Item_set.for_all
+       (function
+          | Metric.Feature_value _ -> true
+          | Metric.Weight_of _ | Metric.Weight_slice _ -> false)
+       feature_only.F.allocation.Dnnk.on_chip);
+  Alcotest.(check bool) "feature-only has no pdg" true (feature_only.F.prefetch = None)
+
+let test_no_sharing_option () =
+  let g = Helpers.inception_snippet () in
+  let shared = plan_for g in
+  let unshared =
+    plan_for ~options:{ F.default_options with buffer_sharing = false } g
+  in
+  (* Without sharing, each buffer holds exactly one tensor. *)
+  List.iter
+    (fun vb ->
+      Alcotest.(check int) "singleton" 1 (Lcmm.Vbuffer.member_count vb))
+    unshared.F.vbufs;
+  (* Sharing cannot make the plan slower: it strictly adds packing
+     freedom under the same capacity. *)
+  Alcotest.(check bool) "sharing helps or ties" true
+    (shared.F.predicted_latency <= unshared.F.predicted_latency +. 1e-9)
+
+let test_memory_bound_only_filter () =
+  let g = Helpers.inception_snippet () in
+  let restricted = plan_for g in
+  let unrestricted =
+    plan_for ~options:{ F.default_options with memory_bound_only = false } g
+  in
+  (* Considering more tensors can only help (same allocator). *)
+  Alcotest.(check bool) "superset at least as good" true
+    (unrestricted.F.predicted_latency <= restricted.F.predicted_latency +. 1e-9)
+
+let test_compare_designs_shape () =
+  let g = Models.Zoo.build "googlenet" in
+  let c = F.compare_designs ~model:"googlenet" Tensor.Dtype.I16 g in
+  Alcotest.(check bool) "speedup > 1" true (c.F.speedup > 1.0);
+  Alcotest.(check bool) "lcmm uses more sram" true
+    (c.F.lcmm.F.sram_util > c.F.umm.F.sram_util);
+  Alcotest.(check bool) "tops consistent" true
+    (abs_float
+       (c.F.lcmm.F.tops
+       -. (2. *. float_of_int (Dnn_graph.Graph.total_macs g)
+          /. c.F.lcmm.F.latency_seconds /. 1e12))
+    < 1e-9);
+  Alcotest.(check bool) "utilizations in [0,1.2]" true
+    (List.for_all
+       (fun u -> u >= 0. && u <= 1.2)
+       [ c.F.umm.F.dsp_util; c.F.umm.F.sram_util; c.F.lcmm.F.dsp_util;
+         c.F.lcmm.F.sram_util; c.F.lcmm.F.bram_util; c.F.lcmm.F.uram_util ])
+
+let test_helped_layers_consistent () =
+  let g = Helpers.diamond () in
+  let p = plan_for g in
+  let helped, bound = F.helped_layers p in
+  Alcotest.(check bool) "helped <= bound" true (helped <= bound);
+  Alcotest.(check (float 1e-9)) "pol matches"
+    (if bound = 0 then 1. else float_of_int helped /. float_of_int bound)
+    p.F.pol
+
+let prop_plan_never_worse_than_umm =
+  Helpers.qtest ~count:20 "plan never worse than UMM on its design"
+    Helpers.random_graph_gen (fun g ->
+      let p = plan_for g in
+      p.F.predicted_latency
+      <= Accel.Latency.umm_total p.F.metric.Metric.profiles +. 1e-9)
+
+let prop_on_chip_items_are_eligible =
+  Helpers.qtest ~count:20 "pinned items come from the eligible set"
+    Helpers.random_graph_gen (fun g ->
+      let p = plan_for g in
+      let eligible =
+        Metric.Item_set.of_list
+          (Metric.eligible_items p.F.metric ~memory_bound_only:true)
+      in
+      Metric.Item_set.subset p.F.allocation.Dnnk.on_chip eligible)
+
+let suite =
+  [ Alcotest.test_case "plan improves" `Quick test_plan_improves;
+    Alcotest.test_case "option toggles" `Quick test_option_toggles;
+    Alcotest.test_case "no sharing option" `Quick test_no_sharing_option;
+    Alcotest.test_case "memory-bound-only filter" `Quick test_memory_bound_only_filter;
+    Alcotest.test_case "compare designs" `Quick test_compare_designs_shape;
+    Alcotest.test_case "helped layers" `Quick test_helped_layers_consistent;
+    prop_plan_never_worse_than_umm;
+    prop_on_chip_items_are_eligible ]

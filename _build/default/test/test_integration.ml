@@ -1,0 +1,80 @@
+(* End-to-end integration: every zoo model through the full pipeline —
+   profile, allocate, simulate, refine, serialize — with the system-level
+   invariants checked per model. *)
+
+module F = Lcmm.Framework
+module Metric = Lcmm.Metric
+module Engine = Sim.Engine
+
+let dtype = Tensor.Dtype.I16
+
+let check_model name =
+  let g = Models.Zoo.build name in
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm dtype in
+  let plan = F.plan cfg g in
+  let metric = plan.F.metric in
+  let umm_analytic = Accel.Latency.umm_total metric.Metric.profiles in
+
+  (* 1. The plan never loses to its baseline and respects its budget. *)
+  Alcotest.(check bool) "plan <= UMM" true
+    (plan.F.predicted_latency <= umm_analytic +. 1e-12);
+  Alcotest.(check bool) "budget respected" true
+    (plan.F.tensor_sram_bytes <= Accel.Config.sram_budget_bytes cfg);
+  Alcotest.(check bool) "pol in range" true (plan.F.pol >= 0. && plan.F.pol <= 1.);
+
+  (* 2. Buffers partition the items: nothing pinned twice. *)
+  let members =
+    List.concat_map (fun vb -> vb.Lcmm.Vbuffer.members) plan.F.vbufs
+  in
+  Alcotest.(check int) "buffers partition items"
+    (List.length members)
+    (Metric.Item_set.cardinal (Metric.Item_set.of_list members));
+
+  (* 3. Simulator agrees with the analytic model for UMM, and the LCMM
+     run sits between the analytic allocation bound and UMM. *)
+  let umm_run = Engine.simulate_umm metric in
+  Alcotest.(check (float 1e-12)) "sim UMM = analytic" umm_analytic
+    umm_run.Engine.total;
+  let lcmm_run =
+    Engine.simulate ?prefetch:plan.F.prefetch metric
+      ~on_chip:plan.F.allocation.Lcmm.Dnnk.on_chip
+  in
+  let analytic_alloc =
+    Metric.total_latency metric ~on_chip:plan.F.allocation.Lcmm.Dnnk.on_chip
+  in
+  Alcotest.(check bool) "sim LCMM >= analytic allocation" true
+    (lcmm_run.Engine.total >= analytic_alloc -. 1e-12);
+
+  (* 4. Refinement never regresses and the steady state reaches the
+     analytic bound. *)
+  let refined =
+    Sim.Refine.run ?prefetch:plan.F.prefetch metric
+      ~on_chip:plan.F.allocation.Lcmm.Dnnk.on_chip
+  in
+  Alcotest.(check bool) "refinement monotone" true
+    (refined.Sim.Refine.refined_total <= lcmm_run.Engine.total +. 1e-15);
+  let steady =
+    Engine.simulate ~weights_resident:true metric
+      ~on_chip:plan.F.allocation.Lcmm.Dnnk.on_chip
+  in
+  Alcotest.(check (float 1e-12)) "steady state = analytic" analytic_alloc
+    steady.Engine.total;
+
+  (* 5. The graph serializes and reloads to the same accounting. *)
+  match Dnn_serial.Codec.of_string (Dnn_serial.Codec.to_string ~pretty:false g) with
+  | Error msg -> Alcotest.fail msg
+  | Ok g' ->
+    Alcotest.(check int) "macs preserved" (Dnn_graph.Graph.total_macs g)
+      (Dnn_graph.Graph.total_macs g');
+    let profiles' =
+      Accel.Latency.profile_graph cfg g'
+    in
+    Alcotest.(check (float 1e-12)) "UMM latency preserved" umm_analytic
+      (Accel.Latency.umm_total profiles')
+
+let suite =
+  List.map
+    (fun e ->
+      let name = e.Models.Zoo.model_name in
+      Alcotest.test_case name `Slow (fun () -> check_model name))
+    Models.Zoo.all

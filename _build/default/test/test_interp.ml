@@ -1,0 +1,198 @@
+(* The functional reference interpreter, and the tiled-execution
+   equivalence that underpins the performance model's dataflow. *)
+
+module B = Dnn_graph.Builder
+module Op = Dnn_graph.Op
+module Shape = Tensor.Shape
+
+let single_conv ?(channels = 2) ?(hw = 5) ?(out_channels = 3) ?(kernel = (3, 3))
+    ?(stride = (1, 1)) ?(padding = Op.Same) ?(groups = 1) () =
+  let b = B.create () in
+  let x = B.input b ~name:"in" ~channels ~height:hw ~width:hw () in
+  let _ = B.conv b ~name:"c" ~kernel ~stride ~padding ~groups ~out_channels x in
+  B.finish b
+
+let run_last ?weights g input =
+  let results = Interp.run ?weights g ~input in
+  results.(Array.length results - 1)
+
+let test_identity_conv () =
+  (* A 1x1 convolution with identity weights reproduces its input. *)
+  let g = single_conv ~channels:3 ~out_channels:3 ~kernel:(1, 1) () in
+  let input = Interp.synthetic_input g ~seed:1 in
+  let weights id =
+    match Dnn_graph.Graph.weight_shape g id with
+    | None -> None
+    | Some shape ->
+      Some
+        (Interp.value_of_shape shape ~f:(fun i ->
+             (* OIHW with I = 3, kh = kw = 1: identity = diagonal. *)
+             if i / 3 = i mod 3 then 1. else 0.))
+  in
+  let out = run_last ~weights g input in
+  Alcotest.(check (float 1e-9)) "identity" 0. (Interp.max_abs_diff input out)
+
+let test_known_convolution () =
+  (* 1 channel, 3x3 valid, all-ones kernel: each output is the 3x3 window
+     sum. *)
+  let g =
+    single_conv ~channels:1 ~hw:4 ~out_channels:1 ~kernel:(3, 3)
+      ~padding:Op.Valid ()
+  in
+  let input =
+    Interp.value_of_shape (Shape.feature ~channels:1 ~height:4 ~width:4)
+      ~f:float_of_int
+  in
+  let weights _ =
+    Some
+      (Interp.value_of_shape
+         (Shape.filter ~out_channels:1 ~in_channels:1 ~kernel_h:3 ~kernel_w:3)
+         ~f:(fun _ -> 1.))
+  in
+  let out = run_last ~weights g input in
+  (* Windows of the 4x4 ramp 0..15: top-left window sums 0+1+2+4+5+6+8+9+10. *)
+  Alcotest.(check (float 1e-9)) "top-left" 45. out.Interp.data.(0);
+  Alcotest.(check (float 1e-9)) "top-right" 54. out.Interp.data.(1);
+  Alcotest.(check (float 1e-9)) "bottom-right" 90. out.Interp.data.(3)
+
+let test_eltwise_and_upsample () =
+  let b = B.create () in
+  let x = B.input b ~channels:1 ~height:2 ~width:2 () in
+  let up = B.upsample b ~factor:2 x in
+  let g = B.finish b in
+  let input =
+    Interp.value_of_shape (Shape.feature ~channels:1 ~height:2 ~width:2)
+      ~f:float_of_int
+  in
+  let out = (Interp.run g ~input).(Dnn_graph.Builder.id up) in
+  (* Nearest-neighbour: [0 0 1 1; 0 0 1 1; 2 2 3 3; 2 2 3 3]. *)
+  Alcotest.(check (float 1e-9)) "corner" 0. out.Interp.data.(0);
+  Alcotest.(check (float 1e-9)) "spread" 1. out.Interp.data.(2);
+  Alcotest.(check (float 1e-9)) "row copy" 2. out.Interp.data.(8)
+
+let test_pooling () =
+  let b = B.create () in
+  let x = B.input b ~channels:1 ~height:4 ~width:4 () in
+  let mx = B.pool b ~kind:Op.Max ~kernel:(2, 2) ~stride:(2, 2) x in
+  let av = B.pool b ~kind:Op.Avg ~kernel:(2, 2) ~stride:(2, 2) x in
+  let _g = B.global_pool b ~kind:Op.Avg x in
+  let g = B.finish b in
+  let input =
+    Interp.value_of_shape (Shape.feature ~channels:1 ~height:4 ~width:4)
+      ~f:float_of_int
+  in
+  let results = Interp.run g ~input in
+  let max_out = results.(Dnn_graph.Builder.id mx) in
+  let avg_out = results.(Dnn_graph.Builder.id av) in
+  let global = results.(Array.length results - 1) in
+  Alcotest.(check (float 1e-9)) "max of window" 5. max_out.Interp.data.(0);
+  Alcotest.(check (float 1e-9)) "avg of window" 2.5 avg_out.Interp.data.(0);
+  Alcotest.(check (float 1e-9)) "global avg" 7.5 global.Interp.data.(0)
+
+let test_concat_layout () =
+  let b = B.create () in
+  let x = B.input b ~channels:1 ~height:2 ~width:2 () in
+  let a = B.conv b ~name:"a" ~kernel:(1, 1) ~out_channels:1 x in
+  let c = B.conv b ~name:"c2" ~kernel:(1, 1) ~out_channels:1 x in
+  let cat = B.concat b [ a; c ] in
+  let g = B.finish b in
+  let input =
+    Interp.value_of_shape (Shape.feature ~channels:1 ~height:2 ~width:2)
+      ~f:(fun i -> float_of_int (i + 1))
+  in
+  (* a scales by 2, c by 3: concat = [2x | 3x]. *)
+  let weights id =
+    let nd = Dnn_graph.Graph.node g id in
+    match Dnn_graph.Graph.weight_shape g id with
+    | None -> None
+    | Some shape ->
+      let k = if nd.Dnn_graph.Graph.node_name = "a" then 2. else 3. in
+      Some (Interp.value_of_shape shape ~f:(fun _ -> k))
+  in
+  let out = (Interp.run ~weights g ~input).(Dnn_graph.Builder.id cat) in
+  Alcotest.(check (float 1e-9)) "first channel" 2. out.Interp.data.(0);
+  Alcotest.(check (float 1e-9)) "second channel" 3. out.Interp.data.(4)
+
+let test_grouped_conv_independence () =
+  (* With 2 groups, zeroing group 2's input leaves group 1's output
+     untouched. *)
+  let g = single_conv ~channels:4 ~out_channels:4 ~kernel:(3, 3) ~groups:2 () in
+  let base = Interp.synthetic_input g ~seed:3 in
+  let halved =
+    { base with
+      Interp.data =
+        Array.mapi
+          (fun i v -> if i >= Array.length base.Interp.data / 2 then 0. else v)
+          base.Interp.data }
+  in
+  let out_base = run_last g base in
+  let out_halved = run_last g halved in
+  let _, oh, ow =
+    match Shape.as_feature out_base.Interp.shape with
+    | Some f -> (f.Shape.channels, f.Shape.height, f.Shape.width)
+    | None -> Alcotest.fail "expected feature"
+  in
+  let first_group_equal = ref true in
+  for i = 0 to (2 * oh * ow) - 1 do
+    if abs_float (out_base.Interp.data.(i) -. out_halved.Interp.data.(i)) > 1e-9
+    then first_group_equal := false
+  done;
+  Alcotest.(check bool) "group 1 unaffected" true !first_group_equal
+
+let tiled_matches g tile =
+  let input = Interp.synthetic_input g ~seed:5 in
+  let direct = Interp.run g ~input in
+  let tiled = Interp.run_tiled ~tile g ~input in
+  Array.for_all2
+    (fun a b -> Interp.max_abs_diff a b < 1e-6)
+    direct tiled
+
+let test_tiled_equivalence_fixtures () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun (tm, tn, th, tw) ->
+          let tile = Accel.Tiling.make ~tm ~tn ~th ~tw in
+          Alcotest.(check bool)
+            (Printf.sprintf "tile %d/%d/%d/%d" tm tn th tw)
+            true (tiled_matches g tile))
+        [ (1, 1, 1, 1); (2, 3, 2, 2); (8, 8, 4, 4); (64, 64, 64, 64) ])
+    [ Helpers.chain (); Helpers.diamond (); Helpers.inception_snippet () ]
+
+let test_tiled_strided_and_padded () =
+  List.iter
+    (fun g ->
+      let tile = Accel.Tiling.make ~tm:2 ~tn:2 ~th:2 ~tw:3 in
+      Alcotest.(check bool) "strided/padded tiled equivalence" true
+        (tiled_matches g tile))
+    [ single_conv ~stride:(2, 2) ~padding:Op.Same ();
+      single_conv ~stride:(2, 2) ~padding:Op.Valid ~hw:7 ();
+      single_conv ~padding:(Op.Explicit 2) ~kernel:(5, 5) ();
+      single_conv ~groups:2 ~channels:4 ~out_channels:4 () ]
+
+let prop_tiled_equivalence =
+  Helpers.qtest ~count:20 "tiled execution = direct execution"
+    QCheck2.Gen.(
+      pair Helpers.random_graph_gen
+        (quad (int_range 1 8) (int_range 1 8) (int_range 1 6) (int_range 1 6)))
+    (fun (g, (tm, tn, th, tw)) ->
+      tiled_matches g (Accel.Tiling.make ~tm ~tn ~th ~tw))
+
+let prop_deterministic =
+  Helpers.qtest ~count:20 "interpretation is deterministic"
+    Helpers.random_graph_gen (fun g ->
+      let input = Interp.synthetic_input g ~seed:11 in
+      let a = Interp.run g ~input and b = Interp.run g ~input in
+      Array.for_all2 (fun x y -> Interp.max_abs_diff x y = 0.) a b)
+
+let suite =
+  [ Alcotest.test_case "identity conv" `Quick test_identity_conv;
+    Alcotest.test_case "known convolution" `Quick test_known_convolution;
+    Alcotest.test_case "eltwise and upsample" `Quick test_eltwise_and_upsample;
+    Alcotest.test_case "pooling" `Quick test_pooling;
+    Alcotest.test_case "concat layout" `Quick test_concat_layout;
+    Alcotest.test_case "grouped conv independence" `Quick test_grouped_conv_independence;
+    Alcotest.test_case "tiled equivalence fixtures" `Quick test_tiled_equivalence_fixtures;
+    Alcotest.test_case "tiled strided/padded" `Quick test_tiled_strided_and_padded;
+    prop_tiled_equivalence;
+    prop_deterministic ]

@@ -1,0 +1,127 @@
+(* Alternative allocation policies and their orderings. *)
+
+module Metric = Lcmm.Metric
+module Policies = Lcmm.Policies
+module Dnnk = Lcmm.Dnnk
+module Vbuffer = Lcmm.Vbuffer
+
+let dtype = Tensor.Dtype.I16
+
+let setup g =
+  let _, m = Helpers.metric_of g in
+  let vbufs =
+    Metric.eligible_items m ~memory_bound_only:false
+    |> List.mapi (fun i item ->
+           Vbuffer.singleton ~vbuf_id:i item
+             ~size_bytes:(Metric.item_size_bytes dtype m item))
+  in
+  (m, vbufs)
+
+let run m vbufs cap p = Policies.run m ~dtype ~capacity_bytes:cap vbufs p
+
+let test_umm_policy () =
+  let m, vbufs = setup (Helpers.inception_snippet ()) in
+  let o = run m vbufs (1024 * 1024) Policies.Umm_policy in
+  Alcotest.(check int) "nothing pinned" 0 (Metric.Item_set.cardinal o.Policies.on_chip);
+  Alcotest.(check (float 1e-12)) "UMM latency"
+    (Accel.Latency.umm_total m.Metric.profiles)
+    o.Policies.latency;
+  Alcotest.(check bool) "feasible" true o.Policies.feasible
+
+let test_ordering () =
+  (* exact <= dnnk variants; every policy <= umm. *)
+  let m, vbufs = setup (Helpers.inception_snippet ()) in
+  let cap = 1024 * 1024 in
+  let umm = run m vbufs cap Policies.Umm_policy in
+  let greedy = run m vbufs cap Policies.Greedy in
+  let exact = run m vbufs cap Policies.Exact_small in
+  let dnnk = run m vbufs cap (Policies.Dnnk_policy Dnnk.Table_approx) in
+  let dnnk_exact = run m vbufs cap (Policies.Dnnk_policy Dnnk.Exact_iterative) in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (o.Policies.policy_name ^ " <= umm")
+        true
+        (o.Policies.latency <= umm.Policies.latency +. 1e-12);
+      Alcotest.(check bool) (o.Policies.policy_name ^ " feasible") true o.Policies.feasible;
+      Alcotest.(check bool)
+        (o.Policies.policy_name ^ " >= exact")
+        true
+        (o.Policies.latency >= exact.Policies.latency -. 1e-12))
+    [ greedy; dnnk; dnnk_exact ]
+
+let test_all_features_lower_bounds_feature_policies () =
+  (* Pinning every feature map is the latency lower bound for any
+     feature-only policy, though usually infeasible. *)
+  let m, vbufs = setup (Helpers.inception_snippet ()) in
+  let cap = 256 * 1024 in
+  let all = run m vbufs cap Policies.All_features in
+  let feature_vbufs =
+    List.filter
+      (fun vb ->
+        List.for_all
+          (function
+             | Metric.Feature_value _ -> true
+             | Metric.Weight_of _ | Metric.Weight_slice _ -> false)
+          vb.Vbuffer.members)
+      vbufs
+  in
+  let constrained =
+    Policies.run m ~dtype ~capacity_bytes:cap feature_vbufs
+      (Policies.Dnnk_policy Dnnk.Table_approx)
+  in
+  Alcotest.(check bool) "lower bound" true
+    (all.Policies.latency <= constrained.Policies.latency +. 1e-12)
+
+let test_stream_tile_cost_model () =
+  let m, vbufs = setup (Helpers.inception_snippet ()) in
+  let o = run m vbufs (1024 * 1024) Policies.Stream_tile in
+  (* Cost is just a double buffer of the two largest values. *)
+  Alcotest.(check bool) "small footprint" true (o.Policies.used_bytes < 512 * 1024);
+  Alcotest.(check bool) "beats umm" true
+    (o.Policies.latency
+    < (run m vbufs (1024 * 1024) Policies.Umm_policy).Policies.latency)
+
+let test_exact_small_guard () =
+  let m, _ = setup (Helpers.inception_snippet ()) in
+  let many =
+    List.init 21 (fun i ->
+        Vbuffer.singleton ~vbuf_id:i (Metric.Feature_value 1) ~size_bytes:1024)
+  in
+  Alcotest.check_raises "enumeration bound"
+    (Invalid_argument "Policies: exact enumeration limited to 20 buffers, got 21")
+    (fun () -> ignore (run m many 1024 Policies.Exact_small))
+
+let prop_greedy_feasible =
+  Helpers.qtest ~count:25 "greedy stays within capacity"
+    (QCheck2.Gen.pair Helpers.random_graph_gen (QCheck2.Gen.int_range 0 32))
+    (fun (g, cap_blocks) ->
+      let m, vbufs = setup g in
+      let cap = cap_blocks * Dnnk.block_bytes in
+      let o = run m vbufs cap Policies.Greedy in
+      o.Policies.feasible && o.Policies.used_bytes <= max cap 0)
+
+let prop_exact_dominates =
+  Helpers.qtest ~count:12 "enumeration dominates greedy and dnnk"
+    Helpers.random_graph_gen (fun g ->
+      let m, vbufs = setup g in
+      if List.length vbufs > 16 then true
+      else begin
+        let cap = 512 * 1024 in
+        let exact = run m vbufs cap Policies.Exact_small in
+        List.for_all
+          (fun p ->
+            (run m vbufs cap p).Policies.latency >= exact.Policies.latency -. 1e-12)
+          [ Policies.Greedy; Policies.Dnnk_policy Dnnk.Table_approx;
+            Policies.Dnnk_policy Dnnk.Exact_iterative ]
+      end)
+
+let suite =
+  [ Alcotest.test_case "umm policy" `Quick test_umm_policy;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "all-features lower bound" `Quick
+      test_all_features_lower_bounds_feature_policies;
+    Alcotest.test_case "stream-tile cost" `Quick test_stream_tile_cost_model;
+    Alcotest.test_case "exact guard" `Quick test_exact_small_guard;
+    prop_greedy_feasible;
+    prop_exact_dominates ]

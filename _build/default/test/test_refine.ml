@@ -1,0 +1,127 @@
+(* Simulation-guided refinement and steady-state simulation. *)
+
+module Metric = Lcmm.Metric
+module Engine = Sim.Engine
+module Refine = Sim.Refine
+
+let plan_for model dtype =
+  let g = Models.Zoo.build model in
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm dtype in
+  Lcmm.Framework.plan cfg g
+
+let test_never_worse () =
+  let p = plan_for "googlenet" Tensor.Dtype.I16 in
+  let on_chip = p.Lcmm.Framework.allocation.Lcmm.Dnnk.on_chip in
+  let o =
+    Refine.run ?prefetch:p.Lcmm.Framework.prefetch p.Lcmm.Framework.metric
+      ~on_chip
+  in
+  Alcotest.(check bool) "refined <= initial" true
+    (o.Refine.refined_total <= o.Refine.initial_total +. 1e-15);
+  Alcotest.(check (float 1e-15)) "run total is refined total"
+    o.Refine.refined_total o.Refine.run.Engine.total
+
+let test_unpins_only_weights () =
+  let p = plan_for "googlenet" Tensor.Dtype.I16 in
+  let on_chip = p.Lcmm.Framework.allocation.Lcmm.Dnnk.on_chip in
+  let o =
+    Refine.run ?prefetch:p.Lcmm.Framework.prefetch p.Lcmm.Framework.metric
+      ~on_chip
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Metric.Weight_of _ | Metric.Weight_slice _ ->
+        Alcotest.(check bool) "was pinned" true (Metric.Item_set.mem item on_chip);
+        Alcotest.(check bool) "no longer pinned" false
+          (Metric.Item_set.mem item o.Refine.on_chip)
+      | Metric.Feature_value _ -> Alcotest.fail "refinement unpinned a feature")
+    o.Refine.unpinned;
+  Alcotest.(check int) "set shrank by the unpin count"
+    (Metric.Item_set.cardinal on_chip - List.length o.Refine.unpinned)
+    (Metric.Item_set.cardinal o.Refine.on_chip)
+
+let test_fixed_point_without_stalls () =
+  (* With no pinned weights there is nothing to refine. *)
+  let _, m = Helpers.metric_of (Helpers.chain ()) in
+  let features_only =
+    Metric.eligible_items m ~memory_bound_only:false
+    |> List.filter (function
+         | Metric.Feature_value _ -> true
+         | Metric.Weight_of _ | Metric.Weight_slice _ -> false)
+    |> Metric.Item_set.of_list
+  in
+  let o = Refine.run m ~on_chip:features_only in
+  Alcotest.(check int) "nothing unpinned" 0 (List.length o.Refine.unpinned);
+  Alcotest.(check (float 1e-15)) "totals equal" o.Refine.initial_total
+    o.Refine.refined_total
+
+let test_steady_state_no_waits () =
+  let p = plan_for "googlenet" Tensor.Dtype.I16 in
+  let m = p.Lcmm.Framework.metric in
+  let on_chip = p.Lcmm.Framework.allocation.Lcmm.Dnnk.on_chip in
+  let steady =
+    Engine.simulate ~weights_resident:true ?prefetch:p.Lcmm.Framework.prefetch m
+      ~on_chip
+  in
+  Alcotest.(check (float 0.)) "no prefetch waits" 0. steady.Engine.prefetch_wait;
+  let first = Engine.simulate ?prefetch:p.Lcmm.Framework.prefetch m ~on_chip in
+  Alcotest.(check bool) "steady <= first inference" true
+    (steady.Engine.total <= first.Engine.total +. 1e-15);
+  (* Steady state equals the analytical Eq. 1 total of the allocation. *)
+  Alcotest.(check (float 1e-12)) "steady = analytic"
+    (Metric.total_latency m ~on_chip)
+    steady.Engine.total
+
+let test_capacity_override () =
+  let g = Models.Zoo.build "googlenet" in
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm Tensor.Dtype.I16 in
+  let base = Lcmm.Framework.default_options in
+  let tight =
+    Lcmm.Framework.plan
+      ~options:{ base with Lcmm.Framework.capacity_override = Some (512 * 1024) }
+      cfg g
+  in
+  Alcotest.(check bool) "budget respected" true
+    (tight.Lcmm.Framework.tensor_sram_bytes <= 512 * 1024);
+  let full = Lcmm.Framework.plan cfg g in
+  Alcotest.(check bool) "tight budget is no faster" true
+    (full.Lcmm.Framework.predicted_latency
+    <= tight.Lcmm.Framework.predicted_latency +. 1e-12)
+
+let test_batch_throughput () =
+  let p = plan_for "googlenet" Tensor.Dtype.I16 in
+  let m = p.Lcmm.Framework.metric in
+  let on_chip = p.Lcmm.Framework.allocation.Lcmm.Dnnk.on_chip in
+  let b =
+    Engine.simulate_batch ?prefetch:p.Lcmm.Framework.prefetch ~images:16 m ~on_chip
+  in
+  Alcotest.(check bool) "steady <= first" true
+    (b.Engine.steady_image <= b.Engine.first_image +. 1e-15);
+  Alcotest.(check (float 1e-9)) "total adds up"
+    (b.Engine.first_image +. (15. *. b.Engine.steady_image))
+    b.Engine.batch_total;
+  Alcotest.(check bool) "throughput consistent" true
+    (abs_float ((16. /. b.Engine.batch_total) -. b.Engine.images_per_second) < 1e-9);
+  Alcotest.check_raises "zero images"
+    (Invalid_argument "Engine.simulate_batch: images < 1") (fun () ->
+      ignore (Engine.simulate_batch ~images:0 m ~on_chip))
+
+let prop_refine_monotone =
+  Helpers.qtest ~count:15 "refinement never regresses on random graphs"
+    Helpers.random_graph_gen (fun g ->
+      let _, m = Helpers.metric_of g in
+      let all =
+        Metric.Item_set.of_list (Metric.eligible_items m ~memory_bound_only:false)
+      in
+      let o = Refine.run m ~on_chip:all in
+      o.Refine.refined_total <= o.Refine.initial_total +. 1e-15)
+
+let suite =
+  [ Alcotest.test_case "never worse" `Quick test_never_worse;
+    Alcotest.test_case "unpins only weights" `Quick test_unpins_only_weights;
+    Alcotest.test_case "fixed point without stalls" `Quick test_fixed_point_without_stalls;
+    Alcotest.test_case "steady state" `Quick test_steady_state_no_waits;
+    Alcotest.test_case "capacity override" `Quick test_capacity_override;
+    Alcotest.test_case "batch throughput" `Quick test_batch_throughput;
+    prop_refine_monotone ]

@@ -1,0 +1,102 @@
+(* Shape-level regression guards on the paper reproduction itself: if a
+   model or allocator change silently breaks the headline results (who
+   wins, roughly by how much), these fail before EXPERIMENTS.md goes
+   stale.  Bands are deliberately loose — they encode the *shape*, not
+   the calibration. *)
+
+module F = Lcmm.Framework
+
+let suite_comparisons =
+  lazy
+    (List.concat_map
+       (fun model ->
+         List.map
+           (fun dtype ->
+             (model, dtype, F.compare_designs ~model dtype (Models.Zoo.build model)))
+           Tensor.Dtype.all)
+       [ "resnet152"; "googlenet"; "inception_v4" ])
+
+let test_lcmm_wins_at_fixed_point () =
+  List.iter
+    (fun (model, dtype, c) ->
+      match dtype with
+      | Tensor.Dtype.I8 | Tensor.Dtype.I16 ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s %s speedup > 1.1" model (Tensor.Dtype.to_string dtype))
+          true (c.F.speedup > 1.1)
+      | Tensor.Dtype.F32 ->
+        (* fp32 is the documented weak spot: must at least roughly tie. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%s f32 speedup > 0.9" model)
+          true (c.F.speedup > 0.9))
+    (Lazy.force suite_comparisons)
+
+let test_average_speedup_band () =
+  let speedups = List.map (fun (_, _, c) -> c.F.speedup) (Lazy.force suite_comparisons) in
+  let avg = List.fold_left ( +. ) 0. speedups /. float_of_int (List.length speedups) in
+  (* Paper: 1.36.  Guard a generous band around our calibrated 1.33. *)
+  Alcotest.(check bool) (Printf.sprintf "average %.2f in [1.15, 1.6]" avg) true
+    (avg > 1.15 && avg < 1.6)
+
+let test_resnet_gains_most_at_fixed_point () =
+  let speedup model dtype =
+    let _, _, c =
+      List.find (fun (m, d, _) -> m = model && d = dtype) (Lazy.force suite_comparisons)
+    in
+    c.F.speedup
+  in
+  List.iter
+    (fun dtype ->
+      Alcotest.(check bool) "rn >= gn" true
+        (speedup "resnet152" dtype >= speedup "googlenet" dtype -. 0.05);
+      Alcotest.(check bool) "rn >= in" true
+        (speedup "resnet152" dtype >= speedup "inception_v4" dtype -. 0.05))
+    [ Tensor.Dtype.I8; Tensor.Dtype.I16 ]
+
+let test_memory_bound_fraction_band () =
+  (* Paper: 58 % of Inception-v4 layers memory bound at 8-bit. *)
+  let g = Models.Zoo.build "inception_v4" in
+  let cfg = Accel.Config.make ~style:Accel.Config.Umm Tensor.Dtype.I8 in
+  let _, _, frac = Accel.Roofline.summary (Accel.Roofline.points cfg g) in
+  Alcotest.(check bool) (Printf.sprintf "fraction %.2f in [0.35, 0.75]" frac) true
+    (frac > 0.35 && frac < 0.75)
+
+let test_lcmm_uses_more_sram () =
+  List.iter
+    (fun (model, dtype, c) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s sram grows" model (Tensor.Dtype.to_string dtype))
+        true
+        (c.F.lcmm.F.sram_util > c.F.umm.F.sram_util))
+    (Lazy.force suite_comparisons)
+
+let test_design_space_shape () =
+  (* Fig. 2(b): the full mask gives the best latency; the frontier spans
+     a meaningful performance range. *)
+  let g = Models.Zoo.build "inception_v4" in
+  let dtype = Tensor.Dtype.I8 in
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm dtype in
+  let metric = Lcmm.Metric.build g (Accel.Latency.profile_graph cfg g) in
+  let blocks =
+    List.map
+      (fun b -> (b, Lcmm.Design_space.block_items metric ~block:b))
+      Models.Inception_v4.block_names
+  in
+  let points =
+    Lcmm.Design_space.sweep metric ~dtype
+      ~total_macs:(Dnn_graph.Graph.total_macs g) ~blocks
+  in
+  Alcotest.(check int) "16384 points" 16384 (List.length points);
+  let best = List.fold_left (fun a p -> max a p.Lcmm.Design_space.tops) 0. points in
+  let worst =
+    List.fold_left (fun a p -> min a p.Lcmm.Design_space.tops) infinity points
+  in
+  Alcotest.(check bool) "frontier spans > 30%" true (best /. worst > 1.3)
+
+let suite =
+  [ Alcotest.test_case "lcmm wins at fixed point" `Slow test_lcmm_wins_at_fixed_point;
+    Alcotest.test_case "average speedup band" `Slow test_average_speedup_band;
+    Alcotest.test_case "resnet gains most" `Slow test_resnet_gains_most_at_fixed_point;
+    Alcotest.test_case "memory-bound fraction" `Slow test_memory_bound_fraction_band;
+    Alcotest.test_case "lcmm uses more sram" `Slow test_lcmm_uses_more_sram;
+    Alcotest.test_case "design space shape" `Slow test_design_space_shape ]

@@ -1,0 +1,169 @@
+(* JSON and graph (de)serialization. *)
+
+module Json = Dnn_serial.Json
+module Codec = Dnn_serial.Codec
+module G = Dnn_graph.Graph
+
+let json_t = Alcotest.testable Json.pp Json.equal
+
+let parse_exn s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_values () =
+  Alcotest.check json_t "int" (Json.Int 42) (parse_exn "42");
+  Alcotest.check json_t "negative" (Json.Int (-7)) (parse_exn "-7");
+  Alcotest.check json_t "float" (Json.Float 2.5) (parse_exn "2.5");
+  Alcotest.check json_t "bool" (Json.Bool true) (parse_exn "true");
+  Alcotest.check json_t "null" Json.Null (parse_exn "null");
+  Alcotest.check json_t "string" (Json.String "hi") (parse_exn "\"hi\"");
+  Alcotest.check json_t "escapes" (Json.String "a\"b\n") (parse_exn "\"a\\\"b\\n\"");
+  Alcotest.check json_t "empty array" (Json.List []) (parse_exn "[]");
+  Alcotest.check json_t "array" (Json.List [ Json.Int 1; Json.Int 2 ]) (parse_exn "[1, 2]");
+  Alcotest.check json_t "object"
+    (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Null ]) ])
+    (parse_exn "{\"a\": 1, \"b\": [null]}")
+
+let test_json_errors () =
+  let bad s =
+    match Json.of_string s with
+    | Ok v -> Alcotest.failf "expected error for %S, got %s" s (Json.to_string v)
+    | Error _ -> ()
+  in
+  bad "";
+  bad "[1, 2";
+  bad "{\"a\": }";
+  bad "trailing 1 2";
+  bad "\"unterminated";
+  bad "{1: 2}";
+  bad "nul"
+
+let test_json_roundtrip_compact_and_pretty () =
+  let v =
+    Json.Obj
+      [ ("name", Json.String "x\"y");
+        ("xs", Json.List [ Json.Int 1; Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("f", Json.Float 1.5) ]) ]
+  in
+  Alcotest.check json_t "compact" v (parse_exn (Json.to_string v));
+  Alcotest.check json_t "pretty" v (parse_exn (Json.to_string ~indent:2 v))
+
+let test_json_accessors () =
+  let v = parse_exn "{\"a\": 3, \"b\": \"s\", \"c\": [1]}" in
+  Alcotest.(check (result int string)) "member int" (Ok 3)
+    (Result.bind (Json.member "a" v) Json.to_int);
+  Alcotest.(check bool) "missing member" true
+    (Result.is_error (Json.member "zz" v));
+  Alcotest.(check bool) "member_opt" true (Json.member_opt "b" v <> None);
+  Alcotest.(check bool) "to_int of string fails" true
+    (Result.is_error (Result.bind (Json.member "b" v) Json.to_int))
+
+let rec gen_json depth =
+  let open QCheck2.Gen in
+  if depth = 0 then
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12)) ]
+  else
+    oneof
+      [ gen_json 0;
+        map (fun l -> Json.List l) (list_size (int_range 0 4) (gen_json (depth - 1)));
+        map
+          (fun kvs ->
+            (* Duplicate keys make round-trips ambiguous: dedup. *)
+            let seen = Hashtbl.create 8 in
+            Json.Obj
+              (List.filter
+                 (fun (k, _) ->
+                   if Hashtbl.mem seen k then false
+                   else begin
+                     Hashtbl.add seen k ();
+                     true
+                   end)
+                 kvs))
+          (list_size (int_range 0 4)
+             (pair (string_size ~gen:printable (int_range 1 8)) (gen_json (depth - 1)))) ]
+
+let prop_json_roundtrip =
+  Helpers.qtest ~count:200 "print/parse round-trip" (gen_json 3) (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> Json.equal v v'
+      | Error _ -> false)
+
+(* --- graph codec --- *)
+
+let graphs_equal a b =
+  G.node_count a = G.node_count b
+  && List.for_all2
+       (fun x y ->
+         x.G.id = y.G.id && x.G.node_name = y.G.node_name && x.G.op = y.G.op
+         && x.G.preds = y.G.preds && x.G.block = y.G.block)
+       (G.nodes a) (G.nodes b)
+
+let test_graph_roundtrip_fixtures () =
+  List.iter
+    (fun g ->
+      match Codec.of_string (Codec.to_string g) with
+      | Ok g' -> Alcotest.(check bool) "round-trip" true (graphs_equal g g')
+      | Error msg -> Alcotest.fail msg)
+    [ Helpers.chain (); Helpers.diamond (); Helpers.inception_snippet () ]
+
+let test_graph_roundtrip_zoo () =
+  List.iter
+    (fun e ->
+      let g = e.Models.Zoo.build () in
+      match Codec.of_string (Codec.to_string ~pretty:false g) with
+      | Ok g' ->
+        Alcotest.(check bool) (e.Models.Zoo.model_name ^ " round-trip") true
+          (graphs_equal g g')
+      | Error msg -> Alcotest.failf "%s: %s" e.Models.Zoo.model_name msg)
+    Models.Zoo.all
+
+let test_codec_rejects_garbage () =
+  let bad s =
+    match Codec.of_string s with
+    | Ok _ -> Alcotest.failf "expected rejection for %S" s
+    | Error _ -> ()
+  in
+  bad "{}";
+  bad "{\"format\": \"other\", \"version\": 1, \"nodes\": []}";
+  bad "{\"format\": \"lcmm-graph\", \"version\": 99, \"nodes\": []}";
+  (* Structurally broken graph: predecessor after user. *)
+  bad
+    {|{"format": "lcmm-graph", "version": 1, "nodes": [
+       {"id": 0, "name": "in", "op": {"kind": "input", "channels": 1, "height": 4, "width": 4}, "preds": [0]}]}|}
+
+let test_codec_file_io () =
+  let g = Helpers.diamond () in
+  let path = Filename.temp_file "lcmm" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.write_file ~path g;
+      match Codec.read_file ~path with
+      | Ok g' -> Alcotest.(check bool) "file round-trip" true (graphs_equal g g')
+      | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "missing file is an error" true
+    (Result.is_error (Codec.read_file ~path:"/nonexistent/x.json"))
+
+let prop_random_graph_roundtrip =
+  Helpers.qtest ~count:40 "random graphs round-trip" Helpers.random_graph_gen
+    (fun g ->
+      match Codec.of_string (Codec.to_string g) with
+      | Ok g' -> graphs_equal g g'
+      | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "json values" `Quick test_json_values;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json compact/pretty" `Quick test_json_roundtrip_compact_and_pretty;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    prop_json_roundtrip;
+    Alcotest.test_case "graph round-trip fixtures" `Quick test_graph_roundtrip_fixtures;
+    Alcotest.test_case "graph round-trip zoo" `Quick test_graph_roundtrip_zoo;
+    Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
+    Alcotest.test_case "codec file io" `Quick test_codec_file_io;
+    prop_random_graph_roundtrip ]
