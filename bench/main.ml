@@ -5,6 +5,12 @@
      dune exec bench/main.exe -- table1  -- run one experiment
      experiments: fig2a fig2b table1 table2 table3 fig8 ablation micro
 
+   With `--json PATH`, table1 additionally writes its per-(model, dtype)
+   rows as machine-readable JSON ({umm_ms, lcmm_ms, speedup} each), so
+   the perf trajectory can be tracked across PRs:
+
+     dune exec bench/main.exe -- table1 --json BENCH_table1.json
+
    Absolute numbers differ from the paper (the substrate here is an
    analytical model + event simulator, not a VU9P board); EXPERIMENTS.md
    discusses shape-level agreement. *)
@@ -66,6 +72,9 @@ let paper_table2 model dtype =
   | _, (Tensor.Dtype.I8 | Tensor.Dtype.I16 | Tensor.Dtype.F32) -> None
 
 let suite = [ "resnet152"; "googlenet"; "inception_v4" ]
+
+(* Set by `--json PATH`: table1 mirrors its rows there. *)
+let json_path : string option ref = ref None
 
 (* Comparisons are expensive; compute each (model, dtype) once. *)
 let comparison_cache : (string * Tensor.Dtype.t, F.comparison) Hashtbl.t =
@@ -145,7 +154,27 @@ let table1 () =
       suite
   in
   Lcmm.Report.write_text_file ~path:"table1.csv" (Lcmm.Report.csv_of_comparisons rows);
-  Printf.printf "(series written to table1.csv)\n" 
+  Printf.printf "(series written to table1.csv)\n";
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let module Json = Dnn_serial.Json in
+    let row_json (c : F.comparison) =
+      Json.Obj
+        [ ("model", Json.String c.F.model);
+          ("dtype", Json.String (Tensor.Dtype.to_string c.F.dtype));
+          ("umm_ms", Json.Float (c.F.umm.F.latency_seconds *. 1e3));
+          ("lcmm_ms", Json.Float (c.F.lcmm.F.latency_seconds *. 1e3));
+          ("speedup", Json.Float c.F.speedup) ]
+    in
+    let doc =
+      Json.Obj
+        [ ("experiment", Json.String "table1");
+          ("average_speedup", Json.Float avg);
+          ("rows", Json.List (List.map row_json rows)) ]
+    in
+    Lcmm.Report.write_text_file ~path (Json.to_string ~indent:2 doc ^ "\n");
+    Printf.printf "(json written to %s)\n" path
 
 let table2 () =
   header "Table 2: on-chip memory utilization (BRAM/URAM %, POL)";
@@ -689,10 +718,20 @@ let experiments =
     ("schedule", schedule_experiment); ("zoo", zoo); ("micro", micro) ]
 
 let () =
+  let rec split_args acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      split_args acc rest
+    | "--json" :: [] ->
+      prerr_endline "--json needs an output path";
+      exit 1
+    | name :: rest -> split_args (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | [ _ ] | [] -> List.map fst experiments
+    match split_args [] (List.tl (Array.to_list Sys.argv)) with
+    | _ :: _ as names -> names
+    | [] -> List.map fst experiments
   in
   List.iter
     (fun name ->

@@ -1,12 +1,38 @@
 (* lcmm: command-line front end for the LCMM reproduction.
 
    Subcommands: models, summary, roofline, allocate, simulate, compare,
-   dot, export, info, schedule, trace, traffic, sensitivity.  Each
-   mirrors one way a user would interrogate the framework;
+   dot, export, info, schedule, trace, traffic, sensitivity, serve.
+   Each mirrors one way a user would interrogate the framework;
    bench/main.exe is the separate harness that regenerates the paper's
    tables and figures wholesale. *)
 
 open Cmdliner
+
+(* Every subcommand takes the logging flags: -v/-vv raise the level to
+   info/debug (pass-level logs from Framework.plan, request logs from
+   the service), -q silences everything. *)
+let log_arg =
+  let verbose =
+    let doc = "Increase log verbosity (repeatable: -v info, -vv debug)." in
+    Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+  in
+  let quiet =
+    let doc = "Silence all logging." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let setup verbose quiet =
+    let level =
+      if quiet then None
+      else
+        match List.length verbose with
+        | 0 -> Some Logs.Warning
+        | 1 -> Some Logs.Info
+        | _ -> Some Logs.Debug
+    in
+    Logs.set_level level;
+    Logs.set_reporter (Logs.format_reporter ())
+  in
+  Term.(const setup $ verbose $ quiet)
 
 let model_arg =
   let doc = "Model name (see the models subcommand)." in
@@ -55,7 +81,7 @@ let or_die = function
     exit 1
 
 let models_cmd =
-  let run () =
+  let run () () =
     List.iter
       (fun e ->
         let g = e.Models.Zoo.build () in
@@ -66,17 +92,17 @@ let models_cmd =
           (float_of_int (Dnn_graph.Graph.weight_bytes Tensor.Dtype.I8 g) /. 1e6))
       Models.Zoo.all
   in
-  Cmd.v (Cmd.info "models" ~doc:"List the model zoo") Term.(const run $ const ())
+  Cmd.v (Cmd.info "models" ~doc:"List the model zoo") Term.(const run $ log_arg $ const ())
 
 let summary_cmd =
-  let run name =
+  let run () name =
     let _, g = or_die (build_model name) in
     Format.printf "%a" Dnn_graph.Graph.pp_summary g
   in
-  Cmd.v (Cmd.info "summary" ~doc:"Per-layer graph dump") Term.(const run $ model_arg)
+  Cmd.v (Cmd.info "summary" ~doc:"Per-layer graph dump") Term.(const run $ log_arg $ model_arg)
 
 let roofline_cmd =
-  let run name dtype =
+  let run () name dtype =
     let _, g = or_die (build_model name) in
     let cfg = Accel.Config.make ~style:Accel.Config.Umm dtype in
     let points = Accel.Roofline.points cfg g in
@@ -87,10 +113,10 @@ let roofline_cmd =
   in
   Cmd.v
     (Cmd.info "roofline" ~doc:"Roofline characterization (paper Fig. 2a)")
-    Term.(const run $ model_arg $ dtype_arg)
+    Term.(const run $ log_arg $ model_arg $ dtype_arg)
 
 let allocate_cmd =
-  let run name dtype =
+  let run () name dtype =
     let model, g = or_die (build_model name) in
     let c = Lcmm.Framework.compare_designs ~model dtype g in
     let p = c.Lcmm.Framework.lcmm_plan in
@@ -124,10 +150,10 @@ let allocate_cmd =
   in
   Cmd.v
     (Cmd.info "allocate" ~doc:"Run the LCMM framework and print the plan")
-    Term.(const run $ model_arg $ dtype_arg)
+    Term.(const run $ log_arg $ model_arg $ dtype_arg)
 
 let simulate_cmd =
-  let run name dtype =
+  let run () name dtype =
     let model, g = or_die (build_model name) in
     let c = Lcmm.Framework.compare_designs ~model dtype g in
     let p = c.Lcmm.Framework.lcmm_plan in
@@ -146,10 +172,10 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Discrete-event simulation of UMM vs LCMM")
-    Term.(const run $ model_arg $ dtype_arg)
+    Term.(const run $ log_arg $ model_arg $ dtype_arg)
 
 let compare_cmd =
-  let run name dtype device =
+  let run () name dtype device =
     let model, g = or_die (build_model name) in
     let c = Lcmm.Framework.compare_designs ~device ~model dtype g in
     let pr (r : Lcmm.Framework.design_report) =
@@ -168,25 +194,25 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"One row of the paper's Table 1")
-    Term.(const run $ model_arg $ dtype_arg $ device_arg)
+    Term.(const run $ log_arg $ model_arg $ dtype_arg $ device_arg)
 
 let export_cmd =
   let out_arg =
     Arg.(value & opt string "model.json" & info [ "o"; "output" ] ~doc:"Output path.")
   in
-  let run name path =
+  let run () name path =
     let _, g = or_die (build_model name) in
     Dnn_serial.Codec.write_file ~path g;
     Printf.printf "wrote %s\n" path
   in
   Cmd.v (Cmd.info "export" ~doc:"Serialize a model graph to JSON")
-    Term.(const run $ model_arg $ out_arg)
+    Term.(const run $ log_arg $ model_arg $ out_arg)
 
 let info_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Graph JSON file.")
   in
-  let run path =
+  let run () path =
     match Dnn_serial.Codec.read_file ~path with
     | Error msg -> or_die (Error msg)
     | Ok g ->
@@ -196,10 +222,10 @@ let info_cmd =
         (float_of_int (Dnn_graph.Graph.weight_bytes Tensor.Dtype.I8 g) /. 1e6)
   in
   Cmd.v (Cmd.info "info" ~doc:"Summarize a serialized graph")
-    Term.(const run $ file_arg)
+    Term.(const run $ log_arg $ file_arg)
 
 let schedule_cmd =
-  let run name dtype =
+  let run () name dtype =
     let _, g = or_die (build_model name) in
     let base = Dnn_graph.Schedule.peak_live_bytes dtype g (Dnn_graph.Schedule.default g) in
     let order = Dnn_graph.Schedule.memory_aware dtype g in
@@ -212,13 +238,13 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Memory-aware schedule comparison")
-    Term.(const run $ model_arg $ dtype_arg)
+    Term.(const run $ log_arg $ model_arg $ dtype_arg)
 
 let trace_cmd =
   let out_arg =
     Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~doc:"Output path.")
   in
-  let run name dtype path =
+  let run () name dtype path =
     let model, g = or_die (build_model name) in
     let c = Lcmm.Framework.compare_designs ~model dtype g in
     let p = c.Lcmm.Framework.lcmm_plan in
@@ -232,10 +258,10 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Export a Chrome-tracing timeline of the LCMM run")
-    Term.(const run $ model_arg $ dtype_arg $ out_arg)
+    Term.(const run $ log_arg $ model_arg $ dtype_arg $ out_arg)
 
 let traffic_cmd =
-  let run name dtype =
+  let run () name dtype =
     let model, g = or_die (build_model name) in
     let c = Lcmm.Framework.compare_designs ~model dtype g in
     let m = c.Lcmm.Framework.lcmm_plan.Lcmm.Framework.metric in
@@ -262,10 +288,10 @@ let traffic_cmd =
   in
   Cmd.v
     (Cmd.info "traffic" ~doc:"Per-inference DDR traffic and energy")
-    Term.(const run $ model_arg $ dtype_arg)
+    Term.(const run $ log_arg $ model_arg $ dtype_arg)
 
 let sensitivity_cmd =
-  let run name dtype =
+  let run () name dtype =
     let _, g = or_die (build_model name) in
     Format.printf "%a@." (fun ppf () ->
         Lcmm.Sensitivity.pp_points ppf "ddr-eff"
@@ -276,19 +302,80 @@ let sensitivity_cmd =
   in
   Cmd.v
     (Cmd.info "sensitivity" ~doc:"Calibration sensitivity sweeps")
-    Term.(const run $ model_arg $ dtype_arg)
+    Term.(const run $ log_arg $ model_arg $ dtype_arg)
 
 let dot_cmd =
   let out_arg =
     Arg.(value & opt string "model.dot" & info [ "o"; "output" ] ~doc:"Output path.")
   in
-  let run name path =
+  let run () name path =
     let _, g = or_die (build_model name) in
     Dnn_graph.Dot.write_file ~path g;
     Printf.printf "wrote %s\n" path
   in
   Cmd.v (Cmd.info "dot" ~doc:"Export the graph as Graphviz")
-    Term.(const run $ model_arg $ out_arg)
+    Term.(const run $ log_arg $ model_arg $ out_arg)
+
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Listen on a Unix domain socket at $(docv) instead of stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains compiling plans in parallel." in
+    Arg.(value & opt int 2 & info [ "w"; "workers" ] ~doc)
+  in
+  let cache_entries_arg =
+    let doc = "Maximum plan-cache entries before LRU eviction." in
+    Arg.(value & opt int 256 & info [ "cache-entries" ] ~doc)
+  in
+  let cache_mb_arg =
+    let doc = "Maximum plan-cache payload megabytes before LRU eviction." in
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Persist cached plans to $(docv) as JSON and rewarm from it on restart."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_timing_arg =
+    let doc =
+      "Canonical responses: omit the cache and elapsed_ms fields, making each \
+       response a pure function of its request (reproducible transcripts)."
+    in
+    Arg.(value & flag & info [ "no-timing" ] ~doc)
+  in
+  let run () socket workers cache_entries cache_mb cache_dir no_timing =
+    if workers < 1 then or_die (Error "workers must be >= 1");
+    if cache_entries < 1 then or_die (Error "cache-entries must be >= 1");
+    if cache_mb < 1 then or_die (Error "cache-mb must be >= 1");
+    let cache =
+      Lcmm_service.Plan_cache.create ~max_entries:cache_entries
+        ~max_bytes:(cache_mb * 1024 * 1024) ?persist_dir:cache_dir ()
+    in
+    let pool = Lcmm_service.Pool.create ~domains:workers () in
+    let engine = Lcmm_service.Engine.create ~cache ~pool () in
+    let timing = not no_timing in
+    Fun.protect
+      ~finally:(fun () -> Lcmm_service.Engine.shutdown engine)
+      (fun () ->
+        match socket with
+        | Some path -> Lcmm_service.Server.serve_unix_socket ~timing engine ~path
+        | None -> Lcmm_service.Server.serve_stdio ~timing engine)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the plan-compilation service: newline-delimited JSON requests \
+          (compile, simulate, batch, stats, models) from stdin or a Unix \
+          socket, answered from a content-addressed plan cache backed by a \
+          multi-domain worker pool.")
+    Term.(
+      const run $ log_arg $ socket_arg $ workers_arg $ cache_entries_arg
+      $ cache_mb_arg $ cache_dir_arg $ no_timing_arg)
 
 let () =
   let info = Cmd.info "lcmm" ~doc:"Layer-conscious memory management for FPGA DNN accelerators" in
@@ -297,4 +384,4 @@ let () =
        (Cmd.group info
           [ models_cmd; summary_cmd; roofline_cmd; allocate_cmd; simulate_cmd;
             compare_cmd; dot_cmd; export_cmd; info_cmd; schedule_cmd; trace_cmd;
-            traffic_cmd; sensitivity_cmd ]))
+            traffic_cmd; sensitivity_cmd; serve_cmd ]))

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 gate: build, full test suite, and a JSON bench smoke.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke: table1 --json =="
+out=BENCH_table1.json
+dune exec bench/main.exe -- table1 --json "$out" > /dev/null
+# The emitted document must parse and carry the expected shape.
+grep -q '"experiment": "table1"' "$out"
+grep -q '"average_speedup"' "$out"
+grep -q '"umm_ms"' "$out"
+grep -q '"lcmm_ms"' "$out"
+echo "wrote $out"
+
+echo "CI OK"

@@ -2,6 +2,10 @@ module G = Dnn_graph.Graph
 module Latency = Accel.Latency
 module Config = Accel.Config
 
+let log_src = Logs.Src.create "lcmm.framework" ~doc:"LCMM framework passes"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type options = {
   feature_reuse : bool;
   weight_prefetch : bool;
@@ -74,6 +78,10 @@ let helped_and_bound metric on_chip =
   (!helped, !bound)
 
 let plan ?(options = default_options) config g =
+  Log.info (fun m ->
+      m "plan: %d nodes, %s, device %s" (G.node_count g)
+        (Tensor.Dtype.to_string config.Config.dtype)
+        config.Config.device.Fpga.Device.device_name);
   let profiles = Latency.profile_graph config g in
   (* Slices below the allocation block size only waste rounding; cap the
      per-node slice count so every slice spans at least one block. *)
@@ -120,6 +128,10 @@ let plan ?(options = default_options) config g =
   let intervals =
     Array.map (Liveness.item_interval g ~prefetch_source) items
   in
+  Log.info (fun m ->
+      m "passes 1+2 (liveness, prefetch): %d eligible items, %d prefetch targets"
+        (Array.length items)
+        (List.length weight_targets));
   let interference = Interference.build ~never_share ~items ~intervals () in
   let vbufs =
     if options.buffer_sharing then
@@ -136,6 +148,10 @@ let plan ?(options = default_options) config g =
     | None -> budget
     | Some cap -> min cap budget
   in
+  Log.info (fun m ->
+      m "pass 3 (DNNK): %d virtual buffers, capacity %.2f MB"
+        (List.length vbufs)
+        (float_of_int capacity_bytes /. 1e6));
   let initial =
     Dnnk.allocate ~compensation:options.compensation metric ~capacity_bytes vbufs
   in
@@ -232,6 +248,15 @@ let plan ?(options = default_options) config g =
   in
   let stalls = unhidden_stalls pdg allocation.Dnnk.on_chip in
   let helped, bound = helped_and_bound metric allocation.Dnnk.on_chip in
+  Log.info (fun m ->
+      m
+        "plan done: %d buffers pinned (%d spilled), %d splitting iterations, \
+         %.3f ms predicted, POL %d/%d"
+        (List.length allocation.Dnnk.chosen)
+        (List.length allocation.Dnnk.spilled)
+        splitting_iterations
+        ((allocation.Dnnk.predicted_latency +. stalls) *. 1e3)
+        helped bound);
   { config;
     options;
     metric;

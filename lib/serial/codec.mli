@@ -15,6 +15,12 @@ val graph_of_json : Json.t -> (Dnn_graph.Graph.t, string) result
 val to_string : ?pretty:bool -> Dnn_graph.Graph.t -> string
 (** Serialize ([pretty] defaults to true). *)
 
+val digest : Dnn_graph.Graph.t -> string
+(** Hex digest (MD5) of the canonical compact serialization — a stable
+    content address: two graphs digest equal iff their serialized forms
+    are identical, independent of how they were built or pretty-printed.
+    The plan-compilation service keys its cache on this. *)
+
 val of_string : string -> (Dnn_graph.Graph.t, string) result
 (** Parse and validate. *)
 

@@ -252,6 +252,15 @@ let to_int = function
   | Int i -> Ok i
   | Null | Bool _ | Float _ | String _ | List _ | Obj _ -> Error "expected an integer"
 
+let to_float = function
+  | Float f -> Ok f
+  | Int i -> Ok (float_of_int i)
+  | Null | Bool _ | String _ | List _ | Obj _ -> Error "expected a number"
+
+let to_bool = function
+  | Bool b -> Ok b
+  | Null | Int _ | Float _ | String _ | List _ | Obj _ -> Error "expected a boolean"
+
 let to_str = function
   | String s -> Ok s
   | Null | Bool _ | Int _ | Float _ | List _ | Obj _ -> Error "expected a string"

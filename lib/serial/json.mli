@@ -31,6 +31,12 @@ val member_opt : string -> t -> t option
 
 val to_int : t -> (int, string) result
 
+val to_float : t -> (float, string) result
+(** Accepts both [Float] and [Int] (integer-valued JSON numbers parse as
+    [Int]; decoders of numeric fields usually want either). *)
+
+val to_bool : t -> (bool, string) result
+
 val to_str : t -> (string, string) result
 
 val to_list : t -> (t list, string) result

@@ -1,0 +1,30 @@
+let ok ?id ~op ?cache ?elapsed_ms result =
+  let fields =
+    (match id with None -> [] | Some v -> [ ("id", v) ])
+    @ [ ("op", Json.String op); ("ok", Json.Bool true) ]
+    @ (match cache with None -> [] | Some c -> [ ("cache", Json.String c) ])
+    @ (match elapsed_ms with
+      | None -> []
+      | Some ms -> [ ("elapsed_ms", Json.Float ms) ])
+    @ [ ("result", result) ]
+  in
+  Json.Obj fields
+
+let error ?id ~op msg =
+  let fields =
+    (match id with None -> [] | Some v -> [ ("id", v) ])
+    @ [ ("op", Json.String op); ("ok", Json.Bool false);
+        ("error", Json.String msg) ]
+  in
+  Json.Obj fields
+
+let to_line v = Json.to_string v ^ "\n"
+
+let is_blank s =
+  String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) s
+
+let rec read_request ic =
+  match input_line ic with
+  | exception End_of_file -> Ok None
+  | exception Sys_error msg -> Error msg
+  | line -> if is_blank line then read_request ic else Ok (Some line)

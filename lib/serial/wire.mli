@@ -1,0 +1,24 @@
+(** Wire envelopes for line-delimited JSON services.
+
+    Every response of the plan-compilation service is one compact JSON
+    object on one line.  The field order is fixed so that identical
+    payloads render byte-identically — the service's determinism tests
+    and reproducible transcripts depend on that. *)
+
+val ok :
+  ?id:Json.t -> op:string -> ?cache:string -> ?elapsed_ms:float ->
+  Json.t -> Json.t
+(** [ok ~op result] is [{"id"?, "op", "ok": true, "cache"?,
+    "elapsed_ms"?, "result"}].  [id] echoes the request's id verbatim;
+    [cache] is ["hit"] or ["miss"] when the operation went through a
+    cache. *)
+
+val error : ?id:Json.t -> op:string -> string -> Json.t
+(** [{"id"?, "op", "ok": false, "error": msg}]. *)
+
+val to_line : Json.t -> string
+(** Compact rendering plus a trailing newline — one NDJSON record. *)
+
+val read_request : in_channel -> (string option, string) result
+(** Next non-blank line, [Ok None] at end of input.  Lines are the
+    protocol's framing; parsing their content is the caller's job. *)

@@ -1,0 +1,55 @@
+module Config = Accel.Config
+module F = Lcmm.Framework
+
+let f = Printf.sprintf "%.17g"
+
+let config_fingerprint (c : Config.t) =
+  String.concat "|"
+    [ c.Config.device.Fpga.Device.device_name;
+      Tensor.Dtype.to_string c.Config.dtype;
+      Printf.sprintf "pe:%dx%dx%d" c.Config.pe.Accel.Pe_array.tm_unroll
+        c.Config.pe.Accel.Pe_array.tn_unroll c.Config.pe.Accel.Pe_array.tsp_unroll;
+      Printf.sprintf "tile:%dx%dx%dx%d" c.Config.tile.Accel.Tiling.tm
+        c.Config.tile.Accel.Tiling.tn c.Config.tile.Accel.Tiling.th
+        c.Config.tile.Accel.Tiling.tw;
+      "freq:" ^ f c.Config.freq_mhz;
+      "ddr-eff:" ^ f c.Config.ddr_efficiency;
+      "burst:" ^ f c.Config.burst_overhead;
+      "aux:" ^ string_of_int c.Config.aux_ops_per_cycle;
+      "fused:" ^ string_of_bool c.Config.fused_eltwise ]
+
+let options_fingerprint (o : F.options) =
+  String.concat "|"
+    [ "fr:" ^ string_of_bool o.F.feature_reuse;
+      "wp:" ^ string_of_bool o.F.weight_prefetch;
+      "bs:" ^ string_of_bool o.F.buffer_splitting;
+      "sh:" ^ string_of_bool o.F.buffer_sharing;
+      "mb:" ^ string_of_bool o.F.memory_bound_only;
+      ("comp:"
+      ^ match o.F.compensation with
+        | Lcmm.Dnnk.Table_approx -> "table"
+        | Lcmm.Dnnk.Exact_iterative -> "exact");
+      ("col:"
+      ^ match o.F.coloring with
+        | Lcmm.Coloring.Min_growth -> "min_growth"
+        | Lcmm.Coloring.First_fit -> "first_fit");
+      ("cap:"
+      ^ match o.F.capacity_override with
+        | None -> "none"
+        | Some b -> string_of_int b);
+      "slices:" ^ string_of_int o.F.weight_slices ]
+
+let hash parts =
+  Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let digest ?(extra = []) ~config ~options g =
+  hash
+    (Dnn_serial.Codec.to_string ~pretty:false g
+    :: config_fingerprint config :: options_fingerprint options :: extra)
+
+let request_digest ?(extra = []) ~dtype ~device ~options g =
+  hash
+    (Dnn_serial.Codec.to_string ~pretty:false g
+    :: Tensor.Dtype.to_string dtype
+    :: device.Fpga.Device.device_name
+    :: options_fingerprint options :: extra)

@@ -1,0 +1,267 @@
+module Json = Dnn_serial.Json
+module F = Lcmm.Framework
+module P = Protocol
+
+let src = Logs.Src.create "lcmm.service" ~doc:"Plan-compilation service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  plan_cache : Plan_cache.t;
+  worker_pool : Pool.t;
+  meters : Metrics.t;
+}
+
+let create ?cache ?pool ?metrics () =
+  { plan_cache = (match cache with Some c -> c | None -> Plan_cache.create ());
+    worker_pool = (match pool with Some p -> p | None -> Pool.create ());
+    meters = (match metrics with Some m -> m | None -> Metrics.create ()) }
+
+type cache_status = Hit | Miss | Uncached
+
+type response = {
+  id : Json.t option;
+  op : string;
+  cache : cache_status;
+  elapsed_s : float;
+  outcome : (Json.t, string) result;
+  subs : response list;
+}
+
+(* --- result payload encoders --- *)
+
+let report_json (r : F.design_report) =
+  Json.Obj
+    [ ("style", Json.String r.F.style_name);
+      ("latency_ms", Json.Float (r.F.latency_seconds *. 1e3));
+      ("tops", Json.Float r.F.tops);
+      ("freq_mhz", Json.Float r.F.freq_mhz);
+      ("dsp_util", Json.Float r.F.dsp_util);
+      ("clb_util", Json.Float r.F.clb_util);
+      ("sram_util", Json.Float r.F.sram_util);
+      ("bram_util", Json.Float r.F.bram_util);
+      ("uram_util", Json.Float r.F.uram_util) ]
+
+let spec_fields (spec : P.compile_spec) ~digest =
+  [ ("model", Json.String (P.target_name spec.P.target));
+    ("dtype", Json.String (Tensor.Dtype.to_string spec.P.dtype));
+    ("device", Json.String spec.P.device.Fpga.Device.device_name);
+    ("digest", Json.String digest) ]
+
+let resolve_graph (spec : P.compile_spec) =
+  match spec.P.target with
+  | P.Inline g -> Ok g
+  | P.Named name -> (
+    match Models.Zoo.find name with
+    | Some entry -> Ok (entry.Models.Zoo.build ())
+    | None ->
+      Error
+        (Printf.sprintf "unknown model %S (known: %s)" name
+           (String.concat ", "
+              (List.map (fun e -> e.Models.Zoo.model_name) Models.Zoo.all))))
+
+let compile_payload (spec : P.compile_spec) ~digest g =
+  let c =
+    F.compare_designs ~options:spec.P.options ~device:spec.P.device
+      ~model:(P.target_name spec.P.target) spec.P.dtype g
+  in
+  let plan = c.F.lcmm_plan in
+  let helped, bound = F.helped_layers plan in
+  Json.Obj
+    (spec_fields spec ~digest
+    @ [ ("umm", report_json c.F.umm); ("lcmm", report_json c.F.lcmm);
+        ("speedup", Json.Float c.F.speedup);
+        ("pol", Json.Float plan.F.pol);
+        ("helped_layers", Json.Int helped);
+        ("memory_bound_layers", Json.Int bound);
+        ("tensor_sram_bytes", Json.Int plan.F.tensor_sram_bytes);
+        ("splitting_iterations", Json.Int plan.F.splitting_iterations);
+        ("buffers_chosen", Json.Int (List.length plan.F.allocation.Lcmm.Dnnk.chosen));
+        ("buffers_spilled", Json.Int (List.length plan.F.allocation.Lcmm.Dnnk.spilled));
+        ("options", P.options_to_json spec.P.options) ])
+
+let simulate_payload (spec : P.compile_spec) ~digest ~images g =
+  let c =
+    F.compare_designs ~options:spec.P.options ~device:spec.P.device
+      ~model:(P.target_name spec.P.target) spec.P.dtype g
+  in
+  let plan = c.F.lcmm_plan in
+  let metric = plan.F.metric in
+  let on_chip = plan.F.allocation.Lcmm.Dnnk.on_chip in
+  let umm = Sim.Engine.simulate_umm metric in
+  let lcmm = Sim.Engine.simulate ?prefetch:plan.F.prefetch metric ~on_chip in
+  let batch_fields =
+    match images with
+    | None -> []
+    | Some n ->
+      let b =
+        Sim.Engine.simulate_batch ?prefetch:plan.F.prefetch ~images:n metric
+          ~on_chip
+      in
+      [ ( "batch",
+          Json.Obj
+            [ ("images", Json.Int n);
+              ("first_image_ms", Json.Float (b.Sim.Engine.first_image *. 1e3));
+              ("steady_image_ms", Json.Float (b.Sim.Engine.steady_image *. 1e3));
+              ("total_ms", Json.Float (b.Sim.Engine.batch_total *. 1e3));
+              ("images_per_second", Json.Float b.Sim.Engine.images_per_second) ]
+        ) ]
+  in
+  Json.Obj
+    (spec_fields spec ~digest
+    @ [ ("umm_ms", Json.Float (umm.Sim.Engine.total *. 1e3));
+        ("lcmm_ms", Json.Float (lcmm.Sim.Engine.total *. 1e3));
+        ("speedup", Json.Float (umm.Sim.Engine.total /. lcmm.Sim.Engine.total));
+        ("prefetch_wait_ms", Json.Float (lcmm.Sim.Engine.prefetch_wait *. 1e3));
+        ("wt_channel_busy_ms", Json.Float (lcmm.Sim.Engine.wt_channel_busy *. 1e3)) ]
+    @ batch_fields)
+
+let models_payload () =
+  Json.List
+    (List.map
+       (fun e ->
+         let g = e.Models.Zoo.build () in
+         Json.Obj
+           [ ("name", Json.String e.Models.Zoo.model_name);
+             ("nodes", Json.Int (Dnn_graph.Graph.node_count g));
+             ( "gmacs",
+               Json.Float (float_of_int (Dnn_graph.Graph.total_macs g) /. 1e9) );
+             ( "weight_mb_i8",
+               Json.Float
+                 (float_of_int (Dnn_graph.Graph.weight_bytes Tensor.Dtype.I8 g)
+                 /. 1e6) ) ])
+       Models.Zoo.all)
+
+let stats_payload t =
+  let busy = Pool.busy t.worker_pool in
+  Json.Obj
+    [ ("cache", Plan_cache.stats_json t.plan_cache);
+      ( "pool",
+        Json.Obj
+          [ ("domains", Json.Int (Pool.size t.worker_pool));
+            ("busy", Json.Int busy);
+            ("queued", Json.Int (Pool.queued t.worker_pool)) ] );
+      ("metrics", Metrics.snapshot t.meters) ]
+
+(* --- request execution --- *)
+
+(* Compile and simulate cache under a digest that covers every input the
+   passes read; the op name and simulate's batch size are folded in as
+   [extra] so the two namespaces never collide. *)
+let cacheable_digest (spec : P.compile_spec) ~extra g =
+  Cache_key.request_digest ~extra ~dtype:spec.P.dtype ~device:spec.P.device
+    ~options:spec.P.options g
+
+let through_cache t ~digest compute =
+  match Plan_cache.find t.plan_cache digest with
+  | Some payload -> (Hit, Ok payload)
+  | None -> (
+    match compute () with
+    | payload ->
+      Plan_cache.put t.plan_cache digest payload;
+      (Miss, Ok payload)
+    | exception Invalid_argument msg -> (Miss, Error msg)
+    | exception Failure msg -> (Miss, Error msg))
+
+(* Fully execute one non-batch request on the current thread. *)
+let handle_leaf t (env : P.envelope) =
+  let t0 = Unix.gettimeofday () in
+  let op = P.op_name env.P.request in
+  let cache_status, outcome =
+    match env.P.request with
+    | P.Batch _ -> (Uncached, Error "nested batch requests are not supported")
+    | P.Stats -> (Uncached, Ok (stats_payload t))
+    | P.Models -> (Uncached, Ok (models_payload ()))
+    | P.Compile spec -> (
+      match resolve_graph spec with
+      | Error msg -> (Uncached, Error msg)
+      | Ok g ->
+        let digest = cacheable_digest spec ~extra:[ "compile" ] g in
+        through_cache t ~digest (fun () -> compile_payload spec ~digest g))
+    | P.Simulate (spec, images) -> (
+      match resolve_graph spec with
+      | Error msg -> (Uncached, Error msg)
+      | Ok g ->
+        let extra =
+          [ "simulate";
+            (match images with None -> "single" | Some n -> string_of_int n) ]
+        in
+        let digest = cacheable_digest spec ~extra g in
+        through_cache t ~digest (fun () ->
+            simulate_payload spec ~digest ~images g))
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Metrics.record t.meters ~op ~ok:(Result.is_ok outcome) ~seconds:elapsed_s;
+  Log.info (fun m ->
+      m "%s%s -> %s in %.2f ms" op
+        (match env.P.request with
+        | P.Compile spec | P.Simulate (spec, _) ->
+          " " ^ P.target_name spec.P.target
+        | P.Batch _ | P.Stats | P.Models -> "")
+        (match cache_status, outcome with
+        | Hit, _ -> "hit"
+        | Miss, Ok _ -> "miss"
+        | Miss, Error _ | Uncached, Error _ -> "error"
+        | Uncached, Ok _ -> "ok")
+        (elapsed_s *. 1e3));
+  { id = env.P.id; op; cache = cache_status; elapsed_s; outcome; subs = [] }
+
+let handle t (env : P.envelope) =
+  match env.P.request with
+  | P.Batch subs ->
+    (* Fan out on the caller thread: workers run leaves only, so a full
+       pool can never deadlock on its own sub-jobs. *)
+    let t0 = Unix.gettimeofday () in
+    let responses =
+      Pool.map_list t.worker_pool (fun sub -> handle_leaf t sub) subs
+    in
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    Metrics.record t.meters ~op:"batch" ~ok:true ~seconds:elapsed_s;
+    Log.info (fun m ->
+        m "batch of %d -> done in %.2f ms" (List.length subs) (elapsed_s *. 1e3));
+    { id = env.P.id;
+      op = "batch";
+      cache = Uncached;
+      elapsed_s;
+      outcome = Ok Json.Null;  (* rendered from [subs] *)
+      subs = responses }
+  | P.Compile _ | P.Simulate _ ->
+    Pool.run t.worker_pool (fun () -> handle_leaf t env)
+  | P.Stats | P.Models -> handle_leaf t env
+
+let rec response_to_json ?(timing = true) r =
+  let cache_field =
+    if not timing then None
+    else
+      match r.cache with
+      | Hit -> Some "hit"
+      | Miss -> Some "miss"
+      | Uncached -> None
+  in
+  let elapsed_ms = if timing then Some (r.elapsed_s *. 1e3) else None in
+  let result =
+    match r.subs with
+    | _ :: _ -> Ok (Json.List (List.map (response_to_json ~timing) r.subs))
+    | [] -> r.outcome
+  in
+  match result with
+  | Ok payload ->
+    Dnn_serial.Wire.ok ?id:r.id ~op:r.op ?cache:cache_field ?elapsed_ms payload
+  | Error msg -> Dnn_serial.Wire.error ?id:r.id ~op:r.op msg
+
+let handle_line ?timing t line =
+  match P.request_of_line line with
+  | Error msg ->
+    Metrics.record t.meters ~op:"parse" ~ok:false ~seconds:0.;
+    Log.info (fun m -> m "parse error: %s" msg);
+    Dnn_serial.Wire.to_line (Dnn_serial.Wire.error ~op:"parse" msg)
+  | Ok env ->
+    Dnn_serial.Wire.to_line (response_to_json ?timing (handle t env))
+
+let cache t = t.plan_cache
+
+let pool t = t.worker_pool
+
+let metrics t = t.meters
+
+let shutdown t = Pool.shutdown t.worker_pool

@@ -1,0 +1,56 @@
+(** The plan-compilation engine: request handling over the cache, the
+    worker pool and the metrics registry.
+
+    [compile] answers with the full UMM-vs-LCMM design comparison
+    ({!Lcmm.Framework.compare_designs}); [simulate] additionally runs
+    the discrete-event simulator on the plan.  Both are cached under
+    their {!Cache_key} digest; [stats] and [models] are cheap and
+    uncached.  [batch] fans its sub-requests out across the pool and
+    answers in request order. *)
+
+type t
+
+val create :
+  ?cache:Plan_cache.t -> ?pool:Pool.t -> ?metrics:Metrics.t -> unit -> t
+(** Missing components are created with their defaults (256-entry
+    in-memory cache, [Pool.create ()] sized pool). *)
+
+type cache_status = Hit | Miss | Uncached
+
+type response = {
+  id : Dnn_serial.Json.t option;
+  op : string;
+  cache : cache_status;
+  elapsed_s : float;
+  outcome : (Dnn_serial.Json.t, string) result;
+  subs : response list;  (** Sub-responses of a [batch], else empty. *)
+}
+
+val handle : t -> Protocol.envelope -> response
+(** [Batch] sub-requests run concurrently on the pool; everything else
+    computes on a single pool worker.  Never raises: failures come back
+    as [Error] outcomes. *)
+
+val response_to_json : ?timing:bool -> response -> Dnn_serial.Json.t
+(** With [timing] (default [true]) responses carry ["cache"] and
+    ["elapsed_ms"] fields.  [~timing:false] omits both, making the
+    rendering a pure function of the request — the canonical form the
+    determinism tests and reproducible transcripts compare. *)
+
+val handle_line : ?timing:bool -> t -> string -> string
+(** Parse one NDJSON request line, handle it, render the response line
+    (newline included).  Malformed lines produce an error response with
+    op ["parse"]. *)
+
+val stats_payload : t -> Dnn_serial.Json.t
+(** The [stats] response body: cache counters, pool occupancy, request
+    metrics. *)
+
+val cache : t -> Plan_cache.t
+
+val pool : t -> Pool.t
+
+val metrics : t -> Metrics.t
+
+val shutdown : t -> unit
+(** Shut the pool down (joins its domains). *)

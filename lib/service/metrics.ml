@@ -1,0 +1,65 @@
+module Json = Dnn_serial.Json
+
+type op_stats = {
+  mutable count : int;
+  mutable errors : int;
+  mutable total_s : float;
+  mutable max_s : float;
+}
+
+type t = {
+  mutex : Mutex.t;
+  by_op : (string, op_stats) Hashtbl.t;
+  mutable requests : int;
+  mutable error_count : int;
+}
+
+let create () =
+  { mutex = Mutex.create ();
+    by_op = Hashtbl.create 8;
+    requests = 0;
+    error_count = 0 }
+
+let with_lock t fn =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) fn
+
+let record t ~op ~ok ~seconds =
+  with_lock t (fun () ->
+      let s =
+        match Hashtbl.find_opt t.by_op op with
+        | Some s -> s
+        | None ->
+          let s = { count = 0; errors = 0; total_s = 0.; max_s = 0. } in
+          Hashtbl.add t.by_op op s;
+          s
+      in
+      s.count <- s.count + 1;
+      s.total_s <- s.total_s +. seconds;
+      if seconds > s.max_s then s.max_s <- seconds;
+      t.requests <- t.requests + 1;
+      if not ok then begin
+        s.errors <- s.errors + 1;
+        t.error_count <- t.error_count + 1
+      end)
+
+let requests_total t = with_lock t (fun () -> t.requests)
+
+let errors_total t = with_lock t (fun () -> t.error_count)
+
+let snapshot t =
+  with_lock t (fun () ->
+      let ops =
+        Hashtbl.fold (fun op s acc -> (op, s) :: acc) t.by_op []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (op, s) ->
+               ( op,
+                 Json.Obj
+                   [ ("count", Json.Int s.count);
+                     ("errors", Json.Int s.errors);
+                     ("total_ms", Json.Float (s.total_s *. 1e3));
+                     ("max_ms", Json.Float (s.max_s *. 1e3)) ] ))
+      in
+      Json.Obj
+        [ ("requests", Json.Int t.requests);
+          ("errors", Json.Int t.error_count); ("by_op", Json.Obj ops) ])

@@ -1,0 +1,20 @@
+(** Service-level metrics: per-operation request counts, error counts
+    and wall-clock latency aggregates.
+
+    Thread-safe; the [stats] protocol request snapshots these together
+    with the cache counters and the pool occupancy. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> op:string -> ok:bool -> seconds:float -> unit
+
+val requests_total : t -> int
+
+val errors_total : t -> int
+
+val snapshot : t -> Dnn_serial.Json.t
+(** [{"requests": N, "errors": N, "by_op": {op: {"count", "errors",
+    "total_ms", "max_ms"}}}].  Operations are listed alphabetically so
+    the rendering is deterministic. *)

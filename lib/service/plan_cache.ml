@@ -1,0 +1,146 @@
+module Json = Dnn_serial.Json
+
+type t = {
+  lru : (Json.t * string) Lru.t;  (* payload and its compact rendering *)
+  mutex : Mutex.t;
+  persist_dir : string option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable disk_loads : int;
+}
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  disk_loads : int;
+}
+
+let src = Logs.Src.create "lcmm.service.cache" ~doc:"Plan cache"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let with_lock t fn =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) fn
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(max_entries = 256) ?(max_bytes = 64 * 1024 * 1024) ?persist_dir () =
+  Option.iter mkdir_p persist_dir;
+  { lru = Lru.create ~max_entries ~max_bytes;
+    mutex = Mutex.create ();
+    persist_dir;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    disk_loads = 0 }
+
+(* Digests are hex strings produced by us, but harden the path anyway:
+   anything beyond [0-9a-f] never names a persisted entry. *)
+let persist_path t digest =
+  match t.persist_dir with
+  | None -> None
+  | Some dir ->
+    if digest <> "" && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) digest
+    then Some (Filename.concat dir (digest ^ ".json"))
+    else None
+
+let load_persisted t digest =
+  match persist_path t digest with
+  | None -> None
+  | Some path when not (Sys.file_exists path) -> None
+  | Some path -> (
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg ->
+      Log.warn (fun m -> m "unreadable persisted entry %s: %s" path msg);
+      None
+    | content -> (
+      match Json.of_string content with
+      | Ok v -> Some (v, content)
+      | Error msg ->
+        Log.warn (fun m -> m "corrupt persisted entry %s: %s" path msg);
+        None))
+
+let store_persisted t digest rendered =
+  match persist_path t digest with
+  | None -> ()
+  | Some path -> (
+    (* Write-then-rename so a concurrent reader never sees a torn file. *)
+    let tmp = path ^ ".tmp" in
+    match
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc rendered);
+      Sys.rename tmp path
+    with
+    | () -> ()
+    | exception Sys_error msg ->
+      Log.warn (fun m -> m "failed to persist %s: %s" path msg))
+
+let insert t digest payload rendered =
+  let evicted =
+    Lru.add t.lru ~key:digest ~bytes:(String.length rendered) (payload, rendered)
+  in
+  t.evictions <- t.evictions + List.length evicted
+
+let find t digest =
+  with_lock t (fun () ->
+      match Lru.find t.lru digest with
+      | Some (payload, _) ->
+        t.hits <- t.hits + 1;
+        Some payload
+      | None -> (
+        match load_persisted t digest with
+        | Some (payload, rendered) ->
+          t.hits <- t.hits + 1;
+          t.disk_loads <- t.disk_loads + 1;
+          insert t digest payload rendered;
+          Some payload
+        | None ->
+          t.misses <- t.misses + 1;
+          None))
+
+let put t digest payload =
+  let rendered = Json.to_string payload in
+  with_lock t (fun () ->
+      insert t digest payload rendered;
+      store_persisted t digest rendered)
+
+let stats t =
+  with_lock t (fun () ->
+      { entries = Lru.length t.lru;
+        bytes = Lru.total_bytes t.lru;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        disk_loads = t.disk_loads })
+
+let stats_json t =
+  let s = stats t in
+  Json.Obj
+    [ ("entries", Json.Int s.entries); ("bytes", Json.Int s.bytes);
+      ("hits", Json.Int s.hits); ("misses", Json.Int s.misses);
+      ("evictions", Json.Int s.evictions);
+      ("disk_loads", Json.Int s.disk_loads) ]
+
+let clear t =
+  with_lock t (fun () ->
+      Lru.clear t.lru;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.disk_loads <- 0)

@@ -1,0 +1,131 @@
+type job = Job : (unit -> unit) -> job
+
+type t = {
+  queue : job Queue.t;
+  mutex : Mutex.t;
+  wakeup : Condition.t;       (* signaled on enqueue and on shutdown *)
+  mutable stopping : bool;
+  mutable busy_count : int;
+  mutable workers : unit Domain.t list;
+  domain_count : int;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      match Queue.take_opt t.queue with
+      | Some job -> Some job
+      | None ->
+        if t.stopping then None
+        else begin
+          Condition.wait t.wakeup t.mutex;
+          next ()
+        end
+    in
+    match next () with
+    | None ->
+      Mutex.unlock t.mutex;
+      ()
+    | Some (Job run) ->
+      t.busy_count <- t.busy_count + 1;
+      Mutex.unlock t.mutex;
+      run ();
+      Mutex.lock t.mutex;
+      t.busy_count <- t.busy_count - 1;
+      Mutex.unlock t.mutex;
+      loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let domain_count =
+    match domains with
+    | Some n when n < 1 -> invalid_arg "Pool.create: domains must be >= 1"
+    | Some n -> n
+    | None -> max 1 (min 8 (Domain.recommended_domain_count () - 1))
+  in
+  let t =
+    { queue = Queue.create ();
+      mutex = Mutex.create ();
+      wakeup = Condition.create ();
+      stopping = false;
+      busy_count = 0;
+      workers = [];
+      domain_count }
+  in
+  t.workers <- List.init domain_count (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = t.domain_count
+
+let submit t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let run () =
+    let outcome = try Done (f ()) with e -> Failed e in
+    Mutex.lock fut.fm;
+    fut.state <- outcome;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+  in
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add (Job run) t.queue;
+  Condition.signal t.wakeup;
+  Mutex.unlock t.mutex;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.fc fut.fm;
+      wait ()
+    | Done v -> Ok v
+    | Failed e -> Error e
+  in
+  let outcome = wait () in
+  Mutex.unlock fut.fm;
+  outcome
+
+let run t f =
+  match await (submit t f) with Ok v -> v | Error e -> raise e
+
+let map_list t f xs =
+  let futures = List.map (fun x -> submit t (fun () -> f x)) xs in
+  List.map (fun fut -> match await fut with Ok v -> v | Error e -> raise e) futures
+
+let busy t =
+  Mutex.lock t.mutex;
+  let n = t.busy_count in
+  Mutex.unlock t.mutex;
+  n
+
+let queued t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.wakeup;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end

@@ -1,0 +1,46 @@
+(** A fixed-size worker pool on OCaml 5 domains.
+
+    The LCMM passes are pure functions of their inputs (no global
+    mutable state anywhere in [lib/core], [lib/accel] or [lib/sim]), so
+    independent compile/simulate requests are safe to run on separate
+    domains with no coordination beyond this queue — the determinism
+    test in [test/test_service.ml] pins that down by comparing parallel
+    and sequential runs byte for byte.
+
+    Jobs are closures; submitting returns a future that [await] blocks
+    on.  Exceptions escaping a job are captured and re-raised (or
+    returned) at the await site, never killing a worker. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn the worker domains.  [domains] defaults to
+    [Domain.recommended_domain_count () - 1], clamped to [1, 8]; values
+    below 1 raise [Invalid_argument]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a future -> ('a, exn) result
+
+val run : t -> (unit -> 'a) -> 'a
+(** [submit] then [await], re-raising the job's exception. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map preserving order.  Must not be called from inside a
+    pool job (a worker blocking on its own pool can deadlock when every
+    worker does it); the service keeps fan-out on the caller thread. *)
+
+val busy : t -> int
+(** Workers currently executing a job. *)
+
+val queued : t -> int
+(** Jobs accepted but not yet started. *)
+
+val shutdown : t -> unit
+(** Drain the queue, join every domain.  Idempotent. *)

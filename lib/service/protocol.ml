@@ -1,0 +1,211 @@
+module Json = Dnn_serial.Json
+module F = Lcmm.Framework
+
+type target =
+  | Named of string
+  | Inline of Dnn_graph.Graph.t
+
+type compile_spec = {
+  target : target;
+  dtype : Tensor.Dtype.t;
+  device : Fpga.Device.t;
+  options : F.options;
+}
+
+type request =
+  | Compile of compile_spec
+  | Simulate of compile_spec * int option
+  | Batch of envelope list
+  | Stats
+  | Models
+
+and envelope = {
+  id : Json.t option;
+  request : request;
+}
+
+let target_name = function
+  | Named name -> name
+  | Inline _ -> "<inline>"
+
+let op_name = function
+  | Compile _ -> "compile"
+  | Simulate _ -> "simulate"
+  | Batch _ -> "batch"
+  | Stats -> "stats"
+  | Models -> "models"
+
+let ( let* ) = Result.bind
+
+(* --- decoding --- *)
+
+let bool_field v key fallback =
+  match Json.member_opt key v with
+  | None -> Ok fallback
+  | Some field -> (
+    match Json.to_bool field with
+    | Ok b -> Ok b
+    | Error _ -> Error (Printf.sprintf "field %S: expected a boolean" key))
+
+let options_of_json v =
+  let base = F.default_options in
+  let* feature_reuse = bool_field v "feature_reuse" base.F.feature_reuse in
+  let* weight_prefetch = bool_field v "weight_prefetch" base.F.weight_prefetch in
+  let* buffer_splitting = bool_field v "buffer_splitting" base.F.buffer_splitting in
+  let* buffer_sharing = bool_field v "buffer_sharing" base.F.buffer_sharing in
+  let* memory_bound_only = bool_field v "memory_bound_only" base.F.memory_bound_only in
+  let* compensation =
+    match Json.member_opt "compensation" v with
+    | None -> Ok base.F.compensation
+    | Some (Json.String ("table" | "table_approx")) -> Ok Lcmm.Dnnk.Table_approx
+    | Some (Json.String ("exact" | "exact_iterative")) -> Ok Lcmm.Dnnk.Exact_iterative
+    | Some _ -> Error "field \"compensation\": expected \"table\" or \"exact\""
+  in
+  let* coloring =
+    match Json.member_opt "coloring" v with
+    | None -> Ok base.F.coloring
+    | Some (Json.String "min_growth") -> Ok Lcmm.Coloring.Min_growth
+    | Some (Json.String "first_fit") -> Ok Lcmm.Coloring.First_fit
+    | Some _ -> Error "field \"coloring\": expected \"min_growth\" or \"first_fit\""
+  in
+  let* capacity_override =
+    match Json.member_opt "capacity_override" v with
+    | None -> Ok base.F.capacity_override
+    | Some Json.Null -> Ok None
+    | Some field -> (
+      match Json.to_int field with
+      | Ok b when b > 0 -> Ok (Some b)
+      | Ok _ -> Error "field \"capacity_override\": expected a positive byte count"
+      | Error _ -> Error "field \"capacity_override\": expected an integer or null")
+  in
+  let* weight_slices =
+    match Json.member_opt "weight_slices" v with
+    | None -> Ok base.F.weight_slices
+    | Some field -> (
+      match Json.to_int field with
+      | Ok k when k >= 1 -> Ok k
+      | Ok _ -> Error "field \"weight_slices\": expected a count >= 1"
+      | Error _ -> Error "field \"weight_slices\": expected an integer")
+  in
+  Ok
+    { F.feature_reuse;
+      weight_prefetch;
+      buffer_splitting;
+      buffer_sharing;
+      memory_bound_only;
+      compensation;
+      coloring;
+      capacity_override;
+      weight_slices }
+
+let target_of_json v =
+  match Json.member_opt "model" v, Json.member_opt "graph" v with
+  | Some _, Some _ -> Error "give either \"model\" or \"graph\", not both"
+  | None, None -> Error "missing target: give \"model\" or \"graph\""
+  | Some name_v, None ->
+    let* name = Json.to_str name_v in
+    Ok (Named name)
+  | None, Some graph_v ->
+    let* g = Dnn_serial.Codec.graph_of_json graph_v in
+    Ok (Inline g)
+
+let compile_spec_of_json v =
+  let* target = target_of_json v in
+  let* dtype =
+    match Json.member_opt "dtype" v with
+    | None -> Ok Tensor.Dtype.I16
+    | Some field ->
+      let* s = Json.to_str field in
+      (match Tensor.Dtype.of_string s with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "unknown dtype %S" s))
+  in
+  let* device =
+    match Json.member_opt "device" v with
+    | None -> Ok Fpga.Device.vu9p
+    | Some field ->
+      let* s = Json.to_str field in
+      (match Fpga.Device.find s with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "unknown device %S" s))
+  in
+  let* options =
+    match Json.member_opt "options" v with
+    | None -> Ok F.default_options
+    | Some (Json.Obj _ as o) -> options_of_json o
+    | Some _ -> Error "field \"options\": expected an object"
+  in
+  Ok { target; dtype; device; options }
+
+let rec request_of_json v =
+  let* op_v = Json.member "op" v in
+  let* op = Json.to_str op_v in
+  let id = Json.member_opt "id" v in
+  let* request =
+    match op with
+    | "compile" ->
+      let* spec = compile_spec_of_json v in
+      Ok (Compile spec)
+    | "simulate" ->
+      let* spec = compile_spec_of_json v in
+      let* images =
+        match Json.member_opt "images" v with
+        | None -> Ok None
+        | Some field -> (
+          match Json.to_int field with
+          | Ok n when n >= 1 -> Ok (Some n)
+          | Ok _ -> Error "field \"images\": expected a count >= 1"
+          | Error _ -> Error "field \"images\": expected an integer")
+      in
+      Ok (Simulate (spec, images))
+    | "batch" ->
+      let* requests_v = Json.member "requests" v in
+      let* items = Json.to_list requests_v in
+      let* subs =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* sub = request_of_json item in
+            match sub.request with
+            | Batch _ -> Error "nested batch requests are not supported"
+            | Compile _ | Simulate _ | Stats | Models -> Ok (sub :: acc))
+          (Ok []) items
+      in
+      Ok (Batch (List.rev subs))
+    | "stats" -> Ok Stats
+    | "models" -> Ok Models
+    | other ->
+      Error
+        (Printf.sprintf
+           "unknown op %S (known: compile simulate batch stats models)" other)
+  in
+  Ok { id; request }
+
+let request_of_line line =
+  let* v = Json.of_string line in
+  request_of_json v
+
+(* --- encoding (transcripts, debugging) --- *)
+
+let options_to_json (o : F.options) =
+  Json.Obj
+    [ ("feature_reuse", Json.Bool o.F.feature_reuse);
+      ("weight_prefetch", Json.Bool o.F.weight_prefetch);
+      ("buffer_splitting", Json.Bool o.F.buffer_splitting);
+      ("buffer_sharing", Json.Bool o.F.buffer_sharing);
+      ("memory_bound_only", Json.Bool o.F.memory_bound_only);
+      ( "compensation",
+        Json.String
+          (match o.F.compensation with
+          | Lcmm.Dnnk.Table_approx -> "table"
+          | Lcmm.Dnnk.Exact_iterative -> "exact") );
+      ( "coloring",
+        Json.String
+          (match o.F.coloring with
+          | Lcmm.Coloring.Min_growth -> "min_growth"
+          | Lcmm.Coloring.First_fit -> "first_fit") );
+      ( "capacity_override",
+        match o.F.capacity_override with
+        | None -> Json.Null
+        | Some b -> Json.Int b );
+      ("weight_slices", Json.Int o.F.weight_slices) ]

@@ -1,0 +1,60 @@
+(** The plan service's line-delimited JSON request protocol.
+
+    One request per line, one response per line (see {!Dnn_serial.Wire}
+    for the response envelope).  Grammar, informally:
+
+    {v
+    request   := { "op": op, "id"?: json, ...op-fields }
+    op        := "compile" | "simulate" | "batch" | "stats" | "models"
+    compile   := target, "dtype"?: "i8"|"i16"|"f32",
+                 "device"?: name, "options"?: options
+    simulate  := compile-fields, "images"?: int >= 1
+    batch     := "requests": [ request* ]     (no nested batches)
+    target    := "model": zoo-name  |  "graph": codec-document
+    options   := { "feature_reuse"?, "weight_prefetch"?,
+                   "buffer_splitting"?, "buffer_sharing"?,
+                   "memory_bound_only"?: bool,
+                   "compensation"?: "table"|"exact",
+                   "coloring"?: "min_growth"|"first_fit",
+                   "capacity_override"?: int|null,
+                   "weight_slices"?: int }
+    v}
+
+    Defaults: dtype [i16], device [vu9p], the paper's
+    {!Lcmm.Framework.default_options}. *)
+
+type target =
+  | Named of string                 (** A model-zoo name. *)
+  | Inline of Dnn_graph.Graph.t    (** A graph shipped in the request. *)
+
+type compile_spec = {
+  target : target;
+  dtype : Tensor.Dtype.t;
+  device : Fpga.Device.t;
+  options : Lcmm.Framework.options;
+}
+
+type request =
+  | Compile of compile_spec
+  | Simulate of compile_spec * int option  (** Optional batch size. *)
+  | Batch of envelope list
+  | Stats
+  | Models
+
+and envelope = {
+  id : Dnn_serial.Json.t option;  (** Echoed verbatim in the response. *)
+  request : request;
+}
+
+val target_name : target -> string
+(** The zoo name, or ["<inline>"] for shipped graphs. *)
+
+val op_name : request -> string
+
+val request_of_json : Dnn_serial.Json.t -> (envelope, string) result
+
+val request_of_line : string -> (envelope, string) result
+
+val options_to_json : Lcmm.Framework.options -> Dnn_serial.Json.t
+(** Inverse of the [options] grammar above, for transcripts and
+    debugging; [request_of_json] accepts its output. *)

@@ -1,0 +1,37 @@
+let src = Logs.Src.create "lcmm.service.server" ~doc:"Plan service transport"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let serve_channels ?timing engine ic oc =
+  let rec loop () =
+    match Dnn_serial.Wire.read_request ic with
+    | Ok None -> ()
+    | Error msg -> Log.warn (fun m -> m "input error: %s" msg)
+    | Ok (Some line) ->
+      output_string oc (Engine.handle_line ?timing engine line);
+      flush oc;
+      loop ()
+  in
+  loop ()
+
+let serve_stdio ?timing engine = serve_channels ?timing engine stdin stdout
+
+let serve_unix_socket ?timing engine ~path =
+  if Sys.file_exists path then Unix.unlink path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  at_exit (fun () -> try Unix.unlink path with Unix.Unix_error _ -> ());
+  Log.app (fun m -> m "listening on %s" path);
+  let rec accept_loop () =
+    let conn, _ = Unix.accept sock in
+    Log.info (fun m -> m "connection accepted");
+    let ic = Unix.in_channel_of_descr conn in
+    let oc = Unix.out_channel_of_descr conn in
+    (try serve_channels ?timing engine ic oc
+     with Sys_error msg -> Log.warn (fun m -> m "connection error: %s" msg));
+    (try Unix.close conn with Unix.Unix_error _ -> ());
+    Log.info (fun m -> m "connection closed");
+    accept_loop ()
+  in
+  accept_loop ()

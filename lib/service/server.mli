@@ -1,0 +1,19 @@
+(** Serve loops: NDJSON requests from stdio or a Unix domain socket.
+
+    Both loops are single-connection sequential readers — within one
+    connection, parallelism comes from [batch] requests fanning out over
+    the engine's pool.  Responses are written and flushed one line per
+    request, in request order. *)
+
+val serve_channels :
+  ?timing:bool -> Engine.t -> in_channel -> out_channel -> unit
+(** Read request lines until end of input, answering each on [oc].
+    Blank lines are skipped; unreadable input ends the loop. *)
+
+val serve_stdio : ?timing:bool -> Engine.t -> unit
+
+val serve_unix_socket : ?timing:bool -> Engine.t -> path:string -> unit
+(** Bind (replacing a stale socket file), listen and accept forever,
+    serving one connection at a time; the socket file is removed on
+    normal process exit.  Raises [Unix.Unix_error] when the bind
+    fails. *)

@@ -28,4 +28,5 @@ let () =
       ("placement", Test_placement.suite);
       ("traffic", Test_traffic.suite);
       ("matrix", Test_matrix.suite);
-      ("reproduction", Test_reproduction.suite) ]
+      ("reproduction", Test_reproduction.suite);
+      ("service", Test_service.suite) ]

@@ -2,6 +2,7 @@
 
 module Json = Dnn_serial.Json
 module Codec = Dnn_serial.Codec
+module Wire = Dnn_serial.Wire
 module G = Dnn_graph.Graph
 
 let json_t = Alcotest.testable Json.pp Json.equal
@@ -59,6 +60,18 @@ let test_json_accessors () =
   Alcotest.(check bool) "to_int of string fails" true
     (Result.is_error (Result.bind (Json.member "b" v) Json.to_int))
 
+let test_json_numeric_and_bool_accessors () =
+  Alcotest.(check (result (float 0.) string)) "to_float of float" (Ok 2.5)
+    (Json.to_float (Json.Float 2.5));
+  Alcotest.(check (result (float 0.) string)) "to_float widens ints" (Ok 3.)
+    (Json.to_float (Json.Int 3));
+  Alcotest.(check bool) "to_float of string fails" true
+    (Result.is_error (Json.to_float (Json.String "2.5")));
+  Alcotest.(check (result bool string)) "to_bool" (Ok true)
+    (Json.to_bool (Json.Bool true));
+  Alcotest.(check bool) "to_bool of int fails" true
+    (Result.is_error (Json.to_bool (Json.Int 1)))
+
 let rec gen_json depth =
   let open QCheck2.Gen in
   if depth = 0 then
@@ -66,6 +79,9 @@ let rec gen_json depth =
       [ return Json.Null;
         map (fun b -> Json.Bool b) bool;
         map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+        (* Finite floats only: the printer uses %.17g (or %.1f for
+           integer-valued ones), both of which parse back exactly. *)
+        map (fun f -> Json.Float f) (float_range (-1e12) 1e12);
         map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12)) ]
   else
     oneof
@@ -149,6 +165,54 @@ let test_codec_file_io () =
   Alcotest.(check bool) "missing file is an error" true
     (Result.is_error (Codec.read_file ~path:"/nonexistent/x.json"))
 
+(* --- wire envelopes --- *)
+
+let test_wire_envelopes () =
+  Alcotest.(check string) "ok envelope, fixed field order"
+    {|{"id":7,"op":"compile","ok":true,"cache":"hit","result":{"x":1}}|}
+    (Json.to_string
+       (Wire.ok ~id:(Json.Int 7) ~op:"compile" ~cache:"hit"
+          (Json.Obj [ ("x", Json.Int 1) ])));
+  Alcotest.(check string) "minimal ok" {|{"op":"stats","ok":true,"result":null}|}
+    (Json.to_string (Wire.ok ~op:"stats" Json.Null));
+  Alcotest.(check string) "error envelope"
+    {|{"op":"compile","ok":false,"error":"no such model"}|}
+    (Json.to_string (Wire.error ~op:"compile" "no such model"));
+  let line = Wire.to_line (Wire.ok ~op:"models" (Json.List [])) in
+  Alcotest.(check bool) "to_line is one newline-terminated record" true
+    (String.length line > 0
+    && line.[String.length line - 1] = '\n'
+    && not (String.contains (String.sub line 0 (String.length line - 1)) '\n'))
+
+let test_wire_read_request () =
+  let path = Filename.temp_file "lcmm_wire" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"op\":\"stats\"}\n\n   \n{\"op\":\"models\"}\n";
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          Alcotest.(check (result (option string) string)) "first line"
+            (Ok (Some {|{"op":"stats"}|})) (Wire.read_request ic);
+          Alcotest.(check (result (option string) string)) "blank lines skipped"
+            (Ok (Some {|{"op":"models"}|})) (Wire.read_request ic);
+          Alcotest.(check (result (option string) string)) "eof"
+            (Ok None) (Wire.read_request ic)))
+
+(* --- content digests --- *)
+
+let test_codec_digest () =
+  let d1 = Codec.digest (Helpers.chain ()) in
+  Alcotest.(check string) "digest is deterministic" d1
+    (Codec.digest (Helpers.chain ()));
+  Alcotest.(check int) "hex md5 width" 32 (String.length d1);
+  Alcotest.(check bool) "distinct graphs, distinct digests" true
+    (d1 <> Codec.digest (Helpers.diamond ()))
+
 let prop_random_graph_roundtrip =
   Helpers.qtest ~count:40 "random graphs round-trip" Helpers.random_graph_gen
     (fun g ->
@@ -161,7 +225,12 @@ let suite =
     Alcotest.test_case "json errors" `Quick test_json_errors;
     Alcotest.test_case "json compact/pretty" `Quick test_json_roundtrip_compact_and_pretty;
     Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "json numeric/bool accessors" `Quick
+      test_json_numeric_and_bool_accessors;
     prop_json_roundtrip;
+    Alcotest.test_case "wire envelopes" `Quick test_wire_envelopes;
+    Alcotest.test_case "wire read_request" `Quick test_wire_read_request;
+    Alcotest.test_case "codec digest" `Quick test_codec_digest;
     Alcotest.test_case "graph round-trip fixtures" `Quick test_graph_roundtrip_fixtures;
     Alcotest.test_case "graph round-trip zoo" `Quick test_graph_roundtrip_zoo;
     Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
