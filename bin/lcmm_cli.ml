@@ -377,11 +377,107 @@ let serve_cmd =
       const run $ log_arg $ socket_arg $ workers_arg $ cache_entries_arg
       $ cache_mb_arg $ cache_dir_arg $ no_timing_arg)
 
+let check_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed of the run.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "n"; "count" ] ~doc:"Number of random graphs.")
+  in
+  let max_nodes_arg =
+    Arg.(
+      value
+      & opt int Check.Runner.default_max_nodes
+      & info [ "max-nodes" ] ~doc:"Largest generated graph.")
+  in
+  let oracle_arg =
+    let doc =
+      Printf.sprintf "Run only this oracle (repeatable).  Known: %s."
+        (String.concat ", " Check.Oracle.names)
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let replay_arg =
+    let doc = "Re-run the oracles on a persisted failure case instead of fuzzing." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let save_dir_arg =
+    let doc = "Directory where shrunk failing cases are persisted as JSON." in
+    Arg.(value & opt string "." & info [ "save-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run () seed count max_nodes oracle_names replay save_dir =
+    let oracles =
+      match oracle_names with
+      | [] -> Check.Oracle.all
+      | names ->
+        List.map
+          (fun name ->
+            match Check.Oracle.find name with
+            | Some o -> o
+            | None ->
+              or_die
+                (Error
+                   (Printf.sprintf "unknown oracle %S; known: %s" name
+                      (String.concat ", " Check.Oracle.names))))
+          names
+    in
+    let report (outcome : Check.Runner.outcome) =
+      List.iter
+        (fun (f : Check.Runner.failure) ->
+          Printf.printf
+            "FAIL case %d (%s): oracle %s\n  %s\n  counterexample: %d nodes (from %d)%s\n"
+            f.Check.Runner.case_index f.Check.Runner.family f.Check.Runner.oracle
+            f.Check.Runner.message f.Check.Runner.shrunk_nodes
+            f.Check.Runner.original_nodes
+            (match f.Check.Runner.saved_path with
+            | Some p -> Printf.sprintf "\n  saved: %s" p
+            | None -> ""))
+        outcome.Check.Runner.failures;
+      Printf.printf "checked %d case(s), %d oracle run(s): %s\n"
+        outcome.Check.Runner.cases outcome.Check.Runner.oracle_runs
+        (match outcome.Check.Runner.failures with
+        | [] -> "all invariants held"
+        | fs -> Printf.sprintf "%d FAILURE(S)" (List.length fs));
+      if outcome.Check.Runner.failures <> [] then exit 1
+    in
+    match replay with
+    | Some path -> report (or_die (Check.Runner.replay ~oracles ~path ()))
+    | None ->
+      if count < 1 then or_die (Error "count must be >= 1");
+      if max_nodes < 1 then or_die (Error "max-nodes must be >= 1");
+      report
+        (Check.Runner.run ~oracles ~save_dir ~max_nodes ~seed ~count ())
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Property-based differential verification: fuzz the LCMM passes with \
+          random adversarial graphs, checking every pass against its invariants, \
+          the exact solver and the simulator; failures are shrunk and persisted \
+          as replayable JSON.")
+    Term.(
+      const run $ log_arg $ seed_arg $ count_arg $ max_nodes_arg $ oracle_arg
+      $ replay_arg $ save_dir_arg)
+
 let () =
   let info = Cmd.info "lcmm" ~doc:"Layer-conscious memory management for FPGA DNN accelerators" in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ models_cmd; summary_cmd; roofline_cmd; allocate_cmd; simulate_cmd;
-            compare_cmd; dot_cmd; export_cmd; info_cmd; schedule_cmd; trace_cmd;
-            traffic_cmd; sensitivity_cmd; serve_cmd ]))
+  let group =
+    Cmd.group info
+      [ models_cmd; summary_cmd; roofline_cmd; allocate_cmd; simulate_cmd;
+        compare_cmd; dot_cmd; export_cmd; info_cmd; schedule_cmd; trace_cmd;
+        traffic_cmd; sensitivity_cmd; serve_cmd; check_cmd ]
+  in
+  (* One-line diagnostics instead of cmdliner's uncaught-exception dump:
+     whatever escapes a subcommand (I/O errors, invalid arguments deep in
+     the passes) becomes a single stderr line and a non-zero exit. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Sys_error msg ->
+    prerr_endline ("lcmm: " ^ msg);
+    exit 2
+  | exception Invalid_argument msg | exception Failure msg ->
+    prerr_endline ("lcmm: " ^ msg);
+    exit 2
+  | exception e ->
+    prerr_endline ("lcmm: internal error: " ^ Printexc.to_string e);
+    exit 125

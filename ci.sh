@@ -20,4 +20,11 @@ grep -q '"umm_ms"' "$out"
 grep -q '"lcmm_ms"' "$out"
 echo "wrote $out"
 
+echo "== tier-2: differential fuzzing (lcmm check) =="
+# Fixed seeds keep the sweep deterministic; failures are shrunk and
+# saved under _build/check-cases for replay with `lcmm check --replay`.
+mkdir -p _build/check-cases
+dune exec bin/lcmm_cli.exe -- check --seed 7 --count 500 \
+  --save-dir _build/check-cases
+
 echo "CI OK"

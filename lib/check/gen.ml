@@ -1,0 +1,239 @@
+module B = Dnn_graph.Builder
+module Op = Dnn_graph.Op
+module Shape = Tensor.Shape
+
+type family = Chain | Fan | Skip | Degenerate | Mixed
+
+let families = [ Chain; Fan; Skip; Degenerate; Mixed ]
+
+let family_name = function
+  | Chain -> "chain"
+  | Fan -> "fan"
+  | Skip -> "skip"
+  | Degenerate -> "degenerate"
+  | Mixed -> "mixed"
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+
+let feature_dims b v =
+  match Shape.as_feature (B.shape b v) with
+  | Some f -> (f.Shape.channels, f.Shape.height, f.Shape.width)
+  | None -> invalid_arg "Gen: non-feature value"
+
+(* Budgeted building: every layer call below costs one node.  [spend]
+   refuses once the budget is gone, so families can opportunistically add
+   tails without tracking counts themselves. *)
+type ctx = { b : B.t; st : Random.State.t; mutable left : int }
+
+let spend ctx f = if ctx.left <= 0 then None else (ctx.left <- ctx.left - 1; Some (f ()))
+
+let spend_exn ctx f =
+  match spend ctx f with
+  | Some v -> v
+  | None -> invalid_arg "Gen: node budget exhausted"
+
+let channels_choices = [| 4; 8; 16; 24; 32 |]
+
+let conv_layer ctx v =
+  let c_in, h, w = feature_dims ctx.b v in
+  let kernel = if Random.State.bool ctx.st then (1, 1) else (3, 3) in
+  let stride =
+    if h >= 4 && w >= 4 && Random.State.int ctx.st 5 = 0 then (2, 2) else (1, 1)
+  in
+  (* Depthwise now and then: grouped convolutions stress the weight-shape
+     accounting (per-group input channels). *)
+  if Random.State.int ctx.st 6 = 0 then
+    B.conv ctx.b ~kernel:(3, 3) ~groups:c_in ~out_channels:c_in v
+  else B.conv ctx.b ~kernel ~stride ~out_channels:(pick ctx.st channels_choices) v
+
+let pool_layer ctx v =
+  (* Same padding, unit stride: shape-preserving, weight-free. *)
+  B.pool ctx.b ~kernel:(3, 3) ~stride:(1, 1) ~padding:Op.Same v
+
+let input ctx =
+  let channels = pick ctx.st [| 4; 8; 16 |] in
+  let hw = pick ctx.st [| 8; 16; 32 |] in
+  spend_exn ctx (fun () -> B.input ctx.b ~channels ~height:hw ~width:hw ())
+
+(* Optional classifier tail: global pool + dense. *)
+let tail ctx v =
+  if ctx.left >= 2 && Random.State.bool ctx.st then begin
+    match spend ctx (fun () -> B.global_pool ctx.b v) with
+    | None -> ()
+    | Some p ->
+      ignore
+        (spend ctx (fun () ->
+             B.dense ctx.b ~out_features:(16 * (1 + Random.State.int ctx.st 8)) p))
+  end
+
+(* Deep linear chain: long prefetch backtraces, every lifespan short. *)
+let chain ctx =
+  let x = ref (input ctx) in
+  let continue = ref true in
+  while !continue do
+    let step () =
+      if Random.State.int ctx.st 4 = 0 then pool_layer ctx !x else conv_layer ctx !x
+    in
+    match spend ctx step with Some v -> x := v | None -> continue := false
+  done;
+  tail ctx !x
+
+(* Wide fan-out/fan-in: one source feeding many parallel branches that
+   remerge, so mid-graph lifespans all overlap. *)
+let fan ctx =
+  let x = input ctx in
+  let stem = spend_exn ctx (fun () -> B.conv ctx.b ~kernel:(1, 1) ~out_channels:16 x) in
+  let max_branches = max 2 (min 10 ((ctx.left - 1) / 2)) in
+  let branches = 2 + Random.State.int ctx.st (max_branches - 1) in
+  let merge_add = Random.State.bool ctx.st in
+  (* Explicit loop rather than [List.init]: the branch draws must happen
+     in branch order for the seed to fully determine the graph. *)
+  let rec build_branches i acc =
+    if i >= branches then List.rev acc
+    else
+      let ch = if merge_add then 16 else pick ctx.st channels_choices in
+      match spend ctx (fun () -> B.conv ctx.b ~kernel:(1, 1) ~out_channels:ch stem) with
+      | None -> List.rev acc
+      | Some v ->
+        let out =
+          if Random.State.bool ctx.st then
+            match spend ctx (fun () -> B.conv ctx.b ~kernel:(3, 3) ~out_channels:ch v) with
+            | None -> v
+            | Some v' -> v'
+          else v
+        in
+        build_branches (i + 1) (out :: acc)
+  in
+  let outs = build_branches 0 [] in
+  match outs with
+  | [] | [ _ ] -> ()
+  | _ :: _ :: _ -> (
+    let merged =
+      spend ctx (fun () ->
+          if merge_add then B.add ctx.b outs else B.concat ctx.b outs)
+    in
+    match merged with
+    | None -> ()
+    | Some m ->
+      let v = ref m in
+      (match spend ctx (fun () -> B.conv ctx.b ~kernel:(1, 1) ~out_channels:16 !v) with
+      | Some v' -> v := v'
+      | None -> ());
+      tail ctx !v)
+
+(* DenseNet-style skips: each stage concatenates every earlier stage, so
+   early values stay live to the end of the schedule. *)
+let skip ctx =
+  let x = input ctx in
+  let stem = spend_exn ctx (fun () -> B.conv ctx.b ~kernel:(3, 3) ~out_channels:8 x) in
+  let values = ref [ stem ] in
+  let continue = ref true in
+  while !continue && ctx.left >= 2 do
+    match !values with
+    | [ only ] -> (
+      match spend ctx (fun () -> B.conv ctx.b ~kernel:(3, 3) ~out_channels:8 only) with
+      | Some v -> values := v :: !values
+      | None -> continue := false)
+    | several -> (
+      match spend ctx (fun () -> B.concat ctx.b (List.rev several)) with
+      | None -> continue := false
+      | Some cat -> (
+        match spend ctx (fun () -> B.conv ctx.b ~kernel:(1, 1) ~out_channels:8 cat) with
+        | Some v -> values := v :: !values
+        | None -> continue := false))
+  done
+
+(* Degenerate corners: bare inputs, weight-free networks, one-layer nets. *)
+let degenerate ctx =
+  match Random.State.int ctx.st (if ctx.left >= 2 then 5 else 1) with
+  | 0 -> ignore (input ctx) (* the 1-node graph *)
+  | 1 ->
+    (* Zero weights: pools and a self-add only. *)
+    let x = input ctx in
+    let v = ref x in
+    (match spend ctx (fun () -> pool_layer ctx !v) with
+    | Some p -> v := p
+    | None -> ());
+    ignore (spend ctx (fun () -> B.add ctx.b [ !v; !v ]))
+  | 2 -> ignore (spend ctx (fun () -> B.global_pool ctx.b (input ctx)))
+  | 3 ->
+    (* A single enormous-ish weight relative to the features. *)
+    let x = input ctx in
+    ignore (spend ctx (fun () -> B.conv ctx.b ~kernel:(3, 3) ~out_channels:64 x))
+  | _ -> (
+    let x = input ctx in
+    match spend ctx (fun () -> B.global_pool ctx.b x) with
+    | None -> ()
+    | Some p -> ignore (spend ctx (fun () -> B.dense ctx.b ~out_features:64 p)))
+
+(* Random DAG: any earlier value can feed the next layer; adds and
+   concats pick shape-compatible groups. *)
+let mixed ctx =
+  let x = input ctx in
+  let values = ref [ x ] in
+  let nth_value k =
+    let l = !values in
+    List.nth l (k mod List.length l)
+  in
+  let continue = ref true in
+  while !continue do
+    let step () =
+      let src = nth_value (Random.State.int ctx.st 1_000) in
+      match Random.State.int ctx.st 8 with
+      | 0 | 1 | 2 -> conv_layer ctx src
+      | 3 -> pool_layer ctx src
+      | 4 -> (
+        (* Element-wise add of two same-shaped values (possibly the same
+           value twice — a node reading one value through two inputs). *)
+        let shape = B.shape ctx.b src in
+        let mates =
+          List.filter (fun v -> Shape.equal (B.shape ctx.b v) shape) !values
+        in
+        match mates with
+        | a :: b :: _ when not (Random.State.int ctx.st 4 = 0) -> B.add ctx.b [ a; b ]
+        | _ -> B.add ctx.b [ src; src ])
+      | 5 -> (
+        let _, h, w = feature_dims ctx.b src in
+        let mates =
+          List.filter
+            (fun v ->
+              let _, h', w' = feature_dims ctx.b v in
+              h' = h && w' = w)
+            !values
+        in
+        match mates with
+        | a :: b :: c :: _ when Random.State.bool ctx.st -> B.concat ctx.b [ a; b; c ]
+        | a :: b :: _ -> B.concat ctx.b [ a; b ]
+        | _ -> conv_layer ctx src)
+      | 6 ->
+        let _, h, w = feature_dims ctx.b src in
+        if h * 2 <= 64 && w * 2 <= 64 then B.upsample ctx.b ~factor:2 src
+        else conv_layer ctx src
+      | _ ->
+        let c_in, _, _ = feature_dims ctx.b src in
+        B.conv ctx.b ~kernel:(3, 3) ~groups:c_in ~out_channels:c_in src
+    in
+    (* Every value here is a feature map: dense tails are excluded from
+       the middle of the DAG, so [feature_dims] in [step] cannot fail. *)
+    match spend ctx step with
+    | Some v -> values := v :: !values
+    | None -> continue := false
+  done
+
+let graph ?family st ~max_nodes =
+  if max_nodes < 1 then invalid_arg "Gen.graph: max_nodes < 1";
+  let family =
+    match family with
+    | Some f -> f
+    | None -> pick st [| Chain; Fan; Skip; Degenerate; Mixed |]
+  in
+  let ctx = { b = B.create (); st; left = max_nodes } in
+  (if max_nodes < 4 then degenerate ctx
+   else
+     match family with
+     | Chain -> chain ctx
+     | Fan -> fan ctx
+     | Skip -> skip ctx
+     | Degenerate -> degenerate ctx
+     | Mixed -> mixed ctx);
+  B.finish ctx.b

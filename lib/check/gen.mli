@@ -1,0 +1,22 @@
+(** Seeded random computation-graph generator.
+
+    Produces the adversarial graph shapes the LCMM passes are most
+    likely to get wrong: deep linear chains (prefetch backtraces over
+    many slots), wide fan-out/fan-in (many overlapping lifespans, heavy
+    interference), DenseNet-style long skip edges (values live across
+    most of the schedule), degenerate graphs (a bare input, zero-weight
+    pool/add-only networks, single-layer nets) and a mixed random-DAG
+    family.  All draws come from the caller's [Random.State.t], so a
+    seed fully determines the graph. *)
+
+type family = Chain | Fan | Skip | Degenerate | Mixed
+
+val families : family list
+(** All families, in the order {!graph} cycles through them. *)
+
+val family_name : family -> string
+
+val graph : ?family:family -> Random.State.t -> max_nodes:int -> Dnn_graph.Graph.t
+(** Generate one valid graph of at most [max_nodes] nodes (at least 1 —
+    the input).  Without [family], one is drawn from the state.  Raises
+    [Invalid_argument] when [max_nodes < 1]. *)

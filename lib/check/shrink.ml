@@ -1,0 +1,45 @@
+module G = Dnn_graph.Graph
+module Subgraph = Dnn_graph.Subgraph
+
+let shrink ?(max_steps = 200) ~fails g =
+  let steps = ref 0 in
+  let try_candidate g' =
+    if !steps >= max_steps then false
+    else begin
+      incr steps;
+      fails g'
+    end
+  in
+  (* Smallest failing prefix, by binary search: if the failure survives
+     truncation at k it usually survives anywhere above k. *)
+  let prefix_search g =
+    let n = G.node_count g in
+    let rec bisect lo hi best =
+      (* Invariant: prefix [best] fails; lo..hi is the unexplored range. *)
+      if lo > hi || !steps >= max_steps then best
+      else
+        let mid = (lo + hi) / 2 in
+        let candidate = Subgraph.prefix g mid in
+        if try_candidate candidate then bisect lo (mid - 1) mid
+        else bisect (mid + 1) hi best
+    in
+    let k = bisect 1 (n - 1) n in
+    if k < n then Subgraph.prefix g k else g
+  in
+  (* Then deletion of individual sinks (and rediscovered prefixes), to a
+     fixpoint. *)
+  let rec sink_pass g =
+    let rec try_sinks = function
+      | [] -> None
+      | id :: rest -> (
+        match Subgraph.drop_sink g id with
+        | None -> try_sinks rest
+        | Some g' -> if try_candidate g' then Some g' else try_sinks rest)
+    in
+    if !steps >= max_steps then g
+    else
+      match try_sinks (Subgraph.sinks g) with
+      | Some g' -> sink_pass (prefix_search g')
+      | None -> g
+  in
+  sink_pass (prefix_search g)

@@ -1,0 +1,16 @@
+(** Greedy counterexample minimization.
+
+    Given a graph on which a property fails, repeatedly try the two
+    validity-preserving reductions of {!Dnn_graph.Subgraph} — prefix
+    truncation (binary-searched) and sink deletion — keeping any smaller
+    graph on which the property still fails.  The result is locally
+    minimal: no prefix cut or single sink removal preserves the
+    failure. *)
+
+val shrink :
+  ?max_steps:int -> fails:(Dnn_graph.Graph.t -> bool) -> Dnn_graph.Graph.t ->
+  Dnn_graph.Graph.t
+(** [shrink ~fails g] assumes [fails g = true] and returns a graph (at
+    worst [g] itself) on which [fails] still holds.  [fails] is expected
+    to swallow its own exceptions; [max_steps] (default 200) bounds the
+    number of candidate evaluations. *)

@@ -1,0 +1,30 @@
+let prefix g k =
+  let n = Graph.node_count g in
+  if k < 1 || k > n then
+    invalid_arg (Printf.sprintf "Subgraph.prefix: %d outside [1,%d]" k n);
+  if k = n then g
+  else
+    Graph.nodes g
+    |> List.filter (fun node -> node.Graph.id < k)
+    |> Graph.create_exn
+
+let sinks g =
+  Graph.nodes g
+  |> List.filter_map (fun node ->
+         if Graph.succs g node.Graph.id = [] then Some node.Graph.id else None)
+  |> List.rev
+
+let drop_sink g id =
+  let n = Graph.node_count g in
+  if id < 0 || id >= n || n <= 1 || Graph.succs g id <> [] then None
+  else
+    let renumber i = if i > id then i - 1 else i in
+    let nodes =
+      Graph.nodes g
+      |> List.filter (fun node -> node.Graph.id <> id)
+      |> List.map (fun node ->
+             { node with
+               Graph.id = renumber node.Graph.id;
+               preds = List.map renumber node.Graph.preds })
+    in
+    match Graph.create nodes with Ok g' -> Some g' | Error _ -> None

@@ -1,0 +1,21 @@
+(** Induced subgraphs, for counterexample shrinking.
+
+    A failing property over a random graph is only useful once it is
+    small.  Because node ids are a topological order, two cheap
+    restrictions always yield valid graphs: keeping a prefix of the id
+    range (every predecessor of a kept node is kept), and deleting a
+    *sink* (a node no other node reads).  The shrinker in [lib/check]
+    composes these two moves greedily. *)
+
+val prefix : Graph.t -> int -> Graph.t
+(** [prefix g k] is the graph induced by nodes [0 .. k-1].  Raises
+    [Invalid_argument] when [k < 1] or [k > node_count g]. *)
+
+val drop_sink : Graph.t -> int -> Graph.t option
+(** [drop_sink g id] removes node [id] and renumbers the ids above it,
+    provided [id] is a sink (no successors) and not the last remaining
+    node.  [None] when the node cannot be dropped. *)
+
+val sinks : Graph.t -> int list
+(** Ids of nodes with no successors, in decreasing order (the order the
+    shrinker tries them in). *)

@@ -161,34 +161,42 @@ let through_cache t ~digest compute =
       Plan_cache.put t.plan_cache digest payload;
       (Miss, Ok payload)
     | exception Invalid_argument msg -> (Miss, Error msg)
-    | exception Failure msg -> (Miss, Error msg))
+    | exception Failure msg -> (Miss, Error msg)
+    (* Any other escape is a bug in the passes, but one request must
+       never take the connection down: degrade to an error response. *)
+    | exception e -> (Miss, Error ("internal: " ^ Printexc.to_string e)))
 
 (* Fully execute one non-batch request on the current thread. *)
 let handle_leaf t (env : P.envelope) =
   let t0 = Unix.gettimeofday () in
   let op = P.op_name env.P.request in
   let cache_status, outcome =
-    match env.P.request with
-    | P.Batch _ -> (Uncached, Error "nested batch requests are not supported")
-    | P.Stats -> (Uncached, Ok (stats_payload t))
-    | P.Models -> (Uncached, Ok (models_payload ()))
-    | P.Compile spec -> (
-      match resolve_graph spec with
-      | Error msg -> (Uncached, Error msg)
-      | Ok g ->
-        let digest = cacheable_digest spec ~extra:[ "compile" ] g in
-        through_cache t ~digest (fun () -> compile_payload spec ~digest g))
-    | P.Simulate (spec, images) -> (
-      match resolve_graph spec with
-      | Error msg -> (Uncached, Error msg)
-      | Ok g ->
-        let extra =
-          [ "simulate";
-            (match images with None -> "single" | Some n -> string_of_int n) ]
-        in
-        let digest = cacheable_digest spec ~extra g in
-        through_cache t ~digest (fun () ->
-            simulate_payload spec ~digest ~images g))
+    (* Nothing a single request does may take the connection down: any
+       exception the arms below leak (model builders, digesting, the
+       encoders) degrades to an error response on this request alone. *)
+    try
+      match env.P.request with
+      | P.Batch _ -> (Uncached, Error "nested batch requests are not supported")
+      | P.Stats -> (Uncached, Ok (stats_payload t))
+      | P.Models -> (Uncached, Ok (models_payload ()))
+      | P.Compile spec -> (
+        match resolve_graph spec with
+        | Error msg -> (Uncached, Error msg)
+        | Ok g ->
+          let digest = cacheable_digest spec ~extra:[ "compile" ] g in
+          through_cache t ~digest (fun () -> compile_payload spec ~digest g))
+      | P.Simulate (spec, images) -> (
+        match resolve_graph spec with
+        | Error msg -> (Uncached, Error msg)
+        | Ok g ->
+          let extra =
+            [ "simulate";
+              (match images with None -> "single" | Some n -> string_of_int n) ]
+          in
+          let digest = cacheable_digest spec ~extra g in
+          through_cache t ~digest (fun () ->
+              simulate_payload spec ~digest ~images g))
+    with e -> (Uncached, Error ("internal: " ^ Printexc.to_string e))
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   Metrics.record t.meters ~op ~ok:(Result.is_ok outcome) ~seconds:elapsed_s;
@@ -249,14 +257,35 @@ let rec response_to_json ?(timing = true) r =
     Dnn_serial.Wire.ok ?id:r.id ~op:r.op ?cache:cache_field ?elapsed_ms payload
   | Error msg -> Dnn_serial.Wire.error ?id:r.id ~op:r.op msg
 
+(* Requests are one JSON document per line; even a large inline graph
+   stays well under a megabyte.  Anything bigger is a runaway or hostile
+   client, and parsing it would bloat the heap before failing anyway. *)
+let max_line_bytes = 8 * 1024 * 1024
+
 let handle_line ?timing t line =
-  match P.request_of_line line with
+  if String.length line > max_line_bytes then begin
+    Metrics.record t.meters ~op:"parse" ~ok:false ~seconds:0.;
+    Log.info (fun m -> m "oversized request: %d bytes" (String.length line));
+    Dnn_serial.Wire.to_line
+      (Dnn_serial.Wire.error ~op:"parse"
+         (Printf.sprintf "request exceeds %d bytes" max_line_bytes))
+  end
+  else
+    match P.request_of_line line with
   | Error msg ->
     Metrics.record t.meters ~op:"parse" ~ok:false ~seconds:0.;
     Log.info (fun m -> m "parse error: %s" msg);
     Dnn_serial.Wire.to_line (Dnn_serial.Wire.error ~op:"parse" msg)
-  | Ok env ->
-    Dnn_serial.Wire.to_line (response_to_json ?timing (handle t env))
+  | Ok env -> (
+    match handle t env with
+    | resp -> Dnn_serial.Wire.to_line (response_to_json ?timing resp)
+    | exception e ->
+      (* The pool or the dispatcher itself failed; the "never raises"
+         contract still holds. *)
+      Log.err (fun m -> m "request dispatch raised: %s" (Printexc.to_string e));
+      Dnn_serial.Wire.to_line
+        (Dnn_serial.Wire.error ?id:env.P.id ~op:(P.op_name env.P.request)
+           ("internal: " ^ Printexc.to_string e)))
 
 let cache t = t.plan_cache
 

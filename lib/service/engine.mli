@@ -37,10 +37,16 @@ val response_to_json : ?timing:bool -> response -> Dnn_serial.Json.t
     rendering a pure function of the request — the canonical form the
     determinism tests and reproducible transcripts compare. *)
 
+val max_line_bytes : int
+(** Largest accepted request line (8 MiB); longer lines are rejected
+    without being parsed. *)
+
 val handle_line : ?timing:bool -> t -> string -> string
 (** Parse one NDJSON request line, handle it, render the response line
-    (newline included).  Malformed lines produce an error response with
-    op ["parse"]. *)
+    (newline included).  Never raises: malformed or oversized lines
+    produce an error response with op ["parse"], and any exception a
+    pass leaks while computing produces an [Error] outcome on that
+    request alone. *)
 
 val stats_payload : t -> Dnn_serial.Json.t
 (** The [stats] response body: cache counters, pool occupancy, request

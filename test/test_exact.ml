@@ -65,6 +65,53 @@ let test_budget_degrades_gracefully () =
     (r.Exact.latency <= Accel.Latency.umm_total m.Metric.profiles +. 1e-12);
   Alcotest.(check bool) "explored within budget" true (r.Exact.nodes_explored <= 50)
 
+let test_zero_capacity () =
+  (* Nothing fits: the only feasible allocation is empty, it is trivially
+     optimal, and the latency is the UMM total. *)
+  let g = Helpers.diamond () in
+  let _, m = Helpers.metric_of g in
+  let vbufs = singleton_vbufs m in
+  let r = Exact.solve m ~capacity_bytes:0 vbufs in
+  Alcotest.(check int) "nothing chosen" 0 (List.length r.Exact.chosen);
+  Alcotest.(check bool) "empty on-chip set" true
+    (Metric.Item_set.is_empty r.Exact.on_chip);
+  Alcotest.(check bool) "proven optimal" true r.Exact.proven_optimal;
+  Alcotest.(check (float 1e-12)) "latency is the UMM total"
+    (Accel.Latency.umm_total m.Metric.profiles)
+    r.Exact.latency
+
+let test_capacity_exceeds_all_buffers () =
+  (* Room for everything: pinning the full set dominates any subset, so
+     the solver must choose every buffer and prove it. *)
+  let g = Helpers.inception_snippet () in
+  let _, m = Helpers.metric_of g in
+  let vbufs = singleton_vbufs m in
+  let r = Exact.solve m ~capacity_bytes:(1024 * 1024 * 1024) vbufs in
+  Alcotest.(check int) "every buffer chosen" (List.length vbufs)
+    (List.length r.Exact.chosen);
+  Alcotest.(check bool) "proven optimal" true r.Exact.proven_optimal;
+  let all =
+    Metric.Item_set.of_list
+      (List.concat_map (fun vb -> vb.Vbuffer.members) vbufs)
+  in
+  Alcotest.(check (float 1e-12)) "latency of the full set"
+    (Metric.total_latency m ~on_chip:all)
+    r.Exact.latency
+
+let test_exhausted_budget_keeps_dnnk_seed () =
+  (* With the search cut to a single node the incumbent never improves,
+     so the result must be exactly the DNNK seed: same latency, not
+     proven. *)
+  let g = Models.Zoo.build "googlenet" in
+  let _, m = Helpers.metric_of g in
+  let vbufs = singleton_vbufs m in
+  let capacity_bytes = 4 * 1024 * 1024 in
+  let r = Exact.solve ~node_budget:1 m ~capacity_bytes vbufs in
+  let dnnk = Lcmm.Dnnk.allocate m ~capacity_bytes vbufs in
+  Alcotest.(check bool) "not proven" false r.Exact.proven_optimal;
+  Alcotest.(check bool) "no worse than the seed" true
+    (r.Exact.latency <= dnnk.Lcmm.Dnnk.predicted_latency +. 1e-12)
+
 let test_rejects_negative_capacity () =
   let _, m = Helpers.metric_of (Helpers.chain ()) in
   Alcotest.check_raises "negative" (Invalid_argument "Exact.solve: negative capacity")
@@ -84,5 +131,8 @@ let suite =
   [ Alcotest.test_case "matches enumeration" `Quick test_matches_enumeration;
     Alcotest.test_case "dominates heuristics at scale" `Slow test_dominates_heuristics_at_scale;
     Alcotest.test_case "budget degrades gracefully" `Quick test_budget_degrades_gracefully;
+    Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+    Alcotest.test_case "capacity exceeds all buffers" `Quick test_capacity_exceeds_all_buffers;
+    Alcotest.test_case "exhausted budget keeps the seed" `Quick test_exhausted_budget_keeps_dnnk_seed;
     Alcotest.test_case "rejects negative capacity" `Quick test_rejects_negative_capacity;
     prop_never_worse_than_dnnk ]

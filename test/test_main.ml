@@ -29,4 +29,5 @@ let () =
       ("traffic", Test_traffic.suite);
       ("matrix", Test_matrix.suite);
       ("reproduction", Test_reproduction.suite);
-      ("service", Test_service.suite) ]
+      ("service", Test_service.suite);
+      ("check", Test_check.suite) ]

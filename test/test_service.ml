@@ -333,6 +333,78 @@ let test_engine_batch_parallel_speed () =
             (Json.Int i) (field_exn "id" sub))
         subs)
 
+(* --- protocol fuzzing: no input may crash the decoder or the engine --- *)
+
+let test_protocol_fuzz () =
+  let st = Random.State.make [| 0x5eed; 7 |] in
+  let valid = {|{"op":"compile","id":1,"model":"alexnet","dtype":"i16"}|} in
+  let charset = {|{}[]":,x0 -.eop"compile"simulate"truenullNaN\|} in
+  let random_garbage () =
+    String.init (Random.State.int st 64) (fun _ ->
+        charset.[Random.State.int st (String.length charset)])
+  in
+  let mutate line =
+    match Random.State.int st 6 with
+    | 0 ->
+      (* Truncation: a connection dropped mid-line. *)
+      String.sub line 0 (Random.State.int st (String.length line))
+    | 1 ->
+      (* One corrupted byte. *)
+      let b = Bytes.of_string line in
+      Bytes.set b (Random.State.int st (Bytes.length b))
+        charset.[Random.State.int st (String.length charset)];
+      Bytes.to_string b
+    | 2 -> random_garbage ()
+    | 3 ->
+      (* Structurally valid JSON, protocol-hostile fields. *)
+      Printf.sprintf {|{"op":%s,"model":%s,"dtype":%s,"images":%d}|}
+        (List.nth [ {|"compile"|}; {|"simulate"|}; "17"; "null"; {|["batch"]|} ]
+           (Random.State.int st 5))
+        (List.nth [ {|"alexnet"|}; {|"no-such-model"|}; "42"; "{}" ]
+           (Random.State.int st 4))
+        (List.nth [ {|"i16"|}; {|"bogus"|}; "[]" ] (Random.State.int st 3))
+        (Random.State.int st 1000 - 500)
+    | 4 ->
+      (* Deep nesting. *)
+      let depth = 1 + Random.State.int st 2000 in
+      String.make depth '[' ^ "1" ^ String.make depth ']'
+    | _ ->
+      (* A malformed inline graph. *)
+      Printf.sprintf
+        {|{"op":"compile","dtype":"i16","graph":{"format":"lcmm-graph","version":1,"nodes":[{"id":%d,"name":"x","op":{"kind":"conv","out_channels":%d},"preds":[%d]}]}}|}
+        (Random.State.int st 3 - 1)
+        (Random.State.int st 64 - 8)
+        (Random.State.int st 5 - 2)
+  in
+  with_engine ~domains:1 (fun engine ->
+      let check_line line =
+        match handle_line engine line with
+        | resp ->
+          Alcotest.(check bool) "newline-terminated" true
+            (String.length resp > 0 && resp.[String.length resp - 1] = '\n');
+          (match Json.of_string (String.trim resp) with
+          | Ok _ -> ()
+          | Error msg ->
+            Alcotest.failf "unparseable response (%s) for input %S" msg line)
+        | exception e ->
+          Alcotest.failf "handle_line raised %s on %S" (Printexc.to_string e)
+            line
+      in
+      for _ = 1 to 400 do
+        check_line (mutate valid)
+      done;
+      (* An oversized line is refused without being parsed. *)
+      let oversized =
+        "{\"op\":\"compile\"," ^ String.make Svc.Engine.max_line_bytes ' ' ^ "}"
+      in
+      let resp = result_of_line (handle_line engine oversized) in
+      Alcotest.check json_t "oversized is an error" (Json.Bool false)
+        (field_exn "ok" resp);
+      (* And the engine still answers real requests afterwards. *)
+      let resp = result_of_line (handle_line engine valid) in
+      Alcotest.check json_t "engine survives the fuzz" (Json.Bool true)
+        (field_exn "ok" resp))
+
 let suite =
   [ Alcotest.test_case "cache lru eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "cache byte bound" `Quick test_cache_byte_bound;
@@ -347,4 +419,5 @@ let suite =
     Alcotest.test_case "compile cache hit" `Quick test_engine_compile_cache_hit;
     Alcotest.test_case "simulate and errors" `Quick test_engine_simulate_and_errors;
     Alcotest.test_case "parallel determinism" `Quick test_engine_parallel_determinism;
-    Alcotest.test_case "batch ordering" `Quick test_engine_batch_parallel_speed ]
+    Alcotest.test_case "batch ordering" `Quick test_engine_batch_parallel_speed;
+    Alcotest.test_case "protocol fuzz" `Quick test_protocol_fuzz ]

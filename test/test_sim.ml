@@ -154,6 +154,49 @@ let prop_sim_monotone_in_allocation =
       let pinned = Engine.simulate m ~on_chip:all in
       pinned.Engine.total -. pinned.Engine.prefetch_wait <= umm.Engine.total +. 1e-9)
 
+let prop_sim_superset_pinning_monotone =
+  Helpers.qtest ~count:20 "pinning more features never slows the simulation"
+    Helpers.random_graph_gen (fun g ->
+      let _, m = Helpers.metric_of g in
+      let features =
+        Metric.eligible_items m ~memory_bound_only:false
+        |> List.filter (function
+             | Metric.Feature_value _ -> true
+             | Metric.Weight_of _ | Metric.Weight_slice _ -> false)
+      in
+      (* Walk a chain of nested feature sets; every step up must be no
+         slower than the one before (features never stall a channel). *)
+      let rec monotone prev set = function
+        | [] -> true
+        | it :: rest ->
+          let set = Metric.Item_set.add it set in
+          let t = (Engine.simulate m ~on_chip:set).Engine.total in
+          t <= prev +. 1e-9 && monotone t set rest
+      in
+      monotone
+        (Engine.simulate_umm m).Engine.total
+        Metric.Item_set.empty features)
+
+let test_weights_resident_never_slower () =
+  (* Steady-state batching keeps the weights on chip; on every zoo model
+     that must never lose to the cold run. *)
+  List.iter
+    (fun e ->
+      let g = e.Models.Zoo.build () in
+      let cfg = Accel.Config.make ~style:Accel.Config.Lcmm Tensor.Dtype.I16 in
+      let p = Lcmm.Framework.plan cfg g in
+      let m = p.Lcmm.Framework.metric in
+      let on_chip = p.Lcmm.Framework.allocation.Lcmm.Dnnk.on_chip in
+      let prefetch = p.Lcmm.Framework.prefetch in
+      let cold = Engine.simulate ?prefetch m ~on_chip in
+      let resident = Engine.simulate ~weights_resident:true ?prefetch m ~on_chip in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: resident %.9e <= cold %.9e" e.Models.Zoo.model_name
+           resident.Engine.total cold.Engine.total)
+        true
+        (resident.Engine.total <= cold.Engine.total +. 1e-12))
+    Models.Zoo.all
+
 let suite =
   [ Alcotest.test_case "umm matches analytic" `Quick test_umm_matches_analytic;
     Alcotest.test_case "nodes sequential" `Quick test_nodes_sequential;
@@ -164,5 +207,8 @@ let suite =
     Alcotest.test_case "per-block report" `Quick test_report_per_block;
     Alcotest.test_case "speedup table" `Quick test_speedup_table;
     Alcotest.test_case "trace export" `Quick test_trace_export;
+    Alcotest.test_case "weights resident never slower" `Quick
+      test_weights_resident_never_slower;
     prop_sim_umm_equals_analytic;
-    prop_sim_monotone_in_allocation ]
+    prop_sim_monotone_in_allocation;
+    prop_sim_superset_pinning_monotone ]
