@@ -4,6 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- table1  -- run one experiment
      experiments: fig2a fig2b table1 table2 table3 fig8 ablation micro
+     energy sensitivity schedule zoo runtime
 
    With `--json PATH`, table1 additionally writes its per-(model, dtype)
    rows as machine-readable JSON ({umm_ms, lcmm_ms, speedup} each), so
@@ -711,11 +712,98 @@ let zoo () =
       Printf.printf "%s\n%!" (Lcmm.Report.comparison_row c))
     Models.Zoo.all
 
+(* ------------------------------------------------------------------ *)
+
+(* Multi-tenant board runtime: greedy vs EDF transfer scheduling under
+   fair bus arbitration and equal SRAM partitioning.  The suite sticks
+   to mixes whose tenants have comparable prefetch-slack scales
+   (homogeneous replicas, googlenet+vgg16) — there EDF's
+   urgency-ordering of the bus pays off in makespan; mixing a
+   short-node model like alexnet against much longer tenants makes EDF
+   trade makespan for per-tenant latency instead (see DESIGN.md). *)
+let runtime_mixes =
+  [ ("alexnet x2", [ ("alexnet", 2) ]);
+    ("googlenet x2", [ ("googlenet", 2) ]);
+    ("vgg16 x2", [ ("vgg16", 2) ]);
+    ("resnet50 x2", [ ("resnet50", 2) ]);
+    ("googlenet + vgg16", [ ("googlenet", 1); ("vgg16", 1) ]) ]
+
+let runtime_specs mix =
+  List.concat_map
+    (fun (model, count) ->
+      let graph = Models.Zoo.build model in
+      List.init count (fun k ->
+          { Lcmm_runtime.Runtime.name = Printf.sprintf "%s#%d" model k;
+            model; graph; priority = 0; arrival = 0. }))
+    mix
+
+let runtime_report scheduler mix =
+  Lcmm_runtime.Runtime.run
+    { Lcmm_runtime.Runtime.default_options with scheduler }
+    (runtime_specs mix)
+
+let runtime_experiment () =
+  header
+    "Multi-tenant runtime: greedy vs EDF transfer scheduling (fair \
+     arbitration, equal SRAM partition, 16-bit, VU9P)";
+  Printf.printf "%-20s %10s %10s %8s %8s\n" "mix" "greedy ms" "edf ms"
+    "gain %" "bus %";
+  let rows =
+    List.map
+      (fun (label, mix) ->
+        let greedy = runtime_report Lcmm_runtime.Scheduler.Greedy mix in
+        let edf = runtime_report Lcmm_runtime.Scheduler.Edf mix in
+        let gain =
+          100.
+          *. (greedy.Lcmm_runtime.Report.makespan_ms
+             -. edf.Lcmm_runtime.Report.makespan_ms)
+          /. greedy.Lcmm_runtime.Report.makespan_ms
+        in
+        Printf.printf "%-20s %10.3f %10.3f %8.2f %8.0f\n%!" label
+          greedy.Lcmm_runtime.Report.makespan_ms
+          edf.Lcmm_runtime.Report.makespan_ms gain
+          (100. *. edf.Lcmm_runtime.Report.bus_busy_fraction);
+        (label, greedy, edf, gain))
+      runtime_mixes
+  in
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let module Json = Dnn_serial.Json in
+    let tenant_json (t : Lcmm_runtime.Report.tenant_report) =
+      Json.Obj
+        [ ("name", Json.String t.Lcmm_runtime.Report.name);
+          ("latency_ms", Json.Float t.Lcmm_runtime.Report.latency_ms);
+          ("slowdown", Json.Float t.Lcmm_runtime.Report.slowdown) ]
+    in
+    let row_json (label, (g : Lcmm_runtime.Report.t),
+                  (e : Lcmm_runtime.Report.t), gain) =
+      Json.Obj
+        [ ("mix", Json.String label);
+          ("greedy_makespan_ms", Json.Float g.Lcmm_runtime.Report.makespan_ms);
+          ("edf_makespan_ms", Json.Float e.Lcmm_runtime.Report.makespan_ms);
+          ("edf_gain_pct", Json.Float gain);
+          ( "greedy_bus_busy",
+            Json.Float g.Lcmm_runtime.Report.bus_busy_fraction );
+          ("edf_bus_busy", Json.Float e.Lcmm_runtime.Report.bus_busy_fraction);
+          ( "edf_tenants",
+            Json.List
+              (List.map tenant_json e.Lcmm_runtime.Report.tenants) ) ]
+    in
+    let doc =
+      Json.Obj
+        [ ("experiment", Json.String "runtime");
+          ("rows", Json.List (List.map row_json rows)) ]
+    in
+    Lcmm.Report.write_text_file ~path (Json.to_string ~indent:2 doc ^ "\n");
+    Printf.printf "wrote %s\n" path
+
 let experiments =
   [ ("fig2a", fig2a); ("table1", table1); ("table2", table2);
     ("table3", table3); ("fig8", fig8); ("fig2b", fig2b);
     ("ablation", ablation); ("energy", energy); ("sensitivity", sensitivity);
-    ("schedule", schedule_experiment); ("zoo", zoo); ("micro", micro) ]
+    ("schedule", schedule_experiment); ("zoo", zoo); ("micro", micro);
+    ("runtime", runtime_experiment) ]
 
 let () =
   let rec split_args acc = function

@@ -316,6 +316,174 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Export the graph as Graphviz")
     Term.(const run $ log_arg $ model_arg $ out_arg)
 
+let runtime_cmd =
+  let tenants_arg =
+    let doc =
+      "Tenant mix as a comma list of MODEL[:COUNT[:PRIORITY]] entries, e.g. \
+       alexnet:2,vgg:1.  COUNT replicas of MODEL join the board (default 1) \
+       at PRIORITY (lower = more important, default 0)."
+    in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "t"; "tenants" ] ~docv:"MIX" ~doc)
+  in
+  let policy_conv ~what ~known of_string to_string =
+    let parse s =
+      match of_string s with
+      | Some p -> Ok p
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown %s %S (known: %s)" what s known))
+    in
+    Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (to_string p))
+  in
+  let arbitration_arg =
+    let cv =
+      policy_conv ~what:"arbitration" ~known:"fair, priority"
+        Lcmm_runtime.Arbiter.of_string Lcmm_runtime.Arbiter.to_string
+    in
+    Arg.(
+      value
+      & opt cv Lcmm_runtime.Arbiter.Fair_share
+      & info [ "arbitration" ] ~doc:"Bus arbitration: fair or priority.")
+  in
+  let scheduler_arg =
+    let cv =
+      policy_conv ~what:"scheduler" ~known:"greedy, edf"
+        Lcmm_runtime.Scheduler.of_string Lcmm_runtime.Scheduler.to_string
+    in
+    Arg.(
+      value
+      & opt cv Lcmm_runtime.Scheduler.Edf
+      & info [ "scheduler" ]
+          ~doc:"Transfer scheduler: greedy (all released transfers share the \
+                bus) or edf (earliest prefetch deadline first).")
+  in
+  let partition_arg =
+    let cv =
+      policy_conv ~what:"partition policy" ~known:"equal, demand"
+        Lcmm_runtime.Partition.of_string Lcmm_runtime.Partition.to_string
+    in
+    Arg.(
+      value
+      & opt cv Lcmm_runtime.Partition.Equal
+      & info [ "partition" ] ~doc:"SRAM partition policy: equal or demand.")
+  in
+  let overcommit_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "overcommit" ]
+          ~doc:"Admission bandwidth over-subscription factor (> 0).")
+  in
+  let stagger_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "stagger-ms" ]
+          ~doc:"Arrival stagger: tenant $(i) arrives at $(i) times this many \
+                milliseconds.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ]
+          ~doc:"Add deterministic pseudo-random arrival jitter from this seed.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the report as JSON.")
+  in
+  let parse_mix s =
+    let entry item =
+      match String.split_on_char ':' item with
+      | [ name ] -> Ok (name, 1, 0)
+      | [ name; count ] -> (
+        match int_of_string_opt count with
+        | Some c when c >= 1 -> Ok (name, c, 0)
+        | _ -> Error (Printf.sprintf "bad count in %S" item))
+      | [ name; count; prio ] -> (
+        match (int_of_string_opt count, int_of_string_opt prio) with
+        | Some c, Some p when c >= 1 -> Ok (name, c, p)
+        | _ -> Error (Printf.sprintf "bad count or priority in %S" item))
+      | _ -> Error (Printf.sprintf "bad tenant entry %S" item)
+    in
+    let items =
+      List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+    in
+    if items = [] then Error "empty tenant mix"
+    else
+      List.fold_left
+        (fun acc item ->
+          Result.bind acc (fun acc ->
+              Result.map (fun e -> e :: acc) (entry item)))
+        (Ok []) items
+      |> Result.map List.rev
+  in
+  let run () mix dtype device arbitration scheduler partition overcommit
+      stagger_ms seed json_path =
+    if overcommit <= 0. then or_die (Error "overcommit must be positive");
+    if stagger_ms < 0. then or_die (Error "stagger-ms must be non-negative");
+    let entries = or_die (parse_mix mix) in
+    let rng = Option.map (fun s -> Random.State.make [| s |]) seed in
+    let counter = Hashtbl.create 8 in
+    let position = ref 0 in
+    let specs =
+      List.concat_map
+        (fun (name, count, priority) ->
+          let model, graph = or_die (build_model name) in
+          List.init count (fun _ ->
+              let k =
+                Option.value ~default:0 (Hashtbl.find_opt counter model)
+              in
+              Hashtbl.replace counter model (k + 1);
+              let jitter =
+                match rng with
+                | None -> 0.
+                | Some st -> Random.State.float st 5e-4
+              in
+              let arrival =
+                (float_of_int !position *. stagger_ms /. 1e3) +. jitter
+              in
+              incr position;
+              { Lcmm_runtime.Runtime.name = Printf.sprintf "%s#%d" model k;
+                model;
+                graph;
+                priority;
+                arrival }))
+        entries
+    in
+    let options =
+      { Lcmm_runtime.Runtime.default_options with
+        dtype; device; arbitration; scheduler; partition; overcommit }
+    in
+    let report = Lcmm_runtime.Runtime.run options specs in
+    Format.printf "%a" Lcmm_runtime.Report.pp report;
+    match json_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Dnn_serial.Json.to_string ~indent:2
+           (Lcmm_runtime.Report.to_json report));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "runtime"
+       ~doc:
+         "Multi-tenant board runtime: partition the device SRAM across \
+          several models, re-run LCMM per tenant under its share, and \
+          co-simulate them with all weight transfers contending for the \
+          shared DDR bus under the chosen arbitration and transfer \
+          scheduler.")
+    Term.(
+      const run $ log_arg $ tenants_arg $ dtype_arg $ device_arg
+      $ arbitration_arg $ scheduler_arg $ partition_arg $ overcommit_arg
+      $ stagger_arg $ seed_arg $ json_arg)
+
 let serve_cmd =
   let socket_arg =
     let doc =
@@ -348,16 +516,29 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "no-timing" ] ~doc)
   in
-  let run () socket workers cache_entries cache_mb cache_dir no_timing =
+  let deadline_arg =
+    let doc =
+      "Default per-request compute budget in milliseconds; a request that \
+       runs past it answers with a structured deadline error instead of \
+       stalling its connection.  Requests may override with their own \
+       deadline_ms field."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let run () socket workers cache_entries cache_mb cache_dir no_timing
+      deadline_ms =
     if workers < 1 then or_die (Error "workers must be >= 1");
     if cache_entries < 1 then or_die (Error "cache-entries must be >= 1");
     if cache_mb < 1 then or_die (Error "cache-mb must be >= 1");
+    (match deadline_ms with
+    | Some ms when ms <= 0. -> or_die (Error "deadline-ms must be positive")
+    | _ -> ());
     let cache =
       Lcmm_service.Plan_cache.create ~max_entries:cache_entries
         ~max_bytes:(cache_mb * 1024 * 1024) ?persist_dir:cache_dir ()
     in
     let pool = Lcmm_service.Pool.create ~domains:workers () in
-    let engine = Lcmm_service.Engine.create ~cache ~pool () in
+    let engine = Lcmm_service.Engine.create ~cache ~pool ?deadline_ms () in
     let timing = not no_timing in
     Fun.protect
       ~finally:(fun () -> Lcmm_service.Engine.shutdown engine)
@@ -370,12 +551,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the plan-compilation service: newline-delimited JSON requests \
-          (compile, simulate, batch, stats, models) from stdin or a Unix \
-          socket, answered from a content-addressed plan cache backed by a \
-          multi-domain worker pool.")
+          (compile, simulate, run, batch, stats, models) from stdin or a \
+          Unix socket, answered from a content-addressed plan cache backed \
+          by a multi-domain worker pool.")
     Term.(
       const run $ log_arg $ socket_arg $ workers_arg $ cache_entries_arg
-      $ cache_mb_arg $ cache_dir_arg $ no_timing_arg)
+      $ cache_mb_arg $ cache_dir_arg $ no_timing_arg $ deadline_arg)
 
 let check_cmd =
   let seed_arg =
@@ -465,7 +646,7 @@ let () =
     Cmd.group info
       [ models_cmd; summary_cmd; roofline_cmd; allocate_cmd; simulate_cmd;
         compare_cmd; dot_cmd; export_cmd; info_cmd; schedule_cmd; trace_cmd;
-        traffic_cmd; sensitivity_cmd; serve_cmd; check_cmd ]
+        traffic_cmd; sensitivity_cmd; runtime_cmd; serve_cmd; check_cmd ]
   in
   (* One-line diagnostics instead of cmdliner's uncaught-exception dump:
      whatever escapes a subcommand (I/O errors, invalid arguments deep in

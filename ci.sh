@@ -27,4 +27,18 @@ mkdir -p _build/check-cases
 dune exec bin/lcmm_cli.exe -- check --seed 7 --count 500 \
   --save-dir _build/check-cases
 
+echo "== tier-2: multi-tenant runtime smoke =="
+dune exec bin/lcmm_cli.exe -- runtime --tenants alexnet:2,vgg:1 --seed 7 \
+  --json BENCH_runtime_smoke.json > /dev/null
+grep -q '"makespan_ms"' BENCH_runtime_smoke.json
+grep -q '"bandwidth_timeline"' BENCH_runtime_smoke.json
+
+echo "== tier-2: multi-tenant benchmark --json =="
+out=BENCH_runtime.json
+dune exec bench/main.exe -- runtime --json "$out" > /dev/null
+grep -q '"experiment": "runtime"' "$out"
+grep -q '"edf_makespan_ms"' "$out"
+grep -q '"greedy_makespan_ms"' "$out"
+echo "wrote $out"
+
 echo "CI OK"

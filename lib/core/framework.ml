@@ -268,6 +268,11 @@ let plan ?(options = default_options) config g =
     pol = (if bound = 0 then 1. else float_of_int helped /. float_of_int bound);
     tensor_sram_bytes = allocation.Dnnk.used_blocks * Dnnk.block_bytes }
 
+let plan_partitioned ?(options = default_options) ~capacity_bytes config g =
+  if capacity_bytes < 0 then
+    invalid_arg "Framework.plan_partitioned: negative capacity";
+  plan ~options:{ options with capacity_override = Some capacity_bytes } config g
+
 let latency p = p.predicted_latency
 
 let throughput_tops p g =

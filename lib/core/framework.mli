@@ -43,6 +43,15 @@ type plan = {
 val plan : ?options:options -> Accel.Config.t -> Dnn_graph.Graph.t -> plan
 (** Run LCMM for a fixed design point. *)
 
+val plan_partitioned :
+  ?options:options -> capacity_bytes:int -> Accel.Config.t ->
+  Dnn_graph.Graph.t -> plan
+(** Run LCMM with the tensor-buffer budget capped at [capacity_bytes] —
+    the multi-tenant runtime's entry point, compiling each tenant
+    against its SRAM partition share rather than the whole board.
+    Equivalent to [plan] with [capacity_override = Some capacity_bytes];
+    raises [Invalid_argument] when the capacity is negative. *)
+
 val latency : plan -> float
 
 val throughput_tops : plan -> Dnn_graph.Graph.t -> float

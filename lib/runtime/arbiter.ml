@@ -1,0 +1,27 @@
+type t = Fair_share | Priority
+
+let to_string = function Fair_share -> "fair" | Priority -> "priority"
+
+let of_string = function
+  | "fair" | "fair-share" | "fair_share" -> Some Fair_share
+  | "priority" -> Some Priority
+  | _ -> None
+
+let all = [ Fair_share; Priority ]
+
+let rates t jobs =
+  match jobs with
+  | [] -> []
+  | _ -> (
+    match t with
+    | Fair_share ->
+      let share = 1. /. float_of_int (List.length jobs) in
+      List.map (fun (key, _) -> (key, share)) jobs
+    | Priority ->
+      let best_key, _ =
+        List.fold_left
+          (fun (bk, bp) (k, p) ->
+            if p < bp || (p = bp && k < bk) then (k, p) else (bk, bp))
+          (List.hd jobs) (List.tl jobs)
+      in
+      List.map (fun (key, _) -> (key, if key = best_key then 1. else 0.)) jobs)

@@ -1,0 +1,29 @@
+(** DDR bandwidth arbitration between tenants.
+
+    The board has one DRAM interface set; when several tenants have a
+    transfer on the bus at once, the arbiter decides what fraction of
+    the full bandwidth each gets.  Rates are fractions of the isolated
+    bandwidth (the one every tenant's load times were computed against),
+    so a transfer running at rate [r] takes [1/r] times its isolated
+    duration. *)
+
+type t =
+  | Fair_share  (** Every active transfer gets an equal bandwidth share. *)
+  | Priority
+      (** Strict priority: the active transfer of the highest-priority
+          tenant (lowest priority number, ties to the lowest job key)
+          gets the full bandwidth; the rest stall until it finishes. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts ["fair"] (also ["fair-share"]/["fair_share"]) and
+    ["priority"]. *)
+
+val all : t list
+
+val rates : t -> (int * int) list -> (int * float) list
+(** [rates t jobs] assigns a bandwidth fraction to each [(job_key,
+    priority)] contender.  The fractions sum to 1 when [jobs] is
+    non-empty (the bus is work-conserving); the empty list maps to the
+    empty list. *)

@@ -1,0 +1,435 @@
+module Metric = Lcmm.Metric
+module Latency = Accel.Latency
+module NM = Sim.Node_model
+
+type tenant_input = {
+  label : string;
+  metric : Metric.t;
+  on_chip : Metric.Item_set.t;
+  prefetch : Lcmm.Prefetch.t option;
+  arrival : float;
+  priority : int;
+  slack : int -> float;
+}
+
+type tenant_run = {
+  label : string;
+  timings : Sim.Engine.node_timing array;
+  finish : float;
+  latency : float;
+  prefetch_wait : float;
+  wt_channel_busy : float;
+  ddr_bytes : float;
+}
+
+type segment = { seg_start : float; seg_end : float; utilization : float }
+
+type result = {
+  tenants : tenant_run array;
+  makespan : float;
+  timeline : segment list;
+}
+
+(* --- transfers --- *)
+
+type kind = Prefetch_load | Demand_load | Weight_stream_x
+
+type xfer = {
+  key : int;
+  owner : int;
+  target : int;
+  kind : kind;
+  load : float;            (* seconds at full bandwidth *)
+  bytes : float;
+  deadline : float;
+  mutable work : float;    (* remaining seconds at full bandwidth *)
+  mutable rate : float;
+  mutable settled : float; (* time [work] was last brought up to date *)
+  mutable eta : float;     (* projected finish under [rate]; infinity at 0 *)
+  mutable finished : bool;
+  mutable finished_at : float;
+}
+
+(* --- per-tenant execution state --- *)
+
+type exec = {
+  exec_id : int;
+  exec_start : float;
+  exec_if : float;
+  exec_of : float;
+  exec_stream : xfer option;
+}
+
+type stage =
+  | Entering           (* release node [next]'s transfers at [clock] *)
+  | Awaiting of int    (* waiting for the node's weight transfers *)
+  | Executing of exec
+  | Finished
+
+type tstate = {
+  input : tenant_input;
+  index : int;
+  profiles : Latency.profile array;
+  count : int;
+  released : Lcmm.Prefetch.edge list array;
+  edge_flags : bool array;
+  weight_ready : float array;
+  pending_w : int array;
+  timings : Sim.Engine.node_timing array;
+  queue : xfer Queue.t;      (* released, not yet on the channel *)
+  mutable current : xfer option;
+  mutable stage : stage;
+  mutable next : int;
+  mutable clock : float;
+  mutable prefetch_wait : float;
+  mutable wt_busy : float;
+  mutable ddr : float;
+}
+
+let fraction ts id = NM.pinned_fraction ts.input.metric ~on_chip:ts.input.on_chip id
+
+let pinned ts id = NM.pinned_weight ts.input.metric ~on_chip:ts.input.on_chip id
+
+let init_tenant index (input : tenant_input) =
+  let profiles = input.metric.Metric.profiles in
+  let n = Array.length profiles in
+  let released =
+    NM.released_edges ?prefetch:input.prefetch input.metric
+      ~on_chip:input.on_chip n
+  in
+  { input;
+    index;
+    profiles;
+    count = n;
+    released;
+    edge_flags = NM.has_edge released n;
+    weight_ready = Array.make n 0.;
+    pending_w = Array.make n 0;
+    timings =
+      Array.make n
+        { Sim.Engine.node_id = 0; start = 0.; finish = 0.; wait = 0.;
+          binding = Sim.Engine.Compute };
+    queue = Queue.create ();
+    current = None;
+    stage = Entering;
+    next = 0;
+    clock = input.arrival;
+    prefetch_wait = 0.;
+    wt_busy = 0.;
+    ddr = 0. }
+
+let run ~arbitration ~scheduler inputs =
+  let tenants = Array.mapi init_tenant inputs in
+  let key_counter = ref 0 in
+  let fresh_key () = incr key_counter; !key_counter in
+  let now = ref 0. in
+  let segments = ref [] in
+  let enqueue ts ~kind ~target ~load ~bytes ~deadline =
+    let x =
+      { key = fresh_key (); owner = ts.index; target; kind; load; bytes;
+        deadline; work = load; rate = 0.; settled = 0.; eta = infinity;
+        finished = false; finished_at = 0. }
+    in
+    Queue.add x ts.queue;
+    (match kind with
+    | Prefetch_load | Demand_load -> ts.pending_w.(target) <- ts.pending_w.(target) + 1
+    | Weight_stream_x -> ());
+    x
+  in
+  (* Move queue heads onto the (per-tenant serial) channel. *)
+  let start_jobs () =
+    Array.fold_left
+      (fun changed ts ->
+        if ts.current = None && not (Queue.is_empty ts.queue) then begin
+          let x = Queue.pop ts.queue in
+          x.settled <- !now;
+          ts.current <- Some x;
+          true
+        end
+        else changed)
+      false tenants
+  in
+  (* One zero-time step of a tenant's node state machine; returns whether
+     it made progress.  The arithmetic below mirrors Sim.Engine.simulate
+     through Sim.Node_model call for call, which is what makes the
+     single-tenant co-simulation bit-identical to the isolated engine. *)
+  let progress ts =
+    match ts.stage with
+    | Finished -> false
+    | Entering ->
+      if ts.clock > !now then false
+      else if ts.next >= ts.count then begin
+        ts.stage <- Finished;
+        true
+      end
+      else begin
+        let id = ts.next in
+        List.iter
+          (fun e ->
+            let target = e.Lcmm.Prefetch.target in
+            let frac = fraction ts target in
+            ignore
+              (enqueue ts ~kind:Prefetch_load ~target
+                 ~load:(e.Lcmm.Prefetch.load_seconds *. frac)
+                 ~bytes:(float_of_int ts.profiles.(target).Latency.wt_once_bytes *. frac)
+                 ~deadline:(ts.clock +. ts.input.slack target)))
+          ts.released.(id);
+        (match
+           NM.demand_load ts.input.metric ~on_chip:ts.input.on_chip
+             ~has_edge:ts.edge_flags ts.profiles.(id)
+         with
+        | None -> ()
+        | Some load ->
+          ignore
+            (enqueue ts ~kind:Demand_load ~target:id ~load
+               ~bytes:(float_of_int ts.profiles.(id).Latency.wt_once_bytes
+                      *. fraction ts id)
+               ~deadline:ts.clock));
+        ts.stage <- Awaiting id;
+        true
+      end
+    | Awaiting id ->
+      let is_pinned = pinned ts id in
+      if is_pinned && ts.pending_w.(id) > 0 then false
+      else begin
+        let ready = if is_pinned then ts.weight_ready.(id) else 0. in
+        let start = max ts.clock ready in
+        if start > !now then false
+        else begin
+          let wait = start -. ts.clock in
+          ts.prefetch_wait <- ts.prefetch_wait +. wait;
+          let p = ts.profiles.(id) in
+          let on_chip = ts.input.on_chip in
+          let if_t = NM.if_time ~on_chip p in
+          let of_t = NM.of_time ~on_chip p in
+          let streamed = p.Latency.wt_term *. (1. -. fraction ts id) in
+          let stream =
+            if streamed <= 0. then None
+            else
+              Some
+                (enqueue ts ~kind:Weight_stream_x ~target:id ~load:streamed
+                   ~bytes:(float_of_int p.Latency.wt_stream_bytes
+                          *. (1. -. fraction ts id))
+                   ~deadline:start)
+          in
+          ts.stage <-
+            Executing
+              { exec_id = id; exec_start = start; exec_if = if_t;
+                exec_of = of_t; exec_stream = stream };
+          true
+        end
+      end
+    | Executing e -> (
+      match e.exec_stream with
+      | Some x when not x.finished -> false
+      | _ ->
+        let wt_component =
+          match e.exec_stream with
+          | None -> 0.
+          | Some x -> x.finished_at -. e.exec_start
+        in
+        let p = ts.profiles.(e.exec_id) in
+        let binding, duration =
+          NM.duration_and_binding ~latc:p.Latency.latc ~if_time:e.exec_if
+            ~wt_component ~of_time:e.exec_of
+        in
+        let finish = e.exec_start +. duration in
+        if finish > !now then false
+        else begin
+          let on_chip = ts.input.on_chip in
+          ts.timings.(e.exec_id) <-
+            { Sim.Engine.node_id = e.exec_id; start = e.exec_start; finish;
+              wait = ts.timings.(e.exec_id).Sim.Engine.wait; binding };
+          ts.ddr <-
+            ts.ddr
+            +. float_of_int (NM.if_stream_bytes ~on_chip p)
+            +. float_of_int (NM.of_stream_bytes ~on_chip p);
+          ts.clock <- finish;
+          ts.next <- e.exec_id + 1;
+          ts.stage <- Entering;
+          true
+        end)
+  in
+  (* Record the stall of a node before it starts (matching the isolated
+     engine's [wait] field): stash it when the Awaiting stage resolves.
+     The timings write above preserves it. *)
+  let note_wait ts id wait =
+    ts.timings.(id) <- { ts.timings.(id) with Sim.Engine.wait }
+  in
+  (* Wire note_wait into the Awaiting transition without duplicating the
+     stage logic: wrap progress. *)
+  let progress ts =
+    match ts.stage with
+    | Awaiting id ->
+      let before_clock = ts.clock in
+      let changed = progress ts in
+      (if changed then
+         match ts.stage with
+         | Executing e when e.exec_id = id ->
+           note_wait ts id (e.exec_start -. before_clock)
+         | _ -> ());
+      changed
+    | _ -> progress ts
+  in
+  let on_chip_jobs () =
+    Array.to_list tenants
+    |> List.filter_map (fun ts ->
+           match ts.current with
+           | Some x when not x.finished -> Some x
+           | _ -> None)
+  in
+  (* Scheduler picks the eligible subset, arbiter splits bandwidth over
+     it; everything else is preempted (rate 0, channel still held). *)
+  let assign_rates () =
+    let jobs = on_chip_jobs () in
+    let pendings =
+      List.map
+        (fun x ->
+          { Scheduler.key = x.key; deadline = x.deadline;
+            priority = inputs.(x.owner).priority })
+        jobs
+    in
+    let chosen = Scheduler.eligible scheduler pendings in
+    let contenders =
+      List.filter_map
+        (fun x ->
+          if List.mem x.key chosen then
+            Some (x.key, inputs.(x.owner).priority)
+          else None)
+        jobs
+    in
+    let rates = Arbiter.rates arbitration contenders in
+    List.iter
+      (fun x ->
+        let r = match List.assoc_opt x.key rates with Some r -> r | None -> 0. in
+        if r <> x.rate then begin
+          (* Settle the work done at the old rate before switching; a
+             transfer whose rate never changes keeps its exact
+             [settled + work/rate] finish time, which single-tenant
+             exactness depends on. *)
+          x.work <- x.work -. ((!now -. x.settled) *. x.rate);
+          if x.work < 0. then x.work <- 0.;
+          x.settled <- !now;
+          x.rate <- r;
+          x.eta <-
+            (if r > 0. then (if x.work <= 0. then !now else !now +. (x.work /. r))
+             else infinity)
+        end)
+      jobs
+  in
+  let complete_due () =
+    Array.fold_left
+      (fun changed ts ->
+        match ts.current with
+        | Some x when (not x.finished) && x.rate > 0. && x.eta <= !now ->
+          x.finished <- true;
+          x.finished_at <- x.eta;
+          x.work <- 0.;
+          ts.current <- None;
+          ts.wt_busy <- ts.wt_busy +. x.load;
+          ts.ddr <- ts.ddr +. x.bytes;
+          (match x.kind with
+          | Prefetch_load ->
+            ts.weight_ready.(x.target) <- x.finished_at;
+            ts.pending_w.(x.target) <- ts.pending_w.(x.target) - 1
+          | Demand_load ->
+            ts.weight_ready.(x.target) <-
+              max ts.weight_ready.(x.target) x.finished_at;
+            ts.pending_w.(x.target) <- ts.pending_w.(x.target) - 1
+          | Weight_stream_x -> ());
+          true
+        | _ -> changed)
+      false tenants
+  in
+  let all_finished () =
+    Array.for_all (fun ts -> ts.stage = Finished) tenants
+  in
+  (* Exhaust every zero-time transition at the current instant. *)
+  let settle_instant () =
+    let continue = ref true in
+    while !continue do
+      let c = ref false in
+      Array.iter (fun ts -> if progress ts then c := true) tenants;
+      if start_jobs () then c := true;
+      assign_rates ();
+      if complete_due () then c := true;
+      continue := !c
+    done
+  in
+  let next_event () =
+    let best = ref infinity in
+    let consider t = if t > !now && t < !best then best := t in
+    Array.iter
+      (fun ts ->
+        (match ts.stage with
+        | Entering -> consider ts.clock
+        | Awaiting _ -> ()
+        | Executing e -> (
+          match e.exec_stream with
+          | Some x when not x.finished -> ()
+          | _ ->
+            let wt_component =
+              match e.exec_stream with
+              | None -> 0.
+              | Some x -> x.finished_at -. e.exec_start
+            in
+            let p = ts.profiles.(e.exec_id) in
+            let _, duration =
+              NM.duration_and_binding ~latc:p.Latency.latc ~if_time:e.exec_if
+                ~wt_component ~of_time:e.exec_of
+            in
+            consider (e.exec_start +. duration))
+        | Finished -> ());
+        match ts.current with
+        | Some x when (not x.finished) && x.rate > 0. -> consider x.eta
+        | _ -> ())
+      tenants;
+    !best
+  in
+  let utilization () =
+    List.fold_left (fun acc x -> acc +. x.rate) 0. (on_chip_jobs ())
+  in
+  let guard = ref 0 in
+  settle_instant ();
+  while not (all_finished ()) do
+    incr guard;
+    if !guard > 100_000_000 then failwith "Runtime.Engine: event loop stuck";
+    let t = next_event () in
+    if t = infinity then
+      failwith "Runtime.Engine: no runnable event but tenants unfinished";
+    let util = utilization () in
+    if t > !now then
+      segments := { seg_start = !now; seg_end = t; utilization = util } :: !segments;
+    now := t;
+    settle_instant ()
+  done;
+  let runs =
+    Array.map
+      (fun ts ->
+        { label = ts.input.label;
+          timings = ts.timings;
+          finish = ts.clock;
+          latency = ts.clock -. ts.input.arrival;
+          prefetch_wait = ts.prefetch_wait;
+          wt_channel_busy = ts.wt_busy;
+          ddr_bytes = ts.ddr })
+      tenants
+  in
+  let makespan =
+    Array.fold_left (fun acc r -> max acc r.finish) 0. runs
+  in
+  (* Merge adjacent segments with equal utilization. *)
+  let timeline =
+    List.fold_left
+      (fun acc seg ->
+        match acc with
+        | prev :: rest
+          when prev.utilization = seg.utilization
+               && prev.seg_end = seg.seg_start ->
+          { prev with seg_end = seg.seg_end } :: rest
+        | _ -> seg :: acc)
+      []
+      (List.rev !segments)
+    |> List.rev
+  in
+  { tenants = runs; makespan; timeline }

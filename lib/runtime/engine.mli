@@ -1,0 +1,57 @@
+(** Bandwidth-contended multi-tenant co-simulation.
+
+    Every admitted tenant executes its own plan node by node exactly as
+    {!Sim.Engine.simulate} would — same release points, same Eq. 1
+    component arithmetic, via {!Sim.Node_model} — but all DDR weight
+    transfers (prefetches, demand loads, streamed weight tiles) go
+    through one shared bus: the {!Scheduler} picks which released
+    transfers may use it, the {!Arbiter} splits bandwidth among them,
+    and a transfer running at fraction [r] of the bandwidth takes [1/r]
+    times its isolated duration.  Prefetches that were fully hidden in
+    isolation can therefore become exposed stalls under contention —
+    the paper's data-transfer bottleneck reappearing between tenants.
+
+    With a single tenant there is never more than one transfer on the
+    bus, every rate is 1, and the co-simulation reproduces the isolated
+    engine bit for bit (pinned by test/test_runtime.ml across the model
+    zoo). *)
+
+type tenant_input = {
+  label : string;
+  metric : Lcmm.Metric.t;
+  on_chip : Lcmm.Metric.Item_set.t;
+  prefetch : Lcmm.Prefetch.t option;
+  arrival : float;         (** Seconds after time 0 the tenant starts. *)
+  priority : int;          (** Lower = more important (arbitration, EDF ties). *)
+  slack : int -> float;
+      (** Per target node, how long its prefetch may take before the
+          target stalls — the isolated-schedule distance from the PDG
+          source's start to the target's start.  Defines EDF deadlines. *)
+}
+
+type tenant_run = {
+  label : string;
+  timings : Sim.Engine.node_timing array;
+  finish : float;          (** Absolute finish time of the last node. *)
+  latency : float;         (** [finish - arrival]. *)
+  prefetch_wait : float;
+  wt_channel_busy : float;
+  ddr_bytes : float;       (** Engine-accounted DDR traffic (weight
+                               transfers plus feature streams). *)
+}
+
+type segment = { seg_start : float; seg_end : float; utilization : float }
+(** One piece of the bus-utilization timeline: the summed bandwidth
+    fraction in use over [seg_start, seg_end). *)
+
+type result = {
+  tenants : tenant_run array;
+  makespan : float;        (** Max finish time over all tenants. *)
+  timeline : segment list; (** Chronological, adjacent equal segments merged. *)
+}
+
+val run :
+  arbitration:Arbiter.t -> scheduler:Scheduler.t -> tenant_input array ->
+  result
+(** Co-simulate the tenants to completion.  Deterministic: tenants are
+    processed in index order and transfers carry creation-order keys. *)

@@ -1,0 +1,37 @@
+type policy = Equal | Demand_weighted
+
+let to_string = function Equal -> "equal" | Demand_weighted -> "demand"
+
+let of_string = function
+  | "equal" -> Some Equal
+  | "demand" | "demand-weighted" | "demand_weighted" -> Some Demand_weighted
+  | _ -> None
+
+let all = [ Equal; Demand_weighted ]
+
+let split policy ~budget_bytes ~demands =
+  if budget_bytes < 0 then invalid_arg "Partition.split: negative budget";
+  let n = Array.length demands in
+  if n = 0 then [||]
+  else
+    match policy with
+    | Equal -> Array.make n (budget_bytes / n)
+    | Demand_weighted ->
+      let total_demand = Array.fold_left ( + ) 0 demands in
+      if total_demand = 0 then Array.make n (budget_bytes / n)
+      else if total_demand <= budget_bytes then
+        (* Everything fits: grant each tenant its demand and spread the
+           slack equally, so a tenant constrained by a conservative
+           demand estimate can still grow into spare SRAM. *)
+        let slack = (budget_bytes - total_demand) / n in
+        Array.map (fun d -> d + slack) demands
+      else
+        (* Oversubscribed: proportional shares, floored so the grants
+           can never exceed the budget. *)
+        Array.map
+          (fun d ->
+            int_of_float
+              (floor
+                 (float_of_int budget_bytes *. float_of_int d
+                 /. float_of_int total_demand)))
+          demands

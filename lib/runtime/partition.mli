@@ -1,0 +1,29 @@
+(** SRAM partitioning across tenants.
+
+    The board's tensor-buffer SRAM budget (what a single LCMM plan would
+    have had all to itself) is carved into per-tenant partitions; each
+    admitted tenant's plan is then re-compiled by DNNK under its
+    partition as a hard capacity override, so no allocation ever leans
+    on another tenant's share. *)
+
+type policy =
+  | Equal            (** [budget / n] each, demand-blind. *)
+  | Demand_weighted
+      (** Proportional to each tenant's unconstrained SRAM demand (the
+          tensor bytes its solo plan chose).  When the demands all fit,
+          each tenant gets its demand plus an equal share of the slack;
+          when oversubscribed, floored proportional shares. *)
+
+val to_string : policy -> string
+
+val of_string : string -> policy option
+(** Accepts ["equal"] and ["demand"] (also ["demand-weighted"] /
+    ["demand_weighted"]). *)
+
+val all : policy list
+
+val split : policy -> budget_bytes:int -> demands:int array -> int array
+(** Per-tenant grants, index-aligned with [demands].  The grants always
+    sum to at most [budget_bytes] (the admission controller's
+    no-overcommit invariant leans on this).  Raises [Invalid_argument]
+    on a negative budget. *)

@@ -1,0 +1,127 @@
+module Json = Dnn_serial.Json
+
+type status =
+  | Admitted
+  | Queued of string
+  | Rejected of string
+
+type tenant_report = {
+  name : string;
+  model : string;
+  priority : int;
+  status : status;
+  arrival_ms : float;
+  grant_bytes : int;
+  demand_bytes : int;
+  sram_used_bytes : int;
+  isolated_ms : float;
+  latency_ms : float;
+  finish_ms : float;
+  slowdown : float;
+  prefetch_wait_ms : float;
+  ddr_mb : float;
+}
+
+type t = {
+  device : string;
+  dtype : string;
+  arbitration : Arbiter.t;
+  scheduler : Scheduler.t;
+  partition : Partition.policy;
+  budget_bytes : int;
+  board_bandwidth : float;
+  overcommit : float;
+  makespan_ms : float;
+  bus_busy_fraction : float;
+  tenants : tenant_report list;
+  timeline : Engine.segment list;
+}
+
+let status_string = function
+  | Admitted -> "admitted"
+  | Queued _ -> "queued"
+  | Rejected _ -> "rejected"
+
+let tenant_json (r : tenant_report) =
+  let base =
+    [ ("name", Json.String r.name);
+      ("model", Json.String r.model);
+      ("priority", Json.Int r.priority);
+      ("status", Json.String (status_string r.status)) ]
+  in
+  let reason =
+    match r.status with
+    | Admitted -> []
+    | Queued reason | Rejected reason -> [ ("reason", Json.String reason) ]
+  in
+  let perf =
+    match r.status with
+    | Admitted ->
+      [ ("arrival_ms", Json.Float r.arrival_ms);
+        ("grant_bytes", Json.Int r.grant_bytes);
+        ("demand_bytes", Json.Int r.demand_bytes);
+        ("sram_used_bytes", Json.Int r.sram_used_bytes);
+        ("isolated_ms", Json.Float r.isolated_ms);
+        ("latency_ms", Json.Float r.latency_ms);
+        ("finish_ms", Json.Float r.finish_ms);
+        ("slowdown", Json.Float r.slowdown);
+        ("prefetch_wait_ms", Json.Float r.prefetch_wait_ms);
+        ("ddr_mb", Json.Float r.ddr_mb) ]
+    | Queued _ | Rejected _ -> [ ("demand_bytes", Json.Int r.demand_bytes) ]
+  in
+  Json.Obj (base @ reason @ perf)
+
+let timeline_json segments =
+  Json.List
+    (List.map
+       (fun (s : Engine.segment) ->
+         Json.Obj
+           [ ("t0_ms", Json.Float (s.Engine.seg_start *. 1e3));
+             ("t1_ms", Json.Float (s.Engine.seg_end *. 1e3));
+             ("utilization", Json.Float s.Engine.utilization) ])
+       segments)
+
+let to_json t =
+  Json.Obj
+    [ ("device", Json.String t.device);
+      ("dtype", Json.String t.dtype);
+      ("arbitration", Json.String (Arbiter.to_string t.arbitration));
+      ("scheduler", Json.String (Scheduler.to_string t.scheduler));
+      ("partition", Json.String (Partition.to_string t.partition));
+      ("budget_bytes", Json.Int t.budget_bytes);
+      ("board_bandwidth_gbs", Json.Float (t.board_bandwidth /. 1e9));
+      ("overcommit", Json.Float t.overcommit);
+      ("makespan_ms", Json.Float t.makespan_ms);
+      ("bus_busy_fraction", Json.Float t.bus_busy_fraction);
+      ("tenants", Json.List (List.map tenant_json t.tenants));
+      ("bandwidth_timeline", timeline_json t.timeline) ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "board: %s %s | SRAM budget %.2f MB | bw %.1f GB/s | %s arbitration, %s \
+     scheduler, %s partition@."
+    t.device t.dtype
+    (float_of_int t.budget_bytes /. 1e6)
+    (t.board_bandwidth /. 1e9)
+    (Arbiter.to_string t.arbitration)
+    (Scheduler.to_string t.scheduler)
+    (Partition.to_string t.partition);
+  List.iter
+    (fun r ->
+      match r.status with
+      | Admitted ->
+        Format.fprintf ppf
+          "  %-16s %-12s prio %d  grant %6.2f MB  iso %8.3f ms  run %8.3f ms \
+           (x%.2f)  wait %7.3f ms  ddr %7.1f MB@."
+          r.name r.model r.priority
+          (float_of_int r.grant_bytes /. 1e6)
+          r.isolated_ms r.latency_ms r.slowdown r.prefetch_wait_ms r.ddr_mb
+      | Queued reason ->
+        Format.fprintf ppf "  %-16s %-12s prio %d  QUEUED: %s@." r.name r.model
+          r.priority reason
+      | Rejected reason ->
+        Format.fprintf ppf "  %-16s %-12s prio %d  REJECTED: %s@." r.name
+          r.model r.priority reason)
+    t.tenants;
+  Format.fprintf ppf "makespan %.3f ms | weight bus busy %.0f%%@." t.makespan_ms
+    (100. *. t.bus_busy_fraction)

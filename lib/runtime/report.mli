@@ -1,0 +1,47 @@
+(** The board-runtime report: per-tenant outcomes, the makespan and the
+    bus-utilization timeline, as both JSON (the [lcmm runtime --json]
+    document and the service's [run] payload) and a human-readable
+    rendering. *)
+
+type status =
+  | Admitted
+  | Queued of string    (** Reason; resubmit when the board drains. *)
+  | Rejected of string  (** Reason; can never run on this board. *)
+
+type tenant_report = {
+  name : string;            (** Unique instance name, e.g. [alexnet#0]. *)
+  model : string;
+  priority : int;
+  status : status;
+  arrival_ms : float;
+  grant_bytes : int;        (** SRAM partition share. *)
+  demand_bytes : int;       (** Unconstrained solo-plan SRAM appetite. *)
+  sram_used_bytes : int;    (** What the partitioned plan actually pinned. *)
+  isolated_ms : float;      (** Partitioned plan, exclusive bandwidth. *)
+  latency_ms : float;       (** Same plan under contention. *)
+  finish_ms : float;        (** Absolute completion time. *)
+  slowdown : float;         (** [latency / isolated]. *)
+  prefetch_wait_ms : float;
+  ddr_mb : float;
+}
+
+type t = {
+  device : string;
+  dtype : string;
+  arbitration : Arbiter.t;
+  scheduler : Scheduler.t;
+  partition : Partition.policy;
+  budget_bytes : int;
+  board_bandwidth : float;   (** Bytes/second. *)
+  overcommit : float;
+  makespan_ms : float;
+  bus_busy_fraction : float; (** Time-weighted mean bus utilization. *)
+  tenants : tenant_report list;
+  timeline : Engine.segment list;
+}
+
+val status_string : status -> string
+
+val to_json : t -> Dnn_serial.Json.t
+
+val pp : Format.formatter -> t -> unit

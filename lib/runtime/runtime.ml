@@ -1,0 +1,279 @@
+module F = Lcmm.Framework
+module Config = Accel.Config
+
+type spec = {
+  name : string;
+  model : string;
+  graph : Dnn_graph.Graph.t;
+  priority : int;
+  arrival : float;
+}
+
+type options = {
+  dtype : Tensor.Dtype.t;
+  device : Fpga.Device.t;
+  arbitration : Arbiter.t;
+  scheduler : Scheduler.t;
+  partition : Partition.policy;
+  overcommit : float;
+  min_grant_bytes : int;
+  fw_options : F.options;
+}
+
+let default_options =
+  {
+    dtype = Tensor.Dtype.I16;
+    device = Fpga.Device.vu9p;
+    arbitration = Arbiter.Fair_share;
+    scheduler = Scheduler.Edf;
+    partition = Partition.Equal;
+    overcommit = 4.0;
+    min_grant_bytes = Admission.default_min_grant;
+    fw_options = F.default_options;
+  }
+
+(* One compiled model, shared by every replica of the same zoo name: the
+   LCMM design point, the unconstrained plan and its isolated run, and
+   the resource appetite the admission controller sees. *)
+type compiled = {
+  config : Config.t;
+  base : F.plan;
+  base_iso : Sim.Engine.run;
+  demand : Admission.demand;
+}
+
+let used_bytes (p : F.plan) =
+  p.F.allocation.Lcmm.Dnnk.used_blocks * Lcmm.Dnnk.block_bytes
+
+let isolated (p : F.plan) =
+  Sim.Engine.simulate ?prefetch:p.F.prefetch p.F.metric
+    ~on_chip:p.F.allocation.Lcmm.Dnnk.on_chip
+
+let compile_model options g =
+  let dse =
+    Accel.Dse.run ~device:options.device ~style:Config.Lcmm options.dtype g
+  in
+  let config = dse.Accel.Dse.config in
+  let base = F.plan ~options:options.fw_options config g in
+  let base_iso = isolated base in
+  let traffic =
+    Lcmm.Traffic.of_allocation base.F.metric
+      ~on_chip:base.F.allocation.Lcmm.Dnnk.on_chip
+  in
+  let bandwidth =
+    if base_iso.Sim.Engine.total > 0. then
+      float_of_int (Lcmm.Traffic.total_bytes traffic)
+      /. base_iso.Sim.Engine.total
+    else 0.
+  in
+  {
+    config;
+    base;
+    base_iso;
+    demand = { Admission.sram_bytes = used_bytes base; bandwidth };
+  }
+
+(* Isolated-schedule slack for EDF deadlines: how far the PDG source's
+   start precedes the target's start when the tenant runs alone. *)
+let slack_of (p : F.plan) (iso : Sim.Engine.run) =
+  match p.F.prefetch with
+  | None -> fun _ -> 0.
+  | Some pdg -> (
+      fun target ->
+        match Lcmm.Prefetch.source_of pdg target with
+        | Some s ->
+            iso.Sim.Engine.timings.(target).Sim.Engine.start
+            -. iso.Sim.Engine.timings.(s).Sim.Engine.start
+        | None -> 0.)
+
+let run options specs =
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  let cache : (string, compiled) Hashtbl.t = Hashtbl.create 8 in
+  let compiled =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt cache s.model with
+        | Some c -> c
+        | None ->
+            let c = compile_model options s.graph in
+            Hashtbl.add cache s.model c;
+            c)
+      specs
+  in
+  let budget_bytes =
+    Array.fold_left
+      (fun acc c -> min acc (Config.sram_budget_bytes c.config))
+      max_int compiled
+    |> fun b -> if n = 0 then 0 else b
+  in
+  (* Three DDR interfaces (if/wt/of) share the board; the admission
+     bandwidth envelope is their aggregate. *)
+  let board_bandwidth =
+    if n = 0 then 0.
+    else
+      Array.fold_left
+        (fun acc c -> Float.min acc (Config.interface_bandwidth c.config))
+        Float.max_float compiled
+      *. 3.
+  in
+  (* The admission controller wants demands in priority order (stable on
+     submission order within a priority level). *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare specs.(a).priority specs.(b).priority with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let decisions_sorted =
+    Admission.decide ~min_grant_bytes:options.min_grant_bytes
+      ~partition:options.partition ~budget_bytes ~board_bandwidth
+      ~overcommit:options.overcommit
+      (Array.map (fun i -> compiled.(i).demand) order)
+  in
+  let decisions = Array.make n (Admission.Queued { reason = "" }) in
+  Array.iteri (fun rank i -> decisions.(i) <- decisions_sorted.(rank)) order;
+  (* Compile each admitted tenant against its partition share.  A grant
+     covering the unconstrained plan's whole budget reuses it verbatim —
+     with one tenant this is always the case, which is what makes the
+     single-tenant run reproduce [lcmm sim] exactly. *)
+  let replan : (string * int, F.plan * Sim.Engine.run) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let partitioned i grant =
+    let c = compiled.(i) in
+    if grant >= c.base.F.tensor_sram_bytes then (c.base, c.base_iso)
+    else
+      let key = (specs.(i).model, grant) in
+      match Hashtbl.find_opt replan key with
+      | Some pi -> pi
+      | None ->
+          let p =
+            F.plan_partitioned ~options:options.fw_options
+              ~capacity_bytes:grant c.config specs.(i).graph
+          in
+          let pi = (p, isolated p) in
+          Hashtbl.add replan key pi;
+          pi
+  in
+  let admitted = ref [] in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Admission.Admitted { grant_bytes } ->
+          let plan, iso = partitioned i grant_bytes in
+          admitted := (i, grant_bytes, plan, iso) :: !admitted
+      | _ -> ())
+    decisions;
+  let admitted = Array.of_list (List.rev !admitted) in
+  let inputs =
+    Array.map
+      (fun (i, _, (plan : F.plan), iso) ->
+        {
+          Engine.label = specs.(i).name;
+          metric = plan.F.metric;
+          on_chip = plan.F.allocation.Lcmm.Dnnk.on_chip;
+          prefetch = plan.F.prefetch;
+          arrival = specs.(i).arrival;
+          priority = specs.(i).priority;
+          slack = slack_of plan iso;
+        })
+      admitted
+  in
+  let sim = Engine.run ~arbitration:options.arbitration
+      ~scheduler:options.scheduler inputs
+  in
+  let run_of = Hashtbl.create 8 in
+  Array.iteri
+    (fun k (i, grant, plan, iso) ->
+      Hashtbl.replace run_of i (grant, plan, iso, sim.Engine.tenants.(k)))
+    admitted;
+  let tenants =
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           let demand_bytes = compiled.(i).demand.Admission.sram_bytes in
+           match decisions.(i) with
+           | Admission.Rejected { reason } ->
+               {
+                 Report.name = s.name;
+                 model = s.model;
+                 priority = s.priority;
+                 status = Report.Rejected reason;
+                 arrival_ms = s.arrival *. 1e3;
+                 grant_bytes = 0;
+                 demand_bytes;
+                 sram_used_bytes = 0;
+                 isolated_ms = 0.;
+                 latency_ms = 0.;
+                 finish_ms = 0.;
+                 slowdown = 0.;
+                 prefetch_wait_ms = 0.;
+                 ddr_mb = 0.;
+               }
+           | Admission.Queued { reason } ->
+               {
+                 Report.name = s.name;
+                 model = s.model;
+                 priority = s.priority;
+                 status = Report.Queued reason;
+                 arrival_ms = s.arrival *. 1e3;
+                 grant_bytes = 0;
+                 demand_bytes;
+                 sram_used_bytes = 0;
+                 isolated_ms = 0.;
+                 latency_ms = 0.;
+                 finish_ms = 0.;
+                 slowdown = 0.;
+                 prefetch_wait_ms = 0.;
+                 ddr_mb = 0.;
+               }
+           | Admission.Admitted { grant_bytes } ->
+               let _, plan, iso, tr = Hashtbl.find run_of i in
+               let iso_total = iso.Sim.Engine.total in
+               {
+                 Report.name = s.name;
+                 model = s.model;
+                 priority = s.priority;
+                 status = Report.Admitted;
+                 arrival_ms = s.arrival *. 1e3;
+                 grant_bytes;
+                 demand_bytes;
+                 sram_used_bytes = used_bytes plan;
+                 isolated_ms = iso_total *. 1e3;
+                 latency_ms = tr.Engine.latency *. 1e3;
+                 finish_ms = tr.Engine.finish *. 1e3;
+                 slowdown =
+                   (if iso_total > 0. then tr.Engine.latency /. iso_total
+                    else 1.);
+                 prefetch_wait_ms = tr.Engine.prefetch_wait *. 1e3;
+                 ddr_mb = tr.Engine.ddr_bytes /. 1e6;
+               })
+         specs)
+  in
+  let bus_busy_fraction =
+    if sim.Engine.makespan > 0. then
+      List.fold_left
+        (fun acc (seg : Engine.segment) ->
+          acc
+          +. ((seg.Engine.seg_end -. seg.Engine.seg_start)
+             *. Float.min 1. seg.Engine.utilization))
+        0. sim.Engine.timeline
+      /. sim.Engine.makespan
+    else 0.
+  in
+  {
+    Report.device = options.device.Fpga.Device.device_name;
+    dtype = Tensor.Dtype.to_string options.dtype;
+    arbitration = options.arbitration;
+    scheduler = options.scheduler;
+    partition = options.partition;
+    budget_bytes;
+    board_bandwidth;
+    overcommit = options.overcommit;
+    makespan_ms = sim.Engine.makespan *. 1e3;
+    bus_busy_fraction;
+    tenants;
+    timeline = sim.Engine.timeline;
+  }

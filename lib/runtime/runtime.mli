@@ -1,0 +1,42 @@
+(** The board runtime driver: admit, partition, compile, co-simulate.
+
+    Ties the runtime subsystem together end to end.  Each tenant spec
+    names a model replica with a priority and an arrival time; [run]
+    compiles every distinct model once (DSE + unconstrained LCMM plan),
+    asks {!Admission} which tenants fit the board, splits the tensor
+    SRAM budget across the admitted set with {!Partition}, re-runs the
+    LCMM framework per tenant against its share
+    ({!Lcmm.Framework.plan_partitioned}), and co-simulates the admitted
+    plans under shared DDR bandwidth with {!Engine}.
+
+    With a single tenant the partition grants the whole budget, the
+    unconstrained plan is reused verbatim, and the reported latency
+    equals {!Sim.Engine.simulate}'s to the last bit. *)
+
+type spec = {
+  name : string;      (** Unique instance name, e.g. [alexnet#0]. *)
+  model : string;     (** Zoo model name — the compilation cache key. *)
+  graph : Dnn_graph.Graph.t;
+  priority : int;     (** Lower = more important. *)
+  arrival : float;    (** Seconds after time 0 the tenant arrives. *)
+}
+
+type options = {
+  dtype : Tensor.Dtype.t;
+  device : Fpga.Device.t;
+  arbitration : Arbiter.t;
+  scheduler : Scheduler.t;
+  partition : Partition.policy;
+  overcommit : float;       (** Admission bandwidth over-subscription. *)
+  min_grant_bytes : int;    (** Smallest useful SRAM share. *)
+  fw_options : Lcmm.Framework.options;
+}
+
+val default_options : options
+(** I16 on the VU9P, fair-share arbitration, EDF scheduling, equal
+    partitioning, 4x bandwidth overcommit, one-block minimum grant. *)
+
+val run : options -> spec list -> Report.t
+(** Admit, partition, compile and co-simulate the tenants.  Specs with
+    the same [model] share one design-space exploration and base plan;
+    deterministic for a fixed spec list. *)

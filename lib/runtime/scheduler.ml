@@ -1,0 +1,37 @@
+type t = Greedy | Edf
+
+let to_string = function Greedy -> "greedy" | Edf -> "edf"
+
+let of_string = function
+  | "greedy" -> Some Greedy
+  | "edf" -> Some Edf
+  | _ -> None
+
+let all = [ Greedy; Edf ]
+
+type pending = {
+  key : int;
+  deadline : float;
+  priority : int;
+}
+
+let eligible t ready =
+  match ready with
+  | [] -> []
+  | _ -> (
+    match t with
+    | Greedy -> List.map (fun p -> p.key) ready
+    | Edf ->
+      let urgent =
+        List.fold_left
+          (fun best p ->
+            if
+              p.deadline < best.deadline
+              || (p.deadline = best.deadline
+                 && (p.priority < best.priority
+                    || (p.priority = best.priority && p.key < best.key)))
+            then p
+            else best)
+          (List.hd ready) (List.tl ready)
+      in
+      [ urgent.key ])

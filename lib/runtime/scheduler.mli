@@ -1,0 +1,33 @@
+(** Cross-tenant transfer scheduling.
+
+    The arbiter splits bandwidth among the transfers the scheduler lets
+    onto the bus; the scheduler decides *which* pending transfers those
+    are.  [Greedy] is the work-conserving baseline: every tenant's
+    head-of-queue transfer contends as soon as it is released.  [Edf]
+    (earliest deadline first) instead dedicates the bus to the most
+    urgent transfer: each weight prefetch carries a deadline equal to
+    its release time plus its slack (the isolated-schedule distance from
+    its PDG source to its target — how long the load may take before the
+    target node stalls), and demand loads and streamed-weight transfers
+    are due immediately.  Draining urgent transfers at full bandwidth
+    instead of fair-sharing everything is what turns prefetches that
+    contention would expose back into hidden ones. *)
+
+type t = Greedy | Edf
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val all : t list
+
+type pending = {
+  key : int;        (** Unique transfer key (creation order). *)
+  deadline : float; (** Absolute time by which it should finish. *)
+  priority : int;   (** Owning tenant's priority (lower = higher). *)
+}
+
+val eligible : t -> pending list -> int list
+(** Keys of the transfers allowed to contend for bandwidth right now:
+    all of them under [Greedy], the single most urgent one under [Edf]
+    (earliest deadline, ties by priority then key). *)

@@ -53,3 +53,13 @@ let request_digest ?(extra = []) ~dtype ~device ~options g =
     :: Tensor.Dtype.to_string dtype
     :: device.Fpga.Device.device_name
     :: options_fingerprint options :: extra)
+
+let run_digest ?(extra = []) ~dtype ~device ~options tenants =
+  hash
+    (Tensor.Dtype.to_string dtype
+     :: device.Fpga.Device.device_name
+     :: options_fingerprint options
+     :: extra
+    @ List.concat_map
+        (fun (g, tag) -> [ tag; Dnn_serial.Codec.to_string ~pretty:false g ])
+        tenants)

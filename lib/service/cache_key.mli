@@ -27,3 +27,13 @@ val request_digest :
 (** Key for a DSE-then-plan request ([compile]/[simulate]): the design
     point is not known up front, but the DSE is a deterministic function
     of (graph, dtype, device), so keying on those is equivalent. *)
+
+val run_digest :
+  ?extra:string list -> dtype:Tensor.Dtype.t -> device:Fpga.Device.t ->
+  options:Lcmm.Framework.options -> (Dnn_graph.Graph.t * string) list ->
+  string
+(** Key for a multi-tenant [run] request: every tenant graph plus a
+    per-tenant tag (count, priority, arrival) in submission order;
+    [extra] folds in the board-level knobs (arbitration, scheduler,
+    partition policy, overcommit).  The runtime is a deterministic
+    function of exactly these inputs. *)

@@ -10,12 +10,18 @@ type t = {
   plan_cache : Plan_cache.t;
   worker_pool : Pool.t;
   meters : Metrics.t;
+  default_deadline_ms : float option;
 }
 
-let create ?cache ?pool ?metrics () =
+let create ?cache ?pool ?metrics ?deadline_ms () =
+  (match deadline_ms with
+  | Some ms when ms <= 0. ->
+    invalid_arg "Engine.create: deadline_ms must be positive"
+  | _ -> ());
   { plan_cache = (match cache with Some c -> c | None -> Plan_cache.create ());
     worker_pool = (match pool with Some p -> p | None -> Pool.create ());
-    meters = (match metrics with Some m -> m | None -> Metrics.create ()) }
+    meters = (match metrics with Some m -> m | None -> Metrics.create ());
+    default_deadline_ms = deadline_ms }
 
 type cache_status = Hit | Miss | Uncached
 
@@ -48,8 +54,7 @@ let spec_fields (spec : P.compile_spec) ~digest =
     ("device", Json.String spec.P.device.Fpga.Device.device_name);
     ("digest", Json.String digest) ]
 
-let resolve_graph (spec : P.compile_spec) =
-  match spec.P.target with
+let resolve_target = function
   | P.Inline g -> Ok g
   | P.Named name -> (
     match Models.Zoo.find name with
@@ -59,6 +64,8 @@ let resolve_graph (spec : P.compile_spec) =
         (Printf.sprintf "unknown model %S (known: %s)" name
            (String.concat ", "
               (List.map (fun e -> e.Models.Zoo.model_name) Models.Zoo.all))))
+
+let resolve_graph (spec : P.compile_spec) = resolve_target spec.P.target
 
 let compile_payload (spec : P.compile_spec) ~digest g =
   let c =
@@ -115,6 +122,64 @@ let simulate_payload (spec : P.compile_spec) ~digest ~images g =
         ("prefetch_wait_ms", Json.Float (lcmm.Sim.Engine.prefetch_wait *. 1e3));
         ("wt_channel_busy_ms", Json.Float (lcmm.Sim.Engine.wt_channel_busy *. 1e3)) ]
     @ batch_fields)
+
+(* Multi-tenant run: expand counts into per-instance runtime specs.  An
+   inline graph gets a content-derived model key so two different
+   shipped graphs never share the runtime's per-model compilation
+   cache. *)
+let resolve_tenants (spec : P.run_spec) =
+  let counter = Hashtbl.create 8 in
+  let rec go acc tags = function
+    | [] -> Ok (List.rev acc, List.rev tags)
+    | (tn : P.run_tenant) :: rest -> (
+      match resolve_target tn.P.tenant_target with
+      | Error msg -> Error msg
+      | Ok g ->
+        let model =
+          match tn.P.tenant_target with
+          | P.Named name -> name
+          | P.Inline g ->
+            "inline:"
+            ^ String.sub
+                (Digest.to_hex
+                   (Digest.string (Dnn_serial.Codec.to_string ~pretty:false g)))
+                0 8
+        in
+        let instances =
+          List.init tn.P.count (fun _ ->
+              let k =
+                Option.value ~default:0 (Hashtbl.find_opt counter model)
+              in
+              Hashtbl.replace counter model (k + 1);
+              { Lcmm_runtime.Runtime.name = Printf.sprintf "%s#%d" model k;
+                model;
+                graph = g;
+                priority = tn.P.tenant_priority;
+                arrival = tn.P.arrival_s })
+        in
+        let tag =
+          Printf.sprintf "count:%d|prio:%d|arr:%.17g" tn.P.count
+            tn.P.tenant_priority tn.P.arrival_s
+        in
+        go (List.rev_append instances acc) ((g, tag) :: tags) rest)
+  in
+  go [] [] spec.P.tenants
+
+let run_payload (spec : P.run_spec) ~digest specs =
+  let options =
+    { Lcmm_runtime.Runtime.dtype = spec.P.run_dtype;
+      device = spec.P.run_device;
+      arbitration = spec.P.arbitration;
+      scheduler = spec.P.scheduler;
+      partition = spec.P.sram_partition;
+      overcommit = spec.P.overcommit;
+      min_grant_bytes = Lcmm_runtime.Admission.default_min_grant;
+      fw_options = spec.P.run_options }
+  in
+  let report = Lcmm_runtime.Runtime.run options specs in
+  match Lcmm_runtime.Report.to_json report with
+  | Json.Obj fields -> Json.Obj (("digest", Json.String digest) :: fields)
+  | other -> other
 
 let models_payload () =
   Json.List
@@ -196,6 +261,23 @@ let handle_leaf t (env : P.envelope) =
           let digest = cacheable_digest spec ~extra g in
           through_cache t ~digest (fun () ->
               simulate_payload spec ~digest ~images g))
+      | P.Run spec -> (
+        match resolve_tenants spec with
+        | Error msg -> (Uncached, Error msg)
+        | Ok (specs, tagged_graphs) ->
+          let extra =
+            [ "run";
+              Lcmm_runtime.Arbiter.to_string spec.P.arbitration;
+              Lcmm_runtime.Scheduler.to_string spec.P.scheduler;
+              Lcmm_runtime.Partition.to_string spec.P.sram_partition;
+              Printf.sprintf "%.17g" spec.P.overcommit ]
+          in
+          let digest =
+            Cache_key.run_digest ~extra ~dtype:spec.P.run_dtype
+              ~device:spec.P.run_device ~options:spec.P.run_options
+              tagged_graphs
+          in
+          through_cache t ~digest (fun () -> run_payload spec ~digest specs))
     with e -> (Uncached, Error ("internal: " ^ Printexc.to_string e))
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
@@ -205,6 +287,8 @@ let handle_leaf t (env : P.envelope) =
         (match env.P.request with
         | P.Compile spec | P.Simulate (spec, _) ->
           " " ^ P.target_name spec.P.target
+        | P.Run spec ->
+          Printf.sprintf " %d tenant spec(s)" (List.length spec.P.tenants)
         | P.Batch _ | P.Stats | P.Models -> "")
         (match cache_status, outcome with
         | Hit, _ -> "hit"
@@ -214,14 +298,58 @@ let handle_leaf t (env : P.envelope) =
         (elapsed_s *. 1e3));
   { id = env.P.id; op; cache = cache_status; elapsed_s; outcome; subs = [] }
 
+let deadline_error ms =
+  Printf.sprintf "deadline exceeded: still computing after the %.0f ms budget"
+    ms
+
+let timeout_response t (env : P.envelope) ~elapsed_s ~ms =
+  let op = P.op_name env.P.request in
+  Metrics.record t.meters ~op ~ok:false ~seconds:elapsed_s;
+  Log.info (fun m -> m "%s -> deadline exceeded after %.2f ms" op (elapsed_s *. 1e3));
+  { id = env.P.id;
+    op;
+    cache = Uncached;
+    elapsed_s;
+    outcome = Error (deadline_error ms);
+    subs = [] }
+
 let handle t (env : P.envelope) =
+  let deadline_ms =
+    match env.P.deadline_ms with
+    | Some ms -> Some ms
+    | None -> t.default_deadline_ms
+  in
   match env.P.request with
   | P.Batch subs ->
     (* Fan out on the caller thread: workers run leaves only, so a full
-       pool can never deadlock on its own sub-jobs. *)
+       pool can never deadlock on its own sub-jobs.  Sub-request
+       deadlines are measured from the batch's start (the batch budget
+       bounds the whole fan-out); a sub may carry its own override. *)
     let t0 = Unix.gettimeofday () in
+    let futures =
+      List.map
+        (fun sub -> Pool.submit t.worker_pool (fun () -> handle_leaf t sub))
+        subs
+    in
     let responses =
-      Pool.map_list t.worker_pool (fun sub -> handle_leaf t sub) subs
+      List.map2
+        (fun (sub : P.envelope) fut ->
+          let sub_ms =
+            match sub.P.deadline_ms with Some ms -> Some ms | None -> deadline_ms
+          in
+          match sub_ms with
+          | None -> (
+            match Pool.await fut with Ok r -> r | Error e -> raise e)
+          | Some ms -> (
+            let remaining = (ms /. 1e3) -. (Unix.gettimeofday () -. t0) in
+            match Pool.await_within ~seconds:remaining fut with
+            | Some (Ok r) -> r
+            | Some (Error e) -> raise e
+            | None ->
+              timeout_response t sub
+                ~elapsed_s:(Unix.gettimeofday () -. t0)
+                ~ms))
+        subs futures
     in
     let elapsed_s = Unix.gettimeofday () -. t0 in
     Metrics.record t.meters ~op:"batch" ~ok:true ~seconds:elapsed_s;
@@ -233,8 +361,17 @@ let handle t (env : P.envelope) =
       elapsed_s;
       outcome = Ok Json.Null;  (* rendered from [subs] *)
       subs = responses }
-  | P.Compile _ | P.Simulate _ ->
-    Pool.run t.worker_pool (fun () -> handle_leaf t env)
+  | P.Compile _ | P.Simulate _ | P.Run _ -> (
+    match deadline_ms with
+    | None -> Pool.run t.worker_pool (fun () -> handle_leaf t env)
+    | Some ms -> (
+      let t0 = Unix.gettimeofday () in
+      let fut = Pool.submit t.worker_pool (fun () -> handle_leaf t env) in
+      match Pool.await_within ~seconds:(ms /. 1e3) fut with
+      | Some (Ok r) -> r
+      | Some (Error e) -> raise e
+      | None ->
+        timeout_response t env ~elapsed_s:(Unix.gettimeofday () -. t0) ~ms))
   | P.Stats | P.Models -> handle_leaf t env
 
 let rec response_to_json ?(timing = true) r =

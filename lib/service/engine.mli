@@ -11,9 +11,13 @@
 type t
 
 val create :
-  ?cache:Plan_cache.t -> ?pool:Pool.t -> ?metrics:Metrics.t -> unit -> t
+  ?cache:Plan_cache.t -> ?pool:Pool.t -> ?metrics:Metrics.t ->
+  ?deadline_ms:float -> unit -> t
 (** Missing components are created with their defaults (256-entry
-    in-memory cache, [Pool.create ()] sized pool). *)
+    in-memory cache, [Pool.create ()] sized pool).  [deadline_ms] is the
+    default per-request compute budget applied when a request carries no
+    ["deadline_ms"] of its own; omitted = wait forever.  Raises
+    [Invalid_argument] when non-positive. *)
 
 type cache_status = Hit | Miss | Uncached
 
@@ -29,7 +33,10 @@ type response = {
 val handle : t -> Protocol.envelope -> response
 (** [Batch] sub-requests run concurrently on the pool; everything else
     computes on a single pool worker.  Never raises: failures come back
-    as [Error] outcomes. *)
+    as [Error] outcomes.  A request (or engine-level) deadline that
+    expires turns the outcome into a structured deadline error — the
+    abandoned job finishes on its worker and still populates the cache,
+    so a retry typically hits. *)
 
 val response_to_json : ?timing:bool -> response -> Dnn_serial.Json.t
 (** With [timing] (default [true]) responses carry ["cache"] and

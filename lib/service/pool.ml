@@ -100,6 +100,28 @@ let await fut =
   Mutex.unlock fut.fm;
   outcome
 
+(* OCaml's [Condition] has no timed wait, so a bounded await polls the
+   future state with exponential backoff (1 ms doubling to 50 ms) —
+   coarse enough to cost nothing, fine enough that a deadline miss is
+   reported within a twentieth of a second of the budget. *)
+let await_within ~seconds fut =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec wait interval =
+    Mutex.lock fut.fm;
+    let state = fut.state in
+    Mutex.unlock fut.fm;
+    match state with
+    | Done v -> Some (Ok v)
+    | Failed e -> Some (Error e)
+    | Pending ->
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        Unix.sleepf (Float.min interval (Float.max 0. (deadline -. Unix.gettimeofday ())));
+        wait (Float.min 0.05 (interval *. 2.))
+      end
+  in
+  wait 0.001
+
 let run t f =
   match await (submit t f) with Ok v -> v | Error e -> raise e
 

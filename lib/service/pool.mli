@@ -28,6 +28,13 @@ val submit : t -> (unit -> 'a) -> 'a future
 
 val await : 'a future -> ('a, exn) result
 
+val await_within : seconds:float -> 'a future -> ('a, exn) result option
+(** Like {!await} but gives up after [seconds], returning [None].  The
+    job itself is not cancelled — it keeps its worker until it finishes;
+    the caller merely stops waiting (the service turns [None] into a
+    structured deadline-exceeded error).  A non-positive budget checks
+    once and returns immediately. *)
+
 val run : t -> (unit -> 'a) -> 'a
 (** [submit] then [await], re-raising the job's exception. *)
 

@@ -12,15 +12,35 @@ type compile_spec = {
   options : F.options;
 }
 
+type run_tenant = {
+  tenant_target : target;
+  count : int;
+  tenant_priority : int;
+  arrival_s : float;
+}
+
+type run_spec = {
+  tenants : run_tenant list;
+  run_dtype : Tensor.Dtype.t;
+  run_device : Fpga.Device.t;
+  arbitration : Lcmm_runtime.Arbiter.t;
+  scheduler : Lcmm_runtime.Scheduler.t;
+  sram_partition : Lcmm_runtime.Partition.policy;
+  overcommit : float;
+  run_options : F.options;
+}
+
 type request =
   | Compile of compile_spec
   | Simulate of compile_spec * int option
+  | Run of run_spec
   | Batch of envelope list
   | Stats
   | Models
 
 and envelope = {
   id : Json.t option;
+  deadline_ms : float option;
   request : request;
 }
 
@@ -31,6 +51,7 @@ let target_name = function
 let op_name = function
   | Compile _ -> "compile"
   | Simulate _ -> "simulate"
+  | Run _ -> "run"
   | Batch _ -> "batch"
   | Stats -> "stats"
   | Models -> "models"
@@ -109,38 +130,134 @@ let target_of_json v =
     let* g = Dnn_serial.Codec.graph_of_json graph_v in
     Ok (Inline g)
 
+let dtype_of_json v =
+  match Json.member_opt "dtype" v with
+  | None -> Ok Tensor.Dtype.I16
+  | Some field ->
+    let* s = Json.to_str field in
+    (match Tensor.Dtype.of_string s with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "unknown dtype %S" s))
+
+let device_of_json v =
+  match Json.member_opt "device" v with
+  | None -> Ok Fpga.Device.vu9p
+  | Some field ->
+    let* s = Json.to_str field in
+    (match Fpga.Device.find s with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "unknown device %S" s))
+
+let fw_options_of_json v =
+  match Json.member_opt "options" v with
+  | None -> Ok F.default_options
+  | Some (Json.Obj _ as o) -> options_of_json o
+  | Some _ -> Error "field \"options\": expected an object"
+
 let compile_spec_of_json v =
   let* target = target_of_json v in
-  let* dtype =
-    match Json.member_opt "dtype" v with
-    | None -> Ok Tensor.Dtype.I16
-    | Some field ->
-      let* s = Json.to_str field in
-      (match Tensor.Dtype.of_string s with
-      | Some d -> Ok d
-      | None -> Error (Printf.sprintf "unknown dtype %S" s))
-  in
-  let* device =
-    match Json.member_opt "device" v with
-    | None -> Ok Fpga.Device.vu9p
-    | Some field ->
-      let* s = Json.to_str field in
-      (match Fpga.Device.find s with
-      | Some d -> Ok d
-      | None -> Error (Printf.sprintf "unknown device %S" s))
-  in
-  let* options =
-    match Json.member_opt "options" v with
-    | None -> Ok F.default_options
-    | Some (Json.Obj _ as o) -> options_of_json o
-    | Some _ -> Error "field \"options\": expected an object"
-  in
+  let* dtype = dtype_of_json v in
+  let* device = device_of_json v in
+  let* options = fw_options_of_json v in
   Ok { target; dtype; device; options }
+
+(* A policy knob: an optional string field decoded through a module's
+   [of_string]. *)
+let policy_field v key of_string fallback ~known =
+  match Json.member_opt key v with
+  | None -> Ok fallback
+  | Some field -> (
+    match Json.to_str field with
+    | Error _ -> Error (Printf.sprintf "field %S: expected a string" key)
+    | Ok s -> (
+      match of_string s with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "field %S: unknown value %S (known: %s)" key s known)))
+
+let run_tenant_of_json v =
+  let* tenant_target = target_of_json v in
+  let* count =
+    match Json.member_opt "count" v with
+    | None -> Ok 1
+    | Some field -> (
+      match Json.to_int field with
+      | Ok n when n >= 1 -> Ok n
+      | Ok _ -> Error "field \"count\": expected a count >= 1"
+      | Error _ -> Error "field \"count\": expected an integer")
+  in
+  let* tenant_priority =
+    match Json.member_opt "priority" v with
+    | None -> Ok 0
+    | Some field -> (
+      match Json.to_int field with
+      | Ok p -> Ok p
+      | Error _ -> Error "field \"priority\": expected an integer")
+  in
+  let* arrival_s =
+    match Json.member_opt "arrival_ms" v with
+    | None -> Ok 0.
+    | Some field -> (
+      match Json.to_float field with
+      | Ok ms when ms >= 0. -> Ok (ms /. 1e3)
+      | Ok _ -> Error "field \"arrival_ms\": expected a non-negative number"
+      | Error _ -> Error "field \"arrival_ms\": expected a number")
+  in
+  Ok { tenant_target; count; tenant_priority; arrival_s }
+
+let run_spec_of_json v =
+  let* tenants_v = Json.member "tenants" v in
+  let* items = Json.to_list tenants_v in
+  let* () = if items = [] then Error "field \"tenants\": expected a non-empty list" else Ok () in
+  let* tenants =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* tenant = run_tenant_of_json item in
+        Ok (tenant :: acc))
+      (Ok []) items
+  in
+  let tenants = List.rev tenants in
+  let* run_dtype = dtype_of_json v in
+  let* run_device = device_of_json v in
+  let* run_options = fw_options_of_json v in
+  let* arbitration =
+    policy_field v "arbitration" Lcmm_runtime.Arbiter.of_string
+      Lcmm_runtime.Arbiter.Fair_share ~known:"fair priority"
+  in
+  let* scheduler =
+    policy_field v "scheduler" Lcmm_runtime.Scheduler.of_string
+      Lcmm_runtime.Scheduler.Edf ~known:"greedy edf"
+  in
+  let* sram_partition =
+    policy_field v "partition" Lcmm_runtime.Partition.of_string
+      Lcmm_runtime.Partition.Equal ~known:"equal demand"
+  in
+  let* overcommit =
+    match Json.member_opt "overcommit" v with
+    | None -> Ok 4.0
+    | Some field -> (
+      match Json.to_float field with
+      | Ok x when x > 0. -> Ok x
+      | Ok _ -> Error "field \"overcommit\": expected a positive number"
+      | Error _ -> Error "field \"overcommit\": expected a number")
+  in
+  Ok
+    { tenants; run_dtype; run_device; arbitration; scheduler; sram_partition;
+      overcommit; run_options }
 
 let rec request_of_json v =
   let* op_v = Json.member "op" v in
   let* op = Json.to_str op_v in
   let id = Json.member_opt "id" v in
+  let* deadline_ms =
+    match Json.member_opt "deadline_ms" v with
+    | None -> Ok None
+    | Some field -> (
+      match Json.to_float field with
+      | Ok ms when ms > 0. -> Ok (Some ms)
+      | Ok _ -> Error "field \"deadline_ms\": expected a positive number"
+      | Error _ -> Error "field \"deadline_ms\": expected a number")
+  in
   let* request =
     match op with
     | "compile" ->
@@ -158,6 +275,9 @@ let rec request_of_json v =
           | Error _ -> Error "field \"images\": expected an integer")
       in
       Ok (Simulate (spec, images))
+    | "run" ->
+      let* spec = run_spec_of_json v in
+      Ok (Run spec)
     | "batch" ->
       let* requests_v = Json.member "requests" v in
       let* items = Json.to_list requests_v in
@@ -168,7 +288,8 @@ let rec request_of_json v =
             let* sub = request_of_json item in
             match sub.request with
             | Batch _ -> Error "nested batch requests are not supported"
-            | Compile _ | Simulate _ | Stats | Models -> Ok (sub :: acc))
+            | Compile _ | Simulate _ | Run _ | Stats | Models ->
+              Ok (sub :: acc))
           (Ok []) items
       in
       Ok (Batch (List.rev subs))
@@ -177,9 +298,10 @@ let rec request_of_json v =
     | other ->
       Error
         (Printf.sprintf
-           "unknown op %S (known: compile simulate batch stats models)" other)
+           "unknown op %S (known: compile simulate run batch stats models)"
+           other)
   in
-  Ok { id; request }
+  Ok { id; deadline_ms; request }
 
 let request_of_line line =
   let* v = Json.of_string line in

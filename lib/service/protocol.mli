@@ -4,11 +4,20 @@
     for the response envelope).  Grammar, informally:
 
     {v
-    request   := { "op": op, "id"?: json, ...op-fields }
-    op        := "compile" | "simulate" | "batch" | "stats" | "models"
+    request   := { "op": op, "id"?: json, "deadline_ms"?: number > 0,
+                   ...op-fields }
+    op        := "compile" | "simulate" | "run" | "batch" | "stats"
+               | "models"
     compile   := target, "dtype"?: "i8"|"i16"|"f32",
                  "device"?: name, "options"?: options
     simulate  := compile-fields, "images"?: int >= 1
+    run       := "tenants": [ tenant+ ], "dtype"?, "device"?, "options"?,
+                 "arbitration"?: "fair"|"priority",
+                 "scheduler"?: "greedy"|"edf",
+                 "partition"?: "equal"|"demand",
+                 "overcommit"?: number > 0
+    tenant    := target, "count"?: int >= 1, "priority"?: int,
+                 "arrival_ms"?: number >= 0
     batch     := "requests": [ request* ]     (no nested batches)
     target    := "model": zoo-name  |  "graph": codec-document
     options   := { "feature_reuse"?, "weight_prefetch"?,
@@ -34,15 +43,38 @@ type compile_spec = {
   options : Lcmm.Framework.options;
 }
 
+type run_tenant = {
+  tenant_target : target;
+  count : int;            (** Replicas of this model (default 1). *)
+  tenant_priority : int;  (** Lower = more important (default 0). *)
+  arrival_s : float;      (** Arrival offset in seconds (default 0). *)
+}
+
+type run_spec = {
+  tenants : run_tenant list;  (** Non-empty. *)
+  run_dtype : Tensor.Dtype.t;
+  run_device : Fpga.Device.t;
+  arbitration : Lcmm_runtime.Arbiter.t;
+  scheduler : Lcmm_runtime.Scheduler.t;
+  sram_partition : Lcmm_runtime.Partition.policy;
+  overcommit : float;
+  run_options : Lcmm.Framework.options;
+}
+
 type request =
   | Compile of compile_spec
   | Simulate of compile_spec * int option  (** Optional batch size. *)
+  | Run of run_spec                        (** Multi-tenant board run. *)
   | Batch of envelope list
   | Stats
   | Models
 
 and envelope = {
   id : Dnn_serial.Json.t option;  (** Echoed verbatim in the response. *)
+  deadline_ms : float option;
+      (** Per-request compute budget; exceeding it turns the response
+          into a structured deadline error instead of an open-ended
+          stall. *)
   request : request;
 }
 

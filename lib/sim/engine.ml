@@ -1,7 +1,11 @@
 module Metric = Lcmm.Metric
 module Latency = Accel.Latency
 
-type binding = Compute | Input_stream | Weight_stream | Output_stream
+type binding = Node_model.binding =
+  | Compute
+  | Input_stream
+  | Weight_stream
+  | Output_stream
 
 type node_timing = {
   node_id : int;
@@ -21,40 +25,17 @@ type run = {
 let simulate ?(weights_resident = false) ?prefetch metric ~on_chip =
   let profiles = metric.Metric.profiles in
   let n = Array.length profiles in
-  (* Fraction of node [id]'s weight tensor resident on chip (slices pin
-     independently; an unsliced tensor is 0 or 1). *)
-  let pinned_fraction id =
-    let k = metric.Metric.slices.(id) in
-    if k = 1 then
-      if Metric.Item_set.mem (Metric.Weight_of id) on_chip then 1. else 0.
-    else begin
-      let count = ref 0 in
-      for index = 0 to k - 1 do
-        if Metric.Item_set.mem (Metric.Weight_slice { node = id; index; of_k = k }) on_chip
-        then incr count
-      done;
-      float_of_int !count /. float_of_int k
-    end
-  in
-  let pinned_weight id = pinned_fraction id > 0. in
+  let pinned_fraction id = Node_model.pinned_fraction metric ~on_chip id in
+  let pinned_weight id = Node_model.pinned_weight metric ~on_chip id in
   (* Prefetch jobs released when their source node starts: target ->
      ready time, filled in as the schedule advances. *)
-  let released = Array.make n [] in
-  (match prefetch with
-  | None -> ()
-  | Some _ when weights_resident -> ()
-  | Some pdg ->
-    List.iter
-      (fun e ->
-        if pinned_weight e.Lcmm.Prefetch.target then
-          released.(e.Lcmm.Prefetch.source) <-
-            e :: released.(e.Lcmm.Prefetch.source))
-      (Lcmm.Prefetch.edges pdg));
+  let released =
+    Node_model.released_edges ~weights_resident ?prefetch metric ~on_chip n
+  in
   let weight_ready = Array.make n 0. in
   (* Pinned weights with no PDG edge must load before their node; model
      as released at time 0. *)
-  let has_edge = Array.make n false in
-  Array.iter (List.iter (fun e -> has_edge.(e.Lcmm.Prefetch.target) <- true)) released;
+  let has_edge = Node_model.has_edge released n in
   let timings = Array.make n { node_id = 0; start = 0.; finish = 0.; wait = 0.; binding = Compute } in
   let wt_free = ref 0. in
   let wt_busy = ref 0. in
@@ -75,34 +56,22 @@ let simulate ?(weights_resident = false) ?prefetch metric ~on_chip =
         wt_free := job_end;
         wt_busy := !wt_busy +. load;
         weight_ready.(e.Lcmm.Prefetch.target) <- job_end)
-      (List.rev released.(id));
+      released.(id);
     (* A pinned weight without a prefetch edge loads on demand. *)
-    if
-      pinned_weight id && (not weights_resident) && (not has_edge.(id))
-      && p.Latency.wt_load_once > 0.
-    then begin
-      let load = p.Latency.wt_load_once *. pinned_fraction id in
+    (match Node_model.demand_load ~weights_resident metric ~on_chip ~has_edge p with
+    | None -> ()
+    | Some load ->
       let job_start = max !wt_free !clock in
       let job_end = job_start +. load in
       wt_free := job_end;
       wt_busy := !wt_busy +. load;
-      weight_ready.(id) <- max weight_ready.(id) job_end
-    end;
+      weight_ready.(id) <- max weight_ready.(id) job_end);
     let ready = if pinned_weight id then weight_ready.(id) else 0. in
     let start = max !clock ready in
     let wait = start -. !clock in
     prefetch_wait := !prefetch_wait +. wait;
-    let if_time =
-      List.fold_left
-        (fun acc (v, t) ->
-          if Metric.Item_set.mem (Metric.Feature_value v) on_chip then acc
-          else acc +. t)
-        0. p.Latency.if_terms
-    in
-    let of_time =
-      if Metric.Item_set.mem (Metric.Feature_value id) on_chip then 0.
-      else p.Latency.of_term
-    in
+    let if_time = Node_model.if_time ~on_chip p in
+    let of_time = Node_model.of_time ~on_chip p in
     (* The streamed share of the weights occupies the (possibly
        prefetch-delayed) weight channel for its streaming time. *)
     let wt_component =
@@ -116,14 +85,9 @@ let simulate ?(weights_resident = false) ?prefetch metric ~on_chip =
         finish_wt -. start
       end
     in
-    let components =
-      [ (Compute, p.Latency.latc); (Input_stream, if_time);
-        (Weight_stream, wt_component); (Output_stream, of_time) ]
-    in
     let binding, duration =
-      List.fold_left
-        (fun (bb, bd) (b, d) -> if d > bd then (b, d) else (bb, bd))
-        (Compute, p.Latency.latc) components
+      Node_model.duration_and_binding ~latc:p.Latency.latc ~if_time
+        ~wt_component ~of_time
     in
     let finish = start +. duration in
     timings.(id) <- { node_id = id; start; finish; wait; binding };

@@ -13,8 +13,12 @@
     starts (or at time 0 without a PDG) and the consuming node cannot
     start before its weights arrive. *)
 
-type binding = Compute | Input_stream | Weight_stream | Output_stream
-(** Which Eq. 1 component a node's duration was bound by. *)
+type binding = Node_model.binding =
+  | Compute
+  | Input_stream
+  | Weight_stream
+  | Output_stream
+      (** Which Eq. 1 component a node's duration was bound by. *)
 
 type node_timing = {
   node_id : int;

@@ -30,4 +30,5 @@ let () =
       ("matrix", Test_matrix.suite);
       ("reproduction", Test_reproduction.suite);
       ("service", Test_service.suite);
+      ("runtime", Test_runtime.suite);
       ("check", Test_check.suite) ]

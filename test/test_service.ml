@@ -333,6 +333,156 @@ let test_engine_batch_parallel_speed () =
             (Json.Int i) (field_exn "id" sub))
         subs)
 
+(* --- run op and per-request deadlines --- *)
+
+let test_protocol_run_parse () =
+  let env =
+    parse_exn
+      {|{"op":"run","tenants":[{"model":"googlenet","count":2},{"model":"vgg16","priority":1,"arrival_ms":500}],"scheduler":"greedy"}|}
+  in
+  (match env.P.request with
+  | P.Run spec ->
+    (match spec.P.tenants with
+    | [ a; b ] ->
+      Alcotest.(check string) "tenant 0 model" "googlenet"
+        (P.target_name a.P.tenant_target);
+      Alcotest.(check int) "tenant 0 count" 2 a.P.count;
+      Alcotest.(check int) "priority default" 0 a.P.tenant_priority;
+      Alcotest.(check int) "count default" 1 b.P.count;
+      Alcotest.(check int) "tenant 1 priority" 1 b.P.tenant_priority;
+      Alcotest.(check (float 1e-12)) "arrival_ms -> seconds" 0.5 b.P.arrival_s
+    | _ -> Alcotest.fail "expected two tenants");
+    Alcotest.(check bool) "scheduler parsed" true
+      (spec.P.scheduler = Lcmm_runtime.Scheduler.Greedy);
+    Alcotest.(check bool) "arbitration default" true
+      (spec.P.arbitration = Lcmm_runtime.Arbiter.Fair_share);
+    Alcotest.(check bool) "partition default" true
+      (spec.P.sram_partition = Lcmm_runtime.Partition.Equal);
+    Alcotest.(check (float 1e-12)) "overcommit default" 4.0 spec.P.overcommit
+  | _ -> Alcotest.fail "expected run");
+  (* The deadline rides in the envelope, on any op. *)
+  let env =
+    parse_exn {|{"op":"compile","model":"alexnet","deadline_ms":250.5}|}
+  in
+  Alcotest.(check bool) "deadline parsed" true
+    (env.P.deadline_ms = Some 250.5);
+  let env = parse_exn {|{"op":"stats"}|} in
+  Alcotest.(check bool) "deadline absent by default" true
+    (env.P.deadline_ms = None)
+
+let test_protocol_run_rejects () =
+  let bad line =
+    match P.request_of_line line with
+    | Ok _ -> Alcotest.failf "expected rejection for %s" line
+    | Error _ -> ()
+  in
+  bad {|{"op":"run"}|};
+  bad {|{"op":"run","tenants":[]}|};
+  bad {|{"op":"run","tenants":[{"model":"alexnet","count":0}]}|};
+  bad {|{"op":"run","tenants":[{"model":"alexnet"}],"scheduler":"fifo"}|};
+  bad {|{"op":"run","tenants":[{"model":"alexnet"}],"arbitration":"lottery"}|};
+  bad {|{"op":"run","tenants":[{"model":"alexnet"}],"overcommit":0}|};
+  bad {|{"op":"run","tenants":[{"model":"alexnet"}],"partition":"striped"}|};
+  bad {|{"op":"run","tenants":[{"model":"alexnet","arrival_ms":-1}]}|};
+  bad {|{"op":"compile","model":"alexnet","deadline_ms":0}|};
+  bad {|{"op":"compile","model":"alexnet","deadline_ms":-5}|};
+  bad {|{"op":"compile","model":"alexnet","deadline_ms":"soon"}|}
+
+let test_engine_run_op () =
+  with_engine ~domains:2 (fun engine ->
+      let request =
+        {|{"op":"run","id":1,"tenants":[{"model":"googlenet","count":2}]}|}
+      in
+      let first = result_of_line (handle_line engine request) in
+      Alcotest.check json_t "run ok" (Json.Bool true) (field_exn "ok" first);
+      let result = field_exn "result" first in
+      (match Json.to_float (field_exn "makespan_ms" result) with
+      | Ok ms -> Alcotest.(check bool) "positive makespan" true (ms > 0.)
+      | Error msg -> Alcotest.fail msg);
+      (match Json.to_list (field_exn "tenants" result) with
+      | Ok ts -> Alcotest.(check int) "two tenant reports" 2 (List.length ts)
+      | Error msg -> Alcotest.fail msg);
+      Alcotest.(check bool) "digest present" true
+        (Json.member_opt "digest" result <> None);
+      (* Runs are cached like compiles: same request answers from the
+         table with an identical payload. *)
+      let second = result_of_line (handle_line engine request) in
+      Alcotest.check json_t "run cache hit" (Json.String "hit")
+        (field_exn "cache" second);
+      Alcotest.check json_t "identical payload" result
+        (field_exn "result" second);
+      (* A policy change is a different digest, not a stale hit. *)
+      let greedy =
+        result_of_line
+          (handle_line engine
+             {|{"op":"run","tenants":[{"model":"googlenet","count":2}],"scheduler":"greedy"}|})
+      in
+      Alcotest.check json_t "policy change misses" (Json.String "miss")
+        (field_exn "cache" greedy))
+
+let test_engine_deadline () =
+  with_engine ~domains:1 (fun engine ->
+      (* A 1 ms budget on a cold VGG-16 compile cannot be met: the
+         response is a structured deadline error, not a stall. *)
+      let timed_out =
+        result_of_line
+          (handle_line engine
+             {|{"op":"compile","id":9,"model":"vgg16","deadline_ms":1}|})
+      in
+      Alcotest.check json_t "deadline error flagged" (Json.Bool false)
+        (field_exn "ok" timed_out);
+      Alcotest.check json_t "id still echoed" (Json.Int 9)
+        (field_exn "id" timed_out);
+      (match Json.to_str (field_exn "error" timed_out) with
+      | Ok msg ->
+        let mentions_deadline =
+          let needle = "deadline" in
+          let n = String.length needle in
+          let rec scan i =
+            i + n <= String.length msg
+            && (String.sub msg i n = needle || scan (i + 1))
+          in
+          scan 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the deadline (%s)" msg)
+          true mentions_deadline
+      | Error msg -> Alcotest.fail msg);
+      (* The abandoned job still finishes on its worker and lands in the
+         cache, so an unbudgeted retry succeeds. *)
+      let retry =
+        result_of_line
+          (handle_line engine {|{"op":"compile","model":"vgg16"}|})
+      in
+      Alcotest.check json_t "retry succeeds" (Json.Bool true)
+        (field_exn "ok" retry);
+      (* A generous budget on a cache hit is comfortably met. *)
+      let warm =
+        result_of_line
+          (handle_line engine
+             {|{"op":"compile","model":"vgg16","deadline_ms":60000}|})
+      in
+      Alcotest.check json_t "warm hit within budget" (Json.Bool true)
+        (field_exn "ok" warm))
+
+let test_pool_await_within () =
+  let pool = Svc.Pool.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Svc.Pool.shutdown pool)
+    (fun () ->
+      let slow = Svc.Pool.submit pool (fun () -> Unix.sleepf 0.2; 11) in
+      (match Svc.Pool.await_within ~seconds:0.02 slow with
+      | None -> ()
+      | Some _ -> Alcotest.fail "expected a timeout");
+      (* The job was not cancelled: a blocking await still collects it. *)
+      (match Svc.Pool.await slow with
+      | Ok n -> Alcotest.(check int) "late result intact" 11 n
+      | Error e -> Alcotest.failf "await failed: %s" (Printexc.to_string e));
+      (* A settled future answers immediately, budget or not. *)
+      match Svc.Pool.await_within ~seconds:0.001 slow with
+      | Some (Ok 11) -> ()
+      | _ -> Alcotest.fail "settled future should answer")
+
 (* --- protocol fuzzing: no input may crash the decoder or the engine --- *)
 
 let test_protocol_fuzz () =
@@ -420,4 +570,9 @@ let suite =
     Alcotest.test_case "simulate and errors" `Quick test_engine_simulate_and_errors;
     Alcotest.test_case "parallel determinism" `Quick test_engine_parallel_determinism;
     Alcotest.test_case "batch ordering" `Quick test_engine_batch_parallel_speed;
+    Alcotest.test_case "run op parse" `Quick test_protocol_run_parse;
+    Alcotest.test_case "run op rejects" `Quick test_protocol_run_rejects;
+    Alcotest.test_case "run op end-to-end" `Quick test_engine_run_op;
+    Alcotest.test_case "request deadlines" `Quick test_engine_deadline;
+    Alcotest.test_case "pool await_within" `Quick test_pool_await_within;
     Alcotest.test_case "protocol fuzz" `Quick test_protocol_fuzz ]
