@@ -798,12 +798,112 @@ let runtime_experiment () =
     Lcmm.Report.write_text_file ~path (Json.to_string ~indent:2 doc ^ "\n");
     Printf.printf "wrote %s\n" path
 
+(* Fault injection: how gracefully the board degrades as the fault
+   intensity rises.  One seeded spec per intensity scales the stall and
+   failure probabilities, deepens the bandwidth droop and grows the SRAM
+   bank loss together; intensity 0 is the bit-exact fault-free engine
+   and the curve's baseline. *)
+let fault_intensities = [ 0.; 0.01; 0.02; 0.05; 0.1; 0.2 ]
+
+let fault_spec_at intensity =
+  if intensity <= 0. then None
+  else
+    let text =
+      Printf.sprintf
+        "seed=42,stall:%.3f:0.2,fail:%.3f,droop@2:4:%.2f,bankloss@3:%dk"
+        intensity (intensity /. 2.)
+        (Float.max 0.4 (1. -. intensity))
+        (max 1 (int_of_float (intensity *. 32768.)))
+    in
+    match Fault.Spec.of_string text with
+    | Ok s -> Some s
+    | Error msg -> failwith ("fault_spec_at: " ^ msg)
+
+let faults_experiment () =
+  header
+    "Fault injection: latency degradation vs fault intensity (alexnet x2 + \
+     squeezenet, fair/EDF, 16-bit, VU9P, seed 42)";
+  let mix = [ ("alexnet", 2); ("squeezenet", 1) ] in
+  Printf.printf "%-10s %12s %8s %8s %8s %11s %9s %8s\n" "intensity"
+    "makespan ms" "x base" "retries" "stalls" "evicted MB" "degrades"
+    "aborted";
+  let baseline = ref 0. in
+  let rows =
+    List.map
+      (fun intensity ->
+        let faults = fault_spec_at intensity in
+        let report =
+          Lcmm_runtime.Runtime.run
+            { Lcmm_runtime.Runtime.default_options with faults }
+            (runtime_specs mix)
+        in
+        let makespan = report.Lcmm_runtime.Report.makespan_ms in
+        if intensity = 0. then baseline := makespan;
+        let sum f =
+          List.fold_left
+            (fun acc (t : Lcmm_runtime.Report.tenant_report) ->
+              acc + f t.Lcmm_runtime.Report.faults)
+            0 report.Lcmm_runtime.Report.tenants
+        in
+        let retries = sum (fun f -> f.Lcmm_runtime.Engine.retries) in
+        let stalls = sum (fun f -> f.Lcmm_runtime.Engine.stalls) in
+        let degrades = sum (fun f -> f.Lcmm_runtime.Engine.degraded) in
+        let evicted = sum (fun f -> f.Lcmm_runtime.Engine.evicted_bytes) in
+        let aborted =
+          List.length
+            (List.filter
+               (fun (t : Lcmm_runtime.Report.tenant_report) ->
+                 match t.Lcmm_runtime.Report.status with
+                 | Lcmm_runtime.Report.Aborted _ -> true
+                 | _ -> false)
+               report.Lcmm_runtime.Report.tenants)
+        in
+        let degradation =
+          if !baseline > 0. then makespan /. !baseline else 1.
+        in
+        Printf.printf "%-10.2f %12.3f %8.2f %8d %8d %11.2f %9d %8d\n%!"
+          intensity makespan degradation retries stalls
+          (float_of_int evicted /. 1e6)
+          degrades aborted;
+        (intensity, faults, makespan, degradation, retries, stalls, evicted,
+         degrades, aborted))
+      fault_intensities
+  in
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let module Json = Dnn_serial.Json in
+    let row_json
+        (intensity, faults, makespan, degradation, retries, stalls, evicted,
+         degrades, aborted) =
+      Json.Obj
+        [ ("intensity", Json.Float intensity);
+          ( "fault_spec",
+            match faults with
+            | None -> Json.Null
+            | Some s -> Json.String (Fault.Spec.to_string s) );
+          ("makespan_ms", Json.Float makespan);
+          ("degradation", Json.Float degradation);
+          ("retries", Json.Int retries);
+          ("stalls", Json.Int stalls);
+          ("evicted_bytes", Json.Int evicted);
+          ("degrades", Json.Int degrades);
+          ("aborted", Json.Int aborted) ]
+    in
+    let doc =
+      Json.Obj
+        [ ("experiment", Json.String "faults");
+          ("rows", Json.List (List.map row_json rows)) ]
+    in
+    Lcmm.Report.write_text_file ~path (Json.to_string ~indent:2 doc ^ "\n");
+    Printf.printf "wrote %s\n" path
+
 let experiments =
   [ ("fig2a", fig2a); ("table1", table1); ("table2", table2);
     ("table3", table3); ("fig8", fig8); ("fig2b", fig2b);
     ("ablation", ablation); ("energy", energy); ("sensitivity", sensitivity);
     ("schedule", schedule_experiment); ("zoo", zoo); ("micro", micro);
-    ("runtime", runtime_experiment) ]
+    ("runtime", runtime_experiment); ("faults", faults_experiment) ]
 
 let () =
   let rec split_args acc = function

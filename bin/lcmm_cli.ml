@@ -395,6 +395,32 @@ let runtime_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"PATH" ~doc:"Also write the report as JSON.")
   in
+  let faults_arg =
+    let cv =
+      let parse s =
+        match Fault.Spec.of_string s with
+        | Ok spec -> Ok spec
+        | Error msg -> Error (`Msg msg)
+      in
+      Arg.conv
+        (parse, fun ppf s -> Format.pp_print_string ppf (Fault.Spec.to_string s))
+    in
+    Arg.(
+      value
+      & opt (some cv) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Seeded fault injection, e.g. \
+             $(b,seed=42,droop\\@2:3:0.5,stall:0.05:0.2,fail:0.02,bankloss\\@4:256k). \
+             Clauses: $(b,seed=N), $(b,droop\\@T:DUR:FACTOR) (DDR bandwidth \
+             droop window, ms), $(b,stall:PROB:MS) (transient transfer \
+             stalls), $(b,fail:PROB) (transfer failures, retried with capped \
+             exponential backoff), $(b,retries=N), $(b,backoff=BASE:CAP) \
+             (ms), $(b,bankloss\\@T:BYTES[:TENANT]) (SRAM bank loss, \
+             triggering degraded-mode replanning), $(b,abort\\@T:TENANT).  A \
+             spec with no active fault source reproduces the fault-free run \
+             bit for bit.")
+  in
   let parse_mix s =
     let entry item =
       match String.split_on_char ':' item with
@@ -422,7 +448,7 @@ let runtime_cmd =
       |> Result.map List.rev
   in
   let run () mix dtype device arbitration scheduler partition overcommit
-      stagger_ms seed json_path =
+      stagger_ms seed json_path faults =
     if overcommit <= 0. then or_die (Error "overcommit must be positive");
     if stagger_ms < 0. then or_die (Error "stagger-ms must be non-negative");
     let entries = or_die (parse_mix mix) in
@@ -456,7 +482,7 @@ let runtime_cmd =
     in
     let options =
       { Lcmm_runtime.Runtime.default_options with
-        dtype; device; arbitration; scheduler; partition; overcommit }
+        dtype; device; arbitration; scheduler; partition; overcommit; faults }
     in
     let report = Lcmm_runtime.Runtime.run options specs in
     Format.printf "%a" Lcmm_runtime.Report.pp report;
@@ -482,7 +508,7 @@ let runtime_cmd =
     Term.(
       const run $ log_arg $ tenants_arg $ dtype_arg $ device_arg
       $ arbitration_arg $ scheduler_arg $ partition_arg $ overcommit_arg
-      $ stagger_arg $ seed_arg $ json_arg)
+      $ stagger_arg $ seed_arg $ json_arg $ faults_arg)
 
 let serve_cmd =
   let socket_arg =

@@ -41,4 +41,33 @@ grep -q '"edf_makespan_ms"' "$out"
 grep -q '"greedy_makespan_ms"' "$out"
 echo "wrote $out"
 
+echo "== tier-2: seeded fault-injection smoke =="
+# A seeded bank-loss + stall/failure mix must complete, report its spec
+# and the per-tenant fault counters in the JSON document.
+dune exec bin/lcmm_cli.exe -- runtime --tenants alexnet:2,squeezenet:1 \
+  --faults 'seed=42,stall:0.1:0.3,fail:0.05,droop@2:5:0.5,bankloss@3:4m' \
+  --json BENCH_fault_smoke.json > /dev/null
+grep -q '"fault_spec"' BENCH_fault_smoke.json
+grep -q '"faults"' BENCH_fault_smoke.json
+grep -q '"retries"' BENCH_fault_smoke.json
+# The all-quiet spec must reproduce the fault-free report bit for bit.
+dune exec bin/lcmm_cli.exe -- runtime --tenants alexnet:2,squeezenet:1 \
+  --json BENCH_nofault_a.json > /dev/null
+dune exec bin/lcmm_cli.exe -- runtime --tenants alexnet:2,squeezenet:1 \
+  --faults 'seed=42' --json BENCH_nofault_b.json > /dev/null
+cmp BENCH_nofault_a.json BENCH_nofault_b.json
+rm -f BENCH_nofault_a.json BENCH_nofault_b.json
+
+echo "== tier-2: degraded-plan oracle =="
+dune exec bin/lcmm_cli.exe -- check --seed 11 --count 120 --oracle degraded \
+  --save-dir _build/check-cases
+
+echo "== tier-2: fault-intensity benchmark --json =="
+out=BENCH_faults.json
+dune exec bench/main.exe -- faults --json "$out" > /dev/null
+grep -q '"experiment": "faults"' "$out"
+grep -q '"degradation"' "$out"
+grep -q '"evicted_bytes"' "$out"
+echo "wrote $out"
+
 echo "CI OK"

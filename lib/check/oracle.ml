@@ -664,6 +664,79 @@ let check_plan ctx =
       analytic
   else Ok ()
 
+(* --- degraded mode: eviction under SRAM bank loss --- *)
+
+(* The runtime's bank-loss path shrinks a finished allocation with
+   [Dnnk.evict_to_capacity] and re-solves at the surviving capacity.
+   Whatever the fault timing, the algebra must hold: the shrunken
+   allocation fits, evicts only buffers it actually held (chosen =
+   survivors + evicted, disjoint), stays Eq. 1-consistent, and only
+   gets slower as more capacity is lost. *)
+let check_degraded ctx =
+  let base = Lazy.force ctx.dnnk_table in
+  let ids vbufs =
+    List.sort_uniq compare (List.map (fun vb -> vb.Vbuffer.vbuf_id) vbufs)
+  in
+  let base_ids = ids base.Dnnk.chosen in
+  let base_bytes = base.Dnnk.capacity_blocks * Dnnk.block_bytes in
+  let rec sweep prev_latency = function
+    | [] -> Ok ()
+    | frac :: rest ->
+      let surviving = int_of_float (frac *. float_of_int base_bytes) in
+      let post, evicted =
+        Dnnk.evict_to_capacity ctx.metric ~capacity_bytes:surviving base
+      in
+      let* () =
+        if post.Dnnk.used_blocks > post.Dnnk.capacity_blocks then
+          fail "degraded at %.0f%%: uses %d of %d blocks" (100. *. frac)
+            post.Dnnk.used_blocks post.Dnnk.capacity_blocks
+        else Ok ()
+      in
+      let survivor_ids = ids post.Dnnk.chosen in
+      let evicted_ids = ids evicted in
+      let* () =
+        let reunion = List.sort_uniq compare (survivor_ids @ evicted_ids) in
+        if
+          reunion <> base_ids
+          || List.exists (fun id -> List.mem id evicted_ids) survivor_ids
+        then
+          fail "degraded at %.0f%%: survivors + evicted do not partition the \
+                chosen set"
+            (100. *. frac)
+        else Ok ()
+      in
+      let* () =
+        let recomputed =
+          Metric.total_latency ctx.metric ~on_chip:post.Dnnk.on_chip
+        in
+        if Float.abs (recomputed -. post.Dnnk.predicted_latency) > eps ctx then
+          fail "degraded at %.0f%%: predicts %.9e, Eq. 1 evaluates to %.9e"
+            (100. *. frac) post.Dnnk.predicted_latency recomputed
+        else Ok ()
+      in
+      let* () =
+        if post.Dnnk.predicted_latency +. eps ctx < prev_latency then
+          fail "losing capacity sped the plan up: %.9e -> %.9e at %.0f%%"
+            prev_latency post.Dnnk.predicted_latency (100. *. frac)
+        else Ok ()
+      in
+      sweep post.Dnnk.predicted_latency rest
+  in
+  (* Decreasing surviving capacity; latency must be non-decreasing. *)
+  let* () = sweep base.Dnnk.predicted_latency [ 0.75; 0.5; 0.25; 0. ] in
+  (* The re-solve half of degraded mode: a fresh partitioned plan at the
+     surviving capacity also respects it. *)
+  let surviving = base_bytes / 2 in
+  let p =
+    Framework.plan_partitioned ~options:Framework.default_options
+      ~capacity_bytes:surviving ctx.config ctx.graph
+  in
+  let alloc = p.Framework.allocation in
+  if alloc.Dnnk.used_blocks > alloc.Dnnk.capacity_blocks then
+    fail "replanned at %d bytes uses %d of %d blocks" surviving
+      alloc.Dnnk.used_blocks alloc.Dnnk.capacity_blocks
+  else Ok ()
+
 let optimality_gaps ctx =
   let exact = Lazy.force ctx.exact in
   if (not exact.Exact.proven_optimal) || exact.Exact.latency <= 0. then []
@@ -706,7 +779,10 @@ let all =
       check = check_simulator };
     { name = "plan";
       doc = "the end-to-end plan never loses to UMM and accounts its SRAM";
-      check = check_plan } ]
+      check = check_plan };
+    { name = "degraded";
+      doc = "bank-loss eviction fits, partitions cleanly and is monotone";
+      check = check_degraded } ]
 
 let names = List.map (fun o -> o.name) all
 

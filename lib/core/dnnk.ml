@@ -118,6 +118,60 @@ let sweep_up metric ~capacity_blocks result =
   in
   loop result
 
+(* Degraded-mode eviction: the inverse of the knapsack.  When capacity
+   shrinks under a live allocation (an SRAM bank drops out), drop chosen
+   buffers in increasing benefit-density order — marginal gain against
+   the current set per occupied block — until the survivors fit.  The
+   runtime's bank-loss handler and the degraded-plan oracle share this
+   routine.  Returns the shrunken result plus the evicted buffers in
+   eviction order. *)
+let evict_to_capacity metric ~capacity_bytes result =
+  if capacity_bytes < 0 then
+    invalid_arg "Dnnk.evict_to_capacity: negative capacity";
+  let capacity_blocks = capacity_bytes / block_bytes in
+  let density on_chip vb =
+    let without =
+      List.fold_left
+        (fun acc it -> Metric.Item_set.remove it acc)
+        on_chip vb.Vbuffer.members
+    in
+    let gain = Metric.marginal_gain_many metric ~on_chip:without vb.Vbuffer.members in
+    gain /. float_of_int (max 1 (blocks_of_bytes vb.Vbuffer.size_bytes))
+  in
+  let rec loop result evicted =
+    if result.used_blocks <= capacity_blocks then (result, List.rev evicted)
+    else
+      match result.chosen with
+      | [] -> (result, List.rev evicted)
+      | first :: rest ->
+        let _, worst =
+          List.fold_left
+            (fun ((bd, _) as best) vb ->
+              let d = density result.on_chip vb in
+              if d < bd then (d, vb) else best)
+            (density result.on_chip first, first)
+            rest
+        in
+        let on_chip =
+          List.fold_left
+            (fun acc it -> Metric.Item_set.remove it acc)
+            result.on_chip worst.Vbuffer.members
+        in
+        loop
+          { result with
+            chosen =
+              List.filter
+                (fun vb -> vb.Vbuffer.vbuf_id <> worst.Vbuffer.vbuf_id)
+                result.chosen;
+            spilled = worst :: result.spilled;
+            on_chip;
+            predicted_latency = Metric.total_latency metric ~on_chip;
+            used_blocks = result.used_blocks - blocks_of_bytes worst.Vbuffer.size_bytes }
+          (worst :: evicted)
+  in
+  let result, evicted = loop result [] in
+  ({ result with capacity_blocks }, evicted)
+
 let allocate ?(compensation = Table_approx) ?(rounds = 4) metric ~capacity_bytes
     vbufs =
   if capacity_bytes < 0 then invalid_arg "Dnnk.allocate: negative capacity";

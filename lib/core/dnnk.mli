@@ -45,3 +45,13 @@ val allocate :
   capacity_bytes:int -> Vbuffer.t list -> result
 (** Run the allocator.  [rounds] (default 4) bounds {!Exact_iterative}
     refinement.  Raises [Invalid_argument] on negative capacity. *)
+
+val evict_to_capacity :
+  Metric.t -> capacity_bytes:int -> result -> result * Vbuffer.t list
+(** Degraded-mode eviction — the inverse of the knapsack.  When the
+    capacity shrinks under a live allocation (an SRAM bank drops out),
+    evict chosen buffers in increasing benefit-density order (marginal
+    gain against the current set per occupied block) until the
+    survivors fit [capacity_bytes].  Returns the shrunken result (with
+    [capacity_blocks] updated) and the evicted buffers in eviction
+    order.  Raises [Invalid_argument] on negative capacity. *)

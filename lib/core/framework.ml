@@ -273,6 +273,38 @@ let plan_partitioned ?(options = default_options) ~capacity_bytes config g =
     invalid_arg "Framework.plan_partitioned: negative capacity";
   plan ~options:{ options with capacity_override = Some capacity_bytes } config g
 
+(* Degraded-mode replanning for a board whose SRAM shrank under a live
+   plan (bank loss).  Two steps, mirroring the paper's spill reasoning
+   at runtime instead of compile time: first evict pinned virtual
+   buffers by reverse benefit-density until the surviving capacity is
+   respected (the emergency spill — what gets dumped to DDR right now),
+   then re-solve the whole pipeline against the surviving capacity (the
+   steady-state plan resumed from the current node). *)
+type degraded = {
+  evicted : Vbuffer.t list;
+  evicted_bytes : int;
+  post_eviction : Dnnk.result;
+  replanned : plan;
+}
+
+let degrade ~surviving_bytes p g =
+  if surviving_bytes < 0 then invalid_arg "Framework.degrade: negative capacity";
+  let post_eviction, evicted =
+    Dnnk.evict_to_capacity p.metric ~capacity_bytes:surviving_bytes p.allocation
+  in
+  let evicted_bytes =
+    List.fold_left (fun acc vb -> acc + vb.Vbuffer.size_bytes) 0 evicted
+  in
+  Log.info (fun m ->
+      m "degrade: capacity %.2f MB, evicted %d buffers (%.2f MB), replanning"
+        (float_of_int surviving_bytes /. 1e6)
+        (List.length evicted)
+        (float_of_int evicted_bytes /. 1e6));
+  let replanned =
+    plan_partitioned ~options:p.options ~capacity_bytes:surviving_bytes p.config g
+  in
+  { evicted; evicted_bytes; post_eviction; replanned }
+
 let latency p = p.predicted_latency
 
 let throughput_tops p g =

@@ -52,6 +52,22 @@ val plan_partitioned :
     Equivalent to [plan] with [capacity_override = Some capacity_bytes];
     raises [Invalid_argument] when the capacity is negative. *)
 
+type degraded = {
+  evicted : Vbuffer.t list;      (** Buffers spilled by the emergency pass. *)
+  evicted_bytes : int;
+  post_eviction : Dnnk.result;   (** Allocation after eviction alone. *)
+  replanned : plan;              (** Full re-solve at the surviving capacity. *)
+}
+
+val degrade : surviving_bytes:int -> plan -> Dnn_graph.Graph.t -> degraded
+(** Degraded-mode replanning for a plan whose SRAM shrank underneath it
+    (bank loss).  First evicts pinned virtual buffers by reverse
+    benefit-density ({!Dnnk.evict_to_capacity}) until [surviving_bytes]
+    is respected — the emergency spill — then re-solves the whole
+    pipeline via {!plan_partitioned} at the surviving capacity for the
+    plan resumed from the current node.  Raises [Invalid_argument] on
+    negative capacity. *)
+
 val latency : plan -> float
 
 val throughput_tops : plan -> Dnn_graph.Graph.t -> float

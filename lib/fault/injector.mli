@@ -1,0 +1,46 @@
+(** Deterministic fault derivation from a {!Spec.t}.
+
+    Every stochastic decision is a pure hash of (seed, transfer key,
+    purpose) — a counter-based RNG rather than a stateful stream — so an
+    outcome never depends on the order the event loop asks for it, and
+    identical (spec, workload) pairs replay bit-identically. *)
+
+type event =
+  | Bank_loss of { at : float; tenant : int; bytes : int }
+  | Abort of { at : float; tenant : int }
+
+type t
+
+val create : Spec.t -> t
+
+val spec : t -> Spec.t
+
+val events : t -> event list
+(** Discrete fault timeline (bank losses and aborts), sorted by time,
+    stable on spec order. *)
+
+val event_time : event -> float
+
+val max_retries : t -> int
+
+val stall_seconds : t -> key:int -> float
+(** Stall injected when transfer [key] reaches the head of its channel;
+    0 when the seeded draw misses.  Jittered to 0.5–1.5x the mean. *)
+
+val planned_failures : t -> key:int -> int
+(** How many consecutive attempts of transfer [key] fail before one
+    succeeds (geometric in the per-attempt failure probability), capped
+    one past the retry budget: a cap-valued draw exhausts the retries
+    and aborts the owning tenant. *)
+
+val backoff_seconds : t -> key:int -> attempt:int -> float
+(** Capped exponential backoff with seeded jitter (1x–2x nominal)
+    before retry number [attempt] (0-based). *)
+
+val droop_factor : t -> now:float -> float
+(** Effective bandwidth multiplier at [now]; overlapping droop windows
+    take the most severe factor. *)
+
+val next_droop_boundary : t -> now:float -> float
+(** Next instant after [now] at which {!droop_factor} can change;
+    [infinity] when none remain. *)

@@ -1,0 +1,66 @@
+(** Seeded, deterministic board-fault specification.
+
+    Describes the faults injected into a runtime co-simulation as plain
+    data — DDR bandwidth droop windows, transient transfer stalls and
+    failures, SRAM bank losses and hard tenant aborts — plus the seed
+    every stochastic draw derives from, so a faulty run replays
+    bit-identically.
+
+    The textual grammar (the CLI's [--faults SPEC]) is a comma-separated
+    clause list; times are milliseconds of simulated time:
+
+    {v
+    seed=N                    derivation seed for stochastic draws
+    droop@T:DUR:FACTOR        DDR bandwidth scaled by FACTOR in [T, T+DUR)
+    stall:PROB:MS             transfer-start stall probability / mean stall
+    fail:PROB                 per-attempt transient transfer failure
+    retries=N                 retry budget before a failing transfer aborts
+    backoff=BASE:CAP          exponential retry backoff base / cap (ms)
+    bankloss@T:BYTES[:TEN]    SRAM bank loss for tenant TEN (default 0)
+    abort@T:TEN               hard tenant abort
+    v}
+
+    Byte counts accept [k]/[K] (KiB) and [m]/[M] (MiB) suffixes. *)
+
+type droop = {
+  droop_start : float;    (** Seconds. *)
+  droop_duration : float; (** Seconds, positive. *)
+  droop_factor : float;   (** (0, 1]: surviving fraction of bandwidth. *)
+}
+
+type bank_loss = {
+  loss_at : float;   (** Seconds. *)
+  loss_bytes : int;
+  loss_tenant : int; (** Index into the co-simulated admitted set. *)
+}
+
+type abort_event = { abort_at : float; abort_tenant : int }
+
+type t = {
+  seed : int;
+  droops : droop list;
+  stall_prob : float;
+  stall_seconds : float; (** Mean stall at a transfer start. *)
+  fail_prob : float;     (** Per-attempt transient failure probability. *)
+  max_retries : int;
+  backoff_base : float;  (** Seconds. *)
+  backoff_cap : float;   (** Seconds. *)
+  bank_losses : bank_loss list;
+  aborts : abort_event list;
+}
+
+val empty : t
+(** No faults: seed 0, default retry budget (3) and backoff
+    (0.05 ms base, 2 ms cap). *)
+
+val is_empty : t -> bool
+(** True when no fault source is active — the runtime normalises such a
+    spec away so the no-fault path stays bit-identical. *)
+
+val of_string : string -> (t, string) result
+(** Parse the clause grammar above.  The empty string is [empty]. *)
+
+val to_string : t -> string
+(** Canonical rendering; round-trips through {!of_string}. *)
+
+val to_json : t -> Dnn_serial.Json.t

@@ -2,6 +2,17 @@ module Metric = Lcmm.Metric
 module Latency = Accel.Latency
 module NM = Sim.Node_model
 
+(* What a tenant resumes with after an SRAM bank loss: the degraded
+   allocation and PDG from the framework's evict-and-replan pass, plus
+   the accounting the report surfaces. *)
+type degraded_plan = {
+  deg_on_chip : Metric.Item_set.t;
+  deg_prefetch : Lcmm.Prefetch.t option;
+  deg_pinned_bytes : int;     (* what the degraded plan pins *)
+  deg_evicted_bytes : int;    (* emergency-evicted virtual buffer bytes *)
+  deg_surviving_bytes : int;  (* capacity the replan was solved against *)
+}
+
 type tenant_input = {
   label : string;
   metric : Metric.t;
@@ -10,6 +21,17 @@ type tenant_input = {
   arrival : float;
   priority : int;
   slack : int -> float;
+  replan : (lost_bytes:int -> degraded_plan option) option;
+}
+
+type fault_stats = {
+  retries : int;              (* failed transfer attempts that were retried *)
+  stalls : int;               (* injected transfer-start stalls *)
+  degraded : int;             (* bank-loss events absorbed by replanning *)
+  evicted_bytes : int;
+  pinned_after : int option;  (* pinned bytes after the last degrade *)
+  surviving_bytes : int option;
+  aborted : string option;
 }
 
 type tenant_run = {
@@ -20,6 +42,7 @@ type tenant_run = {
   prefetch_wait : float;
   wt_channel_busy : float;
   ddr_bytes : float;
+  faults : fault_stats;
 }
 
 type segment = { seg_start : float; seg_end : float; utilization : float }
@@ -42,6 +65,10 @@ type xfer = {
   load : float;            (* seconds at full bandwidth *)
   bytes : float;
   deadline : float;
+  stall : float;           (* injected head-of-channel stall; 0 = none *)
+  fails : int;             (* planned transient failures before success *)
+  mutable attempt : int;   (* failures consumed so far *)
+  mutable blocked_until : float; (* stalled / backing off until this time *)
   mutable work : float;    (* remaining seconds at full bandwidth *)
   mutable rate : float;
   mutable settled : float; (* time [work] was last brought up to date *)
@@ -84,11 +111,24 @@ type tstate = {
   mutable prefetch_wait : float;
   mutable wt_busy : float;
   mutable ddr : float;
+  (* Degraded-mode state: the plan the tenant currently runs under.
+     Identical to [input]'s until a bank loss swaps it. *)
+  mutable cur_on_chip : Metric.Item_set.t;
+  mutable cur_prefetch : Lcmm.Prefetch.t option;
+  mutable lost_bytes : int;
+  (* Fault counters. *)
+  mutable retries : int;
+  mutable stall_events : int;
+  mutable degraded : int;
+  mutable evicted_bytes : int;
+  mutable pinned_after : int option;
+  mutable surviving : int option;
+  mutable aborted : string option;
 }
 
-let fraction ts id = NM.pinned_fraction ts.input.metric ~on_chip:ts.input.on_chip id
+let fraction ts id = NM.pinned_fraction ts.input.metric ~on_chip:ts.cur_on_chip id
 
-let pinned ts id = NM.pinned_weight ts.input.metric ~on_chip:ts.input.on_chip id
+let pinned ts id = NM.pinned_weight ts.input.metric ~on_chip:ts.cur_on_chip id
 
 let init_tenant index (input : tenant_input) =
   let profiles = input.metric.Metric.profiles in
@@ -116,18 +156,37 @@ let init_tenant index (input : tenant_input) =
     clock = input.arrival;
     prefetch_wait = 0.;
     wt_busy = 0.;
-    ddr = 0. }
+    ddr = 0.;
+    cur_on_chip = input.on_chip;
+    cur_prefetch = input.prefetch;
+    lost_bytes = 0;
+    retries = 0;
+    stall_events = 0;
+    degraded = 0;
+    evicted_bytes = 0;
+    pinned_after = None;
+    surviving = None;
+    aborted = None }
 
-let run ~arbitration ~scheduler inputs =
+let run ~arbitration ~scheduler ?faults inputs =
   let tenants = Array.mapi init_tenant inputs in
   let key_counter = ref 0 in
   let fresh_key () = incr key_counter; !key_counter in
   let now = ref 0. in
   let segments = ref [] in
   let enqueue ts ~kind ~target ~load ~bytes ~deadline =
+    let key = fresh_key () in
+    let stall, fails =
+      match faults with
+      | None -> (0., 0)
+      | Some inj ->
+        (Fault.Injector.stall_seconds inj ~key,
+         Fault.Injector.planned_failures inj ~key)
+    in
     let x =
-      { key = fresh_key (); owner = ts.index; target; kind; load; bytes;
-        deadline; work = load; rate = 0.; settled = 0.; eta = infinity;
+      { key; owner = ts.index; target; kind; load; bytes;
+        deadline; stall; fails; attempt = 0; blocked_until = 0.;
+        work = load; rate = 0.; settled = 0.; eta = infinity;
         finished = false; finished_at = 0. }
     in
     Queue.add x ts.queue;
@@ -143,6 +202,12 @@ let run ~arbitration ~scheduler inputs =
         if ts.current = None && not (Queue.is_empty ts.queue) then begin
           let x = Queue.pop ts.queue in
           x.settled <- !now;
+          if x.stall > 0. then begin
+            (* Injected head-of-channel stall: the transfer holds the
+               channel but is ineligible until the stall passes. *)
+            x.blocked_until <- !now +. x.stall;
+            ts.stall_events <- ts.stall_events + 1
+          end;
           ts.current <- Some x;
           true
         end
@@ -175,7 +240,7 @@ let run ~arbitration ~scheduler inputs =
                  ~deadline:(ts.clock +. ts.input.slack target)))
           ts.released.(id);
         (match
-           NM.demand_load ts.input.metric ~on_chip:ts.input.on_chip
+           NM.demand_load ts.input.metric ~on_chip:ts.cur_on_chip
              ~has_edge:ts.edge_flags ts.profiles.(id)
          with
         | None -> ()
@@ -199,7 +264,7 @@ let run ~arbitration ~scheduler inputs =
           let wait = start -. ts.clock in
           ts.prefetch_wait <- ts.prefetch_wait +. wait;
           let p = ts.profiles.(id) in
-          let on_chip = ts.input.on_chip in
+          let on_chip = ts.cur_on_chip in
           let if_t = NM.if_time ~on_chip p in
           let of_t = NM.of_time ~on_chip p in
           let streamed = p.Latency.wt_term *. (1. -. fraction ts id) in
@@ -236,7 +301,7 @@ let run ~arbitration ~scheduler inputs =
         let finish = e.exec_start +. duration in
         if finish > !now then false
         else begin
-          let on_chip = ts.input.on_chip in
+          let on_chip = ts.cur_on_chip in
           ts.timings.(e.exec_id) <-
             { Sim.Engine.node_id = e.exec_id; start = e.exec_start; finish;
               wait = ts.timings.(e.exec_id).Sim.Engine.wait; binding };
@@ -271,6 +336,121 @@ let run ~arbitration ~scheduler inputs =
       changed
     | _ -> progress ts
   in
+  (* Hard tenant abort: drop every queued and in-flight transfer, pin
+     the clock at the abort instant and finish the tenant.  Executed
+     nodes keep their timings; the report surfaces the reason. *)
+  let abort ts reason =
+    ts.aborted <- Some reason;
+    Queue.clear ts.queue;
+    ts.current <- None;
+    ts.clock <- Float.max ts.clock !now;
+    ts.stage <- Finished
+  in
+  (* SRAM bank loss: enter degraded mode.  The replan callback evicts
+     pinned virtual buffers by reverse benefit-density and re-solves the
+     tenant at the surviving capacity (Framework.degrade); here we swap
+     the live plan and resume from the current node.  Prefetched but
+     unconsumed weights are conservatively treated as lost (they may
+     have lived in the failed bank): pending transfers are cancelled and
+     future nodes refetch under the new plan — prefetched when the new
+     PDG still releases them, demand-loaded otherwise. *)
+  let degrade ts =
+    match ts.input.replan with
+    | None ->
+      abort ts
+        (Printf.sprintf "bank loss (%d bytes) without replan support"
+           ts.lost_bytes)
+    | Some f -> (
+      match f ~lost_bytes:ts.lost_bytes with
+      | None -> abort ts "bank loss: no feasible degraded plan"
+      | Some d ->
+        (* Keep only the executing node's streamed-weight transfer: the
+           node started before the fault and carries its own state. *)
+        let keep_stream =
+          match ts.stage with Executing e -> e.exec_stream | _ -> None
+        in
+        let keep x =
+          match keep_stream with Some k -> k == x | None -> false
+        in
+        let kept =
+          Queue.fold (fun acc x -> if keep x then x :: acc else acc) [] ts.queue
+        in
+        Queue.clear ts.queue;
+        List.iter (fun x -> Queue.add x ts.queue) (List.rev kept);
+        (match ts.current with
+        | Some x when not (keep x) -> ts.current <- None
+        | _ -> ());
+        ts.cur_on_chip <- d.deg_on_chip;
+        ts.cur_prefetch <- d.deg_prefetch;
+        (* A tenant caught between release and execution re-enters its
+           node: the weights it was waiting for were just cancelled. *)
+        (match ts.stage with
+        | Awaiting id ->
+          ts.stage <- Entering;
+          ts.next <- id;
+          ts.clock <- Float.max ts.clock !now
+        | Entering | Executing _ | Finished -> ());
+        let resume =
+          match ts.stage with
+          | Entering -> ts.next
+          | Executing e -> e.exec_id + 1
+          | Finished -> ts.count
+          | Awaiting _ -> assert false
+        in
+        let released =
+          NM.released_edges ?prefetch:d.deg_prefetch ts.input.metric
+            ~on_chip:d.deg_on_chip ts.count
+        in
+        Array.iteri
+          (fun s edges ->
+            ts.released.(s) <- (if s < resume then [] else edges))
+          released;
+        let flags = NM.has_edge ts.released ts.count in
+        Array.blit flags 0 ts.edge_flags 0 ts.count;
+        Array.fill ts.pending_w 0 ts.count 0;
+        Array.fill ts.weight_ready 0 ts.count 0.;
+        ts.degraded <- ts.degraded + 1;
+        ts.evicted_bytes <- ts.evicted_bytes + d.deg_evicted_bytes;
+        ts.pinned_after <- Some d.deg_pinned_bytes;
+        ts.surviving <- Some d.deg_surviving_bytes)
+  in
+  (* Discrete fault events (bank losses, aborts) from the spec timeline,
+     fired once their instant is reached. *)
+  let pending_events =
+    ref
+      (match faults with
+      | None -> []
+      | Some inj -> Fault.Injector.events inj)
+  in
+  let fire_due_events () =
+    let fired = ref false in
+    let rec loop () =
+      match !pending_events with
+      | ev :: rest when Fault.Injector.event_time ev <= !now ->
+        pending_events := rest;
+        fired := true;
+        (match ev with
+        | Fault.Injector.Bank_loss { tenant; bytes; _ } ->
+          if tenant >= 0 && tenant < Array.length tenants then begin
+            let ts = tenants.(tenant) in
+            if ts.stage <> Finished then begin
+              ts.lost_bytes <- ts.lost_bytes + bytes;
+              degrade ts
+            end
+          end
+        | Fault.Injector.Abort { tenant; at } ->
+          if tenant >= 0 && tenant < Array.length tenants then begin
+            let ts = tenants.(tenant) in
+            if ts.stage <> Finished then
+              abort ts
+                (Printf.sprintf "injected abort at %.3f ms" (at *. 1e3))
+          end);
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    !fired
+  in
   let on_chip_jobs () =
     Array.to_list tenants
     |> List.filter_map (fun ts ->
@@ -282,12 +462,17 @@ let run ~arbitration ~scheduler inputs =
      it; everything else is preempted (rate 0, channel still held). *)
   let assign_rates () =
     let jobs = on_chip_jobs () in
+    (* Stalled / backing-off transfers hold their channel but are not
+       eligible for bandwidth until the block passes. *)
+    let eligible_jobs =
+      List.filter (fun x -> x.blocked_until <= !now) jobs
+    in
     let pendings =
       List.map
         (fun x ->
           { Scheduler.key = x.key; deadline = x.deadline;
             priority = inputs.(x.owner).priority })
-        jobs
+        eligible_jobs
     in
     let chosen = Scheduler.eligible scheduler pendings in
     let contenders =
@@ -296,12 +481,21 @@ let run ~arbitration ~scheduler inputs =
           if List.mem x.key chosen then
             Some (x.key, inputs.(x.owner).priority)
           else None)
-        jobs
+        eligible_jobs
     in
     let rates = Arbiter.rates arbitration contenders in
+    (* A DDR droop window scales every granted rate; multiplying by the
+       1.0 no-fault factor is skipped outright so the fault-free float
+       path stays bit-identical. *)
+    let factor =
+      match faults with
+      | None -> 1.
+      | Some inj -> Fault.Injector.droop_factor inj ~now:!now
+    in
     List.iter
       (fun x ->
         let r = match List.assoc_opt x.key rates with Some r -> r | None -> 0. in
+        let r = if factor = 1. then r else r *. factor in
         if r <> x.rate then begin
           (* Settle the work done at the old rate before switching; a
              transfer whose rate never changes keeps its exact
@@ -322,22 +516,52 @@ let run ~arbitration ~scheduler inputs =
       (fun changed ts ->
         match ts.current with
         | Some x when (not x.finished) && x.rate > 0. && x.eta <= !now ->
-          x.finished <- true;
-          x.finished_at <- x.eta;
-          x.work <- 0.;
-          ts.current <- None;
-          ts.wt_busy <- ts.wt_busy +. x.load;
-          ts.ddr <- ts.ddr +. x.bytes;
-          (match x.kind with
-          | Prefetch_load ->
-            ts.weight_ready.(x.target) <- x.finished_at;
-            ts.pending_w.(x.target) <- ts.pending_w.(x.target) - 1
-          | Demand_load ->
-            ts.weight_ready.(x.target) <-
-              max ts.weight_ready.(x.target) x.finished_at;
-            ts.pending_w.(x.target) <- ts.pending_w.(x.target) - 1
-          | Weight_stream_x -> ());
-          true
+          if x.attempt < x.fails then begin
+            (* Transient failure: the attempt's bytes moved over the bus
+               but the payload is bad.  Retry after a capped exponential
+               backoff with seeded jitter; past the retry budget the
+               tenant aborts. *)
+            let at = x.eta in
+            x.attempt <- x.attempt + 1;
+            ts.wt_busy <- ts.wt_busy +. x.load;
+            ts.ddr <- ts.ddr +. x.bytes;
+            (match faults with
+            | Some inj when x.attempt <= Fault.Injector.max_retries inj ->
+              ts.retries <- ts.retries + 1;
+              x.work <- x.load;
+              x.settled <- at;
+              x.rate <- 0.;
+              x.eta <- infinity;
+              x.blocked_until <-
+                at
+                +. Fault.Injector.backoff_seconds inj ~key:x.key
+                     ~attempt:(x.attempt - 1)
+            | Some _ | None ->
+              abort ts
+                (Printf.sprintf
+                   "transfer to node %d failed %d times (retry budget \
+                    exhausted)"
+                   x.target x.attempt));
+            true
+          end
+          else begin
+            x.finished <- true;
+            x.finished_at <- x.eta;
+            x.work <- 0.;
+            ts.current <- None;
+            ts.wt_busy <- ts.wt_busy +. x.load;
+            ts.ddr <- ts.ddr +. x.bytes;
+            (match x.kind with
+            | Prefetch_load ->
+              ts.weight_ready.(x.target) <- x.finished_at;
+              ts.pending_w.(x.target) <- ts.pending_w.(x.target) - 1
+            | Demand_load ->
+              ts.weight_ready.(x.target) <-
+                max ts.weight_ready.(x.target) x.finished_at;
+              ts.pending_w.(x.target) <- ts.pending_w.(x.target) - 1
+            | Weight_stream_x -> ());
+            true
+          end
         | _ -> changed)
       false tenants
   in
@@ -349,6 +573,7 @@ let run ~arbitration ~scheduler inputs =
     let continue = ref true in
     while !continue do
       let c = ref false in
+      if fire_due_events () then c := true;
       Array.iter (fun ts -> if progress ts then c := true) tenants;
       if start_jobs () then c := true;
       assign_rates ();
@@ -382,8 +607,18 @@ let run ~arbitration ~scheduler inputs =
         | Finished -> ());
         match ts.current with
         | Some x when (not x.finished) && x.rate > 0. -> consider x.eta
+        | Some x when (not x.finished) && x.blocked_until > !now ->
+          consider x.blocked_until
         | _ -> ())
       tenants;
+    (match faults with
+    | None -> ()
+    | Some inj ->
+      (match !pending_events with
+      | ev :: _ -> consider (Fault.Injector.event_time ev)
+      | [] -> ());
+      let boundary = Fault.Injector.next_droop_boundary inj ~now:!now in
+      if boundary < infinity then consider boundary);
     !best
   in
   let utilization () =
@@ -412,7 +647,15 @@ let run ~arbitration ~scheduler inputs =
           latency = ts.clock -. ts.input.arrival;
           prefetch_wait = ts.prefetch_wait;
           wt_channel_busy = ts.wt_busy;
-          ddr_bytes = ts.ddr })
+          ddr_bytes = ts.ddr;
+          faults =
+            { retries = ts.retries;
+              stalls = ts.stall_events;
+              degraded = ts.degraded;
+              evicted_bytes = ts.evicted_bytes;
+              pinned_after = ts.pinned_after;
+              surviving_bytes = ts.surviving;
+              aborted = ts.aborted } })
       tenants
   in
   let makespan =

@@ -14,7 +14,27 @@
     With a single tenant there is never more than one transfer on the
     bus, every rate is 1, and the co-simulation reproduces the isolated
     engine bit for bit (pinned by test/test_runtime.ml across the model
-    zoo). *)
+    zoo).
+
+    An optional {!Fault.Injector.t} adds seeded board faults as discrete
+    events: DDR droop windows scale every granted rate, transfers can
+    stall at the channel head or fail and retry with capped exponential
+    backoff, SRAM bank losses push the affected tenant into degraded
+    mode (evict + replan via its [replan] callback, resume from the
+    current node), and abort events finish a tenant early.  With no
+    injector every fault path is skipped and the engine is exactly the
+    fault-free one. *)
+
+type degraded_plan = {
+  deg_on_chip : Lcmm.Metric.Item_set.t;
+  deg_prefetch : Lcmm.Prefetch.t option;
+  deg_pinned_bytes : int;     (** What the degraded plan pins. *)
+  deg_evicted_bytes : int;    (** Emergency-evicted virtual buffer bytes. *)
+  deg_surviving_bytes : int;  (** Capacity the replan was solved against. *)
+}
+(** What a tenant resumes with after an SRAM bank loss: the degraded
+    allocation and PDG from {!Lcmm.Framework.degrade}, plus the
+    accounting the report surfaces. *)
 
 type tenant_input = {
   label : string;
@@ -27,6 +47,21 @@ type tenant_input = {
       (** Per target node, how long its prefetch may take before the
           target stalls — the isolated-schedule distance from the PDG
           source's start to the target's start.  Defines EDF deadlines. *)
+  replan : (lost_bytes:int -> degraded_plan option) option;
+      (** Degraded-mode callback, invoked on SRAM bank loss with the
+          tenant's cumulative lost bytes; [None] (or a [None] return)
+          aborts the tenant instead of degrading it. *)
+}
+
+type fault_stats = {
+  retries : int;              (** Failed transfer attempts that were retried. *)
+  stalls : int;               (** Injected transfer-start stalls. *)
+  degraded : int;             (** Bank-loss events absorbed by replanning. *)
+  evicted_bytes : int;        (** Emergency-evicted virtual buffer bytes. *)
+  pinned_after : int option;  (** Pinned bytes after the last degrade. *)
+  surviving_bytes : int option;
+      (** SRAM capacity surviving the last bank loss. *)
+  aborted : string option;    (** Abort reason when the tenant died early. *)
 }
 
 type tenant_run = {
@@ -37,7 +72,9 @@ type tenant_run = {
   prefetch_wait : float;
   wt_channel_busy : float;
   ddr_bytes : float;       (** Engine-accounted DDR traffic (weight
-                               transfers plus feature streams). *)
+                               transfers plus feature streams), including
+                               the wasted bytes of failed attempts. *)
+  faults : fault_stats;    (** All-zero when no injector was given. *)
 }
 
 type segment = { seg_start : float; seg_end : float; utilization : float }
@@ -51,7 +88,10 @@ type result = {
 }
 
 val run :
-  arbitration:Arbiter.t -> scheduler:Scheduler.t -> tenant_input array ->
-  result
+  arbitration:Arbiter.t -> scheduler:Scheduler.t ->
+  ?faults:Fault.Injector.t -> tenant_input array -> result
 (** Co-simulate the tenants to completion.  Deterministic: tenants are
-    processed in index order and transfers carry creation-order keys. *)
+    processed in index order, transfers carry creation-order keys, and
+    every fault decision is a pure hash of the injector seed and the
+    transfer key.  Omitting [faults] gives exactly the fault-free
+    engine. *)

@@ -4,6 +4,7 @@ type status =
   | Admitted
   | Queued of string
   | Rejected of string
+  | Aborted of string
 
 type tenant_report = {
   name : string;
@@ -20,7 +21,12 @@ type tenant_report = {
   slowdown : float;
   prefetch_wait_ms : float;
   ddr_mb : float;
+  faults : Engine.fault_stats;
 }
+
+let no_faults =
+  { Engine.retries = 0; stalls = 0; degraded = 0; evicted_bytes = 0;
+    pinned_after = None; surviving_bytes = None; aborted = None }
 
 type t = {
   device : string;
@@ -35,14 +41,19 @@ type t = {
   bus_busy_fraction : float;
   tenants : tenant_report list;
   timeline : Engine.segment list;
+  faults : Fault.Spec.t option;
 }
 
 let status_string = function
   | Admitted -> "admitted"
   | Queued _ -> "queued"
   | Rejected _ -> "rejected"
+  | Aborted _ -> "aborted"
 
-let tenant_json (r : tenant_report) =
+(* The per-tenant fault block is only emitted when the report ran under
+   a fault spec ([faulty]); a fault-free run renders byte-identically to
+   the engine that predates fault injection. *)
+let tenant_json ~faulty (r : tenant_report) =
   let base =
     [ ("name", Json.String r.name);
       ("model", Json.String r.model);
@@ -52,11 +63,12 @@ let tenant_json (r : tenant_report) =
   let reason =
     match r.status with
     | Admitted -> []
-    | Queued reason | Rejected reason -> [ ("reason", Json.String reason) ]
+    | Queued reason | Rejected reason | Aborted reason ->
+      [ ("reason", Json.String reason) ]
   in
   let perf =
     match r.status with
-    | Admitted ->
+    | Admitted | Aborted _ ->
       [ ("arrival_ms", Json.Float r.arrival_ms);
         ("grant_bytes", Json.Int r.grant_bytes);
         ("demand_bytes", Json.Int r.demand_bytes);
@@ -69,7 +81,24 @@ let tenant_json (r : tenant_report) =
         ("ddr_mb", Json.Float r.ddr_mb) ]
     | Queued _ | Rejected _ -> [ ("demand_bytes", Json.Int r.demand_bytes) ]
   in
-  Json.Obj (base @ reason @ perf)
+  let fault_block =
+    if not faulty then []
+    else
+      let f = r.faults in
+      [ ( "faults",
+          Json.Obj
+            ([ ("retries", Json.Int f.Engine.retries);
+               ("stalls", Json.Int f.Engine.stalls);
+               ("degraded", Json.Int f.Engine.degraded);
+               ("evicted_bytes", Json.Int f.Engine.evicted_bytes) ]
+            @ (match f.Engine.surviving_bytes with
+              | None -> []
+              | Some b -> [ ("surviving_bytes", Json.Int b) ])
+            @ (match f.Engine.pinned_after with
+              | None -> []
+              | Some b -> [ ("pinned_after_bytes", Json.Int b) ])) ) ]
+  in
+  Json.Obj (base @ reason @ perf @ fault_block)
 
 let timeline_json segments =
   Json.List
@@ -82,19 +111,25 @@ let timeline_json segments =
        segments)
 
 let to_json t =
+  let faulty = t.faults <> None in
   Json.Obj
-    [ ("device", Json.String t.device);
-      ("dtype", Json.String t.dtype);
-      ("arbitration", Json.String (Arbiter.to_string t.arbitration));
-      ("scheduler", Json.String (Scheduler.to_string t.scheduler));
-      ("partition", Json.String (Partition.to_string t.partition));
-      ("budget_bytes", Json.Int t.budget_bytes);
-      ("board_bandwidth_gbs", Json.Float (t.board_bandwidth /. 1e9));
-      ("overcommit", Json.Float t.overcommit);
-      ("makespan_ms", Json.Float t.makespan_ms);
-      ("bus_busy_fraction", Json.Float t.bus_busy_fraction);
-      ("tenants", Json.List (List.map tenant_json t.tenants));
-      ("bandwidth_timeline", timeline_json t.timeline) ]
+    ([ ("device", Json.String t.device);
+       ("dtype", Json.String t.dtype);
+       ("arbitration", Json.String (Arbiter.to_string t.arbitration));
+       ("scheduler", Json.String (Scheduler.to_string t.scheduler));
+       ("partition", Json.String (Partition.to_string t.partition));
+       ("budget_bytes", Json.Int t.budget_bytes);
+       ("board_bandwidth_gbs", Json.Float (t.board_bandwidth /. 1e9));
+       ("overcommit", Json.Float t.overcommit) ]
+    @ (match t.faults with
+      | None -> []
+      | Some spec ->
+        [ ("faults", Fault.Spec.to_json spec);
+          ("fault_spec", Json.String (Fault.Spec.to_string spec)) ])
+    @ [ ("makespan_ms", Json.Float t.makespan_ms);
+        ("bus_busy_fraction", Json.Float t.bus_busy_fraction);
+        ("tenants", Json.List (List.map (tenant_json ~faulty) t.tenants));
+        ("bandwidth_timeline", timeline_json t.timeline) ])
 
 let pp ppf t =
   Format.fprintf ppf
@@ -106,6 +141,29 @@ let pp ppf t =
     (Arbiter.to_string t.arbitration)
     (Scheduler.to_string t.scheduler)
     (Partition.to_string t.partition);
+  (match t.faults with
+  | None -> ()
+  | Some spec ->
+    Format.fprintf ppf "faults: %s@." (Fault.Spec.to_string spec));
+  let faulty = t.faults <> None in
+  let fault_line (r : tenant_report) =
+    if faulty then begin
+      let f = r.faults in
+      if
+        f.Engine.retries > 0 || f.Engine.stalls > 0 || f.Engine.degraded > 0
+        || f.Engine.evicted_bytes > 0
+      then
+        Format.fprintf ppf
+          "    faults: %d retries, %d stalls, %d degrades (evicted %.2f \
+           MB%s)@."
+          f.Engine.retries f.Engine.stalls f.Engine.degraded
+          (float_of_int f.Engine.evicted_bytes /. 1e6)
+          (match f.Engine.surviving_bytes with
+          | None -> ""
+          | Some b ->
+            Printf.sprintf ", surviving %.2f MB" (float_of_int b /. 1e6))
+    end
+  in
   List.iter
     (fun r ->
       match r.status with
@@ -115,7 +173,15 @@ let pp ppf t =
            (x%.2f)  wait %7.3f ms  ddr %7.1f MB@."
           r.name r.model r.priority
           (float_of_int r.grant_bytes /. 1e6)
-          r.isolated_ms r.latency_ms r.slowdown r.prefetch_wait_ms r.ddr_mb
+          r.isolated_ms r.latency_ms r.slowdown r.prefetch_wait_ms r.ddr_mb;
+        fault_line r
+      | Aborted reason ->
+        Format.fprintf ppf
+          "  %-16s %-12s prio %d  grant %6.2f MB  ABORTED at %8.3f ms: %s@."
+          r.name r.model r.priority
+          (float_of_int r.grant_bytes /. 1e6)
+          r.finish_ms reason;
+        fault_line r
       | Queued reason ->
         Format.fprintf ppf "  %-16s %-12s prio %d  QUEUED: %s@." r.name r.model
           r.priority reason

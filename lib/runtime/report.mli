@@ -7,6 +7,7 @@ type status =
   | Admitted
   | Queued of string    (** Reason; resubmit when the board drains. *)
   | Rejected of string  (** Reason; can never run on this board. *)
+  | Aborted of string   (** Killed mid-run by an injected fault. *)
 
 type tenant_report = {
   name : string;            (** Unique instance name, e.g. [alexnet#0]. *)
@@ -16,14 +17,21 @@ type tenant_report = {
   arrival_ms : float;
   grant_bytes : int;        (** SRAM partition share. *)
   demand_bytes : int;       (** Unconstrained solo-plan SRAM appetite. *)
-  sram_used_bytes : int;    (** What the partitioned plan actually pinned. *)
+  sram_used_bytes : int;    (** What the partitioned plan actually pinned —
+                                the degraded plan's pinning after a bank
+                                loss. *)
   isolated_ms : float;      (** Partitioned plan, exclusive bandwidth. *)
   latency_ms : float;       (** Same plan under contention. *)
   finish_ms : float;        (** Absolute completion time. *)
   slowdown : float;         (** [latency / isolated]. *)
   prefetch_wait_ms : float;
   ddr_mb : float;
+  faults : Engine.fault_stats; (** Per-tenant fault counters; {!no_faults}
+                                   for fault-free runs. *)
 }
+
+val no_faults : Engine.fault_stats
+(** All-zero counters for tenants that never ran under faults. *)
 
 type t = {
   device : string;
@@ -38,6 +46,10 @@ type t = {
   bus_busy_fraction : float; (** Time-weighted mean bus utilization. *)
   tenants : tenant_report list;
   timeline : Engine.segment list;
+  faults : Fault.Spec.t option;
+      (** The (non-empty) fault spec the run executed under.  When
+          [None], both renderings are byte-identical to the fault-free
+          engine's: every fault field is omitted. *)
 }
 
 val status_string : status -> string

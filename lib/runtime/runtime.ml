@@ -18,6 +18,7 @@ type options = {
   overcommit : float;
   min_grant_bytes : int;
   fw_options : F.options;
+  faults : Fault.Spec.t option;
 }
 
 let default_options =
@@ -30,6 +31,7 @@ let default_options =
     overcommit = 4.0;
     min_grant_bytes = Admission.default_min_grant;
     fw_options = F.default_options;
+    faults = None;
   }
 
 (* One compiled model, shared by every replica of the same zoo name: the
@@ -87,6 +89,15 @@ let slack_of (p : F.plan) (iso : Sim.Engine.run) =
         | None -> 0.)
 
 let run options specs =
+  (* A spec with no active fault source is normalised away so the
+     no-fault path — and its bit-exact output — is completely
+     untouched. *)
+  let fault_spec =
+    match options.faults with
+    | Some s when Fault.Spec.is_empty s -> None
+    | f -> f
+  in
+  let injector = Option.map Fault.Injector.create fault_spec in
   let specs = Array.of_list specs in
   let n = Array.length specs in
   let cache : (string, compiled) Hashtbl.t = Hashtbl.create 8 in
@@ -169,7 +180,7 @@ let run options specs =
   let admitted = Array.of_list (List.rev !admitted) in
   let inputs =
     Array.map
-      (fun (i, _, (plan : F.plan), iso) ->
+      (fun (i, grant, (plan : F.plan), iso) ->
         {
           Engine.label = specs.(i).name;
           metric = plan.F.metric;
@@ -178,11 +189,32 @@ let run options specs =
           arrival = specs.(i).arrival;
           priority = specs.(i).priority;
           slack = slack_of plan iso;
+          replan =
+            (match injector with
+            | None -> None
+            | Some _ ->
+              (* Degraded-mode callback: evict by reverse benefit-density
+                 and re-solve the tenant at what survives of its grant. *)
+              Some
+                (fun ~lost_bytes ->
+                  let surviving = max 0 (grant - lost_bytes) in
+                  let d =
+                    F.degrade ~surviving_bytes:surviving plan specs.(i).graph
+                  in
+                  Some
+                    {
+                      Engine.deg_on_chip =
+                        d.F.replanned.F.allocation.Lcmm.Dnnk.on_chip;
+                      deg_prefetch = d.F.replanned.F.prefetch;
+                      deg_pinned_bytes = used_bytes d.F.replanned;
+                      deg_evicted_bytes = d.F.evicted_bytes;
+                      deg_surviving_bytes = surviving;
+                    }));
         })
       admitted
   in
   let sim = Engine.run ~arbitration:options.arbitration
-      ~scheduler:options.scheduler inputs
+      ~scheduler:options.scheduler ?faults:injector inputs
   in
   let run_of = Hashtbl.create 8 in
   Array.iteri
@@ -211,6 +243,7 @@ let run options specs =
                  slowdown = 0.;
                  prefetch_wait_ms = 0.;
                  ddr_mb = 0.;
+                 faults = Report.no_faults;
                }
            | Admission.Queued { reason } ->
                {
@@ -228,19 +261,27 @@ let run options specs =
                  slowdown = 0.;
                  prefetch_wait_ms = 0.;
                  ddr_mb = 0.;
+                 faults = Report.no_faults;
                }
            | Admission.Admitted { grant_bytes } ->
                let _, plan, iso, tr = Hashtbl.find run_of i in
                let iso_total = iso.Sim.Engine.total in
+               let f = tr.Engine.faults in
                {
                  Report.name = s.name;
                  model = s.model;
                  priority = s.priority;
-                 status = Report.Admitted;
+                 status =
+                   (match f.Engine.aborted with
+                   | Some reason -> Report.Aborted reason
+                   | None -> Report.Admitted);
                  arrival_ms = s.arrival *. 1e3;
                  grant_bytes;
                  demand_bytes;
-                 sram_used_bytes = used_bytes plan;
+                 sram_used_bytes =
+                   (match f.Engine.pinned_after with
+                   | Some b -> b
+                   | None -> used_bytes plan);
                  isolated_ms = iso_total *. 1e3;
                  latency_ms = tr.Engine.latency *. 1e3;
                  finish_ms = tr.Engine.finish *. 1e3;
@@ -249,6 +290,7 @@ let run options specs =
                     else 1.);
                  prefetch_wait_ms = tr.Engine.prefetch_wait *. 1e3;
                  ddr_mb = tr.Engine.ddr_bytes /. 1e6;
+                 faults = f;
                })
          specs)
   in
@@ -276,4 +318,5 @@ let run options specs =
     bus_busy_fraction;
     tenants;
     timeline = sim.Engine.timeline;
+    faults = fault_spec;
   }

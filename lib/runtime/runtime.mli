@@ -30,11 +30,20 @@ type options = {
   overcommit : float;       (** Admission bandwidth over-subscription. *)
   min_grant_bytes : int;    (** Smallest useful SRAM share. *)
   fw_options : Lcmm.Framework.options;
+  faults : Fault.Spec.t option;
+      (** Seeded fault injection.  [None] — or a spec with no active
+          fault source, which is normalised away — runs the bit-exact
+          fault-free engine.  On SRAM bank loss the affected tenant is
+          degraded in place: pinned buffers evicted by reverse
+          benefit-density, the plan re-solved at the surviving capacity
+          ({!Lcmm.Framework.degrade}) and execution resumed from the
+          current node. *)
 }
 
 val default_options : options
 (** I16 on the VU9P, fair-share arbitration, EDF scheduling, equal
-    partitioning, 4x bandwidth overcommit, one-block minimum grant. *)
+    partitioning, 4x bandwidth overcommit, one-block minimum grant,
+    no faults. *)
 
 val run : options -> spec list -> Report.t
 (** Admit, partition, compile and co-simulate the tenants.  Specs with

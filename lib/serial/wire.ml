@@ -10,11 +10,12 @@ let ok ?id ~op ?cache ?elapsed_ms result =
   in
   Json.Obj fields
 
-let error ?id ~op msg =
+let error ?id ~op ?kind msg =
   let fields =
     (match id with None -> [] | Some v -> [ ("id", v) ])
-    @ [ ("op", Json.String op); ("ok", Json.Bool false);
-        ("error", Json.String msg) ]
+    @ [ ("op", Json.String op); ("ok", Json.Bool false) ]
+    @ (match kind with None -> [] | Some k -> [ ("kind", Json.String k) ])
+    @ [ ("error", Json.String msg) ]
   in
   Json.Obj fields
 

@@ -13,8 +13,12 @@ val ok :
     [cache] is ["hit"] or ["miss"] when the operation went through a
     cache. *)
 
-val error : ?id:Json.t -> op:string -> string -> Json.t
-(** [{"id"?, "op", "ok": false, "error": msg}]. *)
+val error : ?id:Json.t -> op:string -> ?kind:string -> string -> Json.t
+(** [{"id"?, "op", "ok": false, "kind"?, "error": msg}].  [kind] is a
+    machine-readable error class (["internal"], ["deadline"],
+    ["unavailable"], ...) so clients can branch without parsing the
+    message; omitted for plain client errors, keeping those responses
+    byte-identical to older builds. *)
 
 val to_line : Json.t -> string
 (** Compact rendering plus a trailing newline — one NDJSON record. *)

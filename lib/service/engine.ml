@@ -6,22 +6,139 @@ let src = Logs.Src.create "lcmm.service" ~doc:"Plan-compilation service"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Per-op circuit breaker.  Consecutive service-side failures (internal
+   errors, deadline misses — never client mistakes) trip the op open;
+   while open, requests are shed immediately with a structured
+   "unavailable" error instead of queueing onto a pool that keeps
+   failing.  After the cooldown one probe is let through (half-open);
+   its outcome closes or re-opens the circuit. *)
+type breaker_state = Closed | Open of float (* shed until *) | Half_open
+
+type breaker = {
+  mutable bstate : breaker_state;
+  mutable failures : int;  (* consecutive counted failures *)
+  mutable trips : int;
+  mutable shed : int;
+}
+
 type t = {
   plan_cache : Plan_cache.t;
   worker_pool : Pool.t;
   meters : Metrics.t;
   default_deadline_ms : float option;
+  breakers : (string, breaker) Hashtbl.t;
+  breaker_mutex : Mutex.t;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
 }
 
-let create ?cache ?pool ?metrics ?deadline_ms () =
+let create ?cache ?pool ?metrics ?deadline_ms ?(breaker_threshold = 5)
+    ?(breaker_cooldown_ms = 1000.) () =
   (match deadline_ms with
   | Some ms when ms <= 0. ->
     invalid_arg "Engine.create: deadline_ms must be positive"
   | _ -> ());
+  if breaker_threshold < 1 then
+    invalid_arg "Engine.create: breaker_threshold must be >= 1";
+  if breaker_cooldown_ms <= 0. then
+    invalid_arg "Engine.create: breaker_cooldown_ms must be positive";
   { plan_cache = (match cache with Some c -> c | None -> Plan_cache.create ());
     worker_pool = (match pool with Some p -> p | None -> Pool.create ());
     meters = (match metrics with Some m -> m | None -> Metrics.create ());
-    default_deadline_ms = deadline_ms }
+    default_deadline_ms = deadline_ms;
+    breakers = Hashtbl.create 8;
+    breaker_mutex = Mutex.create ();
+    breaker_threshold;
+    breaker_cooldown_s = breaker_cooldown_ms /. 1e3 }
+
+let with_breakers t fn =
+  Mutex.lock t.breaker_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.breaker_mutex) fn
+
+let breaker_of t op =
+  match Hashtbl.find_opt t.breakers op with
+  | Some b -> b
+  | None ->
+    let b = { bstate = Closed; failures = 0; trips = 0; shed = 0 } in
+    Hashtbl.add t.breakers op b;
+    b
+
+(* [Some msg] when the request must be shed without running. *)
+let breaker_admit t op =
+  let now = Unix.gettimeofday () in
+  with_breakers t (fun () ->
+      let b = breaker_of t op in
+      match b.bstate with
+      | Closed -> None
+      | Open until when now >= until ->
+        b.bstate <- Half_open;  (* this request is the probe *)
+        None
+      | Open until ->
+        b.shed <- b.shed + 1;
+        Some
+          (Printf.sprintf
+             "unavailable: %s circuit open after %d consecutive failures; \
+              retry in %.0f ms"
+             op b.failures
+             (Float.max 1. ((until -. now) *. 1e3)))
+      | Half_open ->
+        b.shed <- b.shed + 1;
+        Some
+          (Printf.sprintf
+             "unavailable: %s circuit half-open, probe in flight" op))
+
+(* Only service-side failures count against the breaker; a client
+   mistake (unknown model, bad spec) proves the service is answering. *)
+let breaker_counts msg =
+  String.starts_with ~prefix:"internal: " msg
+  || String.starts_with ~prefix:"deadline exceeded" msg
+
+let breaker_record t op outcome =
+  let counted_failure =
+    match outcome with Ok _ -> false | Error msg -> breaker_counts msg
+  in
+  let now = Unix.gettimeofday () in
+  with_breakers t (fun () ->
+      let b = breaker_of t op in
+      if counted_failure then begin
+        b.failures <- b.failures + 1;
+        match b.bstate with
+        | Half_open ->
+          b.bstate <- Open (now +. t.breaker_cooldown_s);
+          b.trips <- b.trips + 1
+        | Closed when b.failures >= t.breaker_threshold ->
+          b.bstate <- Open (now +. t.breaker_cooldown_s);
+          b.trips <- b.trips + 1
+        | Closed | Open _ -> ()
+      end
+      else begin
+        (* Success — or a client error, which still proves liveness —
+           closes the circuit and clears the streak. *)
+        b.bstate <- Closed;
+        b.failures <- 0
+      end)
+
+let breakers_json t =
+  with_breakers t (fun () ->
+      let entries =
+        Hashtbl.fold (fun op b acc -> (op, b) :: acc) t.breakers []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      Json.Obj
+        (List.map
+           (fun (op, b) ->
+             ( op,
+               Json.Obj
+                 [ ( "state",
+                     Json.String
+                       (match b.bstate with
+                       | Closed -> "closed"
+                       | Open _ -> "open"
+                       | Half_open -> "half_open") );
+                   ("failures", Json.Int b.failures);
+                   ("trips", Json.Int b.trips);
+                   ("shed", Json.Int b.shed) ] ))
+           entries))
 
 type cache_status = Hit | Miss | Uncached
 
@@ -174,7 +291,8 @@ let run_payload (spec : P.run_spec) ~digest specs =
       partition = spec.P.sram_partition;
       overcommit = spec.P.overcommit;
       min_grant_bytes = Lcmm_runtime.Admission.default_min_grant;
-      fw_options = spec.P.run_options }
+      fw_options = spec.P.run_options;
+      faults = spec.P.faults }
   in
   let report = Lcmm_runtime.Runtime.run options specs in
   match Lcmm_runtime.Report.to_json report with
@@ -205,7 +323,9 @@ let stats_payload t =
         Json.Obj
           [ ("domains", Json.Int (Pool.size t.worker_pool));
             ("busy", Json.Int busy);
-            ("queued", Json.Int (Pool.queued t.worker_pool)) ] );
+            ("queued", Json.Int (Pool.queued t.worker_pool));
+            ("restarts", Json.Int (Pool.restarts t.worker_pool)) ] );
+      ("breakers", breakers_json t);
       ("metrics", Metrics.snapshot t.meters) ]
 
 (* --- request execution --- *)
@@ -271,6 +391,12 @@ let handle_leaf t (env : P.envelope) =
               Lcmm_runtime.Scheduler.to_string spec.P.scheduler;
               Lcmm_runtime.Partition.to_string spec.P.sram_partition;
               Printf.sprintf "%.17g" spec.P.overcommit ]
+            @
+            (* The fault spec changes the payload, so it must change the
+               digest; its absence keeps the fault-free digest as-is. *)
+            (match spec.P.faults with
+            | None -> []
+            | Some f -> [ "faults:" ^ Fault.Spec.to_string f ])
           in
           let digest =
             Cache_key.run_digest ~extra ~dtype:spec.P.run_dtype
@@ -313,6 +439,21 @@ let timeout_response t (env : P.envelope) ~elapsed_s ~ms =
     outcome = Error (deadline_error ms);
     subs = [] }
 
+let shed_response t (env : P.envelope) msg =
+  let op = P.op_name env.P.request in
+  Metrics.record t.meters ~op ~ok:false ~seconds:0.;
+  Log.info (fun m -> m "%s -> shed: %s" op msg);
+  { id = env.P.id; op; cache = Uncached; elapsed_s = 0.; outcome = Error msg;
+    subs = [] }
+
+(* Which requests the circuit breaker guards: the expensive pool-bound
+   compute ops.  [stats]/[models] must keep answering even when the
+   compute path is tripped — that's how an operator sees the trip. *)
+let breaker_guarded (env : P.envelope) =
+  match env.P.request with
+  | P.Compile _ | P.Simulate _ | P.Run _ -> true
+  | P.Batch _ | P.Stats | P.Models -> false
+
 let handle t (env : P.envelope) =
   let deadline_ms =
     match env.P.deadline_ms with
@@ -326,29 +467,52 @@ let handle t (env : P.envelope) =
        deadlines are measured from the batch's start (the batch budget
        bounds the whole fan-out); a sub may carry its own override. *)
     let t0 = Unix.gettimeofday () in
+    (* A sub-request shed by its op's breaker never reaches the pool;
+       everything else fans out as before. *)
     let futures =
       List.map
-        (fun sub -> Pool.submit t.worker_pool (fun () -> handle_leaf t sub))
+        (fun (sub : P.envelope) ->
+          match
+            if breaker_guarded sub then
+              breaker_admit t (P.op_name sub.P.request)
+            else None
+          with
+          | Some msg -> Error (shed_response t sub msg)
+          | None ->
+            Ok (Pool.submit t.worker_pool (fun () -> handle_leaf t sub)))
         subs
     in
     let responses =
       List.map2
         (fun (sub : P.envelope) fut ->
-          let sub_ms =
-            match sub.P.deadline_ms with Some ms -> Some ms | None -> deadline_ms
+          let record r =
+            if breaker_guarded sub then
+              breaker_record t (P.op_name sub.P.request) r.outcome;
+            r
           in
-          match sub_ms with
-          | None -> (
-            match Pool.await fut with Ok r -> r | Error e -> raise e)
-          | Some ms -> (
-            let remaining = (ms /. 1e3) -. (Unix.gettimeofday () -. t0) in
-            match Pool.await_within ~seconds:remaining fut with
-            | Some (Ok r) -> r
-            | Some (Error e) -> raise e
-            | None ->
-              timeout_response t sub
-                ~elapsed_s:(Unix.gettimeofday () -. t0)
-                ~ms))
+          match fut with
+          | Error shed -> shed
+          | Ok fut -> (
+            let sub_ms =
+              match sub.P.deadline_ms with
+              | Some ms -> Some ms
+              | None -> deadline_ms
+            in
+            match sub_ms with
+            | None -> (
+              match Pool.await fut with
+              | Ok r -> record r
+              | Error e -> raise e)
+            | Some ms -> (
+              let remaining = (ms /. 1e3) -. (Unix.gettimeofday () -. t0) in
+              match Pool.await_within ~seconds:remaining fut with
+              | Some (Ok r) -> record r
+              | Some (Error e) -> raise e
+              | None ->
+                record
+                  (timeout_response t sub
+                     ~elapsed_s:(Unix.gettimeofday () -. t0)
+                     ~ms))))
         subs futures
     in
     let elapsed_s = Unix.gettimeofday () -. t0 in
@@ -362,17 +526,39 @@ let handle t (env : P.envelope) =
       outcome = Ok Json.Null;  (* rendered from [subs] *)
       subs = responses }
   | P.Compile _ | P.Simulate _ | P.Run _ -> (
-    match deadline_ms with
-    | None -> Pool.run t.worker_pool (fun () -> handle_leaf t env)
-    | Some ms -> (
-      let t0 = Unix.gettimeofday () in
-      let fut = Pool.submit t.worker_pool (fun () -> handle_leaf t env) in
-      match Pool.await_within ~seconds:(ms /. 1e3) fut with
-      | Some (Ok r) -> r
-      | Some (Error e) -> raise e
-      | None ->
-        timeout_response t env ~elapsed_s:(Unix.gettimeofday () -. t0) ~ms))
+    let op = P.op_name env.P.request in
+    match breaker_admit t op with
+    | Some msg -> shed_response t env msg
+    | None -> (
+      let record r =
+        breaker_record t op r.outcome;
+        r
+      in
+      match deadline_ms with
+      | None -> record (Pool.run t.worker_pool (fun () -> handle_leaf t env))
+      | Some ms -> (
+        let t0 = Unix.gettimeofday () in
+        let fut = Pool.submit t.worker_pool (fun () -> handle_leaf t env) in
+        match Pool.await_within ~seconds:(ms /. 1e3) fut with
+        | Some (Ok r) -> record r
+        | Some (Error e) -> raise e
+        | None ->
+          record
+            (timeout_response t env
+               ~elapsed_s:(Unix.gettimeofday () -. t0)
+               ~ms))))
   | P.Stats | P.Models -> handle_leaf t env
+
+(* The machine-readable error class, derived from the message's stable
+   prefix: client errors (unknown model, bad field) carry no kind and
+   render exactly as they always have. *)
+let error_kind msg =
+  if String.starts_with ~prefix:"internal: " msg then Some "internal"
+  else if String.starts_with ~prefix:"deadline exceeded" msg then
+    Some "deadline"
+  else if String.starts_with ~prefix:"unavailable: " msg then
+    Some "unavailable"
+  else None
 
 let rec response_to_json ?(timing = true) r =
   let cache_field =
@@ -392,7 +578,8 @@ let rec response_to_json ?(timing = true) r =
   match result with
   | Ok payload ->
     Dnn_serial.Wire.ok ?id:r.id ~op:r.op ?cache:cache_field ?elapsed_ms payload
-  | Error msg -> Dnn_serial.Wire.error ?id:r.id ~op:r.op msg
+  | Error msg ->
+    Dnn_serial.Wire.error ?id:r.id ~op:r.op ?kind:(error_kind msg) msg
 
 (* Requests are one JSON document per line; even a large inline graph
    stays well under a megabyte.  Anything bigger is a runaway or hostile
@@ -422,6 +609,7 @@ let handle_line ?timing t line =
       Log.err (fun m -> m "request dispatch raised: %s" (Printexc.to_string e));
       Dnn_serial.Wire.to_line
         (Dnn_serial.Wire.error ?id:env.P.id ~op:(P.op_name env.P.request)
+           ~kind:"internal"
            ("internal: " ^ Printexc.to_string e)))
 
 let cache t = t.plan_cache

@@ -8,6 +8,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable disk_loads : int;
+  mutable quarantined : int;
 }
 
 type stats = {
@@ -17,6 +18,7 @@ type stats = {
   misses : int;
   evictions : int;
   disk_loads : int;
+  quarantined : int;
 }
 
 let src = Logs.Src.create "lcmm.service.cache" ~doc:"Plan cache"
@@ -41,7 +43,8 @@ let create ?(max_entries = 256) ?(max_bytes = 64 * 1024 * 1024) ?persist_dir () 
     hits = 0;
     misses = 0;
     evictions = 0;
-    disk_loads = 0 }
+    disk_loads = 0;
+    quarantined = 0 }
 
 (* Digests are hex strings produced by us, but harden the path anyway:
    anything beyond [0-9a-f] never names a persisted entry. *)
@@ -53,13 +56,42 @@ let persist_path t digest =
     then Some (Filename.concat dir (digest ^ ".json"))
     else None
 
+(* On-disk entries are an envelope wrapping the payload together with a
+   checksum of its compact rendering, so a truncated, bit-flipped or
+   hand-edited file is detected on load rather than silently served. *)
+let content_sha rendered = Digest.to_hex (Digest.string rendered)
+
+let envelope_of rendered payload =
+  Json.Obj [ ("sha", Json.String (content_sha rendered)); ("payload", payload) ]
+
+(* A file that fails to parse or to verify is moved aside to
+   [<entry>.corrupt] — out of the lookup path, but kept for inspection
+   instead of deleted. *)
+let quarantine (t : t) path ~why =
+  t.quarantined <- t.quarantined + 1;
+  Log.warn (fun m -> m "quarantining persisted entry %s: %s" path why);
+  try Sys.rename path (path ^ ".corrupt")
+  with Sys_error msg ->
+    Log.warn (fun m -> m "failed to quarantine %s: %s" path msg)
+
+let decode_envelope content =
+  match Json.of_string content with
+  | Error msg -> Error ("unparseable: " ^ msg)
+  | Ok v -> (
+    match Json.member_opt "sha" v, Json.member_opt "payload" v with
+    | Some (Json.String sha), Some payload ->
+      let rendered = Json.to_string payload in
+      if String.equal sha (content_sha rendered) then Ok (payload, rendered)
+      else Error "checksum mismatch"
+    | _ -> Error "missing envelope fields")
+
 let load_persisted t digest =
   match persist_path t digest with
   | None -> None
   | Some path when not (Sys.file_exists path) -> None
   | Some path -> (
     match
-      let ic = open_in path in
+      let ic = open_in_bin path in
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
@@ -68,27 +100,35 @@ let load_persisted t digest =
       Log.warn (fun m -> m "unreadable persisted entry %s: %s" path msg);
       None
     | content -> (
-      match Json.of_string content with
-      | Ok v -> Some (v, content)
-      | Error msg ->
-        Log.warn (fun m -> m "corrupt persisted entry %s: %s" path msg);
+      match decode_envelope content with
+      | Ok (payload, rendered) -> Some (payload, rendered)
+      | Error why ->
+        quarantine t path ~why;
         None))
 
-let store_persisted t digest rendered =
+(* Unique temp names: two domains (or two processes) persisting the same
+   digest concurrently must never interleave writes into one temp file.
+   The final rename is atomic either way. *)
+let tmp_counter = Atomic.make 0
+
+let store_persisted t digest rendered payload =
   match persist_path t digest with
   | None -> ()
   | Some path -> (
-    (* Write-then-rename so a concurrent reader never sees a torn file. *)
-    let tmp = path ^ ".tmp" in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_counter 1)
+    in
     match
-      let oc = open_out tmp in
+      let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc rendered);
+        (fun () -> output_string oc (Json.to_string (envelope_of rendered payload)));
       Sys.rename tmp path
     with
     | () -> ()
     | exception Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
       Log.warn (fun m -> m "failed to persist %s: %s" path msg))
 
 let insert t digest payload rendered =
@@ -118,7 +158,7 @@ let put t digest payload =
   let rendered = Json.to_string payload in
   with_lock t (fun () ->
       insert t digest payload rendered;
-      store_persisted t digest rendered)
+      store_persisted t digest rendered payload)
 
 let stats t =
   with_lock t (fun () ->
@@ -127,7 +167,8 @@ let stats t =
         hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
-        disk_loads = t.disk_loads })
+        disk_loads = t.disk_loads;
+        quarantined = t.quarantined })
 
 let stats_json t =
   let s = stats t in
@@ -135,7 +176,8 @@ let stats_json t =
     [ ("entries", Json.Int s.entries); ("bytes", Json.Int s.bytes);
       ("hits", Json.Int s.hits); ("misses", Json.Int s.misses);
       ("evictions", Json.Int s.evictions);
-      ("disk_loads", Json.Int s.disk_loads) ]
+      ("disk_loads", Json.Int s.disk_loads);
+      ("quarantined", Json.Int s.quarantined) ]
 
 let clear t =
   with_lock t (fun () ->
@@ -143,4 +185,5 @@ let clear t =
       t.hits <- 0;
       t.misses <- 0;
       t.evictions <- 0;
-      t.disk_loads <- 0)
+      t.disk_loads <- 0;
+      t.quarantined <- 0)

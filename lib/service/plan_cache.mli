@@ -7,6 +7,12 @@
     [<dir>/<digest>.json], and a miss in memory falls back to the
     directory — so a restarted service rewarms from disk.
 
+    Persisted entries are written atomically (unique temp file, then
+    rename) and wrapped in a checksummed envelope; a file that fails to
+    parse or verify on load — truncated by a crash, bit-flipped,
+    hand-edited — is quarantined to [<entry>.corrupt] and treated as a
+    miss, never served.
+
     All operations are thread-safe: the cache is shared by every worker
     domain of the pool. *)
 
@@ -19,6 +25,7 @@ type stats = {
   misses : int;
   evictions : int;
   disk_loads : int;     (** Misses answered from the persist directory. *)
+  quarantined : int;    (** Corrupt persisted entries moved aside. *)
 }
 
 val create :

@@ -1,11 +1,18 @@
 type job = Job : (unit -> unit) -> job
 
+exception Worker_crash of string
+
+let src = Logs.Src.create "lcmm.service.pool" ~doc:"Worker pool"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type t = {
   queue : job Queue.t;
   mutex : Mutex.t;
   wakeup : Condition.t;       (* signaled on enqueue and on shutdown *)
   mutable stopping : bool;
   mutable busy_count : int;
+  mutable restart_count : int;
   mutable workers : unit Domain.t list;
   domain_count : int;
 }
@@ -17,6 +24,15 @@ type 'a future = {
   fc : Condition.t;
   mutable state : 'a state;
 }
+
+(* Exceptions that kill the worker executing the job rather than being
+   absorbed as an ordinary job failure.  The job's future is still
+   completed (Failed) before the worker dies, so the awaiting client
+   gets a structured error instead of a hang; the supervisor loop then
+   restarts the worker. *)
+let is_crash = function
+  | Worker_crash _ | Stack_overflow | Out_of_memory -> true
+  | _ -> false
 
 let worker_loop t () =
   let rec loop () =
@@ -46,6 +62,23 @@ let worker_loop t () =
   in
   loop ()
 
+(* The supervisor: a crash escaping a job (see [is_crash]) unwinds
+   [worker_loop] mid-job with [busy_count] still incremented.  Repair
+   the counter, log, and re-enter the loop on the same domain — the
+   worker is back in service for the next queued job. *)
+let rec supervised_loop t () =
+  match worker_loop t () with
+  | () -> ()
+  | exception e ->
+    Mutex.lock t.mutex;
+    t.busy_count <- t.busy_count - 1;
+    t.restart_count <- t.restart_count + 1;
+    let stopping = t.stopping in
+    Mutex.unlock t.mutex;
+    Log.err (fun m ->
+        m "worker crashed (%s); restarting" (Printexc.to_string e));
+    if not stopping then supervised_loop t ()
+
 let create ?domains () =
   let domain_count =
     match domains with
@@ -59,10 +92,11 @@ let create ?domains () =
       wakeup = Condition.create ();
       stopping = false;
       busy_count = 0;
+      restart_count = 0;
       workers = [];
       domain_count }
   in
-  t.workers <- List.init domain_count (fun _ -> Domain.spawn (worker_loop t));
+  t.workers <- List.init domain_count (fun _ -> Domain.spawn (supervised_loop t));
   t
 
 let size t = t.domain_count
@@ -74,7 +108,12 @@ let submit t f =
     Mutex.lock fut.fm;
     fut.state <- outcome;
     Condition.broadcast fut.fc;
-    Mutex.unlock fut.fm
+    Mutex.unlock fut.fm;
+    (* Complete the future first, then let a crash take the worker
+       down: the awaiting client is answered either way. *)
+    match outcome with
+    | Failed e when is_crash e -> raise e
+    | _ -> ()
   in
   Mutex.lock t.mutex;
   if t.stopping then begin
@@ -138,6 +177,12 @@ let busy t =
 let queued t =
   Mutex.lock t.mutex;
   let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let restarts t =
+  Mutex.lock t.mutex;
+  let n = t.restart_count in
   Mutex.unlock t.mutex;
   n
 

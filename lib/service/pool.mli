@@ -8,10 +8,19 @@
     and sequential runs byte for byte.
 
     Jobs are closures; submitting returns a future that [await] blocks
-    on.  Exceptions escaping a job are captured and re-raised (or
-    returned) at the await site, never killing a worker. *)
+    on.  Ordinary exceptions escaping a job are captured and re-raised
+    (or returned) at the await site, never killing a worker.  Crash
+    exceptions ({!Worker_crash}, [Stack_overflow], [Out_of_memory])
+    additionally take the worker down after completing the job's future
+    — a supervisor restarts it in place and bumps {!restarts}, so the
+    pool keeps its full width and the in-flight request is answered
+    with the error rather than hanging. *)
 
 type t
+
+exception Worker_crash of string
+(** A designated worker-killing failure: the job's future fails with
+    it, the executing worker dies and is restarted by the supervisor. *)
 
 val create : ?domains:int -> unit -> t
 (** Spawn the worker domains.  [domains] defaults to
@@ -48,6 +57,9 @@ val busy : t -> int
 
 val queued : t -> int
 (** Jobs accepted but not yet started. *)
+
+val restarts : t -> int
+(** Workers restarted by the supervisor after a crash. *)
 
 val shutdown : t -> unit
 (** Drain the queue, join every domain.  Idempotent. *)

@@ -28,6 +28,7 @@ type run_spec = {
   sram_partition : Lcmm_runtime.Partition.policy;
   overcommit : float;
   run_options : F.options;
+  faults : Fault.Spec.t option;
 }
 
 type request =
@@ -241,9 +242,23 @@ let run_spec_of_json v =
       | Ok _ -> Error "field \"overcommit\": expected a positive number"
       | Error _ -> Error "field \"overcommit\": expected a number")
   in
+  (* A spec with no active fault source is normalised to [None] here so
+     the run digests — and thus the cache — of "no faults" and
+     "faults that do nothing" coincide. *)
+  let* faults =
+    match Json.member_opt "faults" v with
+    | None -> Ok None
+    | Some field -> (
+      match Json.to_str field with
+      | Error _ -> Error "field \"faults\": expected a fault-spec string"
+      | Ok s -> (
+        match Fault.Spec.of_string s with
+        | Ok spec -> Ok (if Fault.Spec.is_empty spec then None else Some spec)
+        | Error msg -> Error (Printf.sprintf "field \"faults\": %s" msg)))
+  in
   Ok
     { tenants; run_dtype; run_device; arbitration; scheduler; sram_partition;
-      overcommit; run_options }
+      overcommit; run_options; faults }
 
 let rec request_of_json v =
   let* op_v = Json.member "op" v in

@@ -15,7 +15,8 @@
                  "arbitration"?: "fair"|"priority",
                  "scheduler"?: "greedy"|"edf",
                  "partition"?: "equal"|"demand",
-                 "overcommit"?: number > 0
+                 "overcommit"?: number > 0,
+                 "faults"?: fault-spec string ({!Fault.Spec.of_string})
     tenant    := target, "count"?: int >= 1, "priority"?: int,
                  "arrival_ms"?: number >= 0
     batch     := "requests": [ request* ]     (no nested batches)
@@ -59,6 +60,10 @@ type run_spec = {
   sram_partition : Lcmm_runtime.Partition.policy;
   overcommit : float;
   run_options : Lcmm.Framework.options;
+  faults : Fault.Spec.t option;
+      (** Seeded fault injection for the board run; [None] (or an
+          all-quiet spec, which is normalised away) runs the bit-exact
+          fault-free engine. *)
 }
 
 type request =

@@ -16,7 +16,19 @@ let serve_channels ?timing engine ic oc =
 
 let serve_stdio ?timing engine = serve_channels ?timing engine stdin stdout
 
+(* [accept] is where a signal lands while the server sleeps; EINTR there
+   must restart the wait, not kill the listener. *)
+let rec accept_retry sock =
+  match Unix.accept sock with
+  | conn -> conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry sock
+
 let serve_unix_socket ?timing engine ~path =
+  (* A client vanishing mid-response must surface as a write error on
+     that connection, not as a process-killing SIGPIPE.  (No-op on
+     platforms without the signal.) *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   if Sys.file_exists path then Unix.unlink path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
@@ -24,12 +36,17 @@ let serve_unix_socket ?timing engine ~path =
   at_exit (fun () -> try Unix.unlink path with Unix.Unix_error _ -> ());
   Log.app (fun m -> m "listening on %s" path);
   let rec accept_loop () =
-    let conn, _ = Unix.accept sock in
+    let conn, _ = accept_retry sock in
     Log.info (fun m -> m "connection accepted");
     let ic = Unix.in_channel_of_descr conn in
     let oc = Unix.out_channel_of_descr conn in
-    (try serve_channels ?timing engine ic oc
-     with Sys_error msg -> Log.warn (fun m -> m "connection error: %s" msg));
+    (* One connection dying — mid-read or mid-write (EPIPE/ECONNRESET
+       surface as Sys_error or Unix_error from the channel layer) —
+       never takes the accept loop down with it. *)
+    (try serve_channels ?timing engine ic oc with
+    | Sys_error msg -> Log.warn (fun m -> m "connection error: %s" msg)
+    | Unix.Unix_error (err, fn, _) ->
+      Log.warn (fun m -> m "connection error: %s in %s" (Unix.error_message err) fn));
     (try Unix.close conn with Unix.Unix_error _ -> ());
     Log.info (fun m -> m "connection closed");
     accept_loop ()

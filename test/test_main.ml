@@ -31,4 +31,5 @@ let () =
       ("reproduction", Test_reproduction.suite);
       ("service", Test_service.suite);
       ("runtime", Test_runtime.suite);
+      ("fault", Test_fault.suite);
       ("check", Test_check.suite) ]

@@ -80,7 +80,8 @@ let check_engine_exact model =
                prefetch = plan.F.prefetch;
                arrival = 0.;
                priority = 0;
-               slack } |]
+               slack;
+               replan = None } |]
       in
       let t = result.Rt.Engine.tenants.(0) in
       Alcotest.(check int)

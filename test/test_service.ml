@@ -555,6 +555,162 @@ let test_protocol_fuzz () =
       Alcotest.check json_t "engine survives the fuzz" (Json.Bool true)
         (field_exn "ok" resp))
 
+(* --- supervision, circuit breaking and cache quarantine --- *)
+
+let contains needle msg =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length msg && (String.sub msg i n = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_pool_crash_restart () =
+  let pool = Svc.Pool.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Svc.Pool.shutdown pool)
+    (fun () ->
+      (* A crash-class exception still answers the caller (no hang)... *)
+      (match
+         Svc.Pool.await
+           (Svc.Pool.submit pool (fun () ->
+                raise (Svc.Pool.Worker_crash "simulated OOM")))
+       with
+      | Error (Svc.Pool.Worker_crash msg) ->
+        Alcotest.(check string) "crash reason carried" "simulated OOM" msg
+      | Error e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | Ok () -> Alcotest.fail "expected a crash");
+      (* ...then unwinds the worker loop, which the supervisor restarts:
+         the next job is answered by the reborn worker. *)
+      Alcotest.(check int) "pool still serves" 9 (Svc.Pool.run pool (fun () -> 9));
+      Alcotest.(check int) "restart counted" 1 (Svc.Pool.restarts pool);
+      (* Stack_overflow is crash-class too, and survivable the same way. *)
+      (match Svc.Pool.await (Svc.Pool.submit pool (fun () -> raise Stack_overflow)) with
+      | Error Stack_overflow -> ()
+      | Error e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | Ok () -> Alcotest.fail "expected Stack_overflow");
+      Alcotest.(check int) "still serving" 4 (Svc.Pool.run pool (fun () -> 4));
+      Alcotest.(check int) "second restart" 2 (Svc.Pool.restarts pool))
+
+let test_engine_circuit_breaker () =
+  let pool = Svc.Pool.create ~domains:1 () in
+  let engine =
+    Svc.Engine.create ~pool ~breaker_threshold:2 ~breaker_cooldown_ms:400. ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Svc.Engine.shutdown engine)
+    (fun () ->
+      (* Distinct option digests force cold compiles; a 1 ms budget on a
+         cold compile is a guaranteed deadline miss — a counted failure. *)
+      let miss slices =
+        Printf.sprintf
+          {|{"op":"compile","model":"alexnet","deadline_ms":1,"options":{"weight_slices":%d}}|}
+          slices
+      in
+      let r1 = result_of_line (handle_line engine (miss 2)) in
+      Alcotest.check json_t "first miss errors" (Json.Bool false)
+        (field_exn "ok" r1);
+      Alcotest.check json_t "deadline kind" (Json.String "deadline")
+        (field_exn "kind" r1);
+      let r2 = result_of_line (handle_line engine (miss 3)) in
+      Alcotest.check json_t "second miss errors" (Json.Bool false)
+        (field_exn "ok" r2);
+      (* Threshold reached: the compile circuit is open and sheds without
+         touching the pool. *)
+      let shed =
+        result_of_line (handle_line engine {|{"op":"compile","model":"alexnet"}|})
+      in
+      Alcotest.check json_t "shed flagged" (Json.Bool false) (field_exn "ok" shed);
+      Alcotest.check json_t "unavailable kind" (Json.String "unavailable")
+        (field_exn "kind" shed);
+      (match Json.to_str (field_exn "error" shed) with
+      | Ok msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the open circuit (%s)" msg)
+          true
+          (contains "circuit open" msg)
+      | Error msg -> Alcotest.fail msg);
+      (* stats is never shed, and reports the open breaker. *)
+      let stats = result_of_line (handle_line engine {|{"op":"stats"}|}) in
+      Alcotest.check json_t "stats answers" (Json.Bool true) (field_exn "ok" stats);
+      let compile_breaker =
+        field_exn "compile" (field_exn "breakers" (field_exn "result" stats))
+      in
+      Alcotest.check json_t "breaker open" (Json.String "open")
+        (field_exn "state" compile_breaker);
+      Alcotest.check json_t "one trip" (Json.Int 1)
+        (field_exn "trips" compile_breaker);
+      (* Each op has its own circuit: models still answers. *)
+      let models = result_of_line (handle_line engine {|{"op":"models"}|}) in
+      Alcotest.check json_t "other ops unaffected" (Json.Bool true)
+        (field_exn "ok" models);
+      (* After the cooldown a probe is admitted; success closes the
+         circuit and normal service resumes. *)
+      Unix.sleepf 0.6;
+      let probe =
+        result_of_line (handle_line engine {|{"op":"compile","model":"alexnet"}|})
+      in
+      Alcotest.check json_t "probe succeeds" (Json.Bool true)
+        (field_exn "ok" probe);
+      let after =
+        result_of_line (handle_line engine {|{"op":"compile","model":"alexnet"}|})
+      in
+      Alcotest.check json_t "service recovered" (Json.Bool true)
+        (field_exn "ok" after);
+      let stats = result_of_line (handle_line engine {|{"op":"stats"}|}) in
+      let compile_breaker =
+        field_exn "compile" (field_exn "breakers" (field_exn "result" stats))
+      in
+      Alcotest.check json_t "breaker closed again" (Json.String "closed")
+        (field_exn "state" compile_breaker))
+
+let replace_once needle repl s =
+  let n = String.length needle in
+  let rec find i =
+    if i + n > String.length s then Alcotest.failf "needle %S not found" needle
+    else if String.sub s i n = needle then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ repl ^ String.sub s (i + n) (String.length s - i - n)
+
+let test_cache_quarantine () =
+  let dir = Filename.temp_file "lcmm_cacheq" "" in
+  Sys.remove dir;
+  let payload = Json.Obj [ ("x", Json.Int 31337) ] in
+  let c1 = Svc.Plan_cache.create ~persist_dir:dir () in
+  List.iter (fun k -> Svc.Plan_cache.put c1 k payload)
+    [ "aaaa01"; "bbbb02"; "cccc03" ];
+  let path name = Filename.concat dir (name ^ ".json") in
+  let slurp name = In_channel.with_open_bin (path name) In_channel.input_all in
+  let spew name s =
+    Out_channel.with_open_bin (path name) (fun oc ->
+        Out_channel.output_string oc s)
+  in
+  (* A connection or machine dying mid-write leaves a truncated file;
+     a disk or editor mishap flips payload bytes under an intact sha. *)
+  let whole = slurp "aaaa01" in
+  spew "aaaa01" (String.sub whole 0 (String.length whole / 2));
+  spew "bbbb02" (replace_once "31337" "31338" (slurp "bbbb02"));
+  let c2 = Svc.Plan_cache.create ~persist_dir:dir () in
+  Alcotest.(check bool) "truncated is a miss" true
+    (Svc.Plan_cache.find c2 "aaaa01" = None);
+  Alcotest.(check bool) "bit-flipped is a miss" true
+    (Svc.Plan_cache.find c2 "bbbb02" = None);
+  (match Svc.Plan_cache.find c2 "cccc03" with
+  | Some v -> Alcotest.check json_t "intact sibling still loads" payload v
+  | None -> Alcotest.fail "intact entry should rewarm");
+  let s = Svc.Plan_cache.stats c2 in
+  Alcotest.(check int) "both quarantined" 2 s.Svc.Plan_cache.quarantined;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " moved to .corrupt") true
+        (Sys.file_exists (path name ^ ".corrupt"));
+      Alcotest.(check bool) (name ^ " original gone") true
+        (not (Sys.file_exists (path name))))
+    [ "aaaa01"; "bbbb02" ];
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
 let suite =
   [ Alcotest.test_case "cache lru eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "cache byte bound" `Quick test_cache_byte_bound;
@@ -575,4 +731,7 @@ let suite =
     Alcotest.test_case "run op end-to-end" `Quick test_engine_run_op;
     Alcotest.test_case "request deadlines" `Quick test_engine_deadline;
     Alcotest.test_case "pool await_within" `Quick test_pool_await_within;
+    Alcotest.test_case "pool crash restart" `Quick test_pool_crash_restart;
+    Alcotest.test_case "circuit breaker" `Quick test_engine_circuit_breaker;
+    Alcotest.test_case "cache quarantine" `Quick test_cache_quarantine;
     Alcotest.test_case "protocol fuzz" `Quick test_protocol_fuzz ]
