@@ -898,12 +898,167 @@ let faults_experiment () =
     Lcmm.Report.write_text_file ~path (Json.to_string ~indent:2 doc ^ "\n");
     Printf.printf "wrote %s\n" path
 
+(* Planner throughput tracking: per-pass wall time and whole plans/sec
+   on seeded Gen graphs well past zoo scale.  The baseline constants are
+   the identical pipeline (same seeds, same quarter-budget capacity)
+   measured at the pre-optimization commit, so icd_speedup tracks the
+   packed-bitset interference / indexed-DNNK work across PRs instead of
+   silently regressing. *)
+let perf_sizes = [ 64; 256; 1024; 4096 ]
+
+(* interference + coloring + dnnk microseconds, pre-optimization. *)
+let perf_baseline_icd_us = function
+  | 64 -> 158.
+  | 256 -> 1389.
+  | 1024 -> 311_519.
+  | 4096 -> 3_712_192.
+  | _ -> nan
+
+let perf_experiment () =
+  header
+    "Planner throughput: per-pass wall time on seeded random graphs \
+     (mixed-family Gen, 16-bit, quarter SRAM budget)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e6)
+  in
+  let dtype = Tensor.Dtype.I16 in
+  let cfg = Accel.Config.make ~style:Accel.Config.Lcmm dtype in
+  let capacity_bytes = Accel.Config.sram_budget_bytes cfg / 4 in
+  let never_share_class = function
+    | Metric.Weight_of _ | Metric.Weight_slice _ -> 1
+    | Metric.Feature_value _ -> 0
+  in
+  (* One full pipeline run, mirroring Framework.plan pass for pass so the
+     per-pass numbers are attributable to the library passes themselves. *)
+  let run_once g =
+    let profiles = Accel.Latency.profile_graph cfg g in
+    let metric = Metric.build g profiles in
+    let items =
+      Array.of_list (Metric.eligible_items metric ~memory_bound_only:true)
+    in
+    let sizes = Array.map (Metric.item_size_bytes dtype metric) items in
+    let weight_targets =
+      Array.to_list items
+      |> List.filter_map (function
+           | Metric.Weight_of n | Metric.Weight_slice { node = n; _ } -> Some n
+           | Metric.Feature_value _ -> None)
+      |> List.sort_uniq compare
+    in
+    let pdg, prefetch_us =
+      time (fun () ->
+          if weight_targets = [] then None
+          else
+            Some
+              (Lcmm.Prefetch.build metric ~targets:weight_targets
+                 ~node_latency:(fun id ->
+                   Accel.Latency.umm_node_latency profiles.(id))))
+    in
+    let prefetch_source n =
+      match pdg with None -> None | Some p -> Lcmm.Prefetch.source_of p n
+    in
+    let intervals, liveness_us =
+      time (fun () ->
+          Array.map (Lcmm.Liveness.item_interval g ~prefetch_source) items)
+    in
+    let interference, interference_us =
+      time (fun () ->
+          Lcmm.Interference.build ~never_share_class ~items ~intervals ())
+    in
+    let vbufs, coloring_us =
+      time (fun () -> Lcmm.Coloring.color interference ~sizes)
+    in
+    let workspace = Dnnk.workspace () in
+    let initial, dnnk_us =
+      time (fun () -> Dnnk.allocate ~workspace metric ~capacity_bytes vbufs)
+    in
+    let _, splitting_us =
+      time (fun () ->
+          Lcmm.Splitting.run ~workspace metric interference ~sizes
+            ~capacity_bytes initial)
+    in
+    ( Array.length items,
+      List.length vbufs,
+      [ ("prefetch_us", prefetch_us); ("liveness_us", liveness_us);
+        ("interference_us", interference_us); ("coloring_us", coloring_us);
+        ("dnnk_us", dnnk_us); ("splitting_us", splitting_us) ],
+      interference_us +. coloring_us +. dnnk_us )
+  in
+  Printf.printf "%7s %7s %6s %6s | %12s %12s %9s | %10s\n" "nodes" "items"
+    "vbufs" "reps" "icd us" "baseline us" "speedup" "plans/s";
+  let rows =
+    List.map
+      (fun nodes ->
+        let st = Random.State.make [| 2026; nodes |] in
+        let g = Check.Gen.sized_graph ~family:Check.Gen.Mixed st ~nodes in
+        let reps = if nodes >= 4096 then 2 else if nodes >= 1024 then 3 else 10 in
+        (* Best-of-reps: wall-clock noise only ever inflates a run, so the
+           minimum is the honest estimate of the pass cost. *)
+        let best = ref None in
+        let total_us = ref 0. in
+        for _ = 1 to reps do
+          let (items, vbufs, passes, icd), elapsed = time (fun () -> run_once g) in
+          total_us := !total_us +. elapsed;
+          match !best with
+          | Some (_, _, _, best_icd) when best_icd <= icd -> ()
+          | _ -> best := Some (items, vbufs, passes, icd)
+        done;
+        let items, vbufs, passes, icd = Option.get !best in
+        let baseline = perf_baseline_icd_us nodes in
+        let speedup = baseline /. icd in
+        let plans_per_sec = float_of_int reps *. 1e6 /. !total_us in
+        Printf.printf "%7d %7d %6d %6d | %12.0f %12.0f %8.1fx | %10.2f\n%!"
+          nodes items vbufs reps icd baseline speedup plans_per_sec;
+        (nodes, Dnn_graph.Graph.node_count g, items, vbufs, passes, icd,
+         baseline, speedup, plans_per_sec))
+      perf_sizes
+  in
+  let speedup_1k =
+    List.fold_left
+      (fun acc (nodes, _, _, _, _, _, _, speedup, _) ->
+        if nodes = 1024 then speedup else acc)
+      nan rows
+  in
+  Printf.printf
+    "interference+coloring+dnnk at 1k nodes: %.1fx over pre-optimization\n"
+    speedup_1k;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let module Json = Dnn_serial.Json in
+    let row_json
+        (nodes, graph_nodes, items, vbufs, passes, icd, baseline, speedup,
+         plans_per_sec) =
+      Json.Obj
+        [ ("nodes", Json.Int nodes);
+          ("graph_nodes", Json.Int graph_nodes);
+          ("items", Json.Int items);
+          ("vbufs", Json.Int vbufs);
+          ( "pass_us",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) passes) );
+          ("icd_us", Json.Float icd);
+          ("baseline_icd_us", Json.Float baseline);
+          ("icd_speedup", Json.Float speedup);
+          ("plans_per_sec", Json.Float plans_per_sec) ]
+    in
+    let doc =
+      Json.Obj
+        [ ("experiment", Json.String "perf");
+          ("seed", Json.Int 2026);
+          ("icd_speedup_1k", Json.Float speedup_1k);
+          ("rows", Json.List (List.map row_json rows)) ]
+    in
+    Lcmm.Report.write_text_file ~path (Json.to_string ~indent:2 doc ^ "\n");
+    Printf.printf "wrote %s\n" path
+
 let experiments =
   [ ("fig2a", fig2a); ("table1", table1); ("table2", table2);
     ("table3", table3); ("fig8", fig8); ("fig2b", fig2b);
     ("ablation", ablation); ("energy", energy); ("sensitivity", sensitivity);
     ("schedule", schedule_experiment); ("zoo", zoo); ("micro", micro);
-    ("runtime", runtime_experiment); ("faults", faults_experiment) ]
+    ("runtime", runtime_experiment); ("faults", faults_experiment);
+    ("perf", perf_experiment) ]
 
 let () =
   let rec split_args acc = function

@@ -152,6 +152,67 @@ let allocate_cmd =
     (Cmd.info "allocate" ~doc:"Run the LCMM framework and print the plan")
     Term.(const run $ log_arg $ model_arg $ dtype_arg)
 
+let plan_cmd =
+  let model_opt_arg =
+    let doc = "Model name; when omitted, every zoo model is planned." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+  in
+  let profile_arg =
+    let doc =
+      "Print the per-pass wall-clock breakdown (liveness, interference, \
+       coloring, prefetch, DNNK, splitting) to stderr.  Timings stay off \
+       stdout so the plan text remains byte-reproducible."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let plan_one ~profile dtype name =
+    let model, g = or_die (build_model name) in
+    let c = Lcmm.Framework.compare_designs ~model dtype g in
+    let p = c.Lcmm.Framework.lcmm_plan in
+    Format.printf "== %s ==@." model;
+    Format.printf "design: %a@." Accel.Config.pp p.Lcmm.Framework.config;
+    Format.printf "virtual buffers (%d):@." (List.length p.Lcmm.Framework.vbufs);
+    List.iter
+      (fun vb ->
+        let on = List.mem vb p.Lcmm.Framework.allocation.Lcmm.Dnnk.chosen in
+        Format.printf "  %s %a@." (if on then "[on ]" else "[off]")
+          Lcmm.Vbuffer.pp vb)
+      p.Lcmm.Framework.vbufs;
+    (match p.Lcmm.Framework.prefetch with
+    | None -> Format.printf "prefetch edges: none@."
+    | Some pdg ->
+      Format.printf "prefetch edges: %d@."
+        (List.length (Lcmm.Prefetch.edges pdg)));
+    Format.printf "UMM %.6f ms -> LCMM %.6f ms (x%.4f); tensor SRAM %d bytes@."
+      (c.Lcmm.Framework.umm.Lcmm.Framework.latency_seconds *. 1e3)
+      (c.Lcmm.Framework.lcmm.Lcmm.Framework.latency_seconds *. 1e3)
+      c.Lcmm.Framework.speedup p.Lcmm.Framework.tensor_sram_bytes;
+    if profile then begin
+      Printf.eprintf "%s pass times:\n" model;
+      let assoc =
+        Lcmm.Framework.pass_times_assoc p.Lcmm.Framework.pass_times
+      in
+      List.iter (fun (k, v) -> Printf.eprintf "  %-16s %10.0f us\n" k v) assoc;
+      Printf.eprintf "  %-16s %10.0f us\n" "total"
+        (List.fold_left (fun acc (_, v) -> acc +. v) 0. assoc)
+    end
+  in
+  let run () name dtype profile =
+    match name with
+    | Some name -> plan_one ~profile dtype name
+    | None ->
+      List.iter
+        (fun e -> plan_one ~profile dtype e.Models.Zoo.model_name)
+        Models.Zoo.all
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Deterministic plan summary for one model (or the whole zoo), \
+          suitable for golden-file comparison; --profile adds a per-pass \
+          timing breakdown on stderr.")
+    Term.(const run $ log_arg $ model_opt_arg $ dtype_arg $ profile_arg)
+
 let simulate_cmd =
   let run () name dtype =
     let model, g = or_die (build_model name) in
@@ -670,7 +731,7 @@ let () =
   let info = Cmd.info "lcmm" ~doc:"Layer-conscious memory management for FPGA DNN accelerators" in
   let group =
     Cmd.group info
-      [ models_cmd; summary_cmd; roofline_cmd; allocate_cmd; simulate_cmd;
+      [ models_cmd; summary_cmd; roofline_cmd; allocate_cmd; plan_cmd; simulate_cmd;
         compare_cmd; dot_cmd; export_cmd; info_cmd; schedule_cmd; trace_cmd;
         traffic_cmd; sensitivity_cmd; runtime_cmd; serve_cmd; check_cmd ]
   in

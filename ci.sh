@@ -70,4 +70,26 @@ grep -q '"degradation"' "$out"
 grep -q '"evicted_bytes"' "$out"
 echo "wrote $out"
 
+echo "== tier-2: planner perf benchmark --json =="
+out=BENCH_perf.json
+dune exec bench/main.exe -- perf --json "$out" > /dev/null
+grep -q '"experiment": "perf"' "$out"
+grep -q '"icd_speedup_1k"' "$out"
+grep -q '"plans_per_sec"' "$out"
+# The interference+coloring+dnnk time at 1k nodes must hold the recorded
+# >= 5x speedup over the pre-optimization pipeline (baseline constants
+# are embedded in the benchmark).
+awk -F': ' '/"icd_speedup_1k"/ { exit ($2 + 0 >= 5.0) ? 0 : 1 }' "$out"
+echo "wrote $out"
+
+echo "== tier-2: plan/runtime bit-exactness vs committed goldens =="
+# The optimized pipeline must keep producing byte-identical output: the
+# whole-zoo plan summaries and a single-tenant runtime report are
+# compared against goldens committed with the optimization work.
+dune exec bin/lcmm_cli.exe -- plan > _build/plan_zoo.out
+cmp test/golden/plan_zoo.golden _build/plan_zoo.out
+dune exec bin/lcmm_cli.exe -- runtime --tenants googlenet:1 \
+  --json _build/runtime_single.json > /dev/null
+cmp test/golden/runtime_single.golden.json _build/runtime_single.json
+
 echo "CI OK"

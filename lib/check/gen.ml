@@ -237,3 +237,5 @@ let graph ?family st ~max_nodes =
      | Degenerate -> degenerate ctx
      | Mixed -> mixed ctx);
   B.finish ctx.b
+
+let sized_graph ?family st ~nodes = graph ?family st ~max_nodes:nodes

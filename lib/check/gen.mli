@@ -20,3 +20,9 @@ val graph : ?family:family -> Random.State.t -> max_nodes:int -> Dnn_graph.Graph
 (** Generate one valid graph of at most [max_nodes] nodes (at least 1 —
     the input).  Without [family], one is drawn from the state.  Raises
     [Invalid_argument] when [max_nodes < 1]. *)
+
+val sized_graph : ?family:family -> Random.State.t -> nodes:int -> Dnn_graph.Graph.t
+(** {!graph} with the node budget as a first-class size parameter.  The
+    fuzz runner clamps [max_nodes] to small shrink-friendly graphs; this
+    entry point is for benchmark-scale generation (hundreds to thousands
+    of nodes), where a seed plus [nodes] fully determines the graph. *)

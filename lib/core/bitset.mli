@@ -1,0 +1,33 @@
+(** Fixed-width packed bitsets over native ints.
+
+    The planner's hot paths (interference adjacency rows, coloring
+    partition masks, DNNK chosen sets) all reduce to word-parallel bit
+    tests over these. *)
+
+type t
+
+val create : int -> t
+(** [create width] is the empty set over bits [0 .. width-1]. *)
+
+val width : t -> int
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val mem : t -> int -> bool
+(** All three raise [Invalid_argument] on out-of-range bits. *)
+
+val reset : t -> unit
+(** Clear every bit in place. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ors [src] into [dst]; widths must match. *)
+
+val inter_empty : t -> t -> bool
+(** Whether the two sets are disjoint, one word at a time. *)
+
+val cardinal : t -> int
+(** Population count. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Visit set bits in ascending order. *)

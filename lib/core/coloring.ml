@@ -6,9 +6,12 @@ type partial = {
   mutable members : (int * Metric.item * int) list;  (* index, item, size *)
 }
 
-let compatible interference part index =
-  List.for_all (fun (j, _, _) -> not (Interference.conflict interference index j))
-    part.members
+(* A buffer is compatible when no member's bit is set in the item's
+   packed adjacency row.  The scan short-circuits on the first
+   conflicting member — one bit test rejects a structurally
+   incompatible (e.g. cross-pool) buffer outright. *)
+let compatible row part =
+  List.for_all (fun (j, _, _) -> not (Bitset.mem row j)) part.members
 
 let order strategy interference sizes =
   let indices = List.init (Array.length sizes) Fun.id in
@@ -16,9 +19,10 @@ let order strategy interference sizes =
   | Min_growth ->
     List.sort (fun a b -> compare sizes.(b) sizes.(a)) indices
   | First_fit ->
-    List.sort
-      (fun a b -> compare (Interference.degree interference b) (Interference.degree interference a))
-      indices
+    (* Degrees are popcounts over adjacency rows; computing all of them
+       once keeps the sort comparator allocation- and scan-free. *)
+    let degree = Array.init (Array.length sizes) (Interference.degree interference) in
+    List.sort (fun a b -> compare degree.(b) degree.(a)) indices
 
 let color ?(strategy = Min_growth) interference ~sizes =
   if Array.length sizes <> Interference.item_count interference then
@@ -26,9 +30,8 @@ let color ?(strategy = Min_growth) interference ~sizes =
   let buffers : partial list ref = ref [] in
   let place index =
     let size = sizes.(index) in
-    let candidates =
-      List.filter (fun part -> compatible interference part index) !buffers
-    in
+    let row = Interference.row interference index in
+    let candidates = List.filter (compatible row) !buffers in
     let chosen =
       match strategy with
       | First_fit -> (match candidates with part :: _ -> Some part | [] -> None)

@@ -9,6 +9,26 @@ type result = {
   used_blocks : int;
 }
 
+(* Scratch state shared across allocator calls (the splitting loop
+   re-runs the allocator up to 16 times over near-identical buffer
+   sets): per-member-list memos of affected nodes and static gains, and
+   the DP arrays, which are zeroed rather than reallocated.  A workspace
+   is only valid against the metric it first ran with. *)
+type workspace = {
+  affected_memo : (Metric.item list, int array) Hashtbl.t;
+  static_gain_memo : (Metric.item list, float) Hashtbl.t;
+  mutable dp_prev : float array;
+  mutable dp_curr : float array;
+  mutable dp_rows : bool array array;
+}
+
+let workspace () =
+  { affected_memo = Hashtbl.create 64;
+    static_gain_memo = Hashtbl.create 64;
+    dp_prev = [||];
+    dp_curr = [||];
+    dp_rows = [||] }
+
 let block_bytes = Fpga.Resource.uram_bytes
 
 let blocks_of_bytes bytes = (bytes + block_bytes - 1) / block_bytes
@@ -20,8 +40,10 @@ let set_of_vbufs vbufs =
   Metric.Item_set.of_list (items_of_vbufs vbufs)
 
 let finish metric ~capacity_blocks vbufs chosen_ids =
+  let chosen_tbl = Hashtbl.create (2 * List.length chosen_ids + 1) in
+  List.iter (fun id -> Hashtbl.replace chosen_tbl id ()) chosen_ids;
   let chosen, spilled =
-    List.partition (fun vb -> List.mem vb.Vbuffer.vbuf_id chosen_ids) vbufs
+    List.partition (fun vb -> Hashtbl.mem chosen_tbl vb.Vbuffer.vbuf_id) vbufs
   in
   let on_chip = set_of_vbufs chosen in
   { chosen;
@@ -35,19 +57,53 @@ let finish metric ~capacity_blocks vbufs chosen_ids =
         0 chosen }
 
 (* Nodes whose latency any member of the buffer influences. *)
-let affected_nodes_of_vbuf metric vb =
-  List.concat_map (Metric.affected_nodes metric) vb.Vbuffer.members
-  |> List.sort_uniq compare
+let affected_nodes_of_vbuf ws metric vb =
+  let members = vb.Vbuffer.members in
+  match Hashtbl.find_opt ws.affected_memo members with
+  | Some nodes -> nodes
+  | None ->
+    let nodes =
+      List.concat_map (Metric.affected_nodes metric) members
+      |> List.sort_uniq compare |> Array.of_list
+    in
+    Hashtbl.add ws.affected_memo members nodes;
+    nodes
+
+let static_gain_of_vbuf ws metric vb =
+  let members = vb.Vbuffer.members in
+  match Hashtbl.find_opt ws.static_gain_memo members with
+  | Some gain -> gain
+  | None ->
+    let gain =
+      Metric.marginal_gain_many metric ~on_chip:Metric.Item_set.empty members
+    in
+    Hashtbl.add ws.static_gain_memo members gain;
+    gain
 
 (* One 0/1-knapsack DP over virtual buffers.  [gain_at] supplies the
    value of buffer [i] when placed at source column [col] (allowing the
    paper's table-based compensation); the memo of placement bits is
-   exposed to it through [pbuf_table]. *)
-let knapsack_dp ~capacity ~sizes ~gain_at =
+   exposed to it through [pbuf_table].  The DP arrays come from the
+   workspace and are cleared, not reallocated, on reuse. *)
+let knapsack_dp ws ~capacity ~sizes ~gain_at =
   let n = Array.length sizes in
-  let prev = Array.make (capacity + 1) 0. in
-  let curr = Array.make (capacity + 1) 0. in
-  let pbuf_table = Array.make_matrix (n + 1) (capacity + 1) false in
+  if Array.length ws.dp_prev <= capacity then begin
+    ws.dp_prev <- Array.make (capacity + 1) 0.;
+    ws.dp_curr <- Array.make (capacity + 1) 0.
+  end
+  else begin
+    Array.fill ws.dp_prev 0 (capacity + 1) 0.;
+    Array.fill ws.dp_curr 0 (capacity + 1) 0.
+  end;
+  if
+    Array.length ws.dp_rows <= n
+    || (n >= 0 && Array.length ws.dp_rows.(0) <= capacity)
+  then ws.dp_rows <- Array.make_matrix (n + 1) (capacity + 1) false
+  else
+    for i = 1 to n do
+      Array.fill ws.dp_rows.(i) 0 (capacity + 1) false
+    done;
+  let prev = ws.dp_prev and curr = ws.dp_curr and pbuf_table = ws.dp_rows in
   for i = 1 to n do
     let s = sizes.(i - 1) in
     for j = 0 to capacity do
@@ -172,19 +228,16 @@ let evict_to_capacity metric ~capacity_bytes result =
   let result, evicted = loop result [] in
   ({ result with capacity_blocks }, evicted)
 
-let allocate ?(compensation = Table_approx) ?(rounds = 4) metric ~capacity_bytes
-    vbufs =
+let allocate ?(compensation = Table_approx) ?(rounds = 4) ?workspace:ws metric
+    ~capacity_bytes vbufs =
   if capacity_bytes < 0 then invalid_arg "Dnnk.allocate: negative capacity";
+  let ws = match ws with Some ws -> ws | None -> workspace () in
   let capacity = capacity_bytes / block_bytes in
   (* Process buffers in decreasing static-gain order: the row-memo
      compensation then sees a node's dominant terms before its minor
      ones. *)
   let vbufs =
-    List.map
-      (fun vb ->
-        (Metric.marginal_gain_many metric ~on_chip:Metric.Item_set.empty
-           vb.Vbuffer.members, vb))
-      vbufs
+    List.map (fun vb -> (static_gain_of_vbuf ws metric vb, vb)) vbufs
     |> List.stable_sort (fun (a, _) (b, _) -> compare b a)
     |> List.map snd
   in
@@ -197,30 +250,134 @@ let allocate ?(compensation = Table_approx) ?(rounds = 4) metric ~capacity_bytes
     finish metric ~capacity_blocks:capacity vbufs
       (List.map (fun vb -> vb.Vbuffer.vbuf_id) vbufs)
   else
-  let affected = Array.map (affected_nodes_of_vbuf metric) vbuf_arr in
-  (* Which DP row owns each item, for compensation lookups. *)
+  let affected = Array.map (affected_nodes_of_vbuf ws metric) vbuf_arr in
+  (* Which DP row owns each item, for compensation lookups.  Buffers
+     from the coloring pass never share an item; should a hand-built
+     input violate that, membership tests fall back to list scans so the
+     last-writer-wins owner table stays a pure compensation index. *)
   let owner = Hashtbl.create 256 in
+  let shared_items = ref false in
   Array.iteri
-    (fun i vb -> List.iter (fun it -> Hashtbl.replace owner it i) vb.Vbuffer.members)
+    (fun i vb ->
+      List.iter
+        (fun it ->
+          (match Hashtbl.find_opt owner it with
+          | Some j when j <> i -> shared_items := true
+          | Some _ | None -> ());
+          Hashtbl.replace owner it i)
+        vb.Vbuffer.members)
     vbuf_arr;
+  let member_test index =
+    if !shared_items then fun item -> List.mem item vbuf_arr.(index).Vbuffer.members
+    else fun item ->
+      match Hashtbl.find_opt owner item with
+      | Some k -> k = index
+      | None -> false
+  in
   match compensation with
   | Table_approx ->
-    let gain_at ~index ~col ~pbuf_table =
-      let members = vbuf_arr.(index).Vbuffer.members in
+    (* Per row, split the affected nodes into column-independent ones —
+       no queried item is owned by an earlier DP row, so both predicate
+       evaluations are constants computed once — and dependent ones,
+       which read [pbuf_table] bits of earlier rows at the source
+       column.  The probe relies on [Metric.node_latency_pred] querying
+       a fixed item set per node regardless of the predicate's answers;
+       that fixed set also yields, per row, the exact set of earlier
+       rows whose memo bits the gain can read at all, so whole-row gains
+       are memoized on those packed bits: equal bit patterns make the
+       unmemoized fold read identical state and produce identical
+       floats. *)
+    let earlier_seen = Array.make n false in
+    let on_false _ = false in
+    let dependent = Array.make n [||] in
+    let const_without = Array.make n [||] in
+    let const_with = Array.make n [||] in
+    let const_total = Array.make n 0. in
+    let earlier = Array.make n [||] in
+    let memo = Array.init n (fun _ -> Hashtbl.create 16) in
+    for index = 0 to n - 1 do
+      let aff = affected.(index) in
+      let m = Array.length aff in
+      let dep = Array.make m false in
+      let cw = Array.make m 0. in
+      let cm = Array.make m 0. in
+      let members_only = member_test index in
+      let rows = ref [] in
+      for k = 0 to m - 1 do
+        let d = ref false in
+        let probe item =
+          (match Hashtbl.find_opt owner item with
+          | Some o when o < index ->
+            d := true;
+            if not earlier_seen.(o) then begin
+              earlier_seen.(o) <- true;
+              rows := o :: !rows
+            end
+          | Some _ | None -> ());
+          false
+        in
+        ignore (Metric.node_latency_pred metric ~on:probe aff.(k));
+        if !d then dep.(k) <- true
+        else begin
+          cw.(k) <- Metric.node_latency_pred metric ~on:on_false aff.(k);
+          cm.(k) <- Metric.node_latency_pred metric ~on:members_only aff.(k)
+        end
+      done;
+      List.iter (fun o -> earlier_seen.(o) <- false) !rows;
+      let total = ref 0. in
+      for k = 0 to m - 1 do
+        if not dep.(k) then total := !total +. cw.(k) -. cm.(k)
+      done;
+      dependent.(index) <- dep;
+      const_without.(index) <- cw;
+      const_with.(index) <- cm;
+      const_total.(index) <- !total;
+      earlier.(index) <- Array.of_list (List.rev !rows)
+    done;
+    let full_fold ~index ~col ~pbuf_table =
+      let aff = affected.(index) in
+      let dep = dependent.(index) in
+      let cw = const_without.(index) in
+      let cm = const_with.(index) in
+      let members_only = member_test index in
       let recorded item =
         match Hashtbl.find_opt owner item with
         | Some k when k < index -> pbuf_table.(k + 1).(col)
         | Some _ | None -> false
       in
-      let with_members item = recorded item || List.mem item members in
-      List.fold_left
-        (fun acc node ->
-          acc
-          +. Metric.node_latency_pred metric ~on:recorded node
-          -. Metric.node_latency_pred metric ~on:with_members node)
-        0. affected.(index)
+      let with_members item = recorded item || members_only item in
+      let acc = ref 0. in
+      for k = 0 to Array.length aff - 1 do
+        if dep.(k) then
+          acc :=
+            !acc
+            +. Metric.node_latency_pred metric ~on:recorded aff.(k)
+            -. Metric.node_latency_pred metric ~on:with_members aff.(k)
+        else acc := !acc +. cw.(k) -. cm.(k)
+      done;
+      !acc
     in
-    let chosen = knapsack_dp ~capacity ~sizes ~gain_at in
+    let max_memo_bits = Sys.int_size - 2 in
+    let gain_at ~index ~col ~pbuf_table =
+      let deps = earlier.(index) in
+      let width = Array.length deps in
+      if width = 0 then const_total.(index)
+      else if width <= max_memo_bits then begin
+        let key = ref 0 in
+        for b = 0 to width - 1 do
+          if pbuf_table.(deps.(b) + 1).(col) then key := !key lor (1 lsl b)
+        done;
+        let tbl = memo.(index) in
+        match Hashtbl.find_opt tbl !key with
+        | Some g -> g
+        | None ->
+          let g = full_fold ~index ~col ~pbuf_table in
+          Hashtbl.add tbl !key g;
+          g
+      end
+      else full_fold ~index ~col ~pbuf_table
+    in
+    let chosen = knapsack_dp ws ~capacity ~sizes ~gain_at in
     sweep_up metric ~capacity_blocks:capacity
       (finish metric ~capacity_blocks:capacity vbufs
          (List.map (fun i -> vbuf_arr.(i).Vbuffer.vbuf_id) chosen))
@@ -241,7 +398,7 @@ let allocate ?(compensation = Table_approx) ?(rounds = 4) metric ~capacity_bytes
     in
     let run () =
       let gain_at ~index ~col:_ ~pbuf_table:_ = gains.(index) in
-      let chosen = knapsack_dp ~capacity ~sizes ~gain_at in
+      let chosen = knapsack_dp ws ~capacity ~sizes ~gain_at in
       sweep_up metric ~capacity_blocks:capacity
         (finish metric ~capacity_blocks:capacity vbufs
            (List.map (fun i -> vbuf_arr.(i).Vbuffer.vbuf_id) chosen))

@@ -25,6 +25,16 @@
 
 type compensation = Table_approx | Exact_iterative
 
+type workspace
+(** Scratch state shared across allocator calls: memoized per-buffer
+    affected-node sets and static gains, plus the DP arrays, which are
+    cleared rather than reallocated on reuse.  The splitting loop
+    re-runs the allocator many times over near-identical buffer sets
+    and passes one workspace through all of them.  A workspace is only
+    valid against the metric it first ran with. *)
+
+val workspace : unit -> workspace
+
 type result = {
   chosen : Vbuffer.t list;       (** Buffers granted physical SRAM. *)
   spilled : Vbuffer.t list;      (** Buffers left in DDR. *)
@@ -41,10 +51,12 @@ val blocks_of_bytes : int -> int
 (** Size in whole blocks, rounding up. *)
 
 val allocate :
-  ?compensation:compensation -> ?rounds:int -> Metric.t ->
-  capacity_bytes:int -> Vbuffer.t list -> result
+  ?compensation:compensation -> ?rounds:int -> ?workspace:workspace ->
+  Metric.t -> capacity_bytes:int -> Vbuffer.t list -> result
 (** Run the allocator.  [rounds] (default 4) bounds {!Exact_iterative}
-    refinement.  Raises [Invalid_argument] on negative capacity. *)
+    refinement.  [workspace] (fresh by default) carries memos and DP
+    arrays across repeated calls against the same metric.  Raises
+    [Invalid_argument] on negative capacity. *)
 
 val evict_to_capacity :
   Metric.t -> capacity_bytes:int -> result -> result * Vbuffer.t list

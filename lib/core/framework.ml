@@ -29,6 +29,62 @@ let default_options =
     capacity_override = None;
     weight_slices = 1 }
 
+type pass_times = {
+  liveness_us : float;
+  interference_us : float;
+  coloring_us : float;
+  prefetch_us : float;
+  dnnk_us : float;
+  splitting_us : float;
+}
+
+let zero_pass_times =
+  { liveness_us = 0.;
+    interference_us = 0.;
+    coloring_us = 0.;
+    prefetch_us = 0.;
+    dnnk_us = 0.;
+    splitting_us = 0. }
+
+let add_pass_times a b =
+  { liveness_us = a.liveness_us +. b.liveness_us;
+    interference_us = a.interference_us +. b.interference_us;
+    coloring_us = a.coloring_us +. b.coloring_us;
+    prefetch_us = a.prefetch_us +. b.prefetch_us;
+    dnnk_us = a.dnnk_us +. b.dnnk_us;
+    splitting_us = a.splitting_us +. b.splitting_us }
+
+let pass_times_assoc t =
+  [ ("liveness_us", t.liveness_us);
+    ("interference_us", t.interference_us);
+    ("coloring_us", t.coloring_us);
+    ("prefetch_us", t.prefetch_us);
+    ("dnnk_us", t.dnnk_us);
+    ("splitting_us", t.splitting_us) ]
+
+(* Process-wide cumulative per-pass wall clock, so long-running hosts
+   (the plan service's stats op) can attribute planner time without
+   tracking individual plans.  Worker domains plan concurrently. *)
+let cumulative_mutex = Mutex.create ()
+let cumulative_pass_times = ref zero_pass_times
+
+let record_pass_times t =
+  Mutex.lock cumulative_mutex;
+  cumulative_pass_times := add_pass_times !cumulative_pass_times t;
+  Mutex.unlock cumulative_mutex
+
+let pass_times_total () =
+  Mutex.lock cumulative_mutex;
+  let t = !cumulative_pass_times in
+  Mutex.unlock cumulative_mutex;
+  t
+
+let timed cell f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  cell := !cell +. ((Unix.gettimeofday () -. t0) *. 1e6);
+  result
+
 type plan = {
   config : Config.t;
   options : options;
@@ -40,13 +96,18 @@ type plan = {
   predicted_latency : float;
   pol : float;
   tensor_sram_bytes : int;
+  pass_times : pass_times;
 }
 
 let is_weight_item = function
   | Metric.Weight_of _ | Metric.Weight_slice _ -> true
   | Metric.Feature_value _ -> false
 
-let never_share a b = is_weight_item a <> is_weight_item b
+(* Features and weights live in separate buffer pools and must never
+   share a virtual buffer.  Expressed as a partition (rather than a
+   pairwise predicate) so the interference build can fold it in with
+   whole-row mask unions instead of a quadratic predicate sweep. *)
+let never_share_class item = if is_weight_item item then 1 else 0
 
 let unhidden_stalls prefetch on_chip =
   match prefetch with
@@ -115,32 +176,42 @@ let plan ?(options = default_options) config g =
          | Metric.Feature_value _ -> None)
     |> List.sort_uniq compare
   in
+  let liveness_us = ref 0. and interference_us = ref 0. in
+  let coloring_us = ref 0. and prefetch_us = ref 0. in
+  let dnnk_us = ref 0. and splitting_us = ref 0. in
   let pdg =
     if weight_targets = [] then None
     else
-      Some
-        (Prefetch.build metric ~targets:weight_targets
-           ~node_latency:(fun id -> Latency.umm_node_latency profiles.(id)))
+      timed prefetch_us (fun () ->
+          Some
+            (Prefetch.build metric ~targets:weight_targets
+               ~node_latency:(fun id -> Latency.umm_node_latency profiles.(id))))
   in
   let prefetch_source n =
     match pdg with None -> None | Some p -> Prefetch.source_of p n
   in
   let intervals =
-    Array.map (Liveness.item_interval g ~prefetch_source) items
+    timed liveness_us (fun () ->
+        Array.map (Liveness.item_interval g ~prefetch_source) items)
   in
   Log.info (fun m ->
       m "passes 1+2 (liveness, prefetch): %d eligible items, %d prefetch targets"
         (Array.length items)
         (List.length weight_targets));
-  let interference = Interference.build ~never_share ~items ~intervals () in
+  let interference =
+    timed interference_us (fun () ->
+        Interference.build ~never_share_class ~items ~intervals ())
+  in
   let vbufs =
-    if options.buffer_sharing then
-      Coloring.color ~strategy:options.coloring interference ~sizes
-    else
-      Array.to_list
-        (Array.mapi
-           (fun i item -> Vbuffer.singleton ~vbuf_id:i item ~size_bytes:sizes.(i))
-           items)
+    timed coloring_us (fun () ->
+        if options.buffer_sharing then
+          Coloring.color ~strategy:options.coloring interference ~sizes
+        else
+          Array.to_list
+            (Array.mapi
+               (fun i item ->
+                 Vbuffer.singleton ~vbuf_id:i item ~size_bytes:sizes.(i))
+               items))
   in
   let capacity_bytes =
     let budget = Config.sram_budget_bytes config in
@@ -152,15 +223,19 @@ let plan ?(options = default_options) config g =
       m "pass 3 (DNNK): %d virtual buffers, capacity %.2f MB"
         (List.length vbufs)
         (float_of_int capacity_bytes /. 1e6));
+  let workspace = Dnnk.workspace () in
   let initial =
-    Dnnk.allocate ~compensation:options.compensation metric ~capacity_bytes vbufs
+    timed dnnk_us (fun () ->
+        Dnnk.allocate ~compensation:options.compensation ~workspace metric
+          ~capacity_bytes vbufs)
   in
   let allocation, splitting_iterations, vbufs =
     if options.buffer_splitting && options.buffer_sharing then begin
       let outcome =
-        Splitting.run ~compensation:options.compensation
-          ~strategy:options.coloring metric interference ~sizes ~capacity_bytes
-          initial
+        timed splitting_us (fun () ->
+            Splitting.run ~compensation:options.compensation
+              ~strategy:options.coloring ~workspace metric interference ~sizes
+              ~capacity_bytes initial)
       in
       let final_vbufs =
         outcome.Splitting.result.Dnnk.chosen @ outcome.Splitting.result.Dnnk.spilled
@@ -257,6 +332,15 @@ let plan ?(options = default_options) config g =
         splitting_iterations
         ((allocation.Dnnk.predicted_latency +. stalls) *. 1e3)
         helped bound);
+  let pass_times =
+    { liveness_us = !liveness_us;
+      interference_us = !interference_us;
+      coloring_us = !coloring_us;
+      prefetch_us = !prefetch_us;
+      dnnk_us = !dnnk_us;
+      splitting_us = !splitting_us }
+  in
+  record_pass_times pass_times;
   { config;
     options;
     metric;
@@ -266,7 +350,8 @@ let plan ?(options = default_options) config g =
     splitting_iterations;
     predicted_latency = allocation.Dnnk.predicted_latency +. stalls;
     pol = (if bound = 0 then 1. else float_of_int helped /. float_of_int bound);
-    tensor_sram_bytes = allocation.Dnnk.used_blocks * Dnnk.block_bytes }
+    tensor_sram_bytes = allocation.Dnnk.used_blocks * Dnnk.block_bytes;
+    pass_times }
 
 let plan_partitioned ?(options = default_options) ~capacity_bytes config g =
   if capacity_bytes < 0 then

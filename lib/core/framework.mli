@@ -27,6 +27,26 @@ val default_options : options
 (** Everything on, [Table_approx] compensation, [Min_growth] coloring —
     the paper's configuration. *)
 
+type pass_times = {
+  liveness_us : float;
+  interference_us : float;
+  coloring_us : float;
+  prefetch_us : float;
+  dnnk_us : float;
+  splitting_us : float;
+}
+(** Per-pass wall-clock microseconds for one planner run. *)
+
+val zero_pass_times : pass_times
+val add_pass_times : pass_times -> pass_times -> pass_times
+
+val pass_times_assoc : pass_times -> (string * float) list
+(** Stable field-name/value pairs, for reports and the service stats. *)
+
+val pass_times_total : unit -> pass_times
+(** Process-wide cumulative per-pass wall clock across every plan run so
+    far (all domains); the service's stats op reports it. *)
+
 type plan = {
   config : Accel.Config.t;
   options : options;
@@ -38,6 +58,7 @@ type plan = {
   predicted_latency : float;       (** Eq. 1 total + unhidden prefetch stalls. *)
   pol : float;                     (** Fraction of memory-bound layers helped. *)
   tensor_sram_bytes : int;         (** SRAM granted to tensor buffers. *)
+  pass_times : pass_times;         (** Wall-clock breakdown of this run. *)
 }
 
 val plan : ?options:options -> Accel.Config.t -> Dnn_graph.Graph.t -> plan

@@ -4,17 +4,127 @@ module Pair_set = Set.Make (struct
   let compare = Stdlib.compare
 end)
 
+(* Adjacency is materialised once at [build] into packed bitset rows:
+   lifespan overlaps come from a sweep-line over start-sorted intervals
+   (O(n log n + edges)), [never_share_class] partitions are or-ed in as
+   whole class masks, and the generic [never_share] predicate (used by
+   small differential-test graphs) falls back to a pairwise fill.
+   [conflict]/[degree] are then plain word-parallel bit tests with no
+   closure calls on the query path. *)
 type t = {
   items : Metric.item array;
   intervals : Liveness.interval array;
-  never_share : Metric.item -> Metric.item -> bool;
+  rows : Bitset.t array;
+  index : (Metric.item, int) Hashtbl.t;
   mutable false_edges : Pair_set.t;
 }
 
-let build ?(never_share = fun _ _ -> false) ~items ~intervals () =
+let fill_overlaps rows intervals =
+  let n = Array.length intervals in
+  let valid = ref true in
+  for i = 0 to n - 1 do
+    if intervals.(i).Liveness.end_pos < intervals.(i).Liveness.start_pos then
+      valid := false
+  done;
+  if not !valid then
+    (* Degenerate hand-built intervals: keep the naive quadratic fill. *)
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Liveness.overlaps intervals.(i) intervals.(j) then begin
+          Bitset.set rows.(i) j;
+          Bitset.set rows.(j) i
+        end
+      done
+    done
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        compare intervals.(a).Liveness.start_pos intervals.(b).Liveness.start_pos)
+      order;
+    (* Sweep in ascending start order.  [active] holds earlier intervals
+       whose end has not passed the current start; each survivor overlaps
+       the current interval, so the per-step compaction cost is charged
+       to emitted edges. *)
+    let active = ref (Array.make 16 0) in
+    let active_len = ref 0 in
+    Array.iter
+      (fun i ->
+        let start = intervals.(i).Liveness.start_pos in
+        let kept = ref 0 in
+        for k = 0 to !active_len - 1 do
+          let j = !active.(k) in
+          if intervals.(j).Liveness.end_pos >= start then begin
+            !active.(!kept) <- j;
+            incr kept;
+            Bitset.set rows.(i) j;
+            Bitset.set rows.(j) i
+          end
+        done;
+        active_len := !kept;
+        if !active_len = Array.length !active then begin
+          let grown = Array.make (2 * Array.length !active) 0 in
+          Array.blit !active 0 grown 0 !active_len;
+          active := grown
+        end;
+        !active.(!active_len) <- i;
+        incr active_len)
+      order
+  end
+
+let fill_classes rows items classify =
+  let n = Array.length items in
+  let classes = Array.map classify items in
+  let masks = Hashtbl.create 4 in
+  Array.iteri
+    (fun i c ->
+      let mask =
+        match Hashtbl.find_opt masks c with
+        | Some m -> m
+        | None ->
+            let m = Bitset.create n in
+            Hashtbl.add masks c m;
+            m
+      in
+      Bitset.set mask i)
+    classes;
+  if Hashtbl.length masks > 1 then
+    Array.iteri
+      (fun i c ->
+        Hashtbl.iter
+          (fun c' mask -> if c' <> c then Bitset.union_into ~dst:rows.(i) mask)
+          masks)
+      classes
+
+let fill_pairwise rows items never_share =
+  let n = Array.length items in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if never_share items.(i) items.(j) then begin
+        Bitset.set rows.(i) j;
+        Bitset.set rows.(j) i
+      end
+    done
+  done
+
+let build ?never_share ?never_share_class ~items ~intervals () =
   if Array.length items <> Array.length intervals then
     invalid_arg "Interference.build: mismatched array lengths";
-  { items; intervals; never_share; false_edges = Pair_set.empty }
+  let n = Array.length items in
+  let rows = Array.init n (fun _ -> Bitset.create n) in
+  fill_overlaps rows intervals;
+  (match never_share_class with
+  | Some classify -> fill_classes rows items classify
+  | None -> ());
+  (match never_share with
+  | Some pred -> fill_pairwise rows items pred
+  | None -> ());
+  let index = Hashtbl.create (2 * n) in
+  (* First occurrence wins, matching a forward linear scan. *)
+  for i = n - 1 downto 0 do
+    Hashtbl.replace index items.(i) i
+  done;
+  { items; intervals; rows; index; false_edges = Pair_set.empty }
 
 let item_count t = Array.length t.items
 
@@ -30,28 +140,29 @@ let interval t i =
   check_index t i;
   t.intervals.(i)
 
+let index_of_item t item = Hashtbl.find_opt t.index item
+
 let ordered i j = if i < j then (i, j) else (j, i)
 
 let add_false_edge t i j =
   check_index t i;
   check_index t j;
   if i = j then invalid_arg "Interference.add_false_edge: self edge";
-  t.false_edges <- Pair_set.add (ordered i j) t.false_edges
+  t.false_edges <- Pair_set.add (ordered i j) t.false_edges;
+  Bitset.set t.rows.(i) j;
+  Bitset.set t.rows.(j) i
 
 let false_edges t = Pair_set.elements t.false_edges
 
 let conflict t i j =
   check_index t i;
   check_index t j;
-  i <> j
-  && (Liveness.overlaps t.intervals.(i) t.intervals.(j)
-     || t.never_share t.items.(i) t.items.(j)
-     || Pair_set.mem (ordered i j) t.false_edges)
+  i <> j && Bitset.mem t.rows.(i) j
+
+let row t i =
+  check_index t i;
+  t.rows.(i)
 
 let degree t i =
   check_index t i;
-  let d = ref 0 in
-  for j = 0 to item_count t - 1 do
-    if j <> i && conflict t i j then incr d
-  done;
-  !d
+  Bitset.cardinal t.rows.(i)

@@ -3,17 +3,26 @@
     Two items interfere when their lifespans overlap — they can then
     never share a buffer.  The buffer-splitting pass additionally injects
     *false* interference edges between chosen non-overlapping pairs to
-    force them into different virtual buffers. *)
+    force them into different virtual buffers.
+
+    Adjacency is materialised once at [build] into packed bitset rows
+    (sweep-line over start-sorted intervals), so [conflict] and [degree]
+    are word-parallel bit tests rather than per-query closure calls. *)
 
 type t
 
 val build :
   ?never_share:(Metric.item -> Metric.item -> bool) ->
+  ?never_share_class:(Metric.item -> int) ->
   items:Metric.item array -> intervals:Liveness.interval array -> unit -> t
 (** Raises [Invalid_argument] when the arrays differ in length.
     [never_share] marks structurally incompatible pairs (e.g. a feature
     and a weight tensor, which live in separate buffer pools) as
-    permanently conflicting regardless of lifespans. *)
+    permanently conflicting regardless of lifespans; it is evaluated
+    pairwise at build time.  [never_share_class] expresses the same
+    constraint as a partition — items in *different* classes always
+    conflict — and is folded in with whole-row mask unions, which is the
+    fast path the planner uses. *)
 
 val item_count : t -> int
 
@@ -21,6 +30,10 @@ val item : t -> int -> Metric.item
 (** Item at the given index. *)
 
 val interval : t -> int -> Liveness.interval
+
+val index_of_item : t -> Metric.item -> int option
+(** Index of the first occurrence of an item, as a forward linear scan
+    would find it. *)
 
 val add_false_edge : t -> int -> int -> unit
 (** Force items at the two indices apart.  Idempotent; raises
@@ -31,6 +44,10 @@ val false_edges : t -> (int * int) list
 
 val conflict : t -> int -> int -> bool
 (** Lifespan overlap or false edge. *)
+
+val row : t -> int -> Bitset.t
+(** The packed adjacency row of an item.  Callers must treat it as
+    read-only; it aliases the graph's internal state. *)
 
 val degree : t -> int -> int
 (** Number of items in conflict with the item at the given index. *)

@@ -4,15 +4,9 @@ type outcome = {
   false_edges : int;
 }
 
-(* Index of an item in the interference graph. *)
-let index_of interference item =
-  let n = Interference.item_count interference in
-  let rec find i =
-    if i >= n then None
-    else if Interference.item interference i = item then Some i
-    else find (i + 1)
-  in
-  find 0
+(* Index of an item in the interference graph (first occurrence, via
+   the graph's item index). *)
+let index_of = Interference.index_of_item
 
 (* The split candidate: largest spilled buffer with >= 2 members whose top
    two members are not already separated by an edge. *)
@@ -34,8 +28,8 @@ let candidate interference spilled =
          | Some _ | None -> Some cand)
        None
 
-let run ?(max_iterations = 16) ?compensation ?strategy metric interference
-    ~sizes ~capacity_bytes initial =
+let run ?(max_iterations = 16) ?compensation ?strategy ?workspace metric
+    interference ~sizes ~capacity_bytes initial =
   let rec loop best iterations edges =
     if iterations >= max_iterations then
       { result = best; iterations; false_edges = edges }
@@ -45,7 +39,7 @@ let run ?(max_iterations = 16) ?compensation ?strategy metric interference
       | Some (_vb, i, j) ->
         Interference.add_false_edge interference i j;
         let vbufs = Coloring.color ?strategy interference ~sizes in
-        let next = Dnnk.allocate ?compensation metric ~capacity_bytes vbufs in
+        let next = Dnnk.allocate ?compensation ?workspace metric ~capacity_bytes vbufs in
         if next.Dnnk.predicted_latency < best.Dnnk.predicted_latency -. 1e-12 then
           loop next (iterations + 1) (edges + 1)
         else { result = best; iterations; false_edges = edges + 1 }

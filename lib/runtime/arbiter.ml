@@ -25,3 +25,22 @@ let rates t jobs =
           (List.hd jobs) (List.tl jobs)
       in
       List.map (fun (key, _) -> (key, if key = best_key then 1. else 0.)) jobs)
+
+let rates_into t jobs table =
+  match jobs with
+  | [] -> ()
+  | _ -> (
+    match t with
+    | Fair_share ->
+      let share = 1. /. float_of_int (List.length jobs) in
+      List.iter (fun (key, _) -> table.(key) <- share) jobs
+    | Priority ->
+      let best_key, _ =
+        List.fold_left
+          (fun (bk, bp) (k, p) ->
+            if p < bp || (p = bp && k < bk) then (k, p) else (bk, bp))
+          (List.hd jobs) (List.tl jobs)
+      in
+      List.iter
+        (fun (key, _) -> table.(key) <- (if key = best_key then 1. else 0.))
+        jobs)

@@ -27,3 +27,9 @@ val rates : t -> (int * int) list -> (int * float) list
     priority)] contender.  The fractions sum to 1 when [jobs] is
     non-empty (the bus is work-conserving); the empty list maps to the
     empty list. *)
+
+val rates_into : t -> (int * int) list -> float array -> unit
+(** [rates_into t jobs table] writes the same fractions as {!rates}
+    straight into [table] at each contender's key — the engine's
+    O(1)-lookup path.  Only contender entries are written; the caller
+    owns zeroing them between rounds. *)

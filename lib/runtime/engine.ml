@@ -1,6 +1,7 @@
 module Metric = Lcmm.Metric
 module Latency = Accel.Latency
 module NM = Sim.Node_model
+module EQ = Sim.Event_queue
 
 (* What a tenant resumes with after an SRAM bank loss: the degraded
    allocation and PDG from the framework's evict-and-replan pass, plus
@@ -170,8 +171,32 @@ let init_tenant index (input : tenant_input) =
 
 let run ~arbitration ~scheduler ?faults inputs =
   let tenants = Array.mapi init_tenant inputs in
+  (* Tenants whose wake-up candidates may have changed since the last
+     heap flush.  Every mutation that can move a candidate time sets the
+     owner's flag; [flush_dirty] re-pushes candidates before each
+     [next_event], so the heap always holds every live candidate. *)
+  let dirty = Array.make (Array.length tenants) true in
+  let heap = EQ.create () in
   let key_counter = ref 0 in
-  let fresh_key () = incr key_counter; !key_counter in
+  (* Per-key bandwidth state, indexed by transfer key.  Entries are only
+     non-default inside one [assign_rates] round (set, read, cleared),
+     so lookups that used to be [List.assoc_opt] are O(1). *)
+  let rate_tbl = ref (Array.make 1024 0.) in
+  let chosen_tbl = ref (Array.make 1024 false) in
+  let fresh_key () =
+    incr key_counter;
+    let k = !key_counter in
+    if k >= Array.length !rate_tbl then begin
+      let n = 2 * Array.length !rate_tbl in
+      let r = Array.make n 0. in
+      Array.blit !rate_tbl 0 r 0 (Array.length !rate_tbl);
+      rate_tbl := r;
+      let c = Array.make n false in
+      Array.blit !chosen_tbl 0 c 0 (Array.length !chosen_tbl);
+      chosen_tbl := c
+    end;
+    k
+  in
   let now = ref 0. in
   let segments = ref [] in
   let enqueue ts ~kind ~target ~load ~bytes ~deadline =
@@ -209,6 +234,7 @@ let run ~arbitration ~scheduler ?faults inputs =
             ts.stall_events <- ts.stall_events + 1
           end;
           ts.current <- Some x;
+          dirty.(ts.index) <- true;
           true
         end
         else changed)
@@ -340,6 +366,7 @@ let run ~arbitration ~scheduler ?faults inputs =
      the clock at the abort instant and finish the tenant.  Executed
      nodes keep their timings; the report surfaces the reason. *)
   let abort ts reason =
+    dirty.(ts.index) <- true;
     ts.aborted <- Some reason;
     Queue.clear ts.queue;
     ts.current <- None;
@@ -364,6 +391,7 @@ let run ~arbitration ~scheduler ?faults inputs =
       match f ~lost_bytes:ts.lost_bytes with
       | None -> abort ts "bank loss: no feasible degraded plan"
       | Some d ->
+        dirty.(ts.index) <- true;
         (* Keep only the executing node's streamed-weight transfer: the
            node started before the fault and carries its own state. *)
         let keep_stream =
@@ -475,15 +503,20 @@ let run ~arbitration ~scheduler ?faults inputs =
         eligible_jobs
     in
     let chosen = Scheduler.eligible scheduler pendings in
+    (* Membership and rate lookups go through key-indexed tables instead
+       of [List.mem]/[List.assoc_opt]; entries are cleared again at the
+       end of the round so stale keys always read as not-chosen/0. *)
+    let ctbl = !chosen_tbl in
+    List.iter (fun k -> ctbl.(k) <- true) chosen;
     let contenders =
       List.filter_map
         (fun x ->
-          if List.mem x.key chosen then
-            Some (x.key, inputs.(x.owner).priority)
+          if ctbl.(x.key) then Some (x.key, inputs.(x.owner).priority)
           else None)
         eligible_jobs
     in
-    let rates = Arbiter.rates arbitration contenders in
+    let rtbl = !rate_tbl in
+    Arbiter.rates_into arbitration contenders rtbl;
     (* A DDR droop window scales every granted rate; multiplying by the
        1.0 no-fault factor is skipped outright so the fault-free float
        path stays bit-identical. *)
@@ -494,7 +527,7 @@ let run ~arbitration ~scheduler ?faults inputs =
     in
     List.iter
       (fun x ->
-        let r = match List.assoc_opt x.key rates with Some r -> r | None -> 0. in
+        let r = rtbl.(x.key) in
         let r = if factor = 1. then r else r *. factor in
         if r <> x.rate then begin
           (* Settle the work done at the old rate before switching; a
@@ -507,15 +540,19 @@ let run ~arbitration ~scheduler ?faults inputs =
           x.rate <- r;
           x.eta <-
             (if r > 0. then (if x.work <= 0. then !now else !now +. (x.work /. r))
-             else infinity)
+             else infinity);
+          dirty.(x.owner) <- true
         end)
-      jobs
+      jobs;
+    List.iter (fun k -> ctbl.(k) <- false) chosen;
+    List.iter (fun (k, _) -> rtbl.(k) <- 0.) contenders
   in
   let complete_due () =
     Array.fold_left
       (fun changed ts ->
         match ts.current with
         | Some x when (not x.finished) && x.rate > 0. && x.eta <= !now ->
+          dirty.(ts.index) <- true;
           if x.attempt < x.fails then begin
             (* Transient failure: the attempt's bytes moved over the bus
                but the payload is bad.  Retry after a capped exponential
@@ -574,43 +611,69 @@ let run ~arbitration ~scheduler ?faults inputs =
     while !continue do
       let c = ref false in
       if fire_due_events () then c := true;
-      Array.iter (fun ts -> if progress ts then c := true) tenants;
+      Array.iter
+        (fun ts ->
+          if progress ts then begin
+            dirty.(ts.index) <- true;
+            c := true
+          end)
+        tenants;
       if start_jobs () then c := true;
       assign_rates ();
       if complete_due () then c := true;
       continue := !c
     done
   in
+  (* Wake-up candidates per tenant, exactly the times the old linear
+     scan considered.  Recomputed from current state both when pushing
+     and when validating a popped heap entry: an entry whose time no
+     longer equals a current candidate is stale and dropped. *)
+  let stage_candidate ts =
+    match ts.stage with
+    | Entering -> ts.clock
+    | Executing e -> (
+      match e.exec_stream with
+      | Some x when not x.finished -> infinity
+      | _ ->
+        let wt_component =
+          match e.exec_stream with
+          | None -> 0.
+          | Some x -> x.finished_at -. e.exec_start
+        in
+        let p = ts.profiles.(e.exec_id) in
+        let _, duration =
+          NM.duration_and_binding ~latc:p.Latency.latc ~if_time:e.exec_if
+            ~wt_component ~of_time:e.exec_of
+        in
+        e.exec_start +. duration)
+    | Awaiting _ | Finished -> infinity
+  in
+  let xfer_candidate ts =
+    match ts.current with
+    | Some x when (not x.finished) && x.rate > 0. -> x.eta
+    | Some x when (not x.finished) && x.blocked_until > !now ->
+      x.blocked_until
+    | _ -> infinity
+  in
+  (* Candidates at or before [now] are dead: they stay constant while
+     the tenant's state is unchanged and time only moves forward, so
+     skipping them matches the old scan's [t > now] filter for good. *)
+  let flush_dirty () =
+    Array.iteri
+      (fun i d ->
+        if d then begin
+          dirty.(i) <- false;
+          let ts = tenants.(i) in
+          let s = stage_candidate ts in
+          if s > !now && s < infinity then EQ.push heap ~time:s i;
+          let x = xfer_candidate ts in
+          if x > !now && x < infinity then EQ.push heap ~time:x i
+        end)
+      dirty
+  in
   let next_event () =
     let best = ref infinity in
     let consider t = if t > !now && t < !best then best := t in
-    Array.iter
-      (fun ts ->
-        (match ts.stage with
-        | Entering -> consider ts.clock
-        | Awaiting _ -> ()
-        | Executing e -> (
-          match e.exec_stream with
-          | Some x when not x.finished -> ()
-          | _ ->
-            let wt_component =
-              match e.exec_stream with
-              | None -> 0.
-              | Some x -> x.finished_at -. e.exec_start
-            in
-            let p = ts.profiles.(e.exec_id) in
-            let _, duration =
-              NM.duration_and_binding ~latc:p.Latency.latc ~if_time:e.exec_if
-                ~wt_component ~of_time:e.exec_of
-            in
-            consider (e.exec_start +. duration))
-        | Finished -> ());
-        match ts.current with
-        | Some x when (not x.finished) && x.rate > 0. -> consider x.eta
-        | Some x when (not x.finished) && x.blocked_until > !now ->
-          consider x.blocked_until
-        | _ -> ())
-      tenants;
     (match faults with
     | None -> ()
     | Some inj ->
@@ -619,6 +682,24 @@ let run ~arbitration ~scheduler ?faults inputs =
       | [] -> ());
       let boundary = Fault.Injector.next_droop_boundary inj ~now:!now in
       if boundary < infinity then consider boundary);
+    let continue = ref true in
+    while !continue do
+      match EQ.peek heap with
+      | None -> continue := false
+      | Some (t, i) ->
+        if t <= !now then EQ.drop_min heap
+        else if t >= !best then continue := false
+        else begin
+          let ts = tenants.(i) in
+          if t = stage_candidate ts || t = xfer_candidate ts then begin
+            (* Valid minimum; it becomes stale (<= now) once time
+               advances to it and is collected on a later pop. *)
+            best := t;
+            continue := false
+          end
+          else EQ.drop_min heap
+        end
+    done;
     !best
   in
   let utilization () =
@@ -626,6 +707,7 @@ let run ~arbitration ~scheduler ?faults inputs =
   in
   let guard = ref 0 in
   settle_instant ();
+  flush_dirty ();
   while not (all_finished ()) do
     incr guard;
     if !guard > 100_000_000 then failwith "Runtime.Engine: event loop stuck";
@@ -636,7 +718,8 @@ let run ~arbitration ~scheduler ?faults inputs =
     if t > !now then
       segments := { seg_start = !now; seg_end = t; utilization = util } :: !segments;
     now := t;
-    settle_instant ()
+    settle_instant ();
+    flush_dirty ()
   done;
   let runs =
     Array.map

@@ -326,7 +326,15 @@ let stats_payload t =
             ("queued", Json.Int (Pool.queued t.worker_pool));
             ("restarts", Json.Int (Pool.restarts t.worker_pool)) ] );
       ("breakers", breakers_json t);
-      ("metrics", Metrics.snapshot t.meters) ]
+      ("metrics", Metrics.snapshot t.meters);
+      (* Cumulative planner pass times (process-wide, microseconds)
+         across every plan compiled so far, cache misses included. *)
+      ( "pass_times_us",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Float v))
+             (Lcmm.Framework.pass_times_assoc
+                (Lcmm.Framework.pass_times_total ()))) ) ]
 
 (* --- request execution --- *)
 

@@ -1,0 +1,23 @@
+(** Binary min-heap of (time, tag) wake-up candidates for the
+    discrete-event engines.
+
+    Entries are pushed whenever a tag's state changes and are *not*
+    removed when they go stale; the consumer validates the minimum
+    against current state and drops invalid heads (lazy invalidation).
+    This keeps both operations O(log n) with no decrease-key. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val clear : t -> unit
+
+val push : t -> time:float -> int -> unit
+
+val peek : t -> (float * int) option
+(** Earliest entry, or [None] when empty. *)
+
+val drop_min : t -> unit
+(** Remove the earliest entry; raises [Invalid_argument] when empty. *)

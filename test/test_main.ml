@@ -9,6 +9,7 @@ let () =
       ("fpga", Test_fpga.suite);
       ("accel", Test_accel.suite);
       ("liveness", Test_liveness.suite);
+      ("interference", Test_interference.suite);
       ("metric", Test_metric.suite);
       ("prefetch", Test_prefetch.suite);
       ("dnnk", Test_dnnk.suite);
