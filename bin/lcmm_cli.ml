@@ -727,13 +727,346 @@ let check_cmd =
       const run $ log_arg $ seed_arg $ count_arg $ max_nodes_arg $ oracle_arg
       $ replay_arg $ save_dir_arg)
 
+(* --- sharded tier --- *)
+
+let rm_rf_sockets dir =
+  (* Only what the tier itself created: socket files and the (then
+     empty) socket directory. *)
+  match Sys.readdir dir with
+  | entries ->
+    Array.iter
+      (fun e ->
+        let p = Filename.concat dir e in
+        if Filename.check_suffix e ".sock" then
+          try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      entries;
+    (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let tier_socket_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lcmm-tier-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+(* Spawn [shards] copies of this very binary as `lcmm serve --socket ...`
+   children and build the router over them.  Returns the tier and a
+   cleanup closure (idempotent: kill + reap every child, remove every
+   socket file). *)
+let spawn_tier ~shards ~workers ~vnodes ~max_inflight ~cache_entries
+    ~cache_mb ~cache_dir ~deadline_ms ~router_cache_entries ~router_cache_mb
+    ~timing ~socket_dir =
+  if shards < 1 then or_die (Error "shards must be >= 1");
+  if workers < 1 then or_die (Error "workers must be >= 1");
+  let spawned = ref [] in
+  let cleanup () =
+    List.iter Lcmm_tier.Shard.stop !spawned;
+    spawned := [];
+    rm_rf_sockets socket_dir
+  in
+  let shard_of i =
+    let name = Printf.sprintf "shard-%d" i in
+    let socket = Filename.concat socket_dir (name ^ ".sock") in
+    let argv =
+      [ Sys.executable_name; "serve"; "--socket"; socket; "--workers";
+        string_of_int workers; "--cache-entries"; string_of_int cache_entries;
+        "--cache-mb"; string_of_int cache_mb ]
+      @ (match cache_dir with
+        | None -> []
+        | Some dir -> [ "--cache-dir"; Filename.concat dir name ])
+      @
+      match deadline_ms with
+      | None -> []
+      | Some ms -> [ "--deadline-ms"; string_of_float ms ]
+    in
+    match
+      Lcmm_tier.Shard.spawn ~name ~socket ~max_inflight (Array.of_list argv)
+    with
+    | Ok s ->
+      spawned := s :: !spawned;
+      s
+    | Error msg ->
+      cleanup ();
+      or_die (Error msg)
+  in
+  let shard_list = List.init shards shard_of in
+  let ring =
+    Lcmm_tier.Ring.create ~vnodes (List.map Lcmm_tier.Shard.name shard_list)
+  in
+  let tier =
+    Lcmm_tier.Tier.create ~router_cache_entries ~router_cache_mb ?deadline_ms
+      ~timing ~ring ~shards:shard_list ()
+  in
+  (tier, cleanup)
+
+let shards_arg =
+  let doc = "Number of backend shard processes." in
+  Arg.(value & opt int 2 & info [ "shards" ] ~doc)
+
+let tier_workers_arg =
+  let doc = "Worker domains per shard." in
+  Arg.(value & opt int 2 & info [ "w"; "workers" ] ~doc)
+
+let vnodes_arg =
+  let doc = "Virtual nodes per shard on the hash ring." in
+  Arg.(value & opt int 64 & info [ "vnodes" ] ~doc)
+
+let max_inflight_arg =
+  let doc =
+    "Per-shard in-flight request bound; beyond it requests are shed with a \
+     structured overloaded error."
+  in
+  Arg.(value & opt int 64 & info [ "max-inflight" ] ~doc)
+
+let tier_cmd =
+  let socket_arg =
+    let doc =
+      "Serve the tier's front on a Unix domain socket at $(docv) instead of \
+       stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+  in
+  let cache_entries_arg =
+    let doc = "Maximum plan-cache entries per shard." in
+    Arg.(value & opt int 256 & info [ "cache-entries" ] ~doc)
+  in
+  let cache_mb_arg =
+    let doc = "Maximum plan-cache payload megabytes per shard." in
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Root of the shards' disk caches: shard $(i)i gets $(docv)/shard-$(i)i."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let router_cache_entries_arg =
+    let doc = "Maximum router front-cache entries." in
+    Arg.(value & opt int 512 & info [ "router-cache-entries" ] ~doc)
+  in
+  let router_cache_mb_arg =
+    let doc = "Maximum router front-cache megabytes." in
+    Arg.(value & opt int 64 & info [ "router-cache-mb" ] ~doc)
+  in
+  let no_timing_arg =
+    let doc =
+      "Canonical responses: omit the cache and elapsed_ms fields (byte-exact \
+       with a single-process serve answering the same requests)."
+    in
+    Arg.(value & flag & info [ "no-timing" ] ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default per-request compute budget in milliseconds, injected into \
+       forwarded requests that carry none of their own."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let socket_dir_arg =
+    let doc = "Directory for the shard sockets (default: a fresh temp dir)." in
+    Arg.(value & opt (some string) None & info [ "socket-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run () shards workers vnodes max_inflight socket cache_entries cache_mb
+      cache_dir router_cache_entries router_cache_mb no_timing deadline_ms
+      socket_dir =
+    if cache_entries < 1 then or_die (Error "cache-entries must be >= 1");
+    if cache_mb < 1 then or_die (Error "cache-mb must be >= 1");
+    (match deadline_ms with
+    | Some ms when ms <= 0. -> or_die (Error "deadline-ms must be positive")
+    | _ -> ());
+    let socket_dir =
+      match socket_dir with
+      | Some dir ->
+        (try Unix.mkdir dir 0o700
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        dir
+      | None -> tier_socket_dir ()
+    in
+    let tier, cleanup =
+      spawn_tier ~shards ~workers ~vnodes ~max_inflight ~cache_entries
+        ~cache_mb ~cache_dir ~deadline_ms ~router_cache_entries
+        ~router_cache_mb ~timing:(not no_timing) ~socket_dir
+    in
+    (* The shard processes and socket files must die with the tier —
+       on EOF, on an uncaught error, and on SIGTERM/SIGINT (exit runs
+       the at_exit cleanup). *)
+    at_exit cleanup;
+    let on_signal = Sys.Signal_handle (fun _ -> exit 130) in
+    (try Sys.set_signal Sys.sigterm on_signal
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint on_signal
+     with Invalid_argument _ | Sys_error _ -> ());
+    (* A client closing our stdout mid-stream (`lcmm tier | head`) must
+       surface as a write error, not a process-killing SIGPIPE — dying
+       on the signal would skip cleanup and orphan every shard. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    let handler = Lcmm_tier.Tier.handle_line tier in
+    Fun.protect ~finally:cleanup (fun () ->
+        try
+          match socket with
+          | Some path ->
+            Lcmm_service.Server.serve_unix_socket_with handler ~path
+          | None ->
+            Lcmm_service.Server.serve_channels_with handler stdin stdout
+        with Sys_error _ ->
+          (* Broken stdout is the client hanging up: a clean shutdown. *)
+          ())
+  in
+  Cmd.v
+    (Cmd.info "tier"
+       ~doc:
+         "Run the sharded plan-compilation tier: a consistent-hash router \
+          over N supervised serve processes, with a router-side LRU, \
+          shard-local disk caches, peer cache fill between shards, per-shard \
+          circuit breakers and overload shedding.")
+    Term.(
+      const run $ log_arg $ shards_arg $ tier_workers_arg $ vnodes_arg
+      $ max_inflight_arg $ socket_arg $ cache_entries_arg $ cache_mb_arg
+      $ cache_dir_arg $ router_cache_entries_arg $ router_cache_mb_arg
+      $ no_timing_arg $ deadline_arg $ socket_dir_arg)
+
+let bench_serve_cmd =
+  let shard_counts_arg =
+    let doc = "Comma-separated shard counts to bench (e.g. 1,2,4)." in
+    Arg.(value & opt string "1,2,4" & info [ "shard-counts" ] ~doc)
+  in
+  let rps_arg =
+    let doc = "Offered request rate of the measured run." in
+    Arg.(value & opt float 200. & info [ "rps" ] ~doc)
+  in
+  let duration_arg =
+    let doc = "Seconds per load step." in
+    Arg.(value & opt float 2. & info [ "duration" ] ~doc)
+  in
+  let slo_arg =
+    let doc = "p99 latency SLO in milliseconds (gates slo_pass)." in
+    Arg.(value & opt float 250. & info [ "slo-p99-ms" ] ~doc)
+  in
+  let threads_arg =
+    let doc = "Load-generator sender threads." in
+    Arg.(value & opt int 8 & info [ "threads" ] ~doc)
+  in
+  let sat_steps_arg =
+    let doc = "Maximum rate doublings in the saturation search." in
+    Arg.(value & opt int 4 & info [ "sat-steps" ] ~doc)
+  in
+  let mix_models_arg =
+    let doc = "Zoo models in the request mix (smallest first)." in
+    Arg.(value & opt int 4 & info [ "mix-models" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the report to $(docv)." in
+    Arg.(value & opt string "BENCH_serve.json" & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run () shard_counts workers rps duration slo_p99_ms threads sat_steps
+      mix_models json_path =
+    let counts =
+      String.split_on_char ',' shard_counts
+      |> List.filter_map (fun s ->
+             let s = String.trim s in
+             if s = "" then None else Some s)
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some n when n >= 1 -> n
+             | _ -> or_die (Error (Printf.sprintf "bad shard count %S" s)))
+    in
+    if counts = [] then or_die (Error "no shard counts given");
+    if rps <= 0. then or_die (Error "rps must be positive");
+    if duration <= 0. then or_die (Error "duration must be positive");
+    let mix = Lcmm_tier.Loadgen.zoo_mix ~models:mix_models () in
+    let bench_tier n =
+      Printf.eprintf "bench serve: %d shard(s)...\n%!" n;
+      let socket_dir = tier_socket_dir () in
+      let tier, cleanup =
+        spawn_tier ~shards:n ~workers ~vnodes:64 ~max_inflight:64
+          ~cache_entries:256 ~cache_mb:64 ~cache_dir:None ~deadline_ms:None
+          ~router_cache_entries:512 ~router_cache_mb:64 ~timing:false
+          ~socket_dir
+      in
+      Fun.protect ~finally:cleanup (fun () ->
+          let handler = Lcmm_tier.Tier.handle_line tier in
+          (* Warm every plan once so the measured run exercises the
+             serving path, not first-compile cost. *)
+          List.iter (fun line -> ignore (handler line)) mix;
+          let measured =
+            Lcmm_tier.Loadgen.run ~handler ~mix ~rps ~duration_s:duration
+              ~threads ()
+          in
+          let saturation_rps, steps =
+            Lcmm_tier.Loadgen.find_saturation ~handler ~mix ~start_rps:rps
+              ~duration_s:duration ~slo_p99_ms ~threads ~max_steps:sat_steps
+              ()
+          in
+          Printf.eprintf
+            "  %d shard(s): p50 %.2f ms  p99 %.2f ms  p999 %.2f ms  \
+             saturation %.0f rps\n%!"
+            n measured.Lcmm_tier.Loadgen.p50_ms
+            measured.Lcmm_tier.Loadgen.p99_ms
+            measured.Lcmm_tier.Loadgen.p999_ms saturation_rps;
+          (n, measured, saturation_rps, steps))
+    in
+    let tiers = List.map bench_tier counts in
+    let slo_pass =
+      List.for_all
+        (fun (_, m, _, _) -> m.Lcmm_tier.Loadgen.p99_ms <= slo_p99_ms)
+        tiers
+    in
+    let module Json = Dnn_serial.Json in
+    let doc =
+      Json.Obj
+        [ ("experiment", Json.String "serve");
+          ("slo_p99_ms", Json.Float slo_p99_ms);
+          ("mix_requests", Json.Int (List.length mix));
+          ( "tiers",
+            Json.List
+              (List.map
+                 (fun (n, m, saturation_rps, steps) ->
+                   Json.Obj
+                     [ ("shards", Json.Int n);
+                       ("measured", Lcmm_tier.Loadgen.result_to_json m);
+                       ("saturation_rps", Json.Float saturation_rps);
+                       ( "ladder",
+                         Json.List
+                           (List.map Lcmm_tier.Loadgen.result_to_json steps)
+                       ) ])
+                 tiers) );
+          ("slo_pass", Json.Bool slo_pass) ]
+    in
+    let oc = open_out json_path in
+    output_string oc (Json.to_string ~indent:2 doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s (slo_pass: %b)\n" json_path slo_pass
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-loop load benchmark of the sharded tier: drive a zoo-sampled \
+          request mix at a configured RPS against each shard count, report \
+          p50/p99/p999 latency and the saturation RPS ladder to a JSON file \
+          with a p99 SLO verdict.")
+    Term.(
+      const run $ log_arg $ shard_counts_arg $ tier_workers_arg $ rps_arg
+      $ duration_arg $ slo_arg $ threads_arg $ sat_steps_arg $ mix_models_arg
+      $ json_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Load benchmarks against the serving stack.")
+    [ bench_serve_cmd ]
+
 let () =
   let info = Cmd.info "lcmm" ~doc:"Layer-conscious memory management for FPGA DNN accelerators" in
   let group =
     Cmd.group info
       [ models_cmd; summary_cmd; roofline_cmd; allocate_cmd; plan_cmd; simulate_cmd;
         compare_cmd; dot_cmd; export_cmd; info_cmd; schedule_cmd; trace_cmd;
-        traffic_cmd; sensitivity_cmd; runtime_cmd; serve_cmd; check_cmd ]
+        traffic_cmd; sensitivity_cmd; runtime_cmd; serve_cmd; tier_cmd;
+        bench_cmd; check_cmd ]
   in
   (* One-line diagnostics instead of cmdliner's uncaught-exception dump:
      whatever escapes a subcommand (I/O errors, invalid arguments deep in

@@ -82,6 +82,71 @@ grep -q '"plans_per_sec"' "$out"
 awk -F': ' '/"icd_speedup_1k"/ { exit ($2 + 0 >= 5.0) ? 0 : 1 }' "$out"
 echo "wrote $out"
 
+echo "== tier-2: sharded tier vs single-process serve (byte-exact) =="
+# One compile per zoo model; with timing off every response is a pure
+# function of its request, so a 2-shard tier must answer byte-for-byte
+# what one serve process answers.
+reqs=_build/tier_requests.ndjson
+dune exec bin/lcmm_cli.exe -- models 2>/dev/null | awk \
+  '{ printf "{\"op\":\"compile\",\"model\":\"%s\",\"dtype\":\"i16\"}\n", $1 }' \
+  > "$reqs"
+dune exec bin/lcmm_cli.exe -- serve --no-timing < "$reqs" \
+  > _build/tier_serve_ref.ndjson 2> /dev/null
+dune exec bin/lcmm_cli.exe -- tier --shards 2 --no-timing < "$reqs" \
+  > _build/tier_fresh.ndjson 2> /dev/null
+cmp _build/tier_serve_ref.ndjson _build/tier_fresh.ndjson
+
+echo "== tier-2: peer cache fill across a reshard =="
+# Warm a 1-shard tier's disk cache, then serve the same workload from a
+# 2-shard tier over the same cache root: digests now owned by the new
+# shard miss locally and must be filled from the warm sibling's cache —
+# no plan is ever compiled twice.
+cache_root=_build/tier_cache
+rm -rf "$cache_root"
+dune exec bin/lcmm_cli.exe -- tier --shards 1 --cache-dir "$cache_root" \
+  --no-timing < "$reqs" > /dev/null 2> /dev/null
+{ cat "$reqs"; echo '{"op":"stats"}'; } \
+  | dune exec bin/lcmm_cli.exe -- tier --shards 2 --cache-dir "$cache_root" \
+      --no-timing > _build/tier_warm.ndjson 2> /dev/null
+# The warm answers (served from disk and peer fills) must still be
+# byte-identical to the single-process reference, whichever shard
+# answered each digest.
+head -n "$(wc -l < "$reqs")" _build/tier_warm.ndjson \
+  | cmp - _build/tier_serve_ref.ndjson
+# And the tier counters must show the fill actually happened.
+tail -n 1 _build/tier_warm.ndjson | grep -q '"computes":0'
+tail -n 1 _build/tier_warm.ndjson \
+  | awk -F'"peer_fills":' '{ exit (($2 + 0) >= 1) ? 0 : 1 }'
+
+echo "== tier-2: tier socket cleanup on SIGTERM =="
+tier_sockdir=_build/tier_sockets
+rm -rf "$tier_sockdir"
+dune exec bin/lcmm_cli.exe -- tier --shards 2 --socket _build/tier_front.sock \
+  --socket-dir "$tier_sockdir" 2> /dev/null &
+tier_pid=$!
+i=0
+while [ ! -S _build/tier_front.sock ] && [ "$i" -lt 200 ]; do
+  sleep 0.05; i=$((i + 1))
+done
+[ -S _build/tier_front.sock ]
+kill -TERM "$tier_pid"
+wait "$tier_pid" || true
+# The front socket, every shard socket and every shard process are gone.
+[ ! -e _build/tier_front.sock ]
+if ls "$tier_sockdir"/*.sock > /dev/null 2>&1; then
+  echo "leaked shard sockets"; exit 1
+fi
+
+echo "== tier-2: serve load benchmark --json + p99 SLO gate =="
+out=BENCH_serve.json
+dune exec bin/lcmm_cli.exe -- bench serve --shard-counts 1,2,4 \
+  --rps 100 --duration 1 --sat-steps 3 --json "$out" 2> /dev/null > /dev/null
+grep -q '"experiment": "serve"' "$out"
+grep -q '"p999_ms"' "$out"
+grep -q '"saturation_rps"' "$out"
+grep -q '"slo_pass": true' "$out"
+echo "wrote $out"
+
 echo "== tier-2: plan/runtime bit-exactness vs committed goldens =="
 # The optimized pipeline must keep producing byte-identical output: the
 # whole-zoo plan summaries and a single-tenant runtime report are

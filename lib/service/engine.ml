@@ -345,6 +345,57 @@ let cacheable_digest (spec : P.compile_spec) ~extra g =
   Cache_key.request_digest ~extra ~dtype:spec.P.dtype ~device:spec.P.device
     ~options:spec.P.options g
 
+let compile_digest spec g = cacheable_digest spec ~extra:[ "compile" ] g
+
+let simulate_digest spec ~images g =
+  let extra =
+    [ "simulate";
+      (match images with None -> "single" | Some n -> string_of_int n) ]
+  in
+  cacheable_digest spec ~extra g
+
+let run_request_digest (spec : P.run_spec) tagged_graphs =
+  let extra =
+    [ "run";
+      Lcmm_runtime.Arbiter.to_string spec.P.arbitration;
+      Lcmm_runtime.Scheduler.to_string spec.P.scheduler;
+      Lcmm_runtime.Partition.to_string spec.P.sram_partition;
+      Printf.sprintf "%.17g" spec.P.overcommit ]
+    @
+    (* The fault spec changes the payload, so it must change the
+       digest; its absence keeps the fault-free digest as-is. *)
+    (match spec.P.faults with
+    | None -> []
+    | Some f -> [ "faults:" ^ Fault.Spec.to_string f ])
+  in
+  Cache_key.run_digest ~extra ~dtype:spec.P.run_dtype
+    ~device:spec.P.run_device ~options:spec.P.run_options tagged_graphs
+
+(* The digest a request would cache under, computed without running it.
+   The tier router keys its hash ring and front cache on this — it must
+   agree exactly with what [handle_leaf] files the payload under, which
+   is why both go through the helpers above.  [Ok None] marks requests
+   with no stable identity (batch, stats, models): those bypass the
+   cache tiers and route by other means. *)
+let route_digest (request : P.request) =
+  try
+    match request with
+    | P.Compile spec -> (
+      match resolve_graph spec with
+      | Error msg -> Error msg
+      | Ok g -> Ok (Some (compile_digest spec g)))
+    | P.Simulate (spec, images) -> (
+      match resolve_graph spec with
+      | Error msg -> Error msg
+      | Ok g -> Ok (Some (simulate_digest spec ~images g)))
+    | P.Run spec -> (
+      match resolve_tenants spec with
+      | Error msg -> Error msg
+      | Ok (_, tagged_graphs) -> Ok (Some (run_request_digest spec tagged_graphs)))
+    | P.Cache_get digest | P.Cache_put (digest, _) -> Ok (Some digest)
+    | P.Batch _ | P.Stats | P.Models -> Ok None
+  with e -> Error ("internal: " ^ Printexc.to_string e)
+
 let through_cache t ~digest compute =
   match Plan_cache.find t.plan_cache digest with
   | Some payload -> (Hit, Ok payload)
@@ -372,45 +423,34 @@ let handle_leaf t (env : P.envelope) =
       | P.Batch _ -> (Uncached, Error "nested batch requests are not supported")
       | P.Stats -> (Uncached, Ok (stats_payload t))
       | P.Models -> (Uncached, Ok (models_payload ()))
+      (* Direct cache access for the tier's peer-fill path: a probe
+         answers from this process's cache only (no compute), a put
+         seeds it with a payload compiled elsewhere. *)
+      | P.Cache_get digest -> (
+        match Plan_cache.find t.plan_cache digest with
+        | Some payload -> (Hit, Ok payload)
+        | None -> (Uncached, Error (Printf.sprintf "not cached: %s" digest)))
+      | P.Cache_put (digest, payload) ->
+        Plan_cache.put t.plan_cache digest payload;
+        (Uncached, Ok (Json.Obj [ ("stored", Json.Bool true) ]))
       | P.Compile spec -> (
         match resolve_graph spec with
         | Error msg -> (Uncached, Error msg)
         | Ok g ->
-          let digest = cacheable_digest spec ~extra:[ "compile" ] g in
+          let digest = compile_digest spec g in
           through_cache t ~digest (fun () -> compile_payload spec ~digest g))
       | P.Simulate (spec, images) -> (
         match resolve_graph spec with
         | Error msg -> (Uncached, Error msg)
         | Ok g ->
-          let extra =
-            [ "simulate";
-              (match images with None -> "single" | Some n -> string_of_int n) ]
-          in
-          let digest = cacheable_digest spec ~extra g in
+          let digest = simulate_digest spec ~images g in
           through_cache t ~digest (fun () ->
               simulate_payload spec ~digest ~images g))
       | P.Run spec -> (
         match resolve_tenants spec with
         | Error msg -> (Uncached, Error msg)
         | Ok (specs, tagged_graphs) ->
-          let extra =
-            [ "run";
-              Lcmm_runtime.Arbiter.to_string spec.P.arbitration;
-              Lcmm_runtime.Scheduler.to_string spec.P.scheduler;
-              Lcmm_runtime.Partition.to_string spec.P.sram_partition;
-              Printf.sprintf "%.17g" spec.P.overcommit ]
-            @
-            (* The fault spec changes the payload, so it must change the
-               digest; its absence keeps the fault-free digest as-is. *)
-            (match spec.P.faults with
-            | None -> []
-            | Some f -> [ "faults:" ^ Fault.Spec.to_string f ])
-          in
-          let digest =
-            Cache_key.run_digest ~extra ~dtype:spec.P.run_dtype
-              ~device:spec.P.run_device ~options:spec.P.run_options
-              tagged_graphs
-          in
+          let digest = run_request_digest spec tagged_graphs in
           through_cache t ~digest (fun () -> run_payload spec ~digest specs))
     with e -> (Uncached, Error ("internal: " ^ Printexc.to_string e))
   in
@@ -423,6 +463,7 @@ let handle_leaf t (env : P.envelope) =
           " " ^ P.target_name spec.P.target
         | P.Run spec ->
           Printf.sprintf " %d tenant spec(s)" (List.length spec.P.tenants)
+        | P.Cache_get digest | P.Cache_put (digest, _) -> " " ^ digest
         | P.Batch _ | P.Stats | P.Models -> "")
         (match cache_status, outcome with
         | Hit, _ -> "hit"
@@ -460,7 +501,7 @@ let shed_response t (env : P.envelope) msg =
 let breaker_guarded (env : P.envelope) =
   match env.P.request with
   | P.Compile _ | P.Simulate _ | P.Run _ -> true
-  | P.Batch _ | P.Stats | P.Models -> false
+  | P.Batch _ | P.Stats | P.Models | P.Cache_get _ | P.Cache_put _ -> false
 
 let handle t (env : P.envelope) =
   let deadline_ms =
@@ -555,7 +596,10 @@ let handle t (env : P.envelope) =
             (timeout_response t env
                ~elapsed_s:(Unix.gettimeofday () -. t0)
                ~ms))))
-  | P.Stats | P.Models -> handle_leaf t env
+  (* Cache probes and seeds are cheap table lookups; like stats they run
+     on the caller thread and bypass breakers and deadlines, so peer
+     fill keeps working while a shard's compute path is tripped. *)
+  | P.Stats | P.Models | P.Cache_get _ | P.Cache_put _ -> handle_leaf t env
 
 (* The machine-readable error class, derived from the message's stable
    prefix: client errors (unknown model, bad field) carry no kind and
@@ -566,6 +610,7 @@ let error_kind msg =
     Some "deadline"
   else if String.starts_with ~prefix:"unavailable: " msg then
     Some "unavailable"
+  else if String.starts_with ~prefix:"overloaded" msg then Some "overloaded"
   else None
 
 let rec response_to_json ?(timing = true) r =

@@ -56,6 +56,19 @@ val response_to_json : ?timing:bool -> response -> Dnn_serial.Json.t
     rendering a pure function of the request — the canonical form the
     determinism tests and reproducible transcripts compare. *)
 
+val route_digest : Protocol.request -> (string option, string) result
+(** The digest the request would cache under, computed without running
+    it — exactly the key {!handle} files the payload under, so a router
+    may use it for consistent hashing and front-cache lookups.
+    [Ok None] for requests with no stable identity ([batch], [stats],
+    [models]); [Error] when the request itself is unresolvable (unknown
+    model, bad graph). *)
+
+val error_kind : string -> string option
+(** The machine-readable error class derived from a message's stable
+    prefix (["internal"], ["deadline"], ["unavailable"],
+    ["overloaded"]), or [None] for plain client errors. *)
+
 val max_line_bytes : int
 (** Largest accepted request line (8 MiB); longer lines are rejected
     without being parsed. *)

@@ -38,6 +38,8 @@ type request =
   | Batch of envelope list
   | Stats
   | Models
+  | Cache_get of string
+  | Cache_put of string * Json.t
 
 and envelope = {
   id : Json.t option;
@@ -56,6 +58,8 @@ let op_name = function
   | Batch _ -> "batch"
   | Stats -> "stats"
   | Models -> "models"
+  | Cache_get _ -> "cache_get"
+  | Cache_put _ -> "cache_put"
 
 let ( let* ) = Result.bind
 
@@ -194,14 +198,25 @@ let run_tenant_of_json v =
       | Ok p -> Ok p
       | Error _ -> Error "field \"priority\": expected an integer")
   in
+  (* [arrival_s] (seconds, verbatim) wins over [arrival_ms] when both
+     are present: re-encoded requests carry the seconds field so the
+     value — and thus the run digest — survives an encode/decode
+     round-trip exactly, without a ms->s division. *)
   let* arrival_s =
-    match Json.member_opt "arrival_ms" v with
-    | None -> Ok 0.
+    match Json.member_opt "arrival_s" v with
     | Some field -> (
       match Json.to_float field with
-      | Ok ms when ms >= 0. -> Ok (ms /. 1e3)
-      | Ok _ -> Error "field \"arrival_ms\": expected a non-negative number"
-      | Error _ -> Error "field \"arrival_ms\": expected a number")
+      | Ok s when s >= 0. -> Ok s
+      | Ok _ -> Error "field \"arrival_s\": expected a non-negative number"
+      | Error _ -> Error "field \"arrival_s\": expected a number")
+    | None -> (
+      match Json.member_opt "arrival_ms" v with
+      | None -> Ok 0.
+      | Some field -> (
+        match Json.to_float field with
+        | Ok ms when ms >= 0. -> Ok (ms /. 1e3)
+        | Ok _ -> Error "field \"arrival_ms\": expected a non-negative number"
+        | Error _ -> Error "field \"arrival_ms\": expected a number"))
   in
   Ok { tenant_target; count; tenant_priority; arrival_s }
 
@@ -260,6 +275,19 @@ let run_spec_of_json v =
     { tenants; run_dtype; run_device; arbitration; scheduler; sram_partition;
       overcommit; run_options; faults }
 
+(* Digests name plan-cache entries (and, persisted, files): only the hex
+   strings we mint are accepted, so nothing else ever reaches a lookup
+   path. *)
+let digest_of_json v =
+  let* field = Json.member "digest" v in
+  match Json.to_str field with
+  | Error _ -> Error "field \"digest\": expected a string"
+  | Ok s ->
+    if s <> "" && String.length s <= 128
+       && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+    then Ok s
+    else Error "field \"digest\": expected a lowercase hex digest"
+
 let rec request_of_json v =
   let* op_v = Json.member "op" v in
   let* op = Json.to_str op_v in
@@ -303,17 +331,26 @@ let rec request_of_json v =
             let* sub = request_of_json item in
             match sub.request with
             | Batch _ -> Error "nested batch requests are not supported"
-            | Compile _ | Simulate _ | Run _ | Stats | Models ->
+            | Compile _ | Simulate _ | Run _ | Stats | Models | Cache_get _
+            | Cache_put _ ->
               Ok (sub :: acc))
           (Ok []) items
       in
       Ok (Batch (List.rev subs))
     | "stats" -> Ok Stats
     | "models" -> Ok Models
+    | "cache_get" ->
+      let* digest = digest_of_json v in
+      Ok (Cache_get digest)
+    | "cache_put" ->
+      let* digest = digest_of_json v in
+      let* payload = Json.member "payload" v in
+      Ok (Cache_put (digest, payload))
     | other ->
       Error
         (Printf.sprintf
-           "unknown op %S (known: compile simulate run batch stats models)"
+           "unknown op %S (known: compile simulate run batch stats models \
+            cache_get cache_put)"
            other)
   in
   Ok { id; deadline_ms; request }
@@ -322,7 +359,7 @@ let request_of_line line =
   let* v = Json.of_string line in
   request_of_json v
 
-(* --- encoding (transcripts, debugging) --- *)
+(* --- encoding (forwarding, transcripts, debugging) --- *)
 
 let options_to_json (o : F.options) =
   Json.Obj
@@ -346,3 +383,65 @@ let options_to_json (o : F.options) =
         | None -> Json.Null
         | Some b -> Json.Int b );
       ("weight_slices", Json.Int o.F.weight_slices) ]
+
+(* The inverse of [request_of_json], used by the tier router to forward
+   a parsed envelope to a backend shard.  The encoding must round-trip
+   *exactly* — [request_of_line (to_string (envelope_to_json env))]
+   yields an envelope with the same cache digest — or a shard would file
+   the plan under a different key than the router probes for.  That is
+   why tenant arrivals are emitted as the verbatim-seconds [arrival_s]
+   field rather than re-derived milliseconds. *)
+
+let target_fields = function
+  | Named name -> [ ("model", Json.String name) ]
+  | Inline g -> [ ("graph", Dnn_serial.Codec.graph_to_json g) ]
+
+let compile_spec_fields (spec : compile_spec) =
+  target_fields spec.target
+  @ [ ("dtype", Json.String (Tensor.Dtype.to_string spec.dtype));
+      ("device", Json.String spec.device.Fpga.Device.device_name);
+      ("options", options_to_json spec.options) ]
+
+let run_tenant_to_json (tn : run_tenant) =
+  Json.Obj
+    (target_fields tn.tenant_target
+    @ [ ("count", Json.Int tn.count);
+        ("priority", Json.Int tn.tenant_priority);
+        ("arrival_s", Json.Float tn.arrival_s) ])
+
+let run_spec_fields (spec : run_spec) =
+  [ ("tenants", Json.List (List.map run_tenant_to_json spec.tenants));
+    ("dtype", Json.String (Tensor.Dtype.to_string spec.run_dtype));
+    ("device", Json.String spec.run_device.Fpga.Device.device_name);
+    ("options", options_to_json spec.run_options);
+    ("arbitration", Json.String (Lcmm_runtime.Arbiter.to_string spec.arbitration));
+    ("scheduler", Json.String (Lcmm_runtime.Scheduler.to_string spec.scheduler));
+    ("partition", Json.String (Lcmm_runtime.Partition.to_string spec.sram_partition));
+    ("overcommit", Json.Float spec.overcommit) ]
+  @
+  match spec.faults with
+  | None -> []
+  | Some f -> [ ("faults", Json.String (Fault.Spec.to_string f)) ]
+
+let rec envelope_to_json (env : envelope) =
+  let body =
+    match env.request with
+    | Compile spec -> compile_spec_fields spec
+    | Simulate (spec, images) ->
+      compile_spec_fields spec
+      @ (match images with None -> [] | Some n -> [ ("images", Json.Int n) ])
+    | Run spec -> run_spec_fields spec
+    | Batch subs ->
+      [ ("requests", Json.List (List.map envelope_to_json subs)) ]
+    | Stats | Models -> []
+    | Cache_get digest -> [ ("digest", Json.String digest) ]
+    | Cache_put (digest, payload) ->
+      [ ("digest", Json.String digest); ("payload", payload) ]
+  in
+  Json.Obj
+    (( ("op", Json.String (op_name env.request))
+     :: (match env.id with None -> [] | Some id -> [ ("id", id) ]) )
+    @ (match env.deadline_ms with
+      | None -> []
+      | Some ms -> [ ("deadline_ms", Json.Float ms) ])
+    @ body)

@@ -7,7 +7,7 @@
     request   := { "op": op, "id"?: json, "deadline_ms"?: number > 0,
                    ...op-fields }
     op        := "compile" | "simulate" | "run" | "batch" | "stats"
-               | "models"
+               | "models" | "cache_get" | "cache_put"
     compile   := target, "dtype"?: "i8"|"i16"|"f32",
                  "device"?: name, "options"?: options
     simulate  := compile-fields, "images"?: int >= 1
@@ -18,8 +18,10 @@
                  "overcommit"?: number > 0,
                  "faults"?: fault-spec string ({!Fault.Spec.of_string})
     tenant    := target, "count"?: int >= 1, "priority"?: int,
-                 "arrival_ms"?: number >= 0
+                 "arrival_s"?: number >= 0  |  "arrival_ms"?: number >= 0
     batch     := "requests": [ request* ]     (no nested batches)
+    cache_get := "digest": lowercase-hex     (plan-cache probe)
+    cache_put := "digest": lowercase-hex, "payload": json
     target    := "model": zoo-name  |  "graph": codec-document
     options   := { "feature_reuse"?, "weight_prefetch"?,
                    "buffer_splitting"?, "buffer_sharing"?,
@@ -73,6 +75,13 @@ type request =
   | Batch of envelope list
   | Stats
   | Models
+  | Cache_get of string
+      (** Probe the shard-local plan cache by digest; answers with the
+          cached payload or a ["not cached: <digest>"] error.  Used by
+          the tier router's peer-fill path. *)
+  | Cache_put of string * Dnn_serial.Json.t
+      (** Seed the shard-local plan cache with a payload computed
+          elsewhere (the other half of peer fill). *)
 
 and envelope = {
   id : Dnn_serial.Json.t option;  (** Echoed verbatim in the response. *)
@@ -95,3 +104,9 @@ val request_of_line : string -> (envelope, string) result
 val options_to_json : Lcmm.Framework.options -> Dnn_serial.Json.t
 (** Inverse of the [options] grammar above, for transcripts and
     debugging; [request_of_json] accepts its output. *)
+
+val envelope_to_json : envelope -> Dnn_serial.Json.t
+(** Inverse of {!request_of_json}, used by the tier router to forward a
+    parsed envelope to a backend shard.  The round-trip is exact: the
+    re-parsed envelope computes the same cache digests as the original
+    (tenant arrivals travel as the verbatim [arrival_s] field). *)

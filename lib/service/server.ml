@@ -2,35 +2,47 @@ let src = Logs.Src.create "lcmm.service.server" ~doc:"Plan service transport"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let serve_channels ?timing engine ic oc =
+(* All serve loops are handler-based underneath: the engine variants
+   close over [Engine.handle_line], and the tier router reuses the same
+   transport with its own line handler. *)
+
+let serve_lines handler ic oc =
   let rec loop () =
     match Dnn_serial.Wire.read_request ic with
     | Ok None -> ()
     | Error msg -> Log.warn (fun m -> m "input error: %s" msg)
     | Ok (Some line) ->
-      output_string oc (Engine.handle_line ?timing engine line);
+      output_string oc (handler line);
       flush oc;
       loop ()
   in
   loop ()
+
+let serve_channels_with handler ic oc = serve_lines handler ic oc
+
+let serve_channels ?timing engine ic oc =
+  serve_lines (Engine.handle_line ?timing engine) ic oc
 
 let serve_stdio ?timing engine = serve_channels ?timing engine stdin stdout
 
 (* [accept] is where a signal lands while the server sleeps; EINTR there
    must restart the wait, not kill the listener. *)
 let rec accept_retry sock =
-  match Unix.accept sock with
+  match Unix.accept ~cloexec:true sock with
   | conn -> conn
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry sock
 
-let serve_unix_socket ?timing engine ~path =
+let serve_unix_socket_with handler ~path =
   (* A client vanishing mid-response must surface as a write error on
      that connection, not as a process-killing SIGPIPE.  (No-op on
      platforms without the signal.) *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   if Sys.file_exists path then Unix.unlink path;
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* Every socket is close-on-exec: the tier router forks shard
+     processes from connection threads, and an inherited connection FD
+     would hold the peer open long after this process closes it. *)
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 16;
   at_exit (fun () -> try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -38,17 +50,31 @@ let serve_unix_socket ?timing engine ~path =
   let rec accept_loop () =
     let conn, _ = accept_retry sock in
     Log.info (fun m -> m "connection accepted");
-    let ic = Unix.in_channel_of_descr conn in
-    let oc = Unix.out_channel_of_descr conn in
-    (* One connection dying — mid-read or mid-write (EPIPE/ECONNRESET
-       surface as Sys_error or Unix_error from the channel layer) —
-       never takes the accept loop down with it. *)
-    (try serve_channels ?timing engine ic oc with
-    | Sys_error msg -> Log.warn (fun m -> m "connection error: %s" msg)
-    | Unix.Unix_error (err, fn, _) ->
-      Log.warn (fun m -> m "connection error: %s in %s" (Unix.error_message err) fn));
-    (try Unix.close conn with Unix.Unix_error _ -> ());
-    Log.info (fun m -> m "connection closed");
+    (* One thread per connection, so a long-lived router connection and
+       a peer-fill probe from a sibling shard overlap instead of
+       queueing behind each other.  The engine underneath is
+       thread-safe (cache, pool and metrics are all mutexed). *)
+    let (_ : Thread.t) =
+      Thread.create
+        (fun conn ->
+          let ic = Unix.in_channel_of_descr conn in
+          let oc = Unix.out_channel_of_descr conn in
+          (* One connection dying — mid-read or mid-write
+             (EPIPE/ECONNRESET surface as Sys_error or Unix_error from
+             the channel layer) — never takes its thread down noisily,
+             and never the accept loop at all. *)
+          (try serve_lines handler ic oc with
+          | Sys_error msg -> Log.warn (fun m -> m "connection error: %s" msg)
+          | Unix.Unix_error (err, fn, _) ->
+            Log.warn (fun m ->
+                m "connection error: %s in %s" (Unix.error_message err) fn));
+          (try Unix.close conn with Unix.Unix_error _ -> ());
+          Log.info (fun m -> m "connection closed"))
+        conn
+    in
     accept_loop ()
   in
   accept_loop ()
+
+let serve_unix_socket ?timing engine ~path =
+  serve_unix_socket_with (Engine.handle_line ?timing engine) ~path

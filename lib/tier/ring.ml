@@ -1,0 +1,83 @@
+(* Consistent hashing with virtual nodes.  Each shard contributes
+   [vnodes] points on a 62-bit circle; a key routes to the shard owning
+   the first point at or after the key's own hash (wrapping).  With
+   enough virtual nodes per shard the arc lengths even out, so load
+   balances within a few percent, and adding or removing one shard only
+   moves the keys whose arcs that shard's points covered — about 1/N of
+   the keyspace — instead of reshuffling everything (the classic
+   [hash mod N] failure mode). *)
+
+type t = {
+  names : string array;  (* distinct shard names, sorted *)
+  points : (int * int) array;  (* (hash, index into names), sorted *)
+  vnodes : int;
+}
+
+(* First 8 bytes of the MD5, big-endian, masked positive: deterministic
+   across runs and processes (no [Hashtbl.hash], whose value is not a
+   stable contract). *)
+let point_hash s =
+  let d = Digest.string s in
+  let h = ref 0 in
+  for i = 0 to 7 do
+    h := (!h lsl 8) lor Char.code d.[i]
+  done;
+  !h land max_int
+
+let create ?(vnodes = 64) names =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let names =
+    let sorted = List.sort_uniq String.compare names in
+    if sorted = [] then invalid_arg "Ring.create: no shards";
+    if List.length sorted <> List.length names then
+      invalid_arg "Ring.create: duplicate shard names";
+    Array.of_list sorted
+  in
+  let points =
+    Array.init
+      (Array.length names * vnodes)
+      (fun i ->
+        let shard = i / vnodes and replica = i mod vnodes in
+        (point_hash (Printf.sprintf "%s\x00%d" names.(shard) replica), shard))
+  in
+  (* Tie-break equal hashes by shard index so the ring order is a pure
+     function of the member set. *)
+  Array.sort compare points;
+  { names; points; vnodes }
+
+let shards t = Array.to_list t.names
+
+let vnodes t = t.vnodes
+
+(* Index of the first point with hash >= h, wrapping to 0 past the
+   end. *)
+let successor_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t key =
+  let i = successor_index t (point_hash key) in
+  t.names.(snd t.points.(i))
+
+let successors t key =
+  let n = Array.length t.points in
+  let start = successor_index t (point_hash key) in
+  let seen = Array.make (Array.length t.names) false in
+  let out = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < Array.length t.names && !i < n do
+    let shard = snd t.points.((start + !i) mod n) in
+    if not seen.(shard) then begin
+      seen.(shard) <- true;
+      out := t.names.(shard) :: !out;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !out

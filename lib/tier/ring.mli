@@ -1,0 +1,27 @@
+(** Consistent-hash ring with virtual nodes.
+
+    The router hashes each request's cache digest onto the ring to pick
+    its owner shard, so the same digest always lands on the same shard
+    (maximising that shard's cache hit rate) and membership changes only
+    remap ~1/N of the keyspace.  Hashing is MD5-based and deterministic
+    across runs and processes. *)
+
+type t
+
+val create : ?vnodes:int -> string list -> t
+(** A ring over the given shard names, [vnodes] points each (default
+    64).  Raises [Invalid_argument] on an empty or duplicated name list
+    or [vnodes < 1]. *)
+
+val shards : t -> string list
+(** Member names, sorted. *)
+
+val vnodes : t -> int
+
+val lookup : t -> string -> string
+(** The shard owning [key]. *)
+
+val successors : t -> string -> string list
+(** All shards in ring order starting from [key]'s owner, each listed
+    once — the owner first, then the fallback order for routing around
+    an unhealthy shard. *)

@@ -1,0 +1,59 @@
+(** One backend shard as the router sees it: a supervised worker
+    process (or in-process handler) behind an in-flight gate and a
+    transport circuit breaker.
+
+    Process shards speak the NDJSON protocol over a Unix socket.  The
+    supervisor owns the child's whole lifecycle: it spawns it with
+    stdio detached (stdout must not pollute the tier's own protocol
+    stream), reaps and respawns it in place when it dies, and on
+    {!stop} terminates it (SIGTERM, then SIGKILL after a 2 s grace
+    window), reaps it and removes the socket file — no leaked sockets
+    or orphan processes survive the tier. *)
+
+type t
+
+type error =
+  | Overloaded of string
+      (** Shed without an attempt: the shard already has [max_inflight]
+          calls in flight. *)
+  | Unavailable of string
+      (** Shed without an attempt: the shard's circuit is open after
+          repeated transport failures. *)
+  | Transport of string
+      (** The call was attempted (twice — one retry on a fresh
+          connection) and failed. *)
+
+val error_message : error -> string
+
+val local : name:string -> ?max_inflight:int -> (string -> string) -> t
+(** An in-process shard over a line handler (tests, single-process
+    tiers).  [max_inflight] defaults to 64. *)
+
+val spawn :
+  name:string -> socket:string -> ?max_inflight:int -> string array ->
+  (t, string) result
+(** [spawn ~name ~socket argv] starts [argv] (argv.(0) is the program
+    path) as a child process, expecting it to bind and serve [socket];
+    waits up to 10 s for the socket to come up.  A stale socket file is
+    removed before the child starts. *)
+
+val name : t -> string
+
+val call : t -> string -> (string, error) result
+(** Send one request line, wait for the one response line (returned
+    without its trailing newline).  Three consecutive transport
+    failures open the circuit for 2 s; then one probe is admitted and
+    its outcome closes or re-opens it.  A dead child is reaped and
+    respawned transparently on the next call. *)
+
+val healthy : t -> bool
+(** False while the circuit is open. *)
+
+val restarts : t -> int
+(** Crash-restarts performed so far (always 0 for local shards). *)
+
+val stats_json : t -> Dnn_serial.Json.t
+
+val stop : t -> unit
+(** Terminate and reap the child, remove its socket file.  No-op for
+    local shards.  Idempotent. *)

@@ -1,0 +1,390 @@
+let src = Logs.Src.create "lcmm.tier" ~doc:"Sharded plan-compilation tier"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Json = Dnn_serial.Json
+module Wire = Dnn_serial.Wire
+module P = Lcmm_service.Protocol
+module Engine = Lcmm_service.Engine
+module Lru = Lcmm_service.Lru
+
+type counters = {
+  mutable requests : int;  (* leaf requests routed by digest *)
+  mutable router_hits : int;  (* answered from the front LRU *)
+  mutable shard_hits : int;  (* answered by the owner's cache probe *)
+  mutable peer_probes : int;  (* cache_get probes sent to non-owners *)
+  mutable peer_fills : int;  (* misses answered by a sibling's cache *)
+  mutable computes : int;  (* requests forwarded for actual compute *)
+  mutable shed : int;  (* rejected with a structured overload error *)
+  mutable errors : int;  (* error responses of any other kind *)
+}
+
+type t = {
+  ring : Ring.t;
+  by_name : (string, Shard.t) Hashtbl.t;
+  shards : Shard.t list;  (* ring order of [Ring.shards] *)
+  lru : Json.t Lru.t;
+  mutex : Mutex.t;
+  timing : bool;
+  deadline_ms : float option;
+  c : counters;
+}
+
+let create ?(router_cache_entries = 512) ?(router_cache_mb = 64)
+    ?deadline_ms ?(timing = true) ~ring ~shards () =
+  let by_name = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace by_name (Shard.name s) s) shards;
+  let shards =
+    List.map
+      (fun name ->
+        match Hashtbl.find_opt by_name name with
+        | Some s -> s
+        | None -> invalid_arg ("Tier.create: no shard named " ^ name))
+      (Ring.shards ring)
+  in
+  { ring;
+    by_name;
+    shards;
+    lru =
+      Lru.create ~max_entries:router_cache_entries
+        ~max_bytes:(router_cache_mb * 1024 * 1024);
+    mutex = Mutex.create ();
+    timing;
+    deadline_ms;
+    c =
+      { requests = 0;
+        router_hits = 0;
+        shard_hits = 0;
+        peer_probes = 0;
+        peer_fills = 0;
+        computes = 0;
+        shed = 0;
+        errors = 0 } }
+
+let with_lock t fn =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) fn
+
+let count t bump = with_lock t (fun () -> bump t.c)
+
+let shard t name = Hashtbl.find t.by_name name
+
+let lru_find t digest = with_lock t (fun () -> Lru.find t.lru digest)
+
+let lru_store t digest payload =
+  with_lock t (fun () ->
+      ignore
+        (Lru.add t.lru ~key:digest
+           ~bytes:(String.length (Json.to_string payload))
+           payload))
+
+(* --- response rendering --- *)
+
+(* The tier's stdio/socket output must be byte-identical to a
+   single-process [lcmm serve] answering the same request: with timing
+   off both render [Wire.ok ?id ~op payload] from the same [Json]
+   payload (the codec round-trips renderings exactly), and error
+   messages pass through verbatim with their kind re-derived from the
+   same stable prefixes. *)
+
+let render_ok t (env : P.envelope) ?cache ~t0 payload =
+  let cache = if t.timing then cache else None in
+  let elapsed_ms =
+    if t.timing then Some ((Unix.gettimeofday () -. t0) *. 1e3) else None
+  in
+  Wire.ok ?id:env.P.id ~op:(P.op_name env.P.request) ?cache ?elapsed_ms payload
+
+let render_error t (env : P.envelope) msg =
+  count t (fun c ->
+      if Engine.error_kind msg = Some "overloaded" then c.shed <- c.shed + 1
+      else c.errors <- c.errors + 1);
+  Wire.error ?id:env.P.id
+    ~op:(P.op_name env.P.request)
+    ?kind:(Engine.error_kind msg) msg
+
+(* --- talking to shards --- *)
+
+(* One-line request documents for the cache plane. *)
+let cache_get_line digest =
+  Json.to_string (Json.Obj [ ("op", Json.String "cache_get");
+                             ("digest", Json.String digest) ])
+
+let cache_put_line digest payload =
+  Json.to_string
+    (Json.Obj
+       [ ("op", Json.String "cache_put"); ("digest", Json.String digest);
+         ("payload", payload) ])
+
+(* Split a shard's NDJSON response into the engine's outcome. *)
+let parse_response line =
+  match Json.of_string line with
+  | Error msg -> Error ("internal: shard response unparsable: " ^ msg)
+  | Ok doc -> (
+    match Json.member_opt "ok" doc with
+    | Some (Json.Bool true) -> (
+      match Json.member_opt "result" doc with
+      | Some payload -> Ok (Ok payload)
+      | None -> Error "internal: shard response missing result")
+    | Some (Json.Bool false) -> (
+      match Json.member_opt "error" doc with
+      | Some (Json.String msg) -> Ok (Error msg)
+      | _ -> Error "internal: shard response missing error")
+    | _ -> Error "internal: shard response missing ok field")
+
+(* Probe one shard's cache for a digest.  [`Hit payload] on success,
+   [`Miss] when the shard answered but had nothing (or answered
+   garbage), [`Down] when it could not be reached at all,
+   [`Overloaded msg] when its in-flight gate shed the probe — the
+   caller must shed the request rather than fail over, or overload on
+   one shard would amplify onto the survivors. *)
+let probe_cache s digest =
+  match Shard.call s (cache_get_line digest) with
+  | Error (Shard.Overloaded msg) -> `Overloaded msg
+  | Error (Shard.Unavailable _ | Shard.Transport _) -> `Down
+  | Ok line -> (
+    match parse_response line with
+    | Ok (Ok payload) -> `Hit payload
+    | Ok (Error _) | Error _ -> `Miss)
+
+(* Best-effort: seed the owner's cache with a payload found elsewhere so
+   the next probe for this digest hits locally. *)
+let backfill owner digest payload =
+  match Shard.call owner (cache_put_line digest payload) with
+  | Ok _ -> ()
+  | Error e ->
+    Log.warn (fun m ->
+        m "peer backfill of %s into %s failed: %s" digest (Shard.name owner)
+          (Shard.error_message e))
+
+let forward_line t (env : P.envelope) =
+  let env =
+    match env.P.deadline_ms with
+    | Some _ -> env
+    | None -> { env with P.deadline_ms = t.deadline_ms }
+  in
+  Json.to_string (P.envelope_to_json env)
+
+(* --- the routing flow --- *)
+
+(* Answer a digest-addressed leaf request: front LRU, then the owner's
+   cache, then the sibling caches (peer fill), then compute on the
+   owner.  An unreachable owner fails over to the next shard in ring
+   order; an overloaded owner sheds the request instead — backpressure
+   must push load back to the client, not amplify it onto the survivors. *)
+let route t (env : P.envelope) digest =
+  let t0 = Unix.gettimeofday () in
+  count t (fun c -> c.requests <- c.requests + 1);
+  match lru_find t digest with
+  | Some payload ->
+    count t (fun c -> c.router_hits <- c.router_hits + 1);
+    render_ok t env ~cache:"hit" ~t0 payload
+  | None -> (
+    let owners = Ring.successors t.ring digest in
+    let peers_of owner =
+      List.filter (fun n -> n <> Shard.name owner) owners
+    in
+    let peer_fill owner =
+      let rec probe = function
+        | [] -> None
+        | name :: rest -> (
+          count t (fun c -> c.peer_probes <- c.peer_probes + 1);
+          match probe_cache (shard t name) digest with
+          | `Hit payload -> Some payload
+          (* A busy peer just doesn't help with this fill. *)
+          | `Miss | `Down | `Overloaded _ -> probe rest)
+      in
+      match probe (peers_of owner) with
+      | None -> None
+      | Some payload ->
+        count t (fun c -> c.peer_fills <- c.peer_fills + 1);
+        backfill owner digest payload;
+        Some payload
+    in
+    let compute owner retry_names =
+      count t (fun c -> c.computes <- c.computes + 1);
+      let rec on candidates =
+        match candidates with
+        | [] ->
+          render_error t env
+            "unavailable: no shard could take the request"
+        | s :: rest -> (
+          match Shard.call s (forward_line t env) with
+          | Ok line -> (
+            match parse_response line with
+            | Ok (Ok payload) ->
+              lru_store t digest payload;
+              render_ok t env ~cache:"miss" ~t0 payload
+            | Ok (Error msg) -> render_error t env msg
+            | Error msg -> render_error t env msg)
+          | Error (Shard.Overloaded msg) -> render_error t env msg
+          | Error (Shard.Unavailable msg | Shard.Transport msg) ->
+            Log.warn (fun m ->
+                m "compute on %s failed (%s); trying next shard"
+                  (Shard.name s) msg);
+            on rest)
+      in
+      on (owner :: List.map (shard t) retry_names)
+    in
+    let rec from_owner = function
+      | [] ->
+        render_error t env "unavailable: no shard could take the request"
+      | owner_name :: fallbacks -> (
+        let owner = shard t owner_name in
+        match probe_cache owner digest with
+        | `Hit payload ->
+          count t (fun c -> c.shard_hits <- c.shard_hits + 1);
+          lru_store t digest payload;
+          render_ok t env ~cache:"hit" ~t0 payload
+        | `Miss -> (
+          match peer_fill owner with
+          | Some payload ->
+            lru_store t digest payload;
+            render_ok t env ~cache:"peer" ~t0 payload
+          | None -> (
+            match env.P.request with
+            | P.Cache_get _ ->
+              (* Nothing to compute: the probe is the request. *)
+              render_error t env (Printf.sprintf "not cached: %s" digest)
+            | _ -> compute owner fallbacks))
+        | `Overloaded msg ->
+          (* Backpressure, not failover: the owner is alive but full. *)
+          render_error t env msg
+        | `Down ->
+          (* The owner is unreachable for probes too; the next shard in
+             ring order takes over wholesale. *)
+          from_owner fallbacks)
+    in
+    match env.P.request with
+    | P.Cache_put (_, payload) ->
+      lru_store t digest payload;
+      let owner = shard t (Ring.lookup t.ring digest) in
+      (match Shard.call owner (forward_line t env) with
+      | Ok line -> (
+        match parse_response line with
+        | Ok (Ok payload) -> render_ok t env ~t0 payload
+        | Ok (Error msg) | Error msg -> render_error t env msg)
+      | Error e -> render_error t env (Shard.error_message e))
+    | _ -> from_owner owners)
+
+(* Requests with no digest (models) go to the first shard that answers. *)
+let forward_any t (env : P.envelope) =
+  let t0 = Unix.gettimeofday () in
+  let rec on = function
+    | [] ->
+      render_error t env "unavailable: no shard could take the request"
+    | s :: rest -> (
+      match Shard.call s (forward_line t env) with
+      | Ok line -> (
+        match parse_response line with
+        | Ok (Ok payload) -> render_ok t env ~t0 payload
+        | Ok (Error msg) -> render_error t env msg
+        | Error msg -> render_error t env msg)
+      | Error _ -> on rest)
+  in
+  on t.shards
+
+(* --- aggregated stats --- *)
+
+let counters_json t =
+  with_lock t (fun () ->
+      Json.Obj
+        [ ("requests", Json.Int t.c.requests);
+          ("router_hits", Json.Int t.c.router_hits);
+          ("shard_hits", Json.Int t.c.shard_hits);
+          ("peer_probes", Json.Int t.c.peer_probes);
+          ("peer_fills", Json.Int t.c.peer_fills);
+          ("computes", Json.Int t.c.computes);
+          ("shed", Json.Int t.c.shed);
+          ("errors", Json.Int t.c.errors);
+          ( "router_cache",
+            Json.Obj
+              [ ("entries", Json.Int (Lru.length t.lru));
+                ("bytes", Json.Int (Lru.total_bytes t.lru)) ] );
+          ( "ring",
+            Json.Obj
+              [ ("shards", Json.Int (List.length t.shards));
+                ("vnodes", Json.Int (Ring.vnodes t.ring)) ] ) ])
+
+let stats_payload t =
+  let shard_stats =
+    List.map
+      (fun s ->
+        let remote =
+          match Shard.call s (Json.to_string (Json.Obj [ ("op", Json.String "stats") ])) with
+          | Ok line -> (
+            match parse_response line with
+            | Ok (Ok payload) -> payload
+            | Ok (Error _) | Error _ -> Json.Null)
+          | Error _ -> Json.Null
+        in
+        (Shard.name s, Shard.stats_json s, remote))
+      t.shards
+  in
+  (* Fleet-wide cache totals, summed over whichever shards answered. *)
+  let cache_total field =
+    List.fold_left
+      (fun acc (_, _, remote) ->
+        match Json.member_opt "cache" remote with
+        | Some cache -> (
+          match Json.member_opt field cache with
+          | Some (Json.Int n) -> acc + n
+          | _ -> acc)
+        | None -> acc)
+      0 shard_stats
+  in
+  Json.Obj
+    [ ("tier", counters_json t);
+      ( "aggregate",
+        Json.Obj
+          [ ("cache_hits", Json.Int (cache_total "hits"));
+            ("cache_misses", Json.Int (cache_total "misses"));
+            ("cache_entries", Json.Int (cache_total "entries"));
+            ("cache_bytes", Json.Int (cache_total "bytes")) ] );
+      ( "shards",
+        Json.List
+          (List.map
+             (fun (name, health, remote) ->
+               Json.Obj
+                 [ ("name", Json.String name); ("health", health);
+                   ("stats", remote) ])
+             shard_stats) ) ]
+
+(* --- entry points --- *)
+
+let rec respond t (env : P.envelope) =
+  match env.P.request with
+  | P.Batch subs ->
+    let t0 = Unix.gettimeofday () in
+    let docs = List.map (respond t) subs in
+    render_ok t env ~t0 (Json.List docs)
+  | P.Stats ->
+    let t0 = Unix.gettimeofday () in
+    render_ok t env ~t0 (stats_payload t)
+  | _ -> (
+    match Engine.route_digest env.P.request with
+    | Error msg -> render_error t env msg
+    | Ok (Some digest) -> route t env digest
+    | Ok None -> forward_any t env)
+
+let handle_line t line =
+  if String.length line > Engine.max_line_bytes then
+    Wire.to_line
+      (Wire.error ~op:"parse"
+         (Printf.sprintf "request exceeds %d bytes" Engine.max_line_bytes))
+  else
+    match P.request_of_line line with
+    | Error msg ->
+      Wire.to_line (Wire.error ~op:"parse" msg)
+    | Ok env -> (
+      match respond t env with
+      | doc -> Wire.to_line doc
+      | exception e ->
+        Log.err (fun m -> m "tier dispatch raised: %s" (Printexc.to_string e));
+        Wire.to_line
+          (Wire.error ?id:env.P.id
+             ~op:(P.op_name env.P.request)
+             ~kind:"internal"
+             ("internal: " ^ Printexc.to_string e)))
+
+let shards t = t.shards
+
+let shutdown t = List.iter Shard.stop t.shards

@@ -1,0 +1,45 @@
+(** The tier router: consistent-hash request routing over a fleet of
+    shards, with a tiered cache in front.
+
+    Each digest-addressed request ({!Lcmm_service.Engine.route_digest})
+    is answered from the first tier that has it: the router's in-memory
+    LRU, the owner shard's cache (probed with [cache_get]), a sibling
+    shard's cache (peer fill — the hit is copied back into the owner so
+    one shard's compile warms the fleet), and finally compute forwarded
+    to the owner.  An unreachable owner fails over to the next shard in
+    ring order; an overloaded owner sheds the request with a structured
+    ["overloaded"] error — backpressure pushes load back to the client
+    instead of amplifying it onto the surviving shards.
+
+    With [timing] off the rendered responses are byte-identical to a
+    single-process [lcmm serve] answering the same requests. *)
+
+type t
+
+val create :
+  ?router_cache_entries:int -> ?router_cache_mb:int -> ?deadline_ms:float ->
+  ?timing:bool -> ring:Ring.t -> shards:Shard.t list -> unit -> t
+(** Router over [shards]; every name in [ring] must have a shard
+    (raises [Invalid_argument] otherwise).  The front LRU holds up to
+    [router_cache_entries] (default 512) payloads within
+    [router_cache_mb] (default 64) MiB.  [deadline_ms] is injected into
+    forwarded requests that carry none of their own. *)
+
+val handle_line : t -> string -> string
+(** One NDJSON request line in, one newline-terminated response line
+    out; never raises.  Serve it with
+    {!Lcmm_service.Server.serve_channels_with} or
+    {!Lcmm_service.Server.serve_unix_socket_with}. *)
+
+val stats_payload : t -> Dnn_serial.Json.t
+(** The extended [stats] body: the router's own counters (router /
+    shard / peer-fill hits, sheds, computes, LRU occupancy, ring
+    shape), fleet-wide cache totals aggregated over the shards that
+    answered, and each shard's health plus its own [stats] payload. *)
+
+val shards : t -> Shard.t list
+(** In ring order. *)
+
+val shutdown : t -> unit
+(** Stop every shard ({!Shard.stop}): terminate, reap, remove socket
+    files. *)

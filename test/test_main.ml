@@ -31,6 +31,7 @@ let () =
       ("matrix", Test_matrix.suite);
       ("reproduction", Test_reproduction.suite);
       ("service", Test_service.suite);
+      ("tier", Test_tier.suite);
       ("runtime", Test_runtime.suite);
       ("fault", Test_fault.suite);
       ("check", Test_check.suite) ]

@@ -711,6 +711,206 @@ let test_cache_quarantine () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
 
+(* --- metrics percentiles --- *)
+
+let test_percentile_estimator () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "median interpolates" 50.5
+    (Svc.Metrics.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1. (Svc.Metrics.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100 is max" 100.
+    (Svc.Metrics.percentile xs 1.);
+  Alcotest.(check (float 1e-9)) "p99 near the top" 99.01
+    (Svc.Metrics.percentile xs 0.99);
+  (* Input order must not matter (the helper sorts a copy). *)
+  let shuffled = [| 3.; 1.; 2. |] in
+  Alcotest.(check (float 1e-9)) "unsorted input" 2.
+    (Svc.Metrics.percentile shuffled 0.5);
+  Alcotest.check json_t "input not mutated"
+    (Json.List [ Json.Float 3.; Json.Float 1.; Json.Float 2. ])
+    (Json.List (Array.to_list (Array.map (fun f -> Json.Float f) shuffled)));
+  Alcotest.(check (float 1e-9)) "singleton" 7.
+    (Svc.Metrics.percentile [| 7. |] 0.99);
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Svc.Metrics.percentile [||] 0.5))
+
+let test_reservoir_sampling () =
+  let r = Svc.Metrics.Reservoir.create ~capacity:4 () in
+  List.iter (Svc.Metrics.Reservoir.add r) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "seen" 4 (Svc.Metrics.Reservoir.count r);
+  Alcotest.(check (float 1e-9)) "exact while under capacity" 2.5
+    (Svc.Metrics.Reservoir.percentile r 0.5);
+  for i = 5 to 1000 do
+    Svc.Metrics.Reservoir.add r (float_of_int i)
+  done;
+  Alcotest.(check int) "count tracks the stream" 1000
+    (Svc.Metrics.Reservoir.count r);
+  Alcotest.(check int) "held sample stays bounded" 4
+    (Array.length (Svc.Metrics.Reservoir.sample r));
+  (* Seeded PRNG: two reservoirs fed the same stream agree exactly. *)
+  let a = Svc.Metrics.Reservoir.create ~capacity:8 ~seed:7 () in
+  let b = Svc.Metrics.Reservoir.create ~capacity:8 ~seed:7 () in
+  for i = 1 to 500 do
+    Svc.Metrics.Reservoir.add a (float_of_int i);
+    Svc.Metrics.Reservoir.add b (float_of_int i)
+  done;
+  Alcotest.(check (array (float 1e-9))) "deterministic draws"
+    (Svc.Metrics.Reservoir.sample a)
+    (Svc.Metrics.Reservoir.sample b)
+
+let test_stats_report_percentiles () =
+  with_engine ~domains:1 (fun engine ->
+      ignore (handle_line engine {|{"op":"models"}|});
+      let stats = result_of_line (handle_line engine {|{"op":"stats"}|}) in
+      let models_op =
+        field_exn "models"
+          (field_exn "by_op" (field_exn "metrics" (field_exn "result" stats)))
+      in
+      List.iter
+        (fun key ->
+          match field_exn key models_op with
+          | Json.Float v -> Alcotest.(check bool) (key ^ " finite") true (v >= 0.)
+          | v -> Alcotest.failf "%s not a float: %s" key (Json.to_string v))
+        [ "p50_ms"; "p99_ms"; "p999_ms" ])
+
+(* --- cache_get / cache_put (the tier's peer-fill plane) --- *)
+
+let test_engine_cache_ops () =
+  with_engine ~domains:1 (fun engine ->
+      let digest = String.make 32 'a' in
+      let missing =
+        result_of_line
+          (handle_line engine
+             (Printf.sprintf {|{"op":"cache_get","digest":"%s"}|} digest))
+      in
+      Alcotest.check json_t "miss is an error" (Json.Bool false)
+        (field_exn "ok" missing);
+      Alcotest.check json_t "stable miss message"
+        (Json.String ("not cached: " ^ digest))
+        (field_exn "error" missing);
+      let put =
+        result_of_line
+          (handle_line engine
+             (Printf.sprintf
+                {|{"op":"cache_put","digest":"%s","payload":{"plan":42}}|}
+                digest))
+      in
+      Alcotest.check json_t "stored" (Json.Bool true)
+        (field_exn "stored" (field_exn "result" put));
+      let got =
+        result_of_line
+          (handle_line engine
+             (Printf.sprintf {|{"op":"cache_get","digest":"%s"}|} digest))
+      in
+      Alcotest.check json_t "round-trips" (Json.Obj [ ("plan", Json.Int 42) ])
+        (field_exn "result" got);
+      Alcotest.check json_t "counts as a cache hit" (Json.String "hit")
+        (field_exn "cache" got);
+      (* Digests are validated: not hex, not empty, not unbounded. *)
+      List.iter
+        (fun bad ->
+          let resp =
+            result_of_line
+              (handle_line engine
+                 (Printf.sprintf {|{"op":"cache_get","digest":%s}|} bad))
+          in
+          Alcotest.check json_t ("rejected: " ^ bad) (Json.Bool false)
+            (field_exn "ok" resp))
+        [ {|"XYZ"|}; {|""|}; {|123|};
+          Printf.sprintf {|"%s"|} (String.make 200 'a') ])
+
+(* --- envelope re-encoding (the tier's forwarding path) --- *)
+
+let parse_line_exn line =
+  match P.request_of_line line with
+  | Ok env -> env
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let test_envelope_reencode_digest_stable () =
+  let lines =
+    [ {|{"op":"compile","id":7,"model":"alexnet","dtype":"i8","options":{"weight_slices":3,"coloring":"first_fit"}}|};
+      {|{"op":"simulate","model":"squeezenet","images":4,"deadline_ms":5000}|};
+      {|{"op":"run","tenants":[{"model":"alexnet","count":2,"priority":1,"arrival_ms":123.456789012345678},{"model":"squeezenet"}],"scheduler":"edf","overcommit":1.25}|};
+      {|{"op":"cache_get","digest":"abcdef0123456789"}|} ]
+  in
+  List.iter
+    (fun line ->
+      let env = parse_line_exn line in
+      let reencoded = Json.to_string (P.envelope_to_json env) in
+      let env2 = parse_line_exn reencoded in
+      let digest_of (e : P.envelope) =
+        match Svc.Engine.route_digest e.P.request with
+        | Ok (Some d) -> d
+        | Ok None -> Alcotest.failf "no digest for %s" line
+        | Error msg -> Alcotest.failf "route_digest: %s" msg
+      in
+      Alcotest.(check string)
+        ("digest survives re-encoding: " ^ line)
+        (digest_of env) (digest_of env2);
+      Alcotest.check json_t "id survives"
+        (match env.P.id with Some v -> v | None -> Json.Null)
+        (match env2.P.id with Some v -> v | None -> Json.Null);
+      (* And the encoding is a fixed point: encode(parse(encode)) =
+         encode. *)
+      Alcotest.(check string) "fixed point" reencoded
+        (Json.to_string (P.envelope_to_json env2)))
+    lines
+
+let test_route_digest_matches_engine () =
+  with_engine ~domains:1 (fun engine ->
+      let line = {|{"op":"compile","model":"alexnet","dtype":"i8"}|} in
+      let resp = result_of_line (handle_line engine line) in
+      let served =
+        match field_exn "digest" (field_exn "result" resp) with
+        | Json.String d -> d
+        | v -> Alcotest.failf "digest not a string: %s" (Json.to_string v)
+      in
+      match Svc.Engine.route_digest (parse_line_exn line).P.request with
+      | Ok (Some routed) ->
+        Alcotest.(check string) "router and engine agree" served routed
+      | Ok None | Error _ -> Alcotest.fail "expected a digest")
+
+(* --- concurrent socket accept --- *)
+
+let test_socket_concurrent_connections () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lcmm_test_%d.sock" (Unix.getpid ()))
+  in
+  let echo line = "echo:" ^ line ^ "\n" in
+  let (_ : Thread.t) =
+    Thread.create (fun () -> Svc.Server.serve_unix_socket_with echo ~path) ()
+  in
+  let rec wait_for_socket tries =
+    if tries = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists path) then begin
+      Unix.sleepf 0.05;
+      wait_for_socket (tries - 1)
+    end
+  in
+  wait_for_socket 100;
+  let connect () =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect sock (Unix.ADDR_UNIX path);
+    (sock, Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock)
+  in
+  (* The first connection stays open and idle; a sequential accept loop
+     would keep the second connection waiting forever. *)
+  let idle_sock, _, idle_oc = connect () in
+  let sock2, ic2, oc2 = connect () in
+  output_string oc2 "hello\n";
+  flush oc2;
+  Alcotest.(check string) "second connection served while first is open"
+    "echo:hello" (input_line ic2);
+  (* The idle connection still works afterwards too. *)
+  output_string idle_oc "later\n";
+  flush idle_oc;
+  let _, idle_ic, _ = (idle_sock, Unix.in_channel_of_descr idle_sock, ()) in
+  Alcotest.(check string) "first connection still alive" "echo:later"
+    (input_line idle_ic);
+  Unix.close sock2;
+  Unix.close idle_sock
+
 let suite =
   [ Alcotest.test_case "cache lru eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "cache byte bound" `Quick test_cache_byte_bound;
@@ -734,4 +934,15 @@ let suite =
     Alcotest.test_case "pool crash restart" `Quick test_pool_crash_restart;
     Alcotest.test_case "circuit breaker" `Quick test_engine_circuit_breaker;
     Alcotest.test_case "cache quarantine" `Quick test_cache_quarantine;
+    Alcotest.test_case "percentile estimator" `Quick test_percentile_estimator;
+    Alcotest.test_case "latency reservoir" `Quick test_reservoir_sampling;
+    Alcotest.test_case "stats report percentiles" `Quick
+      test_stats_report_percentiles;
+    Alcotest.test_case "cache_get/cache_put ops" `Quick test_engine_cache_ops;
+    Alcotest.test_case "envelope re-encode digest-stable" `Quick
+      test_envelope_reencode_digest_stable;
+    Alcotest.test_case "route_digest matches engine" `Quick
+      test_route_digest_matches_engine;
+    Alcotest.test_case "socket serves connections concurrently" `Quick
+      test_socket_concurrent_connections;
     Alcotest.test_case "protocol fuzz" `Quick test_protocol_fuzz ]

@@ -1,0 +1,390 @@
+(* The sharded plan-compilation tier: hash ring, shard gate/breaker,
+   router cache tiers and peer fill, and the open-loop load generator. *)
+
+module Json = Dnn_serial.Json
+module Svc = Lcmm_service
+module Ring = Lcmm_tier.Ring
+module Shard = Lcmm_tier.Shard
+module Tier = Lcmm_tier.Tier
+module Loadgen = Lcmm_tier.Loadgen
+
+let json_t = Alcotest.testable Json.pp Json.equal
+
+(* 10k synthetic digests, the shape [Cache_key] produces. *)
+let synthetic_digests n =
+  List.init n (fun i -> Digest.to_hex (Digest.string (string_of_int i)))
+
+(* --- hash ring --- *)
+
+let test_ring_deterministic () =
+  let names = [ "shard-0"; "shard-1"; "shard-2"; "shard-3" ] in
+  let r1 = Ring.create ~vnodes:64 names in
+  let r2 = Ring.create ~vnodes:64 (List.rev names) in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        ("same owner for " ^ d)
+        (Ring.lookup r1 d) (Ring.lookup r2 d))
+    (synthetic_digests 500)
+
+let test_ring_balance () =
+  let names = [ "a"; "b"; "c"; "d" ] in
+  let ring = Ring.create ~vnodes:128 names in
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun d ->
+      let owner = Ring.lookup ring d in
+      Hashtbl.replace counts owner
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts owner)))
+    (synthetic_digests 10_000);
+  let ideal = 10_000. /. 4. in
+  List.iter
+    (fun name ->
+      let n = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts name)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %s within 35%% of ideal (%.0f keys)" name n)
+        true
+        (n > ideal *. 0.65 && n < ideal *. 1.35))
+    names
+
+let test_ring_minimal_movement () =
+  let digests = synthetic_digests 10_000 in
+  let before = Ring.create ~vnodes:128 [ "a"; "b"; "c"; "d" ] in
+  let after = Ring.create ~vnodes:128 [ "a"; "b"; "c"; "d"; "e" ] in
+  let moved =
+    List.filter (fun d -> Ring.lookup before d <> Ring.lookup after d) digests
+  in
+  (* Every key that moved must have moved TO the new shard — consistent
+     hashing never reshuffles keys between surviving shards. *)
+  List.iter
+    (fun d ->
+      Alcotest.(check string) ("moved key lands on e: " ^ d) "e"
+        (Ring.lookup after d))
+    moved;
+  (* And only about 1/5 of the keyspace moves (the new shard's share);
+     allow generous slack over the 2000-key ideal. *)
+  let frac = float_of_int (List.length moved) /. 10_000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f%% of keys moved" (frac *. 100.))
+    true
+    (frac > 0.05 && frac < 0.35)
+
+let test_ring_successors () =
+  let names = [ "a"; "b"; "c" ] in
+  let ring = Ring.create names in
+  List.iter
+    (fun d ->
+      let succ = Ring.successors ring d in
+      Alcotest.(check int) "all shards listed" 3 (List.length succ);
+      Alcotest.(check string) "owner first" (Ring.lookup ring d) (List.hd succ);
+      Alcotest.(check bool) "all distinct" true
+        (List.sort_uniq String.compare succ |> List.length = 3))
+    (synthetic_digests 100)
+
+let test_ring_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Ring.create: no shards")
+    (fun () -> ignore (Ring.create []));
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Ring.create: duplicate shard names") (fun () ->
+      ignore (Ring.create [ "a"; "a" ]))
+
+(* --- shard gate and breaker (local backend) --- *)
+
+let ok_line payload =
+  Dnn_serial.Wire.to_line (Dnn_serial.Wire.ok ~op:"compile" payload)
+
+let test_shard_inflight_gate () =
+  let release = Mutex.create () in
+  Mutex.lock release;
+  let slow _line =
+    (* Parks until the main thread releases it. *)
+    Mutex.lock release;
+    Mutex.unlock release;
+    ok_line (Json.Int 1)
+  in
+  let shard = Shard.local ~name:"s" ~max_inflight:1 slow in
+  let first = Thread.create (fun () -> Shard.call shard "x") () in
+  Thread.delay 0.1;
+  (match Shard.call shard "y" with
+  | Error (Shard.Overloaded msg) ->
+    Alcotest.(check bool) "structured overloaded message" true
+      (String.length msg >= 10 && String.sub msg 0 10 = "overloaded")
+  | Ok _ | Error _ -> Alcotest.fail "expected an overloaded shed");
+  Mutex.unlock release;
+  (match Thread.join first with () -> ());
+  (* The gate freed up: calls pass again. *)
+  match Shard.call shard "z" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "expected success after release: %s" (Shard.error_message e)
+
+let test_shard_breaker_opens () =
+  let shard = Shard.local ~name:"s" (fun _ -> failwith "boom") in
+  (* Three consecutive transport failures trip the circuit... *)
+  for _ = 1 to 3 do
+    match Shard.call shard "x" with
+    | Error (Shard.Transport _) -> ()
+    | Ok _ | Error _ -> Alcotest.fail "expected a transport failure"
+  done;
+  Alcotest.(check bool) "circuit open" false (Shard.healthy shard);
+  (* ...and while open, calls shed without touching the handler. *)
+  match Shard.call shard "x" with
+  | Error (Shard.Unavailable _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected unavailable while open"
+
+(* --- tier routing over in-process shards --- *)
+
+(* Engines are expensive to spin up (domains); each test builds the
+   smallest fleet it needs. *)
+let with_engines n fn =
+  let engines =
+    List.init n (fun _ ->
+        Svc.Engine.create ~pool:(Svc.Pool.create ~domains:1 ()) ())
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Svc.Engine.shutdown engines)
+    (fun () -> fn engines)
+
+let local_shard name engine =
+  Shard.local ~name (Svc.Engine.handle_line ~timing:true engine)
+
+let field_exn key v =
+  match Json.member key v with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "field %s: %s" key msg
+
+let response_of line =
+  match Json.of_string (String.trim line) with
+  | Error msg -> Alcotest.failf "bad response line: %s" msg
+  | Ok v -> v
+
+let counter tier key =
+  match field_exn key (field_exn "tier" (Tier.stats_payload tier)) with
+  | Json.Int n -> n
+  | v -> Alcotest.failf "counter %s not an int: %s" key (Json.to_string v)
+
+let compile_line ?(slices = 1) model =
+  Printf.sprintf
+    {|{"op":"compile","model":"%s","dtype":"i8","options":{"weight_slices":%d}}|}
+    model slices
+
+(* A compile request whose digest lands on [want] in [ring]: scan
+   weight_slices variants (each changes the digest, not the answer's
+   existence). *)
+let request_owned_by ring want =
+  let rec search slices =
+    if slices > 64 then Alcotest.fail "no request found for shard"
+    else
+      let line = compile_line ~slices "alexnet" in
+      match Svc.Protocol.request_of_line line with
+      | Error msg -> Alcotest.fail msg
+      | Ok env -> (
+        match Svc.Engine.route_digest env.Svc.Protocol.request with
+        | Ok (Some digest) when Ring.lookup ring digest = want -> line
+        | Ok (Some _) -> search (slices + 1)
+        | Ok None | Error _ -> Alcotest.fail "expected a digest")
+  in
+  search 1
+
+let test_tier_cache_tiers () =
+  with_engines 2 (fun engines ->
+      let shards =
+        List.map2 local_shard [ "a"; "b" ] engines
+      in
+      let ring = Ring.create [ "a"; "b" ] in
+      let tier = Tier.create ~ring ~shards () in
+      let line = compile_line "alexnet" in
+      (* Cold: routed to the owner and computed. *)
+      let first = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "computed" (Json.String "miss")
+        (field_exn "cache" first);
+      Alcotest.(check int) "one compute" 1 (counter tier "computes");
+      (* Warm: answered from the router's front LRU. *)
+      let second = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "front-cache hit" (Json.String "hit")
+        (field_exn "cache" second);
+      Alcotest.(check int) "router hit counted" 1 (counter tier "router_hits");
+      Alcotest.check json_t "same payload" (field_exn "result" first)
+        (field_exn "result" second);
+      (* A fresh router over the same (warm) shards: the owner's own
+         cache answers, no new compute. *)
+      let tier2 = Tier.create ~ring ~shards () in
+      let third = response_of (Tier.handle_line tier2 line) in
+      Alcotest.check json_t "shard-cache hit" (Json.String "hit")
+        (field_exn "cache" third);
+      Alcotest.(check int) "no compute" 0 (counter tier2 "computes");
+      Alcotest.(check int) "shard hit counted" 1 (counter tier2 "shard_hits");
+      Alcotest.check json_t "same payload again" (field_exn "result" first)
+        (field_exn "result" third))
+
+let test_tier_peer_fill () =
+  with_engines 2 (fun engines ->
+      let a_engine = List.nth engines 0 in
+      let shards = List.map2 local_shard [ "a"; "b" ] engines in
+      let two_ring = Ring.create [ "a"; "b" ] in
+      (* Warm shard [a] alone with a request the two-shard ring will
+         assign to [b] — the resharding scenario. *)
+      let line = request_owned_by two_ring "b" in
+      let warm =
+        Tier.create ~ring:(Ring.create [ "a" ])
+          ~shards:[ local_shard "a" a_engine ]
+          ()
+      in
+      let warm_resp = response_of (Tier.handle_line warm line) in
+      (* Now the two-shard tier: owner [b] misses, the peer probe finds
+         it in [a]'s cache, and [b] gets backfilled. *)
+      let tier = Tier.create ~ring:two_ring ~shards () in
+      let filled = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "peer-filled" (Json.String "peer")
+        (field_exn "cache" filled);
+      Alcotest.(check int) "peer fill counted" 1 (counter tier "peer_fills");
+      Alcotest.(check int) "no duplicate compile" 0 (counter tier "computes");
+      Alcotest.check json_t "payload identical across shards"
+        (field_exn "result" warm_resp) (field_exn "result" filled);
+      (* The backfill seeded the owner: a fresh router now hits [b]
+         directly. *)
+      let tier2 = Tier.create ~ring:two_ring ~shards () in
+      let after = response_of (Tier.handle_line tier2 line) in
+      Alcotest.check json_t "owner hit after backfill" (Json.String "hit")
+        (field_exn "cache" after);
+      Alcotest.(check int) "no peer probe needed" 0 (counter tier2 "peer_probes"))
+
+let test_tier_failover () =
+  with_engines 1 (fun engines ->
+      let good = local_shard "b" (List.hd engines) in
+      let bad = Shard.local ~name:"a" (fun _ -> failwith "boom") in
+      let ring = Ring.create [ "a"; "b" ] in
+      let tier = Tier.create ~ring ~shards:[ bad; good ] () in
+      (* A request owned by the broken shard still gets answered. *)
+      let line = request_owned_by ring "a" in
+      let resp = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "answered despite dead owner" (Json.Bool true)
+        (field_exn "ok" resp))
+
+let test_tier_shedding () =
+  with_engines 1 (fun engines ->
+      let engine = List.hd engines in
+      let release = Mutex.create () in
+      Mutex.lock release;
+      let gate_open = ref false in
+      let slow line =
+        if !gate_open then Svc.Engine.handle_line ~timing:true engine line
+        else begin
+          Mutex.lock release;
+          Mutex.unlock release;
+          Svc.Engine.handle_line ~timing:true engine line
+        end
+      in
+      let shard = Shard.local ~name:"a" ~max_inflight:1 slow in
+      let tier = Tier.create ~ring:(Ring.create [ "a" ]) ~shards:[ shard ] () in
+      let line = compile_line "alexnet" in
+      let first = Thread.create (fun () -> Tier.handle_line tier line) () in
+      Thread.delay 0.1;
+      (* The single in-flight slot is taken: the router sheds with a
+         structured overloaded error instead of queueing. *)
+      let shed = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "shed is an error" (Json.Bool false)
+        (field_exn "ok" shed);
+      Alcotest.check json_t "structured kind" (Json.String "overloaded")
+        (field_exn "kind" shed);
+      Alcotest.(check int) "shed counted" 1 (counter tier "shed");
+      gate_open := true;
+      Mutex.unlock release;
+      match Thread.join first with () -> ())
+
+let test_tier_cache_ops_through_front () =
+  with_engines 2 (fun engines ->
+      let shards = List.map2 local_shard [ "a"; "b" ] engines in
+      let tier =
+        Tier.create ~ring:(Ring.create [ "a"; "b" ]) ~shards ()
+      in
+      let digest = String.make 32 'd' in
+      let put =
+        Printf.sprintf {|{"op":"cache_put","digest":"%s","payload":{"x":7}}|}
+          digest
+      in
+      let stored = response_of (Tier.handle_line tier put) in
+      Alcotest.check json_t "stored" (Json.Bool true)
+        (field_exn "stored" (field_exn "result" stored));
+      let got =
+        response_of
+          (Tier.handle_line tier
+             (Printf.sprintf {|{"op":"cache_get","digest":"%s"}|} digest))
+      in
+      Alcotest.check json_t "round-trips" (Json.Obj [ ("x", Json.Int 7) ])
+        (field_exn "result" got);
+      (* An unknown digest is a plain miss end-to-end. *)
+      let missing =
+        response_of
+          (Tier.handle_line tier
+             (Printf.sprintf {|{"op":"cache_get","digest":"%s"}|}
+                (String.make 32 'e')))
+      in
+      Alcotest.check json_t "not cached" (Json.Bool false)
+        (field_exn "ok" missing))
+
+(* --- load generator --- *)
+
+let test_loadgen_counts_and_percentiles () =
+  let handler _line = ok_line (Json.Int 1) in
+  let r =
+    Loadgen.run ~handler ~mix:[ "x"; "y" ] ~rps:500. ~duration_s:0.3
+      ~threads:4 ()
+  in
+  Alcotest.(check int) "all requests sent" 150 r.Loadgen.sent;
+  Alcotest.(check int) "all ok" r.Loadgen.sent r.Loadgen.ok;
+  Alcotest.(check int) "no sheds" 0 r.Loadgen.shed;
+  Alcotest.(check bool) "percentiles ordered" true
+    (r.Loadgen.p50_ms <= r.Loadgen.p99_ms
+    && r.Loadgen.p99_ms <= r.Loadgen.p999_ms
+    && r.Loadgen.p999_ms <= r.Loadgen.max_ms);
+  Alcotest.(check bool) "keeps up" true (Loadgen.keeps_up ~slo_p99_ms:1000. r)
+
+let test_loadgen_classifies_sheds () =
+  let handler _line =
+    Dnn_serial.Wire.to_line
+      (Dnn_serial.Wire.error ~op:"compile" ~kind:"overloaded"
+         "overloaded: full")
+  in
+  let r =
+    Loadgen.run ~handler ~mix:[ "x" ] ~rps:200. ~duration_s:0.2 ~threads:2 ()
+  in
+  Alcotest.(check int) "everything shed" r.Loadgen.sent r.Loadgen.shed;
+  Alcotest.(check bool) "does not keep up" false
+    (Loadgen.keeps_up ~slo_p99_ms:1000. r)
+
+let test_loadgen_zoo_mix_deterministic () =
+  let m1 = Loadgen.zoo_mix () and m2 = Loadgen.zoo_mix () in
+  Alcotest.(check (list string)) "stable mix" m1 m2;
+  Alcotest.(check bool) "non-empty" true (List.length m1 > 1)
+
+let suite =
+  [ Alcotest.test_case "ring: deterministic across creation order" `Quick
+      test_ring_deterministic;
+    Alcotest.test_case "ring: balances 10k digests within 35%" `Quick
+      test_ring_balance;
+    Alcotest.test_case "ring: adding a shard moves ~1/N keys, all to it"
+      `Quick test_ring_minimal_movement;
+    Alcotest.test_case "ring: successors start at owner, cover all shards"
+      `Quick test_ring_successors;
+    Alcotest.test_case "ring: rejects empty and duplicate members" `Quick
+      test_ring_validation;
+    Alcotest.test_case "shard: in-flight gate sheds, then recovers" `Quick
+      test_shard_inflight_gate;
+    Alcotest.test_case "shard: breaker opens after repeated failures" `Quick
+      test_shard_breaker_opens;
+    Alcotest.test_case "tier: front LRU and shard cache tiers" `Quick
+      test_tier_cache_tiers;
+    Alcotest.test_case "tier: peer fill after resharding, with backfill"
+      `Quick test_tier_peer_fill;
+    Alcotest.test_case "tier: fails over around a dead owner" `Quick
+      test_tier_failover;
+    Alcotest.test_case "tier: sheds with a structured overloaded error"
+      `Quick test_tier_shedding;
+    Alcotest.test_case "tier: cache_get/cache_put through the front" `Quick
+      test_tier_cache_ops_through_front;
+    Alcotest.test_case "loadgen: open-loop counts and percentiles" `Quick
+      test_loadgen_counts_and_percentiles;
+    Alcotest.test_case "loadgen: classifies structured sheds" `Quick
+      test_loadgen_classifies_sheds;
+    Alcotest.test_case "loadgen: zoo mix is deterministic" `Quick
+      test_loadgen_zoo_mix_deterministic ]
