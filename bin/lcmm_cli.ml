@@ -80,6 +80,26 @@ let or_die = function
     prerr_endline ("lcmm: " ^ msg);
     exit 1
 
+(* Planner parallelism: --domains N runs the planner fan-outs (liveness,
+   DNNK compensation, per-tenant replans) on an N-domain pool.  The
+   output is byte-identical to the sequential run, so golden comparisons
+   hold at any domain count; 1 (the default) stays fully sequential. *)
+let domains_arg =
+  let doc =
+    "Worker domains for planner parallelism (1 = sequential).  Output is \
+     byte-identical at every domain count."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~doc)
+
+let with_pool domains f =
+  if domains < 1 then or_die (Error "domains must be >= 1");
+  if domains = 1 then f None
+  else begin
+    let pool = Lcmm.Pool.create ~domains () in
+    Fun.protect ~finally:(fun () -> Lcmm.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
 let models_cmd =
   let run () () =
     List.iter
@@ -165,9 +185,9 @@ let plan_cmd =
     in
     Arg.(value & flag & info [ "profile" ] ~doc)
   in
-  let plan_one ~profile dtype name =
+  let plan_one ?pool ~profile dtype name =
     let model, g = or_die (build_model name) in
-    let c = Lcmm.Framework.compare_designs ~model dtype g in
+    let c = Lcmm.Framework.compare_designs ?pool ~model dtype g in
     let p = c.Lcmm.Framework.lcmm_plan in
     Format.printf "== %s ==@." model;
     Format.printf "design: %a@." Accel.Config.pp p.Lcmm.Framework.config;
@@ -197,21 +217,25 @@ let plan_cmd =
         (List.fold_left (fun acc (_, v) -> acc +. v) 0. assoc)
     end
   in
-  let run () name dtype profile =
-    match name with
-    | Some name -> plan_one ~profile dtype name
-    | None ->
-      List.iter
-        (fun e -> plan_one ~profile dtype e.Models.Zoo.model_name)
-        Models.Zoo.all
+  let run () name dtype profile domains =
+    with_pool domains (fun pool ->
+        match name with
+        | Some name -> plan_one ?pool ~profile dtype name
+        | None ->
+          List.iter
+            (fun e -> plan_one ?pool ~profile dtype e.Models.Zoo.model_name)
+            Models.Zoo.all)
   in
   Cmd.v
     (Cmd.info "plan"
        ~doc:
          "Deterministic plan summary for one model (or the whole zoo), \
           suitable for golden-file comparison; --profile adds a per-pass \
-          timing breakdown on stderr.")
-    Term.(const run $ log_arg $ model_opt_arg $ dtype_arg $ profile_arg)
+          timing breakdown on stderr and --domains N plans on N worker \
+          domains without changing a byte of the output.")
+    Term.(
+      const run $ log_arg $ model_opt_arg $ dtype_arg $ profile_arg
+      $ domains_arg)
 
 let simulate_cmd =
   let run () name dtype =
@@ -509,7 +533,7 @@ let runtime_cmd =
       |> Result.map List.rev
   in
   let run () mix dtype device arbitration scheduler partition overcommit
-      stagger_ms seed json_path faults =
+      stagger_ms seed json_path faults domains =
     if overcommit <= 0. then or_die (Error "overcommit must be positive");
     if stagger_ms < 0. then or_die (Error "stagger-ms must be non-negative");
     let entries = or_die (parse_mix mix) in
@@ -545,7 +569,10 @@ let runtime_cmd =
       { Lcmm_runtime.Runtime.default_options with
         dtype; device; arbitration; scheduler; partition; overcommit; faults }
     in
-    let report = Lcmm_runtime.Runtime.run options specs in
+    let report =
+      with_pool domains (fun pool ->
+          Lcmm_runtime.Runtime.run ?pool options specs)
+    in
     Format.printf "%a" Lcmm_runtime.Report.pp report;
     match json_path with
     | None -> ()
@@ -569,7 +596,7 @@ let runtime_cmd =
     Term.(
       const run $ log_arg $ tenants_arg $ dtype_arg $ device_arg
       $ arbitration_arg $ scheduler_arg $ partition_arg $ overcommit_arg
-      $ stagger_arg $ seed_arg $ json_arg $ faults_arg)
+      $ stagger_arg $ seed_arg $ json_arg $ faults_arg $ domains_arg)
 
 let serve_cmd =
   let socket_arg =

@@ -170,10 +170,42 @@ let degenerate ctx =
    concats pick shape-compatible groups. *)
 let mixed ctx =
   let x = input ctx in
-  let values = ref [ x ] in
+  (* Semantically this is the newest-first value list the draws index
+     into; it is stored as a growable array (oldest first) so lookups
+     and the shape-compatibility scans below stay O(1)/early-exit at
+     benchmark scale.  The draw sequence, and hence every generated
+     graph, is identical to the list-based formulation. *)
+  let arr = ref (Array.make 16 x) in
+  let len = ref 1 in
+  let push v =
+    if !len = Array.length !arr then begin
+      let bigger = Array.make (2 * !len) v in
+      Array.blit !arr 0 bigger 0 !len;
+      arr := bigger
+    end;
+    !arr.(!len) <- v;
+    incr len
+  in
   let nth_value k =
-    let l = !values in
-    List.nth l (k mod List.length l)
+    let i = k mod !len in
+    !arr.(!len - 1 - i)
+  in
+  (* First [limit] values in newest-first order satisfying [pred] — the
+     prefix of the equivalent [List.filter] that the matches below ever
+     look at, so stopping early changes nothing. *)
+  let first_matches limit pred =
+    let out = ref [] in
+    let found = ref 0 in
+    let i = ref (!len - 1) in
+    while !found < limit && !i >= 0 do
+      let v = !arr.(!i) in
+      if pred v then begin
+        out := v :: !out;
+        incr found
+      end;
+      decr i
+    done;
+    List.rev !out
   in
   let continue = ref true in
   while !continue do
@@ -187,7 +219,7 @@ let mixed ctx =
            value twice — a node reading one value through two inputs). *)
         let shape = B.shape ctx.b src in
         let mates =
-          List.filter (fun v -> Shape.equal (B.shape ctx.b v) shape) !values
+          first_matches 2 (fun v -> Shape.equal (B.shape ctx.b v) shape)
         in
         match mates with
         | a :: b :: _ when not (Random.State.int ctx.st 4 = 0) -> B.add ctx.b [ a; b ]
@@ -195,11 +227,9 @@ let mixed ctx =
       | 5 -> (
         let _, h, w = feature_dims ctx.b src in
         let mates =
-          List.filter
-            (fun v ->
+          first_matches 3 (fun v ->
               let _, h', w' = feature_dims ctx.b v in
               h' = h && w' = w)
-            !values
         in
         match mates with
         | a :: b :: c :: _ when Random.State.bool ctx.st -> B.concat ctx.b [ a; b; c ]
@@ -216,7 +246,7 @@ let mixed ctx =
     (* Every value here is a feature map: dense tails are excluded from
        the middle of the DAG, so [feature_dims] in [step] cannot fail. *)
     match spend ctx step with
-    | Some v -> values := v :: !values
+    | Some v -> push v
     | None -> continue := false
   done
 

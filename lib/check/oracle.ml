@@ -508,6 +508,91 @@ let check_dnnk_vs_exact ctx =
         else Ok ())
       [ ("table", table); ("iterative", iterative) ]
 
+(* --- incremental DNNK: a warm workspace never changes the answer --- *)
+
+(* The DP workspace memoizes per-buffer compensation rows across calls,
+   invalidating a cached row only when its earlier-owner dependencies
+   changed.  That reuse must be invisible: after any single-buffer
+   perturbation of the input (splitting one buffer in two, or dropping
+   one), allocating with a workspace warmed on the *original* buffer
+   list must reproduce the cold run on the perturbed list decision for
+   decision and bit for bit in the objective. *)
+let check_dnnk_incremental ctx =
+  let metric = ctx.metric and capacity_bytes = ctx.capacity_bytes in
+  let size_of = Hashtbl.create 64 in
+  Array.iteri (fun i item -> Hashtbl.replace size_of item ctx.sizes.(i)) ctx.items;
+  let sized vb =
+    List.map (fun it -> (it, Hashtbl.find size_of it)) vb.Vbuffer.members
+  in
+  let next_id =
+    1 + List.fold_left (fun acc vb -> max acc vb.Vbuffer.vbuf_id) 0 ctx.vbufs
+  in
+  (* Single-buffer perturbations: split the first few multi-member
+     buffers (largest member peeled into its own buffer, the remainder
+     keeps the id), and drop the first few buffers outright. *)
+  let splits =
+    List.filter (fun vb -> Vbuffer.member_count vb > 1) ctx.vbufs
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.map (fun vb ->
+           let label = Printf.sprintf "split vbuf %d" vb.Vbuffer.vbuf_id in
+           let perturbed =
+             List.concat_map
+               (fun v ->
+                 if v.Vbuffer.vbuf_id <> vb.Vbuffer.vbuf_id then [ v ]
+                 else
+                   match sized v with
+                   | head :: (_ :: _ as rest) ->
+                     [ Vbuffer.make ~vbuf_id:next_id ~sized_members:[ head ];
+                       Vbuffer.make ~vbuf_id:v.Vbuffer.vbuf_id
+                         ~sized_members:rest ]
+                   | _ -> [ v ])
+               ctx.vbufs
+           in
+           (label, perturbed))
+  in
+  let drops =
+    List.filteri (fun i _ -> i < 3) ctx.vbufs
+    |> List.map (fun vb ->
+           ( Printf.sprintf "drop vbuf %d" vb.Vbuffer.vbuf_id,
+             List.filter
+               (fun v -> v.Vbuffer.vbuf_id <> vb.Vbuffer.vbuf_id)
+               ctx.vbufs ))
+  in
+  let warm = Dnnk.workspace () in
+  (* Warm the workspace on the unperturbed input once; every perturbed
+     run below then reuses whatever rows survive invalidation. *)
+  let _ = Dnnk.allocate ~workspace:warm metric ~capacity_bytes ctx.vbufs in
+  let ids l = List.map (fun vb -> vb.Vbuffer.vbuf_id) l |> List.sort compare in
+  iter_result
+    (fun (label, vbufs) ->
+      if vbufs = [] then Ok ()
+      else
+        let cold = Dnnk.allocate metric ~capacity_bytes vbufs in
+        let hot = Dnnk.allocate ~workspace:warm metric ~capacity_bytes vbufs in
+        let* () =
+          if ids hot.Dnnk.chosen <> ids cold.Dnnk.chosen then
+            fail "%s: warm workspace chose different buffers" label
+          else Ok ()
+        in
+        let* () =
+          if ids hot.Dnnk.spilled <> ids cold.Dnnk.spilled then
+            fail "%s: warm workspace spilled different buffers" label
+          else Ok ()
+        in
+        let* () =
+          if hot.Dnnk.used_blocks <> cold.Dnnk.used_blocks then
+            fail "%s: warm used %d blocks, cold used %d" label
+              hot.Dnnk.used_blocks cold.Dnnk.used_blocks
+          else Ok ()
+        in
+        (* Bit-exact, not epsilon-close: memoized rows must reproduce the
+           cold fold's float arithmetic term for term. *)
+        if hot.Dnnk.predicted_latency <> cold.Dnnk.predicted_latency then
+          fail "%s: warm objective %.17g, cold %.17g" label
+            hot.Dnnk.predicted_latency cold.Dnnk.predicted_latency
+        else Ok ())
+    (splits @ drops)
+
 (* --- splitting: repairs only, never regressions --- *)
 
 let check_splitting ctx =
@@ -771,6 +856,9 @@ let all =
     { name = "dnnk-vs-exact";
       doc = "DNNK never beats, and stays near, the branch-and-bound optimum";
       check = check_dnnk_vs_exact };
+    { name = "dnnk-incremental";
+      doc = "a warm DP workspace reproduces the cold run bit for bit";
+      check = check_dnnk_incremental };
     { name = "splitting";
       doc = "buffer splitting never increases the predicted latency";
       check = check_splitting };

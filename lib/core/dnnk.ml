@@ -9,25 +9,88 @@ type result = {
   used_blocks : int;
 }
 
+(* --- compensation memos ----------------------------------------------
+
+   Per-row state for the Table_approx gain: the affected nodes split
+   into column-independent ones (both predicate evaluations are
+   constants) and dependent ones, which read [pbuf_table] bits of
+   earlier DP rows at the source column.  Gains are memoized at two
+   granularities:
+
+   - per dependent *node*, keyed on the packed bits of just the earlier
+     rows that node's queries can reach (widths are tiny — a node
+     queries its weight, its input features and its output), and
+   - per *row*, keyed on the packed bits of every earlier row the whole
+     row can reach, so a repeated bit pattern costs one lookup.
+
+   Rows too wide for a single-int row key fall back to per-column
+   accumulation through the node memos — still cheap, because each
+   node's key stays narrow even when the row's union of dependencies is
+   wide.  Every memoized value is a pure function of its key bits (the
+   unmemoized fold reads identical state and produces identical
+   floats), which is what makes reuse — across columns, DP rows and
+   whole allocator re-runs — bit-exact. *)
+
+let max_key_bits = Sys.int_size - 2
+let row_direct_bits = 12
+let node_direct_bits = 8
+
+type node_memo =
+  | Node_const
+  | Node_direct of { p1 : float array; p2 : float array }  (* NaN = empty *)
+  | Node_hash of (int, float * float) Hashtbl.t
+  | Node_wide
+
+type row_tbl =
+  | Row_const
+  | Row_direct of float array                              (* NaN = empty *)
+  | Row_hash of (int, float) Hashtbl.t
+  | Row_wide
+
+(* The cacheable half of a row's compensation state.  [earlier_members]
+   identifies the earlier-owner rows *by member list, in discovery
+   order*: a warm workspace may only reuse the entry when a fresh
+   discovery finds structurally equal member lists in the same order,
+   because then every memo bit position denotes the same allocation
+   question and every cached float is still the value the cold fold
+   would compute.  Absolute row indices are per-run and recomputed. *)
+type row_entry = {
+  earlier_members : Metric.item list array;
+  node_widths : int array;
+  dep_flags : bool array;
+  const_without : float array;
+  const_with : float array;
+  mutable const_total : float;
+  node_memos : node_memo array;
+  row_tbl : row_tbl;
+}
+
 (* Scratch state shared across allocator calls (the splitting loop
    re-runs the allocator up to 16 times over near-identical buffer
-   sets): per-member-list memos of affected nodes and static gains, and
-   the DP arrays, which are zeroed rather than reallocated.  A workspace
-   is only valid against the metric it first ran with. *)
+   sets): per-member-list memos of affected nodes, static gains and the
+   full compensation row state, plus the DP arrays, which are zeroed
+   rather than reallocated.  A workspace is only valid against the
+   metric it first ran with. *)
 type workspace = {
   affected_memo : (Metric.item list, int array) Hashtbl.t;
   static_gain_memo : (Metric.item list, float) Hashtbl.t;
+  row_cache : (Metric.item list, row_entry) Hashtbl.t;
   mutable dp_prev : float array;
   mutable dp_curr : float array;
   mutable dp_rows : bool array array;
+  mutable gain_buf : float array;
+  mutable key_buf : int array;
 }
 
 let workspace () =
   { affected_memo = Hashtbl.create 64;
     static_gain_memo = Hashtbl.create 64;
+    row_cache = Hashtbl.create 64;
     dp_prev = [||];
     dp_curr = [||];
-    dp_rows = [||] }
+    dp_rows = [||];
+    gain_buf = [||];
+    key_buf = [||] }
 
 let block_bytes = Fpga.Resource.uram_bytes
 
@@ -80,12 +143,20 @@ let static_gain_of_vbuf ws metric vb =
     Hashtbl.add ws.static_gain_memo members gain;
     gain
 
-(* One 0/1-knapsack DP over virtual buffers.  [gain_at] supplies the
-   value of buffer [i] when placed at source column [col] (allowing the
-   paper's table-based compensation); the memo of placement bits is
-   exposed to it through [pbuf_table].  The DP arrays come from the
-   workspace and are cleared, not reallocated, on reuse. *)
-let knapsack_dp ws ~capacity ~sizes ~gain_at =
+(* How one DP row supplies its gains: a column-independent constant, or
+   a filler that writes the gain for every source column 0..cols-1 into
+   the scratch buffer (reading earlier rows' placement bits). *)
+type row_gain =
+  | Const_gain of float
+  | Fill_gains of
+      (cols:int -> pbuf_table:bool array array -> gains:float array -> unit)
+
+(* One 0/1-knapsack DP over virtual buffers.  [row_gain] supplies each
+   row's gains whole-row-at-a-time (allowing the paper's table-based
+   compensation to batch its memo lookups); the memo of placement bits
+   is exposed to fillers through [pbuf_table].  The DP arrays come from
+   the workspace and are cleared, not reallocated, on reuse. *)
+let knapsack_dp ws ~capacity ~sizes ~row_gain =
   let n = Array.length sizes in
   if Array.length ws.dp_prev <= capacity then begin
     ws.dp_prev <- Array.make (capacity + 1) 0.;
@@ -103,22 +174,40 @@ let knapsack_dp ws ~capacity ~sizes ~gain_at =
     for i = 1 to n do
       Array.fill ws.dp_rows.(i) 0 (capacity + 1) false
     done;
+  if Array.length ws.gain_buf <= capacity then
+    ws.gain_buf <- Array.make (capacity + 1) 0.;
   let prev = ws.dp_prev and curr = ws.dp_curr and pbuf_table = ws.dp_rows in
   for i = 1 to n do
     let s = sizes.(i - 1) in
-    for j = 0 to capacity do
-      let without = prev.(j) in
-      if s <= j then begin
-        let col = j - s in
-        let with_gain = prev.(col) +. gain_at ~index:(i - 1) ~col ~pbuf_table in
-        if with_gain > without then begin
-          curr.(j) <- with_gain;
-          pbuf_table.(i).(j) <- true
-        end
-        else curr.(j) <- without
-      end
-      else curr.(j) <- without
-    done;
+    if s > capacity then Array.blit prev 0 curr 0 (capacity + 1)
+    else begin
+      for j = 0 to s - 1 do
+        curr.(j) <- prev.(j)
+      done;
+      match row_gain (i - 1) with
+      | Const_gain g ->
+        for j = s to capacity do
+          let without = prev.(j) in
+          let with_gain = prev.(j - s) +. g in
+          if with_gain > without then begin
+            curr.(j) <- with_gain;
+            pbuf_table.(i).(j) <- true
+          end
+          else curr.(j) <- without
+        done
+      | Fill_gains fill ->
+        let gains = ws.gain_buf in
+        fill ~cols:(capacity - s + 1) ~pbuf_table ~gains;
+        for j = s to capacity do
+          let without = prev.(j) in
+          let with_gain = prev.(j - s) +. gains.(j - s) in
+          if with_gain > without then begin
+            curr.(j) <- with_gain;
+            pbuf_table.(i).(j) <- true
+          end
+          else curr.(j) <- without
+        done
+    end;
     Array.blit curr 0 prev 0 (capacity + 1)
   done;
   (* Backtrace the memo into the chosen index set. *)
@@ -228,8 +317,29 @@ let evict_to_capacity metric ~capacity_bytes result =
   let result, evicted = loop result [] in
   ({ result with capacity_blocks }, evicted)
 
-let allocate ?(compensation = Table_approx) ?(rounds = 4) ?workspace:ws metric
-    ~capacity_bytes vbufs =
+(* Split a work list into at most [k] contiguous chunks for the pool. *)
+let chunks k xs =
+  let len = List.length xs in
+  if len = 0 then []
+  else begin
+    let per = (len + k - 1) / k in
+    let rec take n acc = function
+      | [] -> (List.rev acc, [])
+      | rest when n = 0 -> (List.rev acc, rest)
+      | x :: rest -> take (n - 1) (x :: acc) rest
+    in
+    let rec split acc xs =
+      match xs with
+      | [] -> List.rev acc
+      | _ ->
+        let chunk, rest = take per [] xs in
+        split (chunk :: acc) rest
+    in
+    split [] xs
+  end
+
+let allocate ?(compensation = Table_approx) ?(rounds = 4) ?workspace:ws ?pool
+    metric ~capacity_bytes vbufs =
   if capacity_bytes < 0 then invalid_arg "Dnnk.allocate: negative capacity";
   let ws = match ws with Some ws -> ws | None -> workspace () in
   let capacity = capacity_bytes / block_bytes in
@@ -276,108 +386,270 @@ let allocate ?(compensation = Table_approx) ?(rounds = 4) ?workspace:ws metric
   in
   match compensation with
   | Table_approx ->
-    (* Per row, split the affected nodes into column-independent ones —
-       no queried item is owned by an earlier DP row, so both predicate
-       evaluations are constants computed once — and dependent ones,
-       which read [pbuf_table] bits of earlier rows at the source
-       column.  The probe relies on [Metric.node_latency_pred] querying
-       a fixed item set per node regardless of the predicate's answers;
-       that fixed set also yields, per row, the exact set of earlier
-       rows whose memo bits the gain can read at all, so whole-row gains
-       are memoized on those packed bits: equal bit patterns make the
-       unmemoized fold read identical state and produce identical
-       floats. *)
+    (* Phase A (sequential, cheap): per row, enumerate each affected
+       node's queried items to find which earlier DP rows its gain can
+       read at all, then try to warm-start the row from the workspace
+       cache.  A cached entry is valid only when the freshly discovered
+       earlier rows carry the same member lists in the same order (and
+       the per-node key widths agree) — then every memo bit denotes the
+       same question as when the entry was built, and reusing its
+       constants and gain tables is bit-exact.  Shared-item inputs skip
+       the cache: their owner table is order-dependent. *)
     let earlier_seen = Array.make n false in
     let on_false _ = false in
-    let dependent = Array.make n [||] in
-    let const_without = Array.make n [||] in
-    let const_with = Array.make n [||] in
-    let const_total = Array.make n 0. in
-    let earlier = Array.make n [||] in
-    let memo = Array.init n (fun _ -> Hashtbl.create 16) in
+    let node_deps = Array.make n [||] in
+    let row_deps = Array.make n [||] in
+    let dummy_entry =
+      { earlier_members = [||];
+        node_widths = [||];
+        dep_flags = [||];
+        const_without = [||];
+        const_with = [||];
+        const_total = 0.;
+        node_memos = [||];
+        row_tbl = Row_const }
+    in
+    let entries = Array.make n dummy_entry in
+    let cacheable = not !shared_items in
+    let fresh = ref [] in
     for index = 0 to n - 1 do
       let aff = affected.(index) in
       let m = Array.length aff in
-      let dep = Array.make m false in
-      let cw = Array.make m 0. in
-      let cm = Array.make m 0. in
-      let members_only = member_test index in
-      let rows = ref [] in
+      let nd = Array.make m [||] in
+      let rows_rev = ref [] in
       for k = 0 to m - 1 do
-        let d = ref false in
-        let probe item =
-          (match Hashtbl.find_opt owner item with
-          | Some o when o < index ->
-            d := true;
-            if not earlier_seen.(o) then begin
-              earlier_seen.(o) <- true;
-              rows := o :: !rows
-            end
-          | Some _ | None -> ());
-          false
+        let acc = ref [] in
+        Metric.iter_queried_items metric aff.(k) (fun item ->
+            match Hashtbl.find_opt owner item with
+            | Some o when o < index ->
+              if not (List.mem o !acc) then acc := o :: !acc;
+              if not earlier_seen.(o) then begin
+                earlier_seen.(o) <- true;
+                rows_rev := o :: !rows_rev
+              end
+            | Some _ | None -> ());
+        if !acc <> [] then nd.(k) <- Array.of_list (List.rev !acc)
+      done;
+      let deps = Array.of_list (List.rev !rows_rev) in
+      Array.iter (fun o -> earlier_seen.(o) <- false) deps;
+      node_deps.(index) <- nd;
+      row_deps.(index) <- deps;
+      let members = vbuf_arr.(index).Vbuffer.members in
+      let earlier_members =
+        Array.map (fun o -> vbuf_arr.(o).Vbuffer.members) deps
+      in
+      let node_widths = Array.map Array.length nd in
+      let valid e =
+        Array.length e.dep_flags = m
+        && Array.length e.earlier_members = Array.length earlier_members
+        && e.node_widths = node_widths
+        && (let ok = ref true in
+            Array.iteri
+              (fun b ms -> if ms <> e.earlier_members.(b) then ok := false)
+              earlier_members;
+            !ok)
+      in
+      match
+        if cacheable then Hashtbl.find_opt ws.row_cache members else None
+      with
+      | Some e when valid e -> entries.(index) <- e
+      | Some _ | None ->
+        let dep_flags = Array.map (fun d -> Array.length d > 0) nd in
+        let width = Array.length deps in
+        let row_tbl =
+          if width = 0 then Row_const
+          else if width <= row_direct_bits then
+            Row_direct (Array.make (1 lsl width) Float.nan)
+          else if width <= max_key_bits then Row_hash (Hashtbl.create 64)
+          else Row_wide
         in
-        ignore (Metric.node_latency_pred metric ~on:probe aff.(k));
-        if !d then dep.(k) <- true
-        else begin
-          cw.(k) <- Metric.node_latency_pred metric ~on:on_false aff.(k);
-          cm.(k) <- Metric.node_latency_pred metric ~on:members_only aff.(k)
+        let node_memos =
+          Array.map
+            (fun d ->
+              let w = Array.length d in
+              if w = 0 then Node_const
+              else if w <= node_direct_bits then
+                Node_direct
+                  { p1 = Array.make (1 lsl w) Float.nan;
+                    p2 = Array.make (1 lsl w) 0. }
+              else if w <= max_key_bits then Node_hash (Hashtbl.create 16)
+              else Node_wide)
+            nd
+        in
+        let e =
+          { earlier_members;
+            node_widths;
+            dep_flags;
+            const_without = Array.make m 0.;
+            const_with = Array.make m 0.;
+            const_total = 0.;
+            node_memos;
+            row_tbl }
+        in
+        entries.(index) <- e;
+        if cacheable then Hashtbl.replace ws.row_cache members e;
+        fresh := index :: !fresh
+    done;
+    let fresh = List.rev !fresh in
+    (* Phase B: column-independent constants of the fresh rows.  Rows
+       write disjoint entries and only read the metric and the owner
+       table, so chunks run on the pool; results are position-addressed,
+       making the parallel fill order-independent. *)
+    let compute_consts index =
+      let e = entries.(index) in
+      let aff = affected.(index) in
+      let members_only = member_test index in
+      let m = Array.length aff in
+      for k = 0 to m - 1 do
+        if not e.dep_flags.(k) then begin
+          e.const_without.(k) <- Metric.node_latency_pred metric ~on:on_false aff.(k);
+          e.const_with.(k) <- Metric.node_latency_pred metric ~on:members_only aff.(k)
         end
       done;
-      List.iter (fun o -> earlier_seen.(o) <- false) !rows;
       let total = ref 0. in
       for k = 0 to m - 1 do
-        if not dep.(k) then total := !total +. cw.(k) -. cm.(k)
+        if not e.dep_flags.(k) then
+          total := !total +. e.const_without.(k) -. e.const_with.(k)
       done;
-      dependent.(index) <- dep;
-      const_without.(index) <- cw;
-      const_with.(index) <- cm;
-      const_total.(index) <- !total;
-      earlier.(index) <- Array.of_list (List.rev !rows)
-    done;
-    let full_fold ~index ~col ~pbuf_table =
-      let aff = affected.(index) in
-      let dep = dependent.(index) in
-      let cw = const_without.(index) in
-      let cm = const_with.(index) in
-      let members_only = member_test index in
-      let recorded item =
-        match Hashtbl.find_opt owner item with
-        | Some k when k < index -> pbuf_table.(k + 1).(col)
-        | Some _ | None -> false
+      e.const_total <- !total
+    in
+    (match pool with
+    | None -> List.iter compute_consts fresh
+    | Some pool ->
+      ignore
+        (Pool.map_list pool
+           (fun chunk -> List.iter compute_consts chunk)
+           (chunks (4 * Pool.size pool) fresh)));
+    (* The (p1, p2) compensation pair of dependent node [k] of the row,
+       as a pure function of the node's packed earlier-row bits. *)
+    let node_term index k col pbuf_table =
+      let e = entries.(index) in
+      let nd = node_deps.(index).(k) in
+      let compute () =
+        let members_only = member_test index in
+        let recorded item =
+          match Hashtbl.find_opt owner item with
+          | Some o when o < index -> pbuf_table.(o + 1).(col)
+          | Some _ | None -> false
+        in
+        let node = affected.(index).(k) in
+        let p1 = Metric.node_latency_pred metric ~on:recorded node in
+        let p2 =
+          Metric.node_latency_pred metric
+            ~on:(fun it -> recorded it || members_only it)
+            node
+        in
+        (p1, p2)
       in
-      let with_members item = recorded item || members_only item in
+      match e.node_memos.(k) with
+      | Node_const | Node_wide -> compute ()
+      | Node_direct { p1; p2 } ->
+        let key = ref 0 in
+        Array.iteri
+          (fun b o -> if pbuf_table.(o + 1).(col) then key := !key lor (1 lsl b))
+          nd;
+        let key = !key in
+        let v1 = p1.(key) in
+        if Float.is_nan v1 then begin
+          let a, b = compute () in
+          p1.(key) <- a;
+          p2.(key) <- b;
+          (a, b)
+        end
+        else (v1, p2.(key))
+      | Node_hash tbl ->
+        let key = ref 0 in
+        Array.iteri
+          (fun b o -> if pbuf_table.(o + 1).(col) then key := !key lor (1 lsl b))
+          nd;
+        (match Hashtbl.find_opt tbl !key with
+        | Some v -> v
+        | None ->
+          let v = compute () in
+          Hashtbl.add tbl !key v;
+          v)
+    in
+    (* Whole-row gain at one column, accumulated in the exact node order
+       and float operation shape of the reference fold. *)
+    let row_gain_at index col pbuf_table =
+      let e = entries.(index) in
+      let aff = affected.(index) in
+      let dep = e.dep_flags in
+      let cw = e.const_without in
+      let cm = e.const_with in
       let acc = ref 0. in
       for k = 0 to Array.length aff - 1 do
-        if dep.(k) then
-          acc :=
-            !acc
-            +. Metric.node_latency_pred metric ~on:recorded aff.(k)
-            -. Metric.node_latency_pred metric ~on:with_members aff.(k)
+        if dep.(k) then begin
+          let p1, p2 = node_term index k col pbuf_table in
+          acc := !acc +. p1 -. p2
+        end
         else acc := !acc +. cw.(k) -. cm.(k)
       done;
       !acc
     in
-    let max_memo_bits = Sys.int_size - 2 in
-    let gain_at ~index ~col ~pbuf_table =
-      let deps = earlier.(index) in
-      let width = Array.length deps in
-      if width = 0 then const_total.(index)
-      else if width <= max_memo_bits then begin
-        let key = ref 0 in
-        for b = 0 to width - 1 do
-          if pbuf_table.(deps.(b) + 1).(col) then key := !key lor (1 lsl b)
-        done;
-        let tbl = memo.(index) in
-        match Hashtbl.find_opt tbl !key with
-        | Some g -> g
-        | None ->
-          let g = full_fold ~index ~col ~pbuf_table in
-          Hashtbl.add tbl !key g;
-          g
-      end
-      else full_fold ~index ~col ~pbuf_table
+    if Array.length ws.key_buf <= capacity then
+      ws.key_buf <- Array.make (capacity + 1) 0;
+    let fill index ~cols ~pbuf_table ~gains =
+      let e = entries.(index) in
+      match e.row_tbl with
+      | Row_const ->
+        for col = 0 to cols - 1 do
+          gains.(col) <- e.const_total
+        done
+      | Row_wide ->
+        for col = 0 to cols - 1 do
+          gains.(col) <- row_gain_at index col pbuf_table
+        done
+      | Row_direct tbl ->
+        let deps = row_deps.(index) in
+        let keys = ws.key_buf in
+        Array.fill keys 0 cols 0;
+        Array.iteri
+          (fun b o ->
+            let row = pbuf_table.(o + 1) in
+            let bit = 1 lsl b in
+            for col = 0 to cols - 1 do
+              if row.(col) then keys.(col) <- keys.(col) lor bit
+            done)
+          deps;
+        for col = 0 to cols - 1 do
+          let key = keys.(col) in
+          let g = tbl.(key) in
+          if Float.is_nan g then begin
+            let g = row_gain_at index col pbuf_table in
+            tbl.(key) <- g;
+            gains.(col) <- g
+          end
+          else gains.(col) <- g
+        done
+      | Row_hash tbl ->
+        let deps = row_deps.(index) in
+        let keys = ws.key_buf in
+        Array.fill keys 0 cols 0;
+        Array.iteri
+          (fun b o ->
+            let row = pbuf_table.(o + 1) in
+            let bit = 1 lsl b in
+            for col = 0 to cols - 1 do
+              if row.(col) then keys.(col) <- keys.(col) lor bit
+            done)
+          deps;
+        for col = 0 to cols - 1 do
+          let key = keys.(col) in
+          match Hashtbl.find_opt tbl key with
+          | Some g -> gains.(col) <- g
+          | None ->
+            let g = row_gain_at index col pbuf_table in
+            Hashtbl.add tbl key g;
+            gains.(col) <- g
+        done
     in
-    let chosen = knapsack_dp ws ~capacity ~sizes ~gain_at in
+    let row_gain index =
+      match entries.(index).row_tbl with
+      | Row_const -> Const_gain entries.(index).const_total
+      | Row_direct _ | Row_hash _ | Row_wide -> Fill_gains (fill index)
+    in
+    let chosen = knapsack_dp ws ~capacity ~sizes ~row_gain in
     sweep_up metric ~capacity_blocks:capacity
       (finish metric ~capacity_blocks:capacity vbufs
          (List.map (fun i -> vbuf_arr.(i).Vbuffer.vbuf_id) chosen))
@@ -397,8 +669,8 @@ let allocate ?(compensation = Table_approx) ?(rounds = 4) ?workspace:ws metric
         vbuf_arr
     in
     let run () =
-      let gain_at ~index ~col:_ ~pbuf_table:_ = gains.(index) in
-      let chosen = knapsack_dp ws ~capacity ~sizes ~gain_at in
+      let row_gain index = Const_gain gains.(index) in
+      let chosen = knapsack_dp ws ~capacity ~sizes ~row_gain in
       sweep_up metric ~capacity_blocks:capacity
         (finish metric ~capacity_blocks:capacity vbufs
            (List.map (fun i -> vbuf_arr.(i).Vbuffer.vbuf_id) chosen))

@@ -27,11 +27,16 @@ type compensation = Table_approx | Exact_iterative
 
 type workspace
 (** Scratch state shared across allocator calls: memoized per-buffer
-    affected-node sets and static gains, plus the DP arrays, which are
-    cleared rather than reallocated on reuse.  The splitting loop
-    re-runs the allocator many times over near-identical buffer sets
-    and passes one workspace through all of them.  A workspace is only
-    valid against the metric it first ran with. *)
+    affected-node sets, static gains and compensation row state (the
+    constants and gain tables of every virtual buffer the workspace has
+    seen, keyed by member list), plus the DP arrays, which are cleared
+    rather than reallocated on reuse.  The splitting loop re-runs the
+    allocator many times over near-identical buffer sets and passes one
+    workspace through all of them; rows whose earlier-owner dependency
+    structure is unchanged warm-start from their cached tables, which
+    is bit-exact because every cached float is a pure function of its
+    memo-key bits.  A workspace is only valid against the metric it
+    first ran with. *)
 
 val workspace : unit -> workspace
 
@@ -52,11 +57,15 @@ val blocks_of_bytes : int -> int
 
 val allocate :
   ?compensation:compensation -> ?rounds:int -> ?workspace:workspace ->
-  Metric.t -> capacity_bytes:int -> Vbuffer.t list -> result
+  ?pool:Pool.t -> Metric.t -> capacity_bytes:int -> Vbuffer.t list -> result
 (** Run the allocator.  [rounds] (default 4) bounds {!Exact_iterative}
     refinement.  [workspace] (fresh by default) carries memos and DP
-    arrays across repeated calls against the same metric.  Raises
-    [Invalid_argument] on negative capacity. *)
+    arrays across repeated calls against the same metric; reusing one
+    warm-starts unchanged compensation rows.  [pool] parallelizes the
+    per-row constant analysis across domains (the result is
+    byte-identical to the sequential run — rows fill disjoint,
+    position-addressed slots).  Raises [Invalid_argument] on negative
+    capacity. *)
 
 val evict_to_capacity :
   Metric.t -> capacity_bytes:int -> result -> result * Vbuffer.t list

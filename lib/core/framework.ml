@@ -138,7 +138,33 @@ let helped_and_bound metric on_chip =
     profiles;
   (!helped, !bound)
 
-let plan ?(options = default_options) config g =
+(* Order-preserving parallel map over an array: contiguous chunks run
+   as pool jobs, each returning its sub-array, concatenated in chunk
+   order — the result is positionally identical to [Array.map]. *)
+let par_map pool f arr =
+  match pool with
+  | None -> Array.map f arr
+  | Some pool ->
+    let n = Array.length arr in
+    if n = 0 then [||]
+    else begin
+      let pieces = min n (4 * Pool.size pool) in
+      let per = (n + pieces - 1) / pieces in
+      let ranges =
+        List.init pieces (fun p ->
+            let lo = p * per in
+            (lo, min per (n - lo)))
+        |> List.filter (fun (_, len) -> len > 0)
+      in
+      let parts =
+        Pool.map_list pool
+          (fun (lo, len) -> Array.init len (fun i -> f arr.(lo + i)))
+          ranges
+      in
+      Array.concat parts
+    end
+
+let plan ?(options = default_options) ?pool config g =
   Log.info (fun m ->
       m "plan: %d nodes, %s, device %s" (G.node_count g)
         (Tensor.Dtype.to_string config.Config.dtype)
@@ -192,7 +218,7 @@ let plan ?(options = default_options) config g =
   in
   let intervals =
     timed liveness_us (fun () ->
-        Array.map (Liveness.item_interval g ~prefetch_source) items)
+        par_map pool (Liveness.item_interval g ~prefetch_source) items)
   in
   Log.info (fun m ->
       m "passes 1+2 (liveness, prefetch): %d eligible items, %d prefetch targets"
@@ -226,16 +252,16 @@ let plan ?(options = default_options) config g =
   let workspace = Dnnk.workspace () in
   let initial =
     timed dnnk_us (fun () ->
-        Dnnk.allocate ~compensation:options.compensation ~workspace metric
-          ~capacity_bytes vbufs)
+        Dnnk.allocate ~compensation:options.compensation ~workspace ?pool
+          metric ~capacity_bytes vbufs)
   in
   let allocation, splitting_iterations, vbufs =
     if options.buffer_splitting && options.buffer_sharing then begin
       let outcome =
         timed splitting_us (fun () ->
             Splitting.run ~compensation:options.compensation
-              ~strategy:options.coloring ~workspace metric interference ~sizes
-              ~capacity_bytes initial)
+              ~strategy:options.coloring ~workspace ?pool metric interference
+              ~sizes ~capacity_bytes initial)
       in
       let final_vbufs =
         outcome.Splitting.result.Dnnk.chosen @ outcome.Splitting.result.Dnnk.spilled
@@ -353,10 +379,11 @@ let plan ?(options = default_options) config g =
     tensor_sram_bytes = allocation.Dnnk.used_blocks * Dnnk.block_bytes;
     pass_times }
 
-let plan_partitioned ?(options = default_options) ~capacity_bytes config g =
+let plan_partitioned ?(options = default_options) ?pool ~capacity_bytes config g =
   if capacity_bytes < 0 then
     invalid_arg "Framework.plan_partitioned: negative capacity";
-  plan ~options:{ options with capacity_override = Some capacity_bytes } config g
+  plan ~options:{ options with capacity_override = Some capacity_bytes } ?pool
+    config g
 
 (* Degraded-mode replanning for a board whose SRAM shrank under a live
    plan (bank loss).  Two steps, mirroring the paper's spill reasoning
@@ -372,7 +399,7 @@ type degraded = {
   replanned : plan;
 }
 
-let degrade ~surviving_bytes p g =
+let degrade ?pool ~surviving_bytes p g =
   if surviving_bytes < 0 then invalid_arg "Framework.degrade: negative capacity";
   let post_eviction, evicted =
     Dnnk.evict_to_capacity p.metric ~capacity_bytes:surviving_bytes p.allocation
@@ -386,9 +413,55 @@ let degrade ~surviving_bytes p g =
         (List.length evicted)
         (float_of_int evicted_bytes /. 1e6));
   let replanned =
-    plan_partitioned ~options:p.options ~capacity_bytes:surviving_bytes p.config g
+    plan_partitioned ~options:p.options ?pool ~capacity_bytes:surviving_bytes
+      p.config g
   in
   { evicted; evicted_bytes; post_eviction; replanned }
+
+(* Canonical byte string of everything decision-relevant in a plan —
+   buffers, membership, allocation, prefetch edges, objectives — with
+   floats at full precision ([%.17g] round-trips every double) and
+   wall-clock pass times deliberately excluded.  Two plans fingerprint
+   equal iff the planner made identical decisions and identical float
+   computations; the parallel-determinism property test digests this. *)
+let fingerprint p =
+  let b = Buffer.create 1024 in
+  let f x = Buffer.add_string b (Printf.sprintf "%.17g;" x) in
+  let i x = Buffer.add_string b (string_of_int x ^ ";") in
+  let item it = Buffer.add_string b (Format.asprintf "%a," Metric.pp_item it) in
+  let vbuf vb =
+    i vb.Vbuffer.vbuf_id;
+    i vb.Vbuffer.size_bytes;
+    List.iter item vb.Vbuffer.members;
+    Buffer.add_char b '|'
+  in
+  Buffer.add_string b "vbufs:";
+  List.iter vbuf p.vbufs;
+  Buffer.add_string b "chosen:";
+  List.iter vbuf p.allocation.Dnnk.chosen;
+  Buffer.add_string b "spilled:";
+  List.iter vbuf p.allocation.Dnnk.spilled;
+  Buffer.add_string b "alloc:";
+  f p.allocation.Dnnk.predicted_latency;
+  i p.allocation.Dnnk.capacity_blocks;
+  i p.allocation.Dnnk.used_blocks;
+  Buffer.add_string b "prefetch:";
+  (match p.prefetch with
+  | None -> Buffer.add_string b "none"
+  | Some pdg ->
+    List.iter
+      (fun (e : Prefetch.edge) ->
+        i e.Prefetch.source;
+        i e.Prefetch.target;
+        f e.Prefetch.load_seconds;
+        f e.Prefetch.stall_seconds)
+      (Prefetch.edges pdg));
+  Buffer.add_string b ";plan:";
+  i p.splitting_iterations;
+  f p.predicted_latency;
+  f p.pol;
+  i p.tensor_sram_bytes;
+  Buffer.contents b
 
 let latency p = p.predicted_latency
 
@@ -462,10 +535,10 @@ type comparison = {
   speedup : float;
 }
 
-let compare_designs ?options ?(device = Fpga.Device.vu9p) ~model dtype g =
+let compare_designs ?options ?pool ?(device = Fpga.Device.vu9p) ~model dtype g =
   let umm_dse = Accel.Dse.run ~device ~style:Config.Umm dtype g in
   let lcmm_dse = Accel.Dse.run ~device ~style:Config.Lcmm dtype g in
-  let lcmm_plan = plan ?options lcmm_dse.Accel.Dse.config g in
+  let lcmm_plan = plan ?options ?pool lcmm_dse.Accel.Dse.config g in
   let umm =
     report ~style_name:"UMM" device umm_dse.Accel.Dse.config g
       ~latency_seconds:umm_dse.Accel.Dse.umm_latency ~tensor_bytes:0 ~buffer_count:0

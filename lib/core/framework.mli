@@ -61,11 +61,17 @@ type plan = {
   pass_times : pass_times;         (** Wall-clock breakdown of this run. *)
 }
 
-val plan : ?options:options -> Accel.Config.t -> Dnn_graph.Graph.t -> plan
-(** Run LCMM for a fixed design point. *)
+val plan :
+  ?options:options -> ?pool:Pool.t -> Accel.Config.t -> Dnn_graph.Graph.t ->
+  plan
+(** Run LCMM for a fixed design point.  [pool] parallelizes the
+    liveness scan and DNNK's per-row compensation analysis across
+    domains; the resulting plan is byte-identical to the sequential one
+    (parallel pieces fill disjoint, position-addressed slots — see
+    {!fingerprint}). *)
 
 val plan_partitioned :
-  ?options:options -> capacity_bytes:int -> Accel.Config.t ->
+  ?options:options -> ?pool:Pool.t -> capacity_bytes:int -> Accel.Config.t ->
   Dnn_graph.Graph.t -> plan
 (** Run LCMM with the tensor-buffer budget capped at [capacity_bytes] —
     the multi-tenant runtime's entry point, compiling each tenant
@@ -80,7 +86,8 @@ type degraded = {
   replanned : plan;              (** Full re-solve at the surviving capacity. *)
 }
 
-val degrade : surviving_bytes:int -> plan -> Dnn_graph.Graph.t -> degraded
+val degrade :
+  ?pool:Pool.t -> surviving_bytes:int -> plan -> Dnn_graph.Graph.t -> degraded
 (** Degraded-mode replanning for a plan whose SRAM shrank underneath it
     (bank loss).  First evicts pinned virtual buffers by reverse
     benefit-density ({!Dnnk.evict_to_capacity}) until [surviving_bytes]
@@ -88,6 +95,14 @@ val degrade : surviving_bytes:int -> plan -> Dnn_graph.Graph.t -> degraded
     pipeline via {!plan_partitioned} at the surviving capacity for the
     plan resumed from the current node.  Raises [Invalid_argument] on
     negative capacity. *)
+
+val fingerprint : plan -> string
+(** Canonical byte string of everything decision-relevant in the plan
+    (buffers, allocation, prefetch edges, objectives at full float
+    precision) with wall-clock pass times excluded: two plans
+    fingerprint equal iff the planner made identical decisions and
+    identical float computations.  Digest it (e.g.
+    [Dnn_serial.Codec.digest_string]) for compact comparison. *)
 
 val latency : plan -> float
 
@@ -116,7 +131,7 @@ type comparison = {
 }
 
 val compare_designs :
-  ?options:options -> ?device:Fpga.Device.t -> model:string ->
+  ?options:options -> ?pool:Pool.t -> ?device:Fpga.Device.t -> model:string ->
   Tensor.Dtype.t -> Dnn_graph.Graph.t -> comparison
 (** The paper's Table 1 experiment for one (model, precision) pair: DSE a
     UMM baseline and an LCMM design, run the framework on the latter and

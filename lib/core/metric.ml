@@ -88,6 +88,23 @@ let node_latency_pred t ~on id =
   let of_time = if on (Feature_value id) then 0. else p.Latency.of_term in
   max p.Latency.latc (max if_time (max wt_time of_time))
 
+(* The exact item set [node_latency_pred] queries for a node, in query
+   order.  DNNK's compensation tables key their memo bits on this set,
+   and warm-started workspaces rely on the order being a pure function
+   of the metric — keep it in lockstep with [node_latency_pred]. *)
+let iter_queried_items t id f =
+  let p = t.profiles.(id) in
+  let k = t.slices.(id) in
+  if p.Latency.wt_term > 0. then begin
+    if k = 1 then f (Weight_of id)
+    else
+      for index = 0 to k - 1 do
+        f (Weight_slice { node = id; index; of_k = k })
+      done
+  end;
+  List.iter (fun (v, _) -> f (Feature_value v)) p.Latency.if_terms;
+  f (Feature_value id)
+
 let node_latency t ~on_chip id =
   node_latency_pred t ~on:(fun item -> Item_set.mem item on_chip) id
 

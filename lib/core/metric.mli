@@ -49,6 +49,12 @@ val node_latency_pred : t -> on:(item -> bool) -> int -> float
 (** Like {!node_latency} with the allocation as a predicate — the hot
     path of DNNK's inner loop, avoiding set construction. *)
 
+val iter_queried_items : t -> int -> (item -> unit) -> unit
+(** [iter_queried_items t id f] calls [f] on exactly the items
+    {!node_latency_pred} queries for node [id], in query order.  DNNK's
+    compensation tables derive their memo-key bit layout from this
+    enumeration; it is a pure function of the metric. *)
+
 val total_latency : t -> on_chip:Item_set.t -> float
 (** Whole-network latency (sequential node execution). *)
 

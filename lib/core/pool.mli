@@ -2,10 +2,12 @@
 
     The LCMM passes are pure functions of their inputs (no global
     mutable state anywhere in [lib/core], [lib/accel] or [lib/sim]), so
-    independent compile/simulate requests are safe to run on separate
-    domains with no coordination beyond this queue — the determinism
-    test in [test/test_service.ml] pins that down by comparing parallel
-    and sequential runs byte for byte.
+    independent compile/simulate requests — and the independent
+    per-row/per-tenant pieces inside one planner run — are safe to run
+    on separate domains with no coordination beyond this queue.  The
+    parallel-determinism property test in [test/test_parallel.ml] pins
+    down that plans computed through a pool are byte-identical to
+    sequential ones.
 
     Jobs are closures; submitting returns a future that [await] blocks
     on.  Ordinary exceptions escaping a job are captured and re-raised
@@ -48,9 +50,16 @@ val run : t -> (unit -> 'a) -> 'a
 (** [submit] then [await], re-raising the job's exception. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
-(** Parallel map preserving order.  Must not be called from inside a
-    pool job (a worker blocking on its own pool can deadlock when every
-    worker does it); the service keeps fan-out on the caller thread. *)
+(** Parallel map preserving order.  While its futures are pending the
+    caller *helps*: it drains queued jobs and runs them inline instead
+    of blocking, so calling [map_list] from inside a pool job is safe —
+    nested fan-outs keep making progress even with every worker busy.
+    The caller only blocks once the queue is empty, at which point its
+    remaining futures are necessarily running on other domains. *)
+
+val help_one : t -> bool
+(** Steal one queued job and run it on the calling thread; [false] when
+    the queue was empty.  Exposed for custom waiting loops. *)
 
 val busy : t -> int
 (** Workers currently executing a job. *)

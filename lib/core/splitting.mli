@@ -13,15 +13,25 @@ type outcome = {
   result : Dnnk.result;
   iterations : int;       (** Splitting rounds actually applied. *)
   false_edges : int;      (** Edges injected in total. *)
+  history : float list;
+      (** Objective trajectory: the predicted latency of the initial
+          allocation followed by each accepted re-run's, in order.
+          Strictly decreasing by construction (the acceptance test
+          requires an improvement beyond 1e-12). *)
+  converged : bool;
+      (** [true] when the loop stopped because no candidate improved
+          (or none existed); [false] when it ran into
+          [max_iterations]. *)
 }
 
 val run :
   ?max_iterations:int -> ?compensation:Dnnk.compensation ->
-  ?strategy:Coloring.strategy -> ?workspace:Dnnk.workspace -> Metric.t ->
-  Interference.t -> sizes:int array -> capacity_bytes:int -> Dnnk.result ->
-  outcome
+  ?strategy:Coloring.strategy -> ?workspace:Dnnk.workspace -> ?pool:Pool.t ->
+  Metric.t -> Interference.t -> sizes:int array -> capacity_bytes:int ->
+  Dnnk.result -> outcome
 (** [run metric interference ~sizes ~capacity_bytes initial] improves on
     [initial] (the DNNK result for the current coloring of
     [interference]).  The interference graph is mutated (false edges
     accumulate).  [max_iterations] defaults to 16; [workspace] lets the
-    re-allocation rounds share DNNK memos and DP arrays. *)
+    re-allocation rounds warm-start from shared DNNK memos and DP
+    arrays; [pool] is passed through to {!Dnnk.allocate}. *)

@@ -2,19 +2,30 @@ type v = int
 
 type t = {
   mutable rev_nodes : Graph.node list;
-  mutable shapes : Tensor.Shape.t list;  (* reversed, parallel to rev_nodes *)
+  mutable shapes : Tensor.Shape.t array;  (* indexed by value id; doubling *)
   mutable next_id : int;
   mutable block : string option;
 }
 
-let create () = { rev_nodes = []; shapes = []; next_id = 0; block = None }
+let create () = { rev_nodes = []; shapes = [||]; next_id = 0; block = None }
 
 let id (v : v) = v
 
 let shape b (v : v) =
-  let pos = b.next_id - 1 - v in
-  if v < 0 || pos < 0 then invalid_arg "Builder.shape: unknown value";
-  List.nth b.shapes pos
+  if v < 0 || v >= b.next_id then invalid_arg "Builder.shape: unknown value";
+  b.shapes.(v)
+
+(* Shape queries must stay O(1): generators and shape-compatibility
+   scans call [shape] per candidate value, so a list here turns graph
+   construction quadratic at benchmark scale. *)
+let push_shape b s =
+  let cap = Array.length b.shapes in
+  if b.next_id >= cap then begin
+    let bigger = Array.make (max 16 (2 * cap)) s in
+    Array.blit b.shapes 0 bigger 0 cap;
+    b.shapes <- bigger
+  end;
+  b.shapes.(b.next_id) <- s
 
 let add_node b ~name ~op ~preds : v =
   let inputs = List.map (fun p -> shape b p) preds in
@@ -26,7 +37,7 @@ let add_node b ~name ~op ~preds : v =
       { Graph.id = b.next_id; node_name = name; op; preds; block = b.block }
     in
     b.rev_nodes <- node :: b.rev_nodes;
-    b.shapes <- out :: b.shapes;
+    push_shape b out;
     b.next_id <- b.next_id + 1;
     node.Graph.id
 

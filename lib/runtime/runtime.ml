@@ -88,7 +88,7 @@ let slack_of (p : F.plan) (iso : Sim.Engine.run) =
             -. iso.Sim.Engine.timings.(s).Sim.Engine.start
         | None -> 0.)
 
-let run options specs =
+let run ?pool options specs =
   (* A spec with no active fault source is normalised away so the
      no-fault path — and its bit-exact output — is completely
      untouched. *)
@@ -98,20 +98,32 @@ let run options specs =
     | f -> f
   in
   let injector = Option.map Fault.Injector.create fault_spec in
+  let pool_map f xs =
+    match pool with
+    | None -> List.map f xs
+    | Some pool -> Lcmm.Pool.map_list pool f xs
+  in
   let specs = Array.of_list specs in
   let n = Array.length specs in
   let cache : (string, compiled) Hashtbl.t = Hashtbl.create 8 in
-  let compiled =
-    Array.map
-      (fun s ->
-        match Hashtbl.find_opt cache s.model with
-        | Some c -> c
-        | None ->
-            let c = compile_model options s.graph in
-            Hashtbl.add cache s.model c;
-            c)
-      specs
+  (* Each distinct model compiles once; the distinct compiles are
+     independent, so they fan out on the pool.  Results land in the
+     cache keyed by model name, making the fill order irrelevant — the
+     report is byte-identical to the sequential run. *)
+  let unique_specs =
+    let seen = Hashtbl.create 8 in
+    Array.to_list specs
+    |> List.filter (fun s ->
+           if Hashtbl.mem seen s.model then false
+           else begin
+             Hashtbl.add seen s.model ();
+             true
+           end)
   in
+  List.iter
+    (fun (model, c) -> Hashtbl.add cache model c)
+    (pool_map (fun s -> (s.model, compile_model options s.graph)) unique_specs);
+  let compiled = Array.map (fun s -> Hashtbl.find cache s.model) specs in
   let budget_bytes =
     Array.fold_left
       (fun acc c -> min acc (Config.sram_budget_bytes c.config))
@@ -152,6 +164,40 @@ let run options specs =
   let replan : (string * int, F.plan * Sim.Engine.run) Hashtbl.t =
     Hashtbl.create 8
   in
+  (* Pre-solve the distinct (model, grant) replans in parallel: they
+     are the expensive admitted-tenant compiles, mutually independent,
+     and keyed deterministically, so [partitioned] below always hits
+     the table regardless of which domain solved which tenant. *)
+  let replan_keys =
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    Array.iteri
+      (fun i d ->
+        match d with
+        | Admission.Admitted { grant_bytes } ->
+            let c = compiled.(i) in
+            if grant_bytes < c.base.F.tensor_sram_bytes then begin
+              let key = (specs.(i).model, grant_bytes) in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                acc := (i, grant_bytes) :: !acc
+              end
+            end
+        | _ -> ())
+      decisions;
+    List.rev !acc
+  in
+  List.iter
+    (fun (key, pi) -> Hashtbl.add replan key pi)
+    (pool_map
+       (fun (i, grant) ->
+         let c = compiled.(i) in
+         let p =
+           F.plan_partitioned ~options:options.fw_options ~capacity_bytes:grant
+             c.config specs.(i).graph
+         in
+         ((specs.(i).model, grant), (p, isolated p)))
+       replan_keys);
   let partitioned i grant =
     let c = compiled.(i) in
     if grant >= c.base.F.tensor_sram_bytes then (c.base, c.base_iso)

@@ -45,7 +45,11 @@ val default_options : options
     partitioning, 4x bandwidth overcommit, one-block minimum grant,
     no faults. *)
 
-val run : options -> spec list -> Report.t
+val run : ?pool:Lcmm.Pool.t -> options -> spec list -> Report.t
 (** Admit, partition, compile and co-simulate the tenants.  Specs with
     the same [model] share one design-space exploration and base plan;
-    deterministic for a fixed spec list. *)
+    deterministic for a fixed spec list.  [pool] parallelizes the
+    per-model compiles and the per-grant partitioned replans across
+    domains; the report is byte-identical to the sequential run (both
+    fan-outs fill tables keyed deterministically by model / (model,
+    grant)). *)

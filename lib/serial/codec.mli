@@ -15,6 +15,12 @@ val graph_of_json : Json.t -> (Dnn_graph.Graph.t, string) result
 val to_string : ?pretty:bool -> Dnn_graph.Graph.t -> string
 (** Serialize ([pretty] defaults to true). *)
 
+val digest_string : string -> string
+(** Hex digest (MD5) of an arbitrary canonical byte string — the same
+    content-address scheme as {!digest}, for callers that fingerprint
+    non-graph artifacts (e.g. plan fingerprints in the
+    parallel-determinism tests). *)
+
 val digest : Dnn_graph.Graph.t -> string
 (** Hex digest (MD5) of the canonical compact serialization — a stable
     content address: two graphs digest equal iff their serialized forms

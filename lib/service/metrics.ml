@@ -4,23 +4,27 @@ module Json = Dnn_serial.Json
 
 (* Linear interpolation between order statistics (the "type 7" estimator
    most tools default to): rank q*(n-1) into the sorted sample, fractional
-   ranks interpolated between neighbours. *)
+   ranks interpolated between neighbours.  Total on every input: an empty
+   sample reports 0 (not NaN — the stats op serializes these into JSON,
+   where NaN is unrepresentable), a singleton reports its only value at
+   every quantile, and q is clamped into [0,1] with NaN treated as 0. *)
 let percentile_sorted sorted q =
   let n = Array.length sorted in
-  if n = 0 then Float.nan
+  if n = 0 then 0.
   else if n = 1 then sorted.(0)
   else begin
-    let q = Float.max 0. (Float.min 1. q) in
+    let q = if Float.is_nan q then 0. else Float.max 0. (Float.min 1. q) in
     let rank = q *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = min (n - 1) (lo + 1) in
     let frac = rank -. float_of_int lo in
-    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    if frac = 0. then sorted.(lo)
+    else sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end
 
 let percentile sample q =
   let sorted = Array.copy sample in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted q
 
 (* --- bounded reservoir (Vitter's algorithm R) --- *)
@@ -117,7 +121,7 @@ let snapshot t =
         |> List.map (fun (op, s) ->
                (* One sorted copy serves all three percentiles. *)
                let sorted = Reservoir.sample s.latencies in
-               Array.sort compare sorted;
+               Array.sort Float.compare sorted;
                let p q = percentile_sorted sorted q *. 1e3 in
                ( op,
                  Json.Obj

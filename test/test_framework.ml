@@ -103,6 +103,32 @@ let prop_plan_never_worse_than_umm =
       p.F.predicted_latency
       <= Accel.Latency.umm_total p.F.metric.Metric.profiles +. 1e-9)
 
+(* Parallel planning is a pure speedup: a plan computed on a worker
+   pool must fingerprint byte-identical to the sequential plan at every
+   domain count, across random graphs.  The fingerprint covers every
+   decision and every float the planner produced (pass times excluded),
+   so a single reordered reduction anywhere in the parallel paths flips
+   the digest. *)
+let prop_parallel_plan_deterministic =
+  let gen = QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 8 48)) in
+  Helpers.qtest ~count:50 "plan with ~pool is byte-identical at 1/2/4/8 domains"
+    gen (fun (seed, nodes) ->
+      let g =
+        Check.Gen.sized_graph ~family:Check.Gen.Mixed
+          (Random.State.make [| 7; seed; nodes |])
+          ~nodes
+      in
+      let cfg = Helpers.default_config () in
+      let digest p = Dnn_serial.Codec.digest_string (F.fingerprint p) in
+      let baseline = digest (F.plan cfg g) in
+      List.for_all
+        (fun domains ->
+          let pool = Lcmm.Pool.create ~domains () in
+          Fun.protect
+            ~finally:(fun () -> Lcmm.Pool.shutdown pool)
+            (fun () -> digest (F.plan ~pool cfg g) = baseline))
+        [ 1; 2; 4; 8 ])
+
 let prop_on_chip_items_are_eligible =
   Helpers.qtest ~count:20 "pinned items come from the eligible set"
     Helpers.random_graph_gen (fun g ->
@@ -121,4 +147,5 @@ let suite =
     Alcotest.test_case "compare designs" `Quick test_compare_designs_shape;
     Alcotest.test_case "helped layers" `Quick test_helped_layers_consistent;
     prop_plan_never_worse_than_umm;
+    prop_parallel_plan_deterministic;
     prop_on_chip_items_are_eligible ]

@@ -731,8 +731,38 @@ let test_percentile_estimator () =
     (Json.List (Array.to_list (Array.map (fun f -> Json.Float f) shuffled)));
   Alcotest.(check (float 1e-9)) "singleton" 7.
     (Svc.Metrics.percentile [| 7. |] 0.99);
-  Alcotest.(check bool) "empty is nan" true
-    (Float.is_nan (Svc.Metrics.percentile [||] 0.5))
+  (* Singleton: every quantile, including the extremes and out-of-range
+     requests, reports the only value. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "singleton at q=%g" q)
+        7.
+        (Svc.Metrics.percentile [| 7. |] q))
+    [ 0.; 0.5; 1.; -1.; 2. ];
+  (* Exact order statistics at the endpoints: no interpolation
+     arithmetic may touch them (bit-equality, not epsilon). *)
+  let xs = [| 5.; -3.; 11.; 0.25 |] in
+  Alcotest.(check (float 0.)) "p0 is the exact minimum" (-3.)
+    (Svc.Metrics.percentile xs 0.0);
+  Alcotest.(check (float 0.)) "p100 is the exact maximum" 11.
+    (Svc.Metrics.percentile xs 1.0);
+  (* Out-of-range and NaN quantiles clamp instead of indexing garbage. *)
+  Alcotest.(check (float 0.)) "q < 0 clamps to min" (-3.)
+    (Svc.Metrics.percentile xs (-0.5));
+  Alcotest.(check (float 0.)) "q > 1 clamps to max" 11.
+    (Svc.Metrics.percentile xs 1.5);
+  Alcotest.(check (float 0.)) "NaN q treated as 0" (-3.)
+    (Svc.Metrics.percentile xs Float.nan);
+  (* Empty sample: 0, never NaN — the value lands in JSON stats. *)
+  Alcotest.(check (float 0.)) "empty is zero" 0.
+    (Svc.Metrics.percentile [||] 0.5);
+  Alcotest.(check bool) "empty is NaN-free" false
+    (Float.is_nan (Svc.Metrics.percentile [||] 0.999));
+  (* An empty reservoir's percentile goes through the same path. *)
+  let empty = Svc.Metrics.Reservoir.create ~capacity:4 () in
+  Alcotest.(check (float 0.)) "empty reservoir is zero" 0.
+    (Svc.Metrics.Reservoir.percentile empty 0.99)
 
 let test_reservoir_sampling () =
   let r = Svc.Metrics.Reservoir.create ~capacity:4 () in

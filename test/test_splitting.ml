@@ -84,6 +84,82 @@ let test_misspilling_repair () =
   in
   try_caps [ 32 * 1024; 64 * 1024; 128 * 1024; 256 * 1024 ]
 
+(* Convergence regression: over the whole model zoo, the splitting loop
+   must terminate by convergence (not by hitting the iteration bound),
+   its re-run count must stay within the bound, and the recorded
+   objective trajectory must be strictly decreasing — the acceptance
+   test demands a > 1e-12 improvement, so a plateau or a regression in
+   the history is a bug, not noise. *)
+let test_convergence_on_zoo () =
+  List.iter
+    (fun entry ->
+      let name = entry.Models.Zoo.model_name in
+      let g = entry.Models.Zoo.build () in
+      let m, interference, sizes = setup g in
+      let vbufs = Lcmm.Coloring.color interference ~sizes in
+      (* Half the pinnable total: tight enough that spilling (and hence
+         splitting work) actually happens on every model. *)
+      let total =
+        List.fold_left
+          (fun acc vb ->
+            acc
+            + Dnnk.blocks_of_bytes vb.Lcmm.Vbuffer.size_bytes
+              * Dnnk.block_bytes)
+          0 vbufs
+      in
+      let capacity_bytes = total / 2 in
+      let initial = Dnnk.allocate m ~capacity_bytes vbufs in
+      let outcome =
+        Splitting.run m interference ~sizes ~capacity_bytes initial
+      in
+      Alcotest.(check bool)
+        (name ^ ": converged before the iteration bound")
+        true outcome.Splitting.converged;
+      Alcotest.(check bool)
+        (name ^ ": iterations within bound")
+        true
+        (outcome.Splitting.iterations >= 0 && outcome.Splitting.iterations <= 16);
+      (match outcome.Splitting.history with
+      | [] -> Alcotest.fail (name ^ ": empty objective history")
+      | first :: _ ->
+        Alcotest.(check (float 1e-12))
+          (name ^ ": history starts at the initial objective")
+          initial.Dnnk.predicted_latency first);
+      let rec strictly_decreasing = function
+        | a :: (b :: _ as rest) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: history step %.17g -> %.17g improves" name a b)
+            true
+            (b < a -. 1e-12);
+          strictly_decreasing rest
+        | _ -> ()
+      in
+      strictly_decreasing outcome.Splitting.history;
+      Alcotest.(check (float 0.))
+        (name ^ ": history ends at the final objective")
+        outcome.Splitting.result.Dnnk.predicted_latency
+        (List.nth outcome.Splitting.history
+           (List.length outcome.Splitting.history - 1)))
+    Models.Zoo.all
+
+(* Bounded termination even when improvements keep arriving: with a
+   one-iteration budget the loop must stop immediately and say it was
+   cut off (unless it genuinely converged in one round). *)
+let test_iteration_budget_respected () =
+  let m, interference, sizes = setup (Helpers.inception_snippet ()) in
+  let vbufs = Lcmm.Coloring.color interference ~sizes in
+  let capacity_bytes = 64 * 1024 in
+  let initial = Dnnk.allocate m ~capacity_bytes vbufs in
+  let outcome =
+    Splitting.run ~max_iterations:1 m interference ~sizes ~capacity_bytes
+      initial
+  in
+  Alcotest.(check bool) "at most one iteration" true
+    (outcome.Splitting.iterations <= 1);
+  Alcotest.(check bool) "history bounded by iterations" true
+    (List.length outcome.Splitting.history
+    <= outcome.Splitting.iterations + 1)
+
 let prop_splitting_monotone =
   Helpers.qtest ~count:20 "splitting never regresses on random graphs"
     Helpers.random_graph_gen (fun g ->
@@ -100,4 +176,7 @@ let suite =
     Alcotest.test_case "stops without candidates" `Quick test_stops_without_candidates;
     Alcotest.test_case "iteration bound" `Quick test_iteration_bound;
     Alcotest.test_case "misspilling repair" `Quick test_misspilling_repair;
+    Alcotest.test_case "convergence on zoo" `Quick test_convergence_on_zoo;
+    Alcotest.test_case "iteration budget respected" `Quick
+      test_iteration_budget_respected;
     prop_splitting_monotone ]
