@@ -180,15 +180,24 @@ let plan_cmd =
   let profile_arg =
     let doc =
       "Print the per-pass wall-clock breakdown (liveness, interference, \
-       coloring, prefetch, DNNK, splitting) to stderr.  Timings stay off \
-       stdout so the plan text remains byte-reproducible."
+       coloring, prefetch, DNNK, splitting, segmentation) to stderr.  \
+       Timings stay off stdout so the plan text remains byte-reproducible."
     in
     Arg.(value & flag & info [ "profile" ] ~doc)
   in
-  let plan_one ?pool ~profile dtype name =
+  let plan_one ?pool ~profile ~fusion dtype name =
     let model, g = or_die (build_model name) in
-    let c = Lcmm.Framework.compare_designs ?pool ~model dtype g in
-    let p = c.Lcmm.Framework.lcmm_plan in
+    let options = { Lcmm.Framework.default_options with fusion } in
+    let c = Lcmm.Framework.compare_designs ~options ?pool ~model dtype g in
+    let fz =
+      if fusion then Some (Lcmm_fusion.Fusion.apply ?pool c.Lcmm.Framework.lcmm_plan)
+      else None
+    in
+    let p =
+      match fz with
+      | Some fz -> Lcmm_fusion.Fusion.effective_plan fz
+      | None -> c.Lcmm.Framework.lcmm_plan
+    in
     Format.printf "== %s ==@." model;
     Format.printf "design: %a@." Accel.Config.pp p.Lcmm.Framework.config;
     Format.printf "virtual buffers (%d):@." (List.length p.Lcmm.Framework.vbufs);
@@ -207,6 +216,37 @@ let plan_cmd =
       (c.Lcmm.Framework.umm.Lcmm.Framework.latency_seconds *. 1e3)
       (c.Lcmm.Framework.lcmm.Lcmm.Framework.latency_seconds *. 1e3)
       c.Lcmm.Framework.speedup p.Lcmm.Framework.tensor_sram_bytes;
+    (match fz with
+    | None -> ()
+    | Some fz ->
+      let module Fz = Lcmm_fusion.Fusion in
+      let module Seg = Lcmm_fusion.Segmentation in
+      Format.printf
+        "fusion: %d segments (%d nodes fused), %d streamed weights, FIFO %d \
+         bytes@."
+        (List.length fz.Fz.segments)
+        (List.fold_left
+           (fun a (s : Seg.segment) -> a + s.Seg.last - s.Seg.first + 1)
+           0 fz.Fz.segments)
+        (List.length fz.Fz.streamed)
+        fz.Fz.fifo_bytes;
+      List.iter
+        (fun (s : Seg.segment) ->
+          Format.printf
+            "  segment [%d..%d] slab %d bytes, %.3f us saved, %d DDR bytes@."
+            s.Seg.first s.Seg.last s.Seg.slab_bytes
+            (s.Seg.benefit_seconds *. 1e6)
+            s.Seg.ddr_bytes_saved)
+        fz.Fz.segments;
+      Format.printf
+        "fusion: LCMM+fusion %.6f ms (x%.4f vs UMM); DDR %d -> %d bytes; \
+         peak SRAM %d bytes@."
+        (fz.Fz.predicted_latency *. 1e3)
+        (c.Lcmm.Framework.umm.Lcmm.Framework.latency_seconds
+        /. fz.Fz.predicted_latency)
+        (Lcmm.Traffic.total_bytes fz.Fz.base_traffic)
+        (Lcmm.Traffic.total_bytes fz.Fz.traffic)
+        fz.Fz.peak_sram_bytes);
     if profile then begin
       Printf.eprintf "%s pass times:\n" model;
       let assoc =
@@ -217,13 +257,22 @@ let plan_cmd =
         (List.fold_left (fun acc (_, v) -> acc +. v) 0. assoc)
     end
   in
-  let run () name dtype profile domains =
+  let fusion_arg =
+    let doc =
+      "Run the fused-layer segmentation and weight-streaming post-pass; \
+       adds fusion summary lines to the output.  Off by default, and the \
+       default output is byte-identical to a build without the pass."
+    in
+    Arg.(value & flag & info [ "fusion" ] ~doc)
+  in
+  let run () name dtype profile fusion domains =
     with_pool domains (fun pool ->
         match name with
-        | Some name -> plan_one ?pool ~profile dtype name
+        | Some name -> plan_one ?pool ~profile ~fusion dtype name
         | None ->
           List.iter
-            (fun e -> plan_one ?pool ~profile dtype e.Models.Zoo.model_name)
+            (fun e ->
+              plan_one ?pool ~profile ~fusion dtype e.Models.Zoo.model_name)
             Models.Zoo.all)
   in
   Cmd.v
@@ -231,11 +280,12 @@ let plan_cmd =
        ~doc:
          "Deterministic plan summary for one model (or the whole zoo), \
           suitable for golden-file comparison; --profile adds a per-pass \
-          timing breakdown on stderr and --domains N plans on N worker \
+          timing breakdown on stderr, --fusion runs the fused-layer / \
+          weight-streaming post-pass, and --domains N plans on N worker \
           domains without changing a byte of the output.")
     Term.(
       const run $ log_arg $ model_opt_arg $ dtype_arg $ profile_arg
-      $ domains_arg)
+      $ fusion_arg $ domains_arg)
 
 let simulate_cmd =
   let run () name dtype =
@@ -532,8 +582,15 @@ let runtime_cmd =
         (Ok []) items
       |> Result.map List.rev
   in
+  let fusion_arg =
+    let doc =
+      "Plan every tenant with the fused-layer segmentation and \
+       weight-streaming post-pass."
+    in
+    Arg.(value & flag & info [ "fusion" ] ~doc)
+  in
   let run () mix dtype device arbitration scheduler partition overcommit
-      stagger_ms seed json_path faults domains =
+      stagger_ms seed json_path faults fusion domains =
     if overcommit <= 0. then or_die (Error "overcommit must be positive");
     if stagger_ms < 0. then or_die (Error "stagger-ms must be non-negative");
     let entries = or_die (parse_mix mix) in
@@ -567,7 +624,8 @@ let runtime_cmd =
     in
     let options =
       { Lcmm_runtime.Runtime.default_options with
-        dtype; device; arbitration; scheduler; partition; overcommit; faults }
+        dtype; device; arbitration; scheduler; partition; overcommit; faults;
+        fw_options = { Lcmm.Framework.default_options with fusion } }
     in
     let report =
       with_pool domains (fun pool ->
@@ -596,7 +654,8 @@ let runtime_cmd =
     Term.(
       const run $ log_arg $ tenants_arg $ dtype_arg $ device_arg
       $ arbitration_arg $ scheduler_arg $ partition_arg $ overcommit_arg
-      $ stagger_arg $ seed_arg $ json_arg $ faults_arg $ domains_arg)
+      $ stagger_arg $ seed_arg $ json_arg $ faults_arg $ fusion_arg
+      $ domains_arg)
 
 let serve_cmd =
   let socket_arg =
@@ -1081,10 +1140,133 @@ let bench_serve_cmd =
       $ duration_arg $ slo_arg $ threads_arg $ sat_steps_arg $ mix_models_arg
       $ json_arg)
 
+let bench_fusion_cmd =
+  let json_arg =
+    let doc = "Write the report to $(docv)." in
+    Arg.(
+      value & opt string "BENCH_fusion.json" & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run () dtype json_path domains =
+    let module F = Lcmm.Framework in
+    let module Fz = Lcmm_fusion.Fusion in
+    let module Seg = Lcmm_fusion.Segmentation in
+    let module Json = Dnn_serial.Json in
+    let options = { F.default_options with F.fusion = true } in
+    let rows, wins, saved =
+      with_pool domains (fun pool ->
+          List.fold_left
+            (fun (rows, wins, saved) e ->
+              let name = e.Models.Zoo.model_name in
+              let model, g = or_die (build_model name) in
+              let c = F.compare_designs ~options ?pool ~model dtype g in
+              let base = c.F.lcmm_plan in
+              let fz = Fz.apply ?pool base in
+              let capacity = Accel.Config.sram_budget_bytes base.F.config in
+              let tile =
+                Lcmm.Policies.run base.F.metric ~dtype ~capacity_bytes:capacity
+                  [] Lcmm.Policies.Stream_tile
+              in
+              let tile_traffic =
+                Lcmm.Traffic.of_allocation base.F.metric
+                  ~on_chip:tile.Lcmm.Policies.on_chip
+              in
+              let umm_traffic = Lcmm.Traffic.umm base.F.metric in
+              let lcmm_ddr = Lcmm.Traffic.total_bytes fz.Fz.base_traffic in
+              let fusion_ddr = Lcmm.Traffic.total_bytes fz.Fz.traffic in
+              Printf.eprintf
+                "bench fusion: %-12s LCMM %.3f ms / %d B  ->  +fusion %.3f \
+                 ms / %d B (%d seg, %d streamed)\n\
+                 %!"
+                model
+                (base.F.predicted_latency *. 1e3)
+                lcmm_ddr
+                (fz.Fz.predicted_latency *. 1e3)
+                fusion_ddr
+                (List.length fz.Fz.segments)
+                (List.length fz.Fz.streamed);
+              let row =
+                Json.Obj
+                  [ ("model", Json.String model);
+                    ( "umm",
+                      Json.Obj
+                        [ ( "latency_ms",
+                            Json.Float
+                              (c.F.umm.F.latency_seconds *. 1e3) );
+                          ( "ddr_bytes",
+                            Json.Int (Lcmm.Traffic.total_bytes umm_traffic) )
+                        ] );
+                    ( "lcmm",
+                      Json.Obj
+                        [ ( "latency_ms",
+                            Json.Float (base.F.predicted_latency *. 1e3) );
+                          ("ddr_bytes", Json.Int lcmm_ddr);
+                          ("sram_bytes", Json.Int base.F.tensor_sram_bytes) ]
+                    );
+                    ( "lcmm_fusion",
+                      Json.Obj
+                        [ ( "latency_ms",
+                            Json.Float (fz.Fz.predicted_latency *. 1e3) );
+                          ("ddr_bytes", Json.Int fusion_ddr);
+                          ("ddr_bytes_saved", Json.Int (Fz.ddr_bytes_saved fz));
+                          ("segments", Json.Int (List.length fz.Fz.segments));
+                          ( "fused_nodes",
+                            Json.Int
+                              (List.fold_left
+                                 (fun a (s : Seg.segment) ->
+                                   a + s.Seg.last - s.Seg.first + 1)
+                                 0 fz.Fz.segments) );
+                          ( "streamed_weights",
+                            Json.Int (List.length fz.Fz.streamed) );
+                          ("fifo_bytes", Json.Int fz.Fz.fifo_bytes);
+                          ("peak_sram_bytes", Json.Int fz.Fz.peak_sram_bytes)
+                        ] );
+                    ( "stream_tile",
+                      Json.Obj
+                        [ ( "latency_ms",
+                            Json.Float (tile.Lcmm.Policies.latency *. 1e3) );
+                          ( "ddr_bytes",
+                            Json.Int (Lcmm.Traffic.total_bytes tile_traffic) );
+                          ( "feasible",
+                            Json.Bool tile.Lcmm.Policies.feasible ) ] ) ]
+              in
+              ( row :: rows,
+                (if fusion_ddr < lcmm_ddr then wins + 1 else wins),
+                saved + Fz.ddr_bytes_saved fz ))
+            ([], 0, 0) Models.Zoo.all)
+    in
+    let doc =
+      Json.Obj
+        [ ("experiment", Json.String "fusion");
+          ("dtype", Json.String (Tensor.Dtype.to_string dtype));
+          ("models", Json.List (List.rev rows));
+          ( "summary",
+            Json.Obj
+              [ ("fusion_ddr_wins", Json.Int wins);
+                ("models_total", Json.Int (List.length Models.Zoo.all));
+                ("total_ddr_bytes_saved", Json.Int saved) ] ) ]
+    in
+    let oc = open_out json_path in
+    output_string oc (Json.to_string ~indent:2 doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s (fusion wins DDR on %d/%d models, %d bytes saved)\n"
+      json_path wins
+      (List.length Models.Zoo.all)
+      saved
+  in
+  Cmd.v
+    (Cmd.info "fusion"
+       ~doc:
+         "Benchmark LCMM against LCMM plus fused-layer segments and weight \
+          streaming, and against the TGPA-style stream-tile design, across \
+          the model zoo; write per-model latency and DDR traffic to a JSON \
+          report.")
+    Term.(const run $ log_arg $ dtype_arg $ json_arg $ domains_arg)
+
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench" ~doc:"Load benchmarks against the serving stack.")
-    [ bench_serve_cmd ]
+    [ bench_serve_cmd; bench_fusion_cmd ]
 
 let () =
   let info = Cmd.info "lcmm" ~doc:"Layer-conscious memory management for FPGA DNN accelerators" in

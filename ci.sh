@@ -180,4 +180,31 @@ dune exec bin/lcmm_cli.exe -- runtime --tenants googlenet:1 --domains 4 \
   --json _build/runtime_single_par.json > /dev/null
 golden_diff test/golden/runtime_single.golden.json _build/runtime_single_par.json
 
+echo "== tier-2: fusion — off is inert, on sweeps the zoo, DDR must win =="
+# Fusion off: the plan output (and the runtime report above) already
+# matched the committed goldens byte for byte — the flagless pipeline
+# must be indistinguishable from a build without lib/fusion.  Fusion
+# on: the whole zoo plans cleanly and prints its decisions.
+dune exec bin/lcmm_cli.exe -- plan --fusion > _build/plan_zoo_fusion.out
+grep -q '^fusion: ' _build/plan_zoo_fusion.out
+# The fusion-on output minus its fusion lines and the SRAM grant (the
+# fused plan charges the FIFO + slabs, so that one number may grow) is
+# exactly the golden: the post-pass appends and re-accounts, it never
+# perturbs a planning decision.
+grep -v -e '^fusion: ' -e '^  segment \[' _build/plan_zoo_fusion.out \
+  | sed 's/; tensor SRAM [0-9]* bytes$//' > _build/plan_zoo_fusion_stripped.out
+sed 's/; tensor SRAM [0-9]* bytes$//' test/golden/plan_zoo.golden \
+  > _build/plan_zoo_nosram.golden
+golden_diff _build/plan_zoo_nosram.golden _build/plan_zoo_fusion_stripped.out
+# The ablation bench: at least one zoo model must strictly beat base
+# LCMM on total DDR bytes under fusion.
+out=BENCH_fusion.json
+dune exec bin/lcmm_cli.exe -- bench fusion --json "$out" 2> /dev/null \
+  > /dev/null
+grep -q '"experiment": "fusion"' "$out"
+grep -q '"lcmm_fusion"' "$out"
+grep -q '"stream_tile"' "$out"
+awk -F': ' '/"fusion_ddr_wins"/ { exit ($2 + 0 >= 1) ? 0 : 1 }' "$out"
+echo "wrote $out"
+
 echo "CI OK"

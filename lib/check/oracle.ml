@@ -822,6 +822,175 @@ let check_degraded ctx =
       alloc.Dnnk.used_blocks alloc.Dnnk.capacity_blocks
   else Ok ()
 
+(* --- fusion: segment legality, stream conservation, off-inertness --- *)
+
+module Fusion = Lcmm_fusion.Fusion
+module Segmentation = Lcmm_fusion.Segmentation
+
+(* Both fusion oracles replay the pass over the same end-to-end plan the
+   [plan] oracle builds, at the ctx capacity. *)
+let fused_pass ctx =
+  let options =
+    { Framework.default_options with
+      Framework.capacity_override = Some ctx.capacity_bytes;
+      fusion = true }
+  in
+  let base = Framework.plan ~options ctx.config ctx.graph in
+  (base, Fusion.apply base)
+
+let check_segment_legal ctx =
+  let base, fz = fused_pass ctx in
+  let headroom =
+    ctx.capacity_bytes - base.Framework.tensor_sram_bytes - fz.Fusion.fifo_bytes
+  in
+  let* () =
+    (* Disjoint, increasing, non-trivial segments. *)
+    let rec disjoint prev = function
+      | [] -> Ok ()
+      | (s : Segmentation.segment) :: rest ->
+        if s.Segmentation.first > s.Segmentation.last then
+          fail "segment [%d..%d] is empty" s.Segmentation.first
+            s.Segmentation.last
+        else if s.Segmentation.first <= prev then
+          fail "segment [%d..%d] overlaps or disorders its predecessor"
+            s.Segmentation.first s.Segmentation.last
+        else disjoint s.Segmentation.last rest
+    in
+    disjoint (-1) fz.Fusion.segments
+  in
+  let* () =
+    iter_result
+      (fun (s : Segmentation.segment) ->
+        let* () =
+          if s.Segmentation.internal = [] then
+            fail "segment [%d..%d] fuses nothing" s.Segmentation.first
+              s.Segmentation.last
+          else Ok ()
+        in
+        let* () =
+          if s.Segmentation.slab_bytes > headroom then
+            fail "segment [%d..%d] slabs %d bytes exceed the %d-byte headroom"
+              s.Segmentation.first s.Segmentation.last s.Segmentation.slab_bytes
+              headroom
+          else Ok ()
+        in
+        (* Liveness containment, from the graph itself: an internal value
+           is produced inside the segment (before its last node) and
+           every consumer stays inside — no shortcut, escape or graph
+           output may cross the segment boundary. *)
+        iter_result
+          (fun v ->
+            let* () =
+              if
+                not
+                  (Values.is_value ctx.graph v
+                  && v >= s.Segmentation.first
+                  && v < s.Segmentation.last)
+              then
+                fail "segment [%d..%d] claims non-member value %d as internal"
+                  s.Segmentation.first s.Segmentation.last v
+              else Ok ()
+            in
+            match Values.consumers ctx.graph v with
+            | [] ->
+              fail "segment [%d..%d] fused graph output %d"
+                s.Segmentation.first s.Segmentation.last v
+            | consumers ->
+              iter_result
+                (fun c ->
+                  if c > s.Segmentation.last then
+                    fail
+                      "value %d escapes segment [%d..%d] to consumer %d"
+                      v s.Segmentation.first s.Segmentation.last c
+                  else Ok ())
+                consumers)
+          s.Segmentation.internal)
+      fz.Fusion.segments
+  in
+  let* () =
+    if fz.Fusion.peak_sram_bytes > ctx.capacity_bytes then
+      fail "fused peak SRAM %d exceeds the %d-byte capacity"
+        fz.Fusion.peak_sram_bytes ctx.capacity_bytes
+    else Ok ()
+  in
+  let* () =
+    if fz.Fusion.predicted_latency > base.Framework.predicted_latency +. eps ctx
+    then
+      fail "fusion slowed the plan: %.9e -> %.9e"
+        base.Framework.predicted_latency fz.Fusion.predicted_latency
+    else Ok ()
+  in
+  (* Fusion off must be inert and byte-identical: same fingerprint as the
+     fusion-enabled base (the flag changes nothing until the post-pass),
+     and the pass returns the base plan itself, not a copy. *)
+  let options_off =
+    { Framework.default_options with
+      Framework.capacity_override = Some ctx.capacity_bytes }
+  in
+  let off = Framework.plan ~options:options_off ctx.config ctx.graph in
+  let* () =
+    if Framework.fingerprint off <> Framework.fingerprint base then
+      fail "the fusion flag perturbed the base plan"
+    else Ok ()
+  in
+  let fz_off = Fusion.apply off in
+  if Fusion.active fz_off || not (Fusion.effective_plan fz_off == off) then
+    fail "fusion-off pass is not inert"
+  else Ok ()
+
+let check_stream_conserve ctx =
+  let base, fz = fused_pass ctx in
+  let profiles = base.Framework.metric.Metric.profiles in
+  let eff = fz.Fusion.metric.Metric.profiles in
+  let* () =
+    iter_result
+      (fun n ->
+        let p = profiles.(n) in
+        let q = eff.(n) in
+        (* One pass through the FIFO: streamed DDR bytes equal the weight
+           tensor's size, recomputed from the graph shape. *)
+        let expected =
+          match G.weight_shape ctx.graph n with
+          | Some shape -> Tensor.Shape.size_bytes ctx.dtype shape
+          | None -> -1
+        in
+        let* () =
+          if expected < 0 then fail "streamed node %d has no weights" n
+          else Ok ()
+        in
+        let* () =
+          if q.Latency.wt_stream_bytes <> expected then
+            fail "streamed node %d moves %d DDR bytes, weights are %d bytes"
+              n q.Latency.wt_stream_bytes expected
+          else Ok ()
+        in
+        let* () =
+          if q.Latency.wt_stream_bytes <> p.Latency.wt_once_bytes then
+            fail "streamed node %d: %d stream bytes, one load is %d"
+              n q.Latency.wt_stream_bytes p.Latency.wt_once_bytes
+          else Ok ()
+        in
+        (* Streaming must pay the one-shot load time, never the tiled
+           re-read it replaces. *)
+        if q.Latency.wt_term > p.Latency.wt_term +. eps ctx then
+          fail "streaming slowed node %d's weight channel: %.9e -> %.9e" n
+            p.Latency.wt_term q.Latency.wt_term
+        else Ok ())
+      fz.Fusion.streamed
+  in
+  (* The pass's traffic claim is reproducible from its own metric and
+     residency — DDR bytes are conserved end to end. *)
+  let recomputed =
+    Lcmm.Traffic.of_allocation fz.Fusion.metric ~on_chip:fz.Fusion.on_chip
+  in
+  if recomputed <> fz.Fusion.traffic then
+    fail "fused traffic (%d,%d,%d) bytes, recomputation gives (%d,%d,%d)"
+      fz.Fusion.traffic.Lcmm.Traffic.if_bytes
+      fz.Fusion.traffic.Lcmm.Traffic.wt_bytes
+      fz.Fusion.traffic.Lcmm.Traffic.of_bytes recomputed.Lcmm.Traffic.if_bytes
+      recomputed.Lcmm.Traffic.wt_bytes recomputed.Lcmm.Traffic.of_bytes
+  else Ok ()
+
 let optimality_gaps ctx =
   let exact = Lazy.force ctx.exact in
   if (not exact.Exact.proven_optimal) || exact.Exact.latency <= 0. then []
@@ -870,7 +1039,13 @@ let all =
       check = check_plan };
     { name = "degraded";
       doc = "bank-loss eviction fits, partitions cleanly and is monotone";
-      check = check_degraded } ]
+      check = check_degraded };
+    { name = "segment-legal";
+      doc = "fused segments fit the SRAM grant, leak no value, and off is inert";
+      check = check_segment_legal };
+    { name = "stream-conserve";
+      doc = "a streamed weight moves exactly its bytes once per inference";
+      check = check_stream_conserve } ]
 
 let names = List.map (fun o -> o.name) all
 

@@ -16,6 +16,7 @@ type options = {
   coloring : Coloring.strategy;
   capacity_override : int option;
   weight_slices : int;
+  fusion : bool;
 }
 
 let default_options =
@@ -27,7 +28,8 @@ let default_options =
     compensation = Dnnk.Table_approx;
     coloring = Coloring.Min_growth;
     capacity_override = None;
-    weight_slices = 1 }
+    weight_slices = 1;
+    fusion = false }
 
 type pass_times = {
   liveness_us : float;
@@ -36,6 +38,7 @@ type pass_times = {
   prefetch_us : float;
   dnnk_us : float;
   splitting_us : float;
+  segmentation_us : float;
 }
 
 let zero_pass_times =
@@ -44,7 +47,8 @@ let zero_pass_times =
     coloring_us = 0.;
     prefetch_us = 0.;
     dnnk_us = 0.;
-    splitting_us = 0. }
+    splitting_us = 0.;
+    segmentation_us = 0. }
 
 let add_pass_times a b =
   { liveness_us = a.liveness_us +. b.liveness_us;
@@ -52,7 +56,8 @@ let add_pass_times a b =
     coloring_us = a.coloring_us +. b.coloring_us;
     prefetch_us = a.prefetch_us +. b.prefetch_us;
     dnnk_us = a.dnnk_us +. b.dnnk_us;
-    splitting_us = a.splitting_us +. b.splitting_us }
+    splitting_us = a.splitting_us +. b.splitting_us;
+    segmentation_us = a.segmentation_us +. b.segmentation_us }
 
 let pass_times_assoc t =
   [ ("liveness_us", t.liveness_us);
@@ -60,7 +65,8 @@ let pass_times_assoc t =
     ("coloring_us", t.coloring_us);
     ("prefetch_us", t.prefetch_us);
     ("dnnk_us", t.dnnk_us);
-    ("splitting_us", t.splitting_us) ]
+    ("splitting_us", t.splitting_us);
+    ("segmentation_us", t.segmentation_us) ]
 
 (* Process-wide cumulative per-pass wall clock, so long-running hosts
    (the plan service's stats op) can attribute planner time without
@@ -364,7 +370,8 @@ let plan ?(options = default_options) ?pool config g =
       coloring_us = !coloring_us;
       prefetch_us = !prefetch_us;
       dnnk_us = !dnnk_us;
-      splitting_us = !splitting_us }
+      splitting_us = !splitting_us;
+      segmentation_us = 0. }
   in
   record_pass_times pass_times;
   { config;

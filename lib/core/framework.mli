@@ -21,6 +21,12 @@ type options = {
       (** Partial weight pinning granularity: split every weight tensor
           into this many channel-group slices, each an independent
           allocation item (1 = the paper's whole-tensor granularity). *)
+  fusion : bool;
+      (** Run the fused-layer / weight-streaming post-pass
+          ({!Lcmm_fusion.Fusion} wraps plans when set).  Inert inside
+          {!plan} itself — a fusion-off plan is byte-identical with the
+          flag in either state — but carried on the plan so services,
+          caches and fingerprints distinguish the two pipelines. *)
 }
 
 val default_options : options
@@ -34,11 +40,18 @@ type pass_times = {
   prefetch_us : float;
   dnnk_us : float;
   splitting_us : float;
+  segmentation_us : float;
+      (** The fusion segmentation pre-pass; 0 for base plans. *)
 }
 (** Per-pass wall-clock microseconds for one planner run. *)
 
 val zero_pass_times : pass_times
 val add_pass_times : pass_times -> pass_times -> pass_times
+
+val record_pass_times : pass_times -> unit
+(** Fold one run's pass times into the process-wide cumulative clock —
+    {!plan} calls this itself; external passes (fusion segmentation)
+    call it to appear in {!pass_times_total}. *)
 
 val pass_times_assoc : pass_times -> (string * float) list
 (** Stable field-name/value pairs, for reports and the service stats. *)

@@ -41,22 +41,37 @@ let comparison_row c =
 
 (* CSV fields here never contain commas or quotes, so quoting is not
    needed; keep the writer trivial. *)
-let csv_of_comparisons comparisons =
-  let header =
+let csv_of_comparisons ?fusion_ms comparisons =
+  let base_header =
     "model,precision,umm_ms,umm_tops,lcmm_ms,lcmm_tops,dsp_util,clb_util,sram_util,speedup"
   in
+  (* The fusion column is appended after every pre-existing field, so
+     consumers that index the original ten columns keep working. *)
+  let header =
+    match fusion_ms with
+    | None -> base_header
+    | Some _ -> base_header ^ ",fusion_ms"
+  in
   let row c =
-    Printf.sprintf "%s,%s,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f,%.4f"
-      c.Framework.model
-      (Tensor.Dtype.to_string c.Framework.dtype)
-      (c.Framework.umm.Framework.latency_seconds *. 1e3)
-      c.Framework.umm.Framework.tops
-      (c.Framework.lcmm.Framework.latency_seconds *. 1e3)
-      c.Framework.lcmm.Framework.tops
-      c.Framework.lcmm.Framework.dsp_util
-      c.Framework.lcmm.Framework.clb_util
-      c.Framework.lcmm.Framework.sram_util
-      c.Framework.speedup
+    let base =
+      Printf.sprintf "%s,%s,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f,%.4f"
+        c.Framework.model
+        (Tensor.Dtype.to_string c.Framework.dtype)
+        (c.Framework.umm.Framework.latency_seconds *. 1e3)
+        c.Framework.umm.Framework.tops
+        (c.Framework.lcmm.Framework.latency_seconds *. 1e3)
+        c.Framework.lcmm.Framework.tops
+        c.Framework.lcmm.Framework.dsp_util
+        c.Framework.lcmm.Framework.clb_util
+        c.Framework.lcmm.Framework.sram_util
+        c.Framework.speedup
+    in
+    match fusion_ms with
+    | None -> base
+    | Some f -> (
+      match f c with
+      | Some ms -> Printf.sprintf "%s,%.6f" base ms
+      | None -> base ^ ",")
   in
   String.concat "\n" (header :: List.map row comparisons) ^ "\n"
 

@@ -16,8 +16,14 @@ val comparison_row : Framework.comparison -> string
 val comparison_header : string
 (** Column header matching {!comparison_row}. *)
 
-val csv_of_comparisons : Framework.comparison list -> string
-(** RFC-4180-style CSV (header + one line per comparison). *)
+val csv_of_comparisons :
+  ?fusion_ms:(Framework.comparison -> float option) ->
+  Framework.comparison list -> string
+(** RFC-4180-style CSV (header + one line per comparison).  When
+    [fusion_ms] is given, a trailing [fusion_ms] column is appended
+    after every pre-existing field — header stays backward-compatible
+    for positional consumers — holding the fused-plan latency in
+    milliseconds (empty cell when the callback returns [None]). *)
 
 val csv_of_design_points : Design_space.point list -> string
 (** CSV of (mask, sram_bytes, latency_ms, tops) — the paper's Fig. 2(b)

@@ -47,6 +47,18 @@ type compiled = {
 let used_bytes (p : F.plan) =
   p.F.allocation.Lcmm.Dnnk.used_blocks * Lcmm.Dnnk.block_bytes
 
+(* Fused-layer/weight-streaming pass-through: when the tenant's planner
+   options ask for fusion, every plan the runtime consumes — initial
+   compile, per-grant replan, degraded-mode replan — is the effective
+   plan of the fusion pass.  The engine needs no fusion knowledge: the
+   effective metric and extended allocation price segment-internal
+   transfers at zero and streamed weights at their steady-state DDR
+   rate.  With the flag off the plan passes through untouched. *)
+let maybe_fuse (p : F.plan) =
+  if p.F.options.F.fusion then
+    Lcmm_fusion.Fusion.effective_plan (Lcmm_fusion.Fusion.apply p)
+  else p
+
 let isolated (p : F.plan) =
   Sim.Engine.simulate ?prefetch:p.F.prefetch p.F.metric
     ~on_chip:p.F.allocation.Lcmm.Dnnk.on_chip
@@ -56,7 +68,7 @@ let compile_model options g =
     Accel.Dse.run ~device:options.device ~style:Config.Lcmm options.dtype g
   in
   let config = dse.Accel.Dse.config in
-  let base = F.plan ~options:options.fw_options config g in
+  let base = maybe_fuse (F.plan ~options:options.fw_options config g) in
   let base_iso = isolated base in
   let traffic =
     Lcmm.Traffic.of_allocation base.F.metric
@@ -72,7 +84,9 @@ let compile_model options g =
     config;
     base;
     base_iso;
-    demand = { Admission.sram_bytes = used_bytes base; bandwidth };
+    demand =
+      { Admission.sram_bytes = max (used_bytes base) base.F.tensor_sram_bytes;
+        bandwidth };
   }
 
 (* Isolated-schedule slack for EDF deadlines: how far the PDG source's
@@ -193,8 +207,9 @@ let run ?pool options specs =
        (fun (i, grant) ->
          let c = compiled.(i) in
          let p =
-           F.plan_partitioned ~options:options.fw_options ~capacity_bytes:grant
-             c.config specs.(i).graph
+           maybe_fuse
+             (F.plan_partitioned ~options:options.fw_options
+                ~capacity_bytes:grant c.config specs.(i).graph)
          in
          ((specs.(i).model, grant), (p, isolated p)))
        replan_keys);
@@ -207,8 +222,9 @@ let run ?pool options specs =
       | Some pi -> pi
       | None ->
           let p =
-            F.plan_partitioned ~options:options.fw_options
-              ~capacity_bytes:grant c.config specs.(i).graph
+            maybe_fuse
+              (F.plan_partitioned ~options:options.fw_options
+                 ~capacity_bytes:grant c.config specs.(i).graph)
           in
           let pi = (p, isolated p) in
           Hashtbl.add replan key pi;
@@ -247,12 +263,13 @@ let run ?pool options specs =
                   let d =
                     F.degrade ~surviving_bytes:surviving plan specs.(i).graph
                   in
+                  let replanned = maybe_fuse d.F.replanned in
                   Some
                     {
                       Engine.deg_on_chip =
-                        d.F.replanned.F.allocation.Lcmm.Dnnk.on_chip;
-                      deg_prefetch = d.F.replanned.F.prefetch;
-                      deg_pinned_bytes = used_bytes d.F.replanned;
+                        replanned.F.allocation.Lcmm.Dnnk.on_chip;
+                      deg_prefetch = replanned.F.prefetch;
+                      deg_pinned_bytes = used_bytes replanned;
                       deg_evicted_bytes = d.F.evicted_bytes;
                       deg_surviving_bytes = surviving;
                     }));

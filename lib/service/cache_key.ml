@@ -37,7 +37,8 @@ let options_fingerprint (o : F.options) =
       ^ match o.F.capacity_override with
         | None -> "none"
         | Some b -> string_of_int b);
-      "slices:" ^ string_of_int o.F.weight_slices ]
+      "slices:" ^ string_of_int o.F.weight_slices;
+      "fusion:" ^ string_of_bool o.F.fusion ]
 
 let hash parts =
   Digest.to_hex (Digest.string (String.concat "\x00" parts))

@@ -184,11 +184,49 @@ let resolve_target = function
 
 let resolve_graph (spec : P.compile_spec) = resolve_target spec.P.target
 
+(* Fused-layer/weight-streaming pass-through: with [options.fusion] the
+   reported LCMM plan is the fusion pass's effective plan and the
+   payload carries the decisions; with it off the comparison passes
+   through untouched, so cached fusion-off responses stay byte-stable. *)
+let fused_comparison (c : F.comparison) g =
+  if not c.F.lcmm_plan.F.options.F.fusion then (c, None)
+  else begin
+    let fz = Lcmm_fusion.Fusion.apply c.F.lcmm_plan in
+    let plan = Lcmm_fusion.Fusion.effective_plan fz in
+    let lcmm = F.report_of_plan ~style_name:"LCMM+fusion" g plan in
+    ( { c with
+        F.lcmm_plan = plan;
+        lcmm;
+        speedup = c.F.umm.F.latency_seconds /. lcmm.F.latency_seconds },
+      Some fz )
+  end
+
+let fusion_fields = function
+  | None -> []
+  | Some fz ->
+    let module Fz = Lcmm_fusion.Fusion in
+    let module Seg = Lcmm_fusion.Segmentation in
+    [ ( "fusion",
+        Json.Obj
+          [ ("segments", Json.Int (List.length fz.Fz.segments));
+            ( "fused_nodes",
+              Json.Int
+                (List.fold_left
+                   (fun a (s : Seg.segment) ->
+                     a + s.Seg.last - s.Seg.first + 1)
+                   0 fz.Fz.segments) );
+            ("streamed_weights", Json.Int (List.length fz.Fz.streamed));
+            ("fifo_bytes", Json.Int fz.Fz.fifo_bytes);
+            ("ddr_bytes_saved", Json.Int (Fz.ddr_bytes_saved fz));
+            ("peak_sram_bytes", Json.Int fz.Fz.peak_sram_bytes);
+            ("latency_ms", Json.Float (fz.Fz.predicted_latency *. 1e3)) ] ) ]
+
 let compile_payload (spec : P.compile_spec) ~digest g =
   let c =
     F.compare_designs ~options:spec.P.options ~device:spec.P.device
       ~model:(P.target_name spec.P.target) spec.P.dtype g
   in
+  let c, fz = fused_comparison c g in
   let plan = c.F.lcmm_plan in
   let helped, bound = F.helped_layers plan in
   Json.Obj
@@ -202,13 +240,15 @@ let compile_payload (spec : P.compile_spec) ~digest g =
         ("splitting_iterations", Json.Int plan.F.splitting_iterations);
         ("buffers_chosen", Json.Int (List.length plan.F.allocation.Lcmm.Dnnk.chosen));
         ("buffers_spilled", Json.Int (List.length plan.F.allocation.Lcmm.Dnnk.spilled));
-        ("options", P.options_to_json spec.P.options) ])
+        ("options", P.options_to_json spec.P.options) ]
+    @ fusion_fields fz)
 
 let simulate_payload (spec : P.compile_spec) ~digest ~images g =
   let c =
     F.compare_designs ~options:spec.P.options ~device:spec.P.device
       ~model:(P.target_name spec.P.target) spec.P.dtype g
   in
+  let c, fz = fused_comparison c g in
   let plan = c.F.lcmm_plan in
   let metric = plan.F.metric in
   let on_chip = plan.F.allocation.Lcmm.Dnnk.on_chip in
@@ -238,7 +278,7 @@ let simulate_payload (spec : P.compile_spec) ~digest ~images g =
         ("speedup", Json.Float (umm.Sim.Engine.total /. lcmm.Sim.Engine.total));
         ("prefetch_wait_ms", Json.Float (lcmm.Sim.Engine.prefetch_wait *. 1e3));
         ("wt_channel_busy_ms", Json.Float (lcmm.Sim.Engine.wt_channel_busy *. 1e3)) ]
-    @ batch_fields)
+    @ batch_fields @ fusion_fields fz)
 
 (* Multi-tenant run: expand counts into per-instance runtime specs.  An
    inline graph gets a content-derived model key so two different

@@ -113,6 +113,7 @@ let options_of_json v =
       | Ok _ -> Error "field \"weight_slices\": expected a count >= 1"
       | Error _ -> Error "field \"weight_slices\": expected an integer")
   in
+  let* fusion = bool_field v "fusion" base.F.fusion in
   Ok
     { F.feature_reuse;
       weight_prefetch;
@@ -122,7 +123,8 @@ let options_of_json v =
       compensation;
       coloring;
       capacity_override;
-      weight_slices }
+      weight_slices;
+      fusion }
 
 let target_of_json v =
   match Json.member_opt "model" v, Json.member_opt "graph" v with
@@ -382,7 +384,8 @@ let options_to_json (o : F.options) =
         match o.F.capacity_override with
         | None -> Json.Null
         | Some b -> Json.Int b );
-      ("weight_slices", Json.Int o.F.weight_slices) ]
+      ("weight_slices", Json.Int o.F.weight_slices);
+      ("fusion", Json.Bool o.F.fusion) ]
 
 (* The inverse of [request_of_json], used by the tier router to forward
    a parsed envelope to a backend shard.  The encoding must round-trip

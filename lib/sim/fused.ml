@@ -1,0 +1,26 @@
+module Metric = Lcmm.Metric
+module Latency = Accel.Latency
+
+let effective_metric ?(latc_scale = fun _ -> 1.0) ?(streamed = fun _ -> false)
+    (metric : Metric.t) =
+  let profiles =
+    Array.map
+      (fun (p : Latency.profile) ->
+        let scale = latc_scale p.Latency.node_id in
+        let p =
+          if scale = 1.0 then p
+          else { p with Latency.latc = p.Latency.latc *. scale }
+        in
+        if streamed p.Latency.node_id then
+          { p with
+            Latency.wt_term = p.Latency.wt_load_once;
+            wt_stream_bytes = p.Latency.wt_once_bytes }
+        else p)
+      metric.Metric.profiles
+  in
+  (* Same graph, same slicing layout: the rebuilt metric has the same
+     item universe and table shapes, only the latency/byte entries
+     behind fused or streamed nodes differ. *)
+  Metric.build
+    ~weight_slices:(fun id -> metric.Metric.slices.(id))
+    metric.Metric.graph profiles

@@ -1,0 +1,35 @@
+(** Execution semantics of fused segments and streamed weights.
+
+    The fusion planner ({!Lcmm_fusion.Fusion}) decides *which* layers
+    fuse into segments and *which* spilled weights stream through the
+    on-chip FIFO; this module owns what those decisions mean to the
+    latency/traffic/simulation models.  Both decisions are expressed as
+    a rewritten metric over rewritten per-node profiles, so every
+    existing evaluator — {!Lcmm.Metric.total_latency},
+    {!Lcmm.Traffic.of_allocation}, {!Engine.simulate} and the
+    multi-tenant runtime engine — works unchanged on the result:
+
+    - a **streamed** weight stays off-chip but its steady-state DDR
+      occupancy drops to one full load per inference: the profile's
+      [wt_term] becomes [wt_load_once] and [wt_stream_bytes] becomes
+      [wt_once_bytes] (no tile reloads — the FIFO holds the working set
+      while the spatial tiles consume it);
+    - a **fused** node's compute time grows by the segment's halo
+      recompute factor ([latc_scale]), and its segment-internal feature
+      transfers disappear by pinning those values in the allocation the
+      evaluators are asked about (a pinned feature already contributes
+      zero streaming time and zero DDR bytes) — segment-internal
+      transfers are SRAM traffic, which the models price at zero. *)
+
+val effective_metric :
+  ?latc_scale:(int -> float) ->
+  ?streamed:(int -> bool) ->
+  Lcmm.Metric.t ->
+  Lcmm.Metric.t
+(** [effective_metric ?latc_scale ?streamed metric] rebuilds the metric
+    over rewritten profiles: node [n]'s compute seconds are multiplied
+    by [latc_scale n] (default 1.0), and when [streamed n] (default
+    false) its weight-streaming term and bytes are replaced by the
+    load-once values.  The graph and the weight-slicing layout are
+    preserved, so items, affected-node tables and memo-key bit layouts
+    match the source metric position for position. *)

@@ -1,0 +1,195 @@
+(* Fused-layer segmentation and weight streaming: boundary behaviour on
+   hand-built chains, legality over the generated graph families, and
+   parallel determinism of the whole post-pass. *)
+
+module B = Dnn_graph.Builder
+module G = Dnn_graph.Graph
+module Values = Dnn_graph.Values
+module Metric = Lcmm.Metric
+module F = Lcmm.Framework
+module Seg = Lcmm_fusion.Segmentation
+module Fusion = Lcmm_fusion.Fusion
+
+let dtype = Tensor.Dtype.I16
+
+let search ?(max_segment = 8) ?(on_chip = Metric.Item_set.empty) ~headroom g =
+  let cfg, metric = Helpers.metric_of ~dtype g in
+  Seg.search ~max_segment ~headroom_bytes:headroom
+    ~tile_th:cfg.Accel.Config.tile.Accel.Tiling.th ~dtype metric ~on_chip
+
+(* A chain of pointwise convolutions: no halo, so fusing is free and a
+   bigger segment always beats any split of it. *)
+let pointwise_chain n =
+  let b = B.create () in
+  let x = B.input b ~channels:16 ~height:32 ~width:32 () in
+  let v = ref x in
+  for i = 1 to n do
+    v := B.conv b ~name:(Printf.sprintf "c%d" i) ~kernel:(1, 1)
+           ~out_channels:16 !v
+  done;
+  B.finish b
+
+(* --- boundary cases --- *)
+
+let test_whole_graph_segment () =
+  (* Huge headroom, pointwise chain: one segment spans every conv (the
+     input node is a barrier; the final value is the graph output). *)
+  let g = pointwise_chain 5 in
+  let r = search ~headroom:max_int g in
+  match r.Seg.segments with
+  | [ s ] ->
+    Alcotest.(check int) "starts after the input" 1 s.Seg.first;
+    Alcotest.(check int) "ends at the last conv" 5 s.Seg.last;
+    Alcotest.(check (list int)) "keeps every intermediate on chip"
+      [ 1; 2; 3; 4 ] s.Seg.internal
+  | segs ->
+    Alcotest.failf "expected one whole-chain segment, got %d"
+      (List.length segs)
+
+let test_no_single_node_segments () =
+  List.iter
+    (fun g ->
+      let r = search ~headroom:max_int g in
+      List.iter
+        (fun (s : Seg.segment) ->
+          Alcotest.(check bool) "segment spans at least two nodes" true
+            (s.Seg.last > s.Seg.first))
+        r.Seg.segments)
+    [ Helpers.chain (); Helpers.diamond (); pointwise_chain 4 ]
+
+let test_no_headroom_no_segments () =
+  let g = pointwise_chain 5 in
+  let r = search ~headroom:0 g in
+  Alcotest.(check int) "no headroom, no segments" 0
+    (List.length r.Seg.segments);
+  let r = search ~max_segment:1 ~headroom:max_int g in
+  Alcotest.(check int) "max_segment 1 fuses nothing" 0
+    (List.length r.Seg.segments)
+
+let test_shortcut_forces_cut () =
+  (* in -> a -> b -> c with a's value also feeding c: with segments
+     capped at two nodes, a's value escapes any [a..b] segment, so no
+     segment may start at a. *)
+  let b = B.create () in
+  let x = B.input b ~channels:16 ~height:32 ~width:32 () in
+  let a = B.conv b ~name:"a" ~kernel:(1, 1) ~out_channels:16 x in
+  let bb = B.conv b ~name:"b" ~kernel:(1, 1) ~out_channels:16 a in
+  let _c = B.add b ~name:"c" [ a; bb ] in
+  let g = B.finish b in
+  let r = search ~max_segment:2 ~headroom:max_int g in
+  List.iter
+    (fun (s : Seg.segment) ->
+      Alcotest.(check bool) "no segment starts at the shortcut source" true
+        (s.Seg.first <> 1))
+    r.Seg.segments
+
+let segment_legal g headroom (s : Seg.segment) =
+  s.Seg.last > s.Seg.first
+  && s.Seg.slab_bytes <= headroom
+  && s.Seg.benefit_seconds > 0.
+  && List.for_all
+       (fun v ->
+         Values.is_value g v
+         && v >= s.Seg.first && v < s.Seg.last
+         &&
+         match Values.consumers g v with
+         | [] -> false
+         | cs -> List.for_all (fun c -> c <= s.Seg.last) cs)
+       s.Seg.internal
+
+let test_generated_families_legal () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun seed ->
+          let g =
+            Check.Gen.graph ~family (Random.State.make [| seed |]) ~max_nodes:32
+          in
+          let headroom = 1 lsl 20 in
+          let r = search ~headroom g in
+          let rec disjoint prev = function
+            | [] -> true
+            | (s : Seg.segment) :: rest ->
+              s.Seg.first > prev && disjoint s.Seg.last rest
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d: segments disjoint and legal"
+               (Check.Gen.family_name family) seed)
+            true
+            (disjoint (-1) r.Seg.segments
+            && List.for_all (segment_legal g headroom) r.Seg.segments);
+          let total =
+            List.fold_left
+              (fun a (s : Seg.segment) -> a +. s.Seg.benefit_seconds)
+              0. r.Seg.segments
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d: DP total matches its segments"
+               (Check.Gen.family_name family) seed)
+            true
+            (Float.abs (total -. r.Seg.total_benefit) <= 1e-12))
+        [ 0; 3; 11 ])
+    [ Check.Gen.Chain; Check.Gen.Skip; Check.Gen.Degenerate ]
+
+(* --- the full post-pass --- *)
+
+let plan_for ?(fusion = true) g =
+  let cfg = Helpers.default_config ~dtype () in
+  F.plan ~options:{ F.default_options with F.fusion } cfg g
+
+let test_apply_inert_when_off () =
+  let g = Helpers.chain () in
+  let p = plan_for ~fusion:false g in
+  let fz = Fusion.apply p in
+  Alcotest.(check bool) "inactive" false (Fusion.active fz);
+  Alcotest.(check bool) "effective plan is the base plan itself" true
+    (Fusion.effective_plan fz == p);
+  Alcotest.(check bool) "metric untouched" true
+    (fz.Fusion.metric == p.F.metric)
+
+let test_apply_never_slower () =
+  List.iter
+    (fun g ->
+      let p = plan_for g in
+      let fz = Fusion.apply p in
+      Alcotest.(check bool) "fused latency <= base" true
+        (fz.Fusion.predicted_latency <= p.F.predicted_latency +. 1e-12);
+      Alcotest.(check bool) "DDR never grows" true
+        (Fusion.ddr_bytes_saved fz >= 0))
+    [ Helpers.chain (); Helpers.diamond (); Helpers.inception_snippet () ]
+
+let prop_parallel_fusion_deterministic =
+  let gen = QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 8 40)) in
+  Helpers.qtest ~count:25 "fusion with ~pool is byte-identical at 1/2/4/8"
+    gen (fun (seed, nodes) ->
+      let g =
+        Check.Gen.sized_graph ~family:Check.Gen.Mixed
+          (Random.State.make [| 14; seed; nodes |])
+          ~nodes
+      in
+      let digest fz = Dnn_serial.Codec.digest_string (Fusion.fingerprint fz) in
+      let p = plan_for g in
+      let baseline = digest (Fusion.apply p) in
+      List.for_all
+        (fun domains ->
+          let pool = Lcmm.Pool.create ~domains () in
+          Fun.protect
+            ~finally:(fun () -> Lcmm.Pool.shutdown pool)
+            (fun () -> digest (Fusion.apply ~pool p) = baseline))
+        [ 1; 2; 4; 8 ])
+
+let suite =
+  [ Alcotest.test_case "whole graph fuses under huge SRAM" `Quick
+      test_whole_graph_segment;
+    Alcotest.test_case "no single-node segments" `Quick
+      test_no_single_node_segments;
+    Alcotest.test_case "no headroom or length, no segments" `Quick
+      test_no_headroom_no_segments;
+    Alcotest.test_case "shortcut edge forces a cut" `Quick
+      test_shortcut_forces_cut;
+    Alcotest.test_case "generated families stay legal" `Quick
+      test_generated_families_legal;
+    Alcotest.test_case "fusion off is inert" `Quick test_apply_inert_when_off;
+    Alcotest.test_case "fusion never slows a plan" `Quick
+      test_apply_never_slower;
+    prop_parallel_fusion_deterministic ]

@@ -34,4 +34,5 @@ let () =
       ("tier", Test_tier.suite);
       ("runtime", Test_runtime.suite);
       ("fault", Test_fault.suite);
+      ("fusion", Test_fusion.suite);
       ("check", Test_check.suite) ]
