@@ -844,7 +844,9 @@ let tier_socket_dir () =
    socket file). *)
 let spawn_tier ~shards ~workers ~vnodes ~max_inflight ~cache_entries
     ~cache_mb ~cache_dir ~deadline_ms ~router_cache_entries ~router_cache_mb
-    ~timing ~socket_dir =
+    ~timing ?retries ?retry_backoff_ms ?hedge_ms ?hedge_quantile
+    ?call_timeout_ms ?probe_interval_ms ?chaos ?breaker_threshold
+    ?breaker_cooldown_s ~socket_dir () =
   if shards < 1 then or_die (Error "shards must be >= 1");
   if workers < 1 then or_die (Error "workers must be >= 1");
   let spawned = ref [] in
@@ -869,7 +871,8 @@ let spawn_tier ~shards ~workers ~vnodes ~max_inflight ~cache_entries
       | Some ms -> [ "--deadline-ms"; string_of_float ms ]
     in
     match
-      Lcmm_tier.Shard.spawn ~name ~socket ~max_inflight (Array.of_list argv)
+      Lcmm_tier.Shard.spawn ~name ~socket ~max_inflight ?breaker_threshold
+        ?breaker_cooldown_s (Array.of_list argv)
     with
     | Ok s ->
       spawned := s :: !spawned;
@@ -884,9 +887,87 @@ let spawn_tier ~shards ~workers ~vnodes ~max_inflight ~cache_entries
   in
   let tier =
     Lcmm_tier.Tier.create ~router_cache_entries ~router_cache_mb ?deadline_ms
-      ~timing ~ring ~shards:shard_list ()
+      ~timing ?retries ?retry_backoff_ms ?hedge_ms ?hedge_quantile
+      ?call_timeout_ms ?probe_interval_ms ?chaos ~ring ~shards:shard_list ()
   in
   (tier, cleanup)
+
+(* The --chaos / --faults spec syntax shared by the tier and the chaos
+   bench; a malformed spec is a CLI error (cmdliner exits 124) carrying
+   the parser's clause-and-position diagnosis. *)
+let fault_spec_conv =
+  let parse s =
+    match Fault.Spec.of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun ppf s -> Format.pp_print_string ppf (Fault.Spec.to_string s))
+
+let chaos_arg =
+  let doc =
+    "Seeded transport-fault injection on the router->shard path, e.g. \
+     $(b,seed=42,delay:0.1:40,hang:0.02,trunc:0.02,corrupt:0.02,reset:0.05,slowshard\\@0:3).  \
+     A spec with no transport clauses (or no --chaos at all) leaves the \
+     tier's output byte-identical to a fault-free run."
+  in
+  Arg.(value & opt (some fault_spec_conv) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
+let retries_arg =
+  let doc =
+    "Extra compute attempts per candidate shard after a transport failure \
+     or an invalid reply (0 disables retries)."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~doc)
+
+let retry_backoff_arg =
+  let doc =
+    "Base backoff in milliseconds before a retry; doubles per attempt, \
+     capped at 8x and at the request's remaining deadline."
+  in
+  Arg.(value & opt float 25. & info [ "retry-backoff-ms" ] ~doc)
+
+let hedge_ms_arg =
+  let doc =
+    "Hedge a compute call against the next shard in ring order once the \
+     primary has been quiet for $(docv) milliseconds."
+  in
+  Arg.(value & opt (some float) None & info [ "hedge-ms" ] ~docv:"MS" ~doc)
+
+let hedge_quantile_arg =
+  let doc =
+    "Adaptive hedging: hedge once the primary exceeds this quantile (in \
+     (0,1), e.g. 0.95) of observed compute-call latency."
+  in
+  Arg.(value & opt (some float) None & info [ "hedge-quantile" ] ~docv:"Q" ~doc)
+
+let call_timeout_arg =
+  let doc =
+    "Per-call reply timeout in milliseconds on every shard connection; a \
+     hung shard surfaces as a transport failure instead of wedging the \
+     router."
+  in
+  Arg.(value & opt (some float) None & info [ "call-timeout-ms" ] ~docv:"MS" ~doc)
+
+let probe_interval_arg =
+  let doc =
+    "Background health-probe interval in milliseconds: every non-up shard \
+     gets a stats roundtrip that can close its breaker without waiting for \
+     live traffic."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "probe-interval-ms" ] ~docv:"MS" ~doc)
+
+let breaker_threshold_arg =
+  let doc = "Consecutive transport failures that open a shard's breaker." in
+  Arg.(value & opt (some int) None & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+
+let breaker_cooldown_arg =
+  let doc = "Milliseconds an opened shard breaker stays open." in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "breaker-cooldown-ms" ] ~docv:"MS" ~doc)
 
 let shards_arg =
   let doc = "Number of backend shard processes." in
@@ -957,12 +1038,17 @@ let tier_cmd =
   in
   let run () shards workers vnodes max_inflight socket cache_entries cache_mb
       cache_dir router_cache_entries router_cache_mb no_timing deadline_ms
-      socket_dir =
+      socket_dir chaos_spec retries retry_backoff_ms hedge_ms hedge_quantile
+      call_timeout_ms probe_interval_ms breaker_threshold breaker_cooldown_ms
+      drain_timeout_s =
     if cache_entries < 1 then or_die (Error "cache-entries must be >= 1");
     if cache_mb < 1 then or_die (Error "cache-mb must be >= 1");
     (match deadline_ms with
     | Some ms when ms <= 0. -> or_die (Error "deadline-ms must be positive")
     | _ -> ());
+    if retries < 0 then or_die (Error "retries must be >= 0");
+    if drain_timeout_s <= 0. then
+      or_die (Error "drain-timeout-s must be positive");
     let socket_dir =
       match socket_dir with
       | Some dir ->
@@ -971,19 +1057,57 @@ let tier_cmd =
         dir
       | None -> tier_socket_dir ()
     in
+    let chaos = Option.bind chaos_spec Lcmm_tier.Chaos.create in
+    (match (chaos_spec, chaos) with
+    | Some spec, None ->
+      Printf.eprintf
+        "lcmm tier: --chaos %S has no transport clauses; running fault-free\n%!"
+        (Fault.Spec.to_string spec)
+    | _ -> ());
     let tier, cleanup =
       spawn_tier ~shards ~workers ~vnodes ~max_inflight ~cache_entries
         ~cache_mb ~cache_dir ~deadline_ms ~router_cache_entries
-        ~router_cache_mb ~timing:(not no_timing) ~socket_dir
+        ~router_cache_mb ~timing:(not no_timing) ~retries ~retry_backoff_ms
+        ?hedge_ms ?hedge_quantile ?call_timeout_ms ?probe_interval_ms ?chaos
+        ?breaker_threshold
+        ?breaker_cooldown_s:(Option.map (fun ms -> ms /. 1e3)
+                               breaker_cooldown_ms)
+        ~socket_dir ()
     in
     (* The shard processes and socket files must die with the tier —
        on EOF, on an uncaught error, and on SIGTERM/SIGINT (exit runs
        the at_exit cleanup). *)
     at_exit cleanup;
-    let on_signal = Sys.Signal_handle (fun _ -> exit 130) in
-    (try Sys.set_signal Sys.sigterm on_signal
+    (* SIGTERM is the graceful path: stop admitting, let in-flight
+       requests finish rendering, push the router cache back to the
+       owning shards, then exit 0 (which runs the at_exit cleanup, so
+       no shard process or socket file survives).  SIGINT stays the
+       abrupt path.  The handler only flips a latch and hands the work
+       to a thread — drain waits on in-flight requests, which a signal
+       handler must never block on. *)
+    let drain_started = Atomic.make false in
+    let on_sigterm =
+      Sys.Signal_handle
+        (fun _ ->
+          if not (Atomic.exchange drain_started true) then
+            ignore
+              (Thread.create
+                 (fun () ->
+                   let flushed =
+                     Lcmm_tier.Tier.drain ~timeout_s:drain_timeout_s tier
+                   in
+                   Printf.eprintf
+                     "lcmm tier: drained, %d cache entries flushed\n%!"
+                     flushed;
+                   (* Give the server loop a beat to write the response
+                      of the request that just left the in-flight gate. *)
+                   Thread.delay 0.1;
+                   exit 0)
+                 ()))
+    in
+    (try Sys.set_signal Sys.sigterm on_sigterm
      with Invalid_argument _ | Sys_error _ -> ());
-    (try Sys.set_signal Sys.sigint on_signal
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exit 130))
      with Invalid_argument _ | Sys_error _ -> ());
     (* A client closing our stdout mid-stream (`lcmm tier | head`) must
        surface as a write error, not a process-killing SIGPIPE — dying
@@ -1002,18 +1126,30 @@ let tier_cmd =
           (* Broken stdout is the client hanging up: a clean shutdown. *)
           ())
   in
+  let drain_timeout_arg =
+    let doc =
+      "Seconds the SIGTERM drain waits for in-flight requests before \
+       flushing the cache and exiting anyway."
+    in
+    Arg.(value & opt float 10. & info [ "drain-timeout-s" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "tier"
        ~doc:
          "Run the sharded plan-compilation tier: a consistent-hash router \
           over N supervised serve processes, with a router-side LRU, \
           shard-local disk caches, peer cache fill between shards, per-shard \
-          circuit breakers and overload shedding.")
+          circuit breakers, overload shedding, retries, hedging, deadline \
+          propagation, health probes, graceful SIGTERM drain and seeded \
+          chaos injection.")
     Term.(
       const run $ log_arg $ shards_arg $ tier_workers_arg $ vnodes_arg
       $ max_inflight_arg $ socket_arg $ cache_entries_arg $ cache_mb_arg
       $ cache_dir_arg $ router_cache_entries_arg $ router_cache_mb_arg
-      $ no_timing_arg $ deadline_arg $ socket_dir_arg)
+      $ no_timing_arg $ deadline_arg $ socket_dir_arg $ chaos_arg
+      $ retries_arg $ retry_backoff_arg $ hedge_ms_arg $ hedge_quantile_arg
+      $ call_timeout_arg $ probe_interval_arg $ breaker_threshold_arg
+      $ breaker_cooldown_arg $ drain_timeout_arg)
 
 let bench_serve_cmd =
   let shard_counts_arg =
@@ -1071,7 +1207,7 @@ let bench_serve_cmd =
         spawn_tier ~shards:n ~workers ~vnodes:64 ~max_inflight:64
           ~cache_entries:256 ~cache_mb:64 ~cache_dir:None ~deadline_ms:None
           ~router_cache_entries:512 ~router_cache_mb:64 ~timing:false
-          ~socket_dir
+          ~socket_dir ()
       in
       Fun.protect ~finally:cleanup (fun () ->
           let handler = Lcmm_tier.Tier.handle_line tier in
@@ -1139,6 +1275,269 @@ let bench_serve_cmd =
       const run $ log_arg $ shard_counts_arg $ tier_workers_arg $ rps_arg
       $ duration_arg $ slo_arg $ threads_arg $ sat_steps_arg $ mix_models_arg
       $ json_arg)
+
+(* bench chaos: the zoo mix through a deliberately faulty tier, over a
+   ladder of fault intensities.  The report answers three questions:
+   how much availability the resilience layer preserves (retries,
+   hedges, failover), whether any fault ever reached a client as a
+   silently wrong answer (every success is compared byte-for-byte
+   against a fault-free reference), and whether the injection itself is
+   reproducible (a digest over the per-rung fault/recovery counters —
+   two runs with the same spec and seed must produce the same
+   fingerprint). *)
+let bench_chaos_cmd =
+  let chaos_spec_arg =
+    let doc =
+      "Transport-fault spec driven through the intensity ladder (the \
+       probabilities scale, the magnitudes do not)."
+    in
+    Arg.(
+      value
+      & opt fault_spec_conv
+          (match
+             Fault.Spec.of_string
+               "seed=42,delay:0.08:40,hang:0.02,trunc:0.02,corrupt:0.02,reset:0.03"
+           with
+          | Ok s -> s
+          | Error _ -> Fault.Spec.empty)
+      & info [ "chaos" ] ~docv:"SPEC" ~doc)
+  in
+  let intensities_arg =
+    let doc =
+      "Comma-separated probability multipliers, one bench rung each."
+    in
+    Arg.(value & opt string "0.25,0.5,1.0" & info [ "intensities" ] ~doc)
+  in
+  let requests_arg =
+    let doc = "Requests per rung (driven single-threaded, unpaced)." in
+    Arg.(value & opt int 300 & info [ "requests" ] ~doc)
+  in
+  let mix_models_arg =
+    let doc = "Zoo models in the request mix (smallest first)." in
+    Arg.(value & opt int 4 & info [ "mix-models" ] ~doc)
+  in
+  let availability_floor_arg =
+    let doc = "Availability the middle rung must meet (gates chaos_pass)." in
+    Arg.(value & opt float 0.99 & info [ "availability-floor" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the report to $(docv)." in
+    Arg.(
+      value & opt string "BENCH_chaos.json" & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run () spec intensities workers shards retries hedge_ms call_timeout_ms
+      requests mix_models availability_floor json_path =
+    if not (Fault.Spec.has_transport_faults spec) then
+      or_die (Error "the --chaos spec has no transport clauses");
+    if requests < 1 then or_die (Error "requests must be >= 1");
+    let intensities =
+      String.split_on_char ',' intensities
+      |> List.filter_map (fun s ->
+             let s = String.trim s in
+             if s = "" then None else Some s)
+      |> List.map (fun s ->
+             match float_of_string_opt s with
+             | Some f when f > 0. -> f
+             | _ -> or_die (Error (Printf.sprintf "bad intensity %S" s)))
+    in
+    if intensities = [] then or_die (Error "no intensities given");
+    let module Json = Dnn_serial.Json in
+    let module Tier = Lcmm_tier.Tier in
+    let module Loadgen = Lcmm_tier.Loadgen in
+    let mix = Loadgen.zoo_mix ~models:mix_models () in
+    (* The fault-free reference: an in-process engine rendering
+       canonical (timing-free) responses — exactly the bytes the tier
+       must re-render when it answers the same request correctly.
+       [stats] answers are tier-specific and exempt. *)
+    let reference_engine = Lcmm_service.Engine.create () in
+    let reference_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun line ->
+        match Json.of_string line with
+        | Ok doc
+          when Json.member_opt "op" doc = Some (Json.String "stats") ->
+          ()
+        | _ ->
+          Hashtbl.replace reference_tbl line
+            (Lcmm_service.Engine.handle_line ~timing:false reference_engine
+               line))
+      mix;
+    Lcmm_service.Engine.shutdown reference_engine;
+    let socket_dir = tier_socket_dir () in
+    (* Determinism over realism for the breaker: a huge threshold keeps
+       injected failures from tripping circuits whose open/close timing
+       would couple the counters to the wall clock. *)
+    let tier, cleanup =
+      spawn_tier ~shards ~workers ~vnodes:64 ~max_inflight:64
+        ~cache_entries:256 ~cache_mb:64 ~cache_dir:None ~deadline_ms:None
+        ~router_cache_entries:1 ~router_cache_mb:1 ~timing:false ~retries
+        ~hedge_ms ~call_timeout_ms ~breaker_threshold:1_000_000 ~socket_dir ()
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+        let handler = Tier.handle_line tier in
+        (* Warm the shard caches fault-free so rung traffic measures
+           the serving path; the router cache is minimal (1 entry) so
+           warm requests cannot short-circuit later rungs away from the
+           wire the chaos injector sits on. *)
+        List.iter (fun line -> ignore (handler line)) mix;
+        let counters_before = ref (Tier.counter_list tier) in
+        let delta after =
+          List.map
+            (fun (k, v) ->
+              let v0 =
+                match List.assoc_opt k !counters_before with
+                | Some v0 -> v0
+                | None -> 0
+              in
+              (k, v - v0))
+            after
+        in
+        let bench_rung intensity =
+          Printf.eprintf "bench chaos: intensity %.2f...\n%!" intensity;
+          let rung_spec = Fault.Spec.scale_transport spec intensity in
+          let chaos =
+            match Lcmm_tier.Chaos.create rung_spec with
+            | Some c -> c
+            | None -> or_die (Error "scaled spec lost its transport clauses")
+          in
+          Tier.set_chaos tier (Some chaos);
+          let measured =
+            Loadgen.run ~handler ~mix ~rps:(float_of_int requests)
+              ~duration_s:1.0 ~threads:1
+              ~reference:(fun line -> Hashtbl.find_opt reference_tbl line)
+              ()
+          in
+          Tier.set_chaos tier None;
+          let after = Tier.counter_list tier in
+          let tier_delta = delta after in
+          counters_before := after;
+          let availability =
+            float_of_int measured.Loadgen.ok
+            /. float_of_int (max 1 measured.Loadgen.sent)
+          in
+          Printf.eprintf
+            "  intensity %.2f: availability %.4f  p99 %.2f ms  divergent %d\n%!"
+            intensity availability measured.Loadgen.p99_ms
+            measured.Loadgen.divergent;
+          (intensity, rung_spec, measured, availability,
+           Lcmm_tier.Chaos.counter_list chaos, tier_delta)
+        in
+        let rungs = List.map bench_rung intensities in
+        (* The reproducibility fingerprint: every injected-fault and
+           recovery counter of every rung, in a canonical rendering.
+           Same spec + seed + request stream => same digest. *)
+        let fingerprint =
+          rungs
+          |> List.map (fun (intensity, _, m, _, chaos_counters, tier_delta) ->
+                 Printf.sprintf "%.4f|%s|%s|ok=%d;err=%d;div=%d" intensity
+                   (String.concat ";"
+                      (List.map
+                         (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                         chaos_counters))
+                   (String.concat ";"
+                      (List.map
+                         (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                         (List.filter
+                            (fun (k, _) ->
+                              List.mem k
+                                [ "retries"; "hedges"; "hedge_wins";
+                                  "invalid_replies" ])
+                            tier_delta)))
+                   m.Loadgen.ok m.Loadgen.errors m.Loadgen.divergent)
+          |> String.concat "\n"
+          |> Dnn_serial.Codec.digest_string
+        in
+        let mid_availability =
+          let n = List.length rungs in
+          match List.nth_opt rungs (n / 2) with
+          | Some (_, _, _, a, _, _) -> a
+          | None -> 0.
+        in
+        let divergent_total =
+          List.fold_left
+            (fun acc (_, _, m, _, _, _) -> acc + m.Loadgen.divergent)
+            0 rungs
+        in
+        let availability_pass = mid_availability >= availability_floor in
+        let integrity_pass = divergent_total = 0 in
+        let doc =
+          Json.Obj
+            [ ("experiment", Json.String "chaos");
+              ("spec", Json.String (Fault.Spec.to_string spec));
+              ("requests_per_rung", Json.Int requests);
+              ("shards", Json.Int shards);
+              ("retries", Json.Int retries);
+              ("hedge_ms", Json.Float hedge_ms);
+              ("call_timeout_ms", Json.Float call_timeout_ms);
+              ( "rungs",
+                Json.List
+                  (List.map
+                     (fun ( intensity, rung_spec, m, availability,
+                            chaos_counters, tier_delta ) ->
+                       Json.Obj
+                         [ ("intensity", Json.Float intensity);
+                           ( "spec",
+                             Json.String (Fault.Spec.to_string rung_spec) );
+                           ("availability", Json.Float availability);
+                           ("measured", Loadgen.result_to_json m);
+                           ( "injected",
+                             Json.Obj
+                               (List.map
+                                  (fun (k, v) -> (k, Json.Int v))
+                                  chaos_counters) );
+                           ( "tier",
+                             Json.Obj
+                               (List.map
+                                  (fun (k, v) -> (k, Json.Int v))
+                                  tier_delta) ) ])
+                     rungs) );
+              ("mid_availability", Json.Float mid_availability);
+              ("availability_floor", Json.Float availability_floor);
+              ("divergent_total", Json.Int divergent_total);
+              ("counter_fingerprint", Json.String fingerprint);
+              ("availability_pass", Json.Bool availability_pass);
+              ("integrity_pass", Json.Bool integrity_pass);
+              ( "chaos_pass",
+                Json.Bool (availability_pass && integrity_pass) ) ]
+        in
+        let oc = open_out json_path in
+        output_string oc (Json.to_string ~indent:2 doc);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf
+          "wrote %s (availability_pass: %b, integrity_pass: %b, fingerprint: \
+           %s)\n"
+          json_path availability_pass integrity_pass fingerprint)
+  in
+  let shards_arg =
+    let doc = "Backend shard processes." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc)
+  in
+  let retries_arg =
+    let doc = "Retry budget per candidate shard." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~doc)
+  in
+  let hedge_ms_arg =
+    let doc = "Hedge threshold in milliseconds." in
+    Arg.(value & opt float 150. & info [ "hedge-ms" ] ~doc)
+  in
+  let call_timeout_arg =
+    let doc = "Per-call reply timeout in milliseconds." in
+    Arg.(value & opt float 250. & info [ "call-timeout-ms" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos soak of the sharded tier: drive the zoo mix through a \
+          seeded transport-fault injector over an intensity ladder; report \
+          availability, tail latency, injected-fault and recovery counters, \
+          verify every successful response byte-identical to a fault-free \
+          reference, and fingerprint the counters for reproducibility.")
+    Term.(
+      const run $ log_arg $ chaos_spec_arg $ intensities_arg
+      $ tier_workers_arg $ shards_arg $ retries_arg $ hedge_ms_arg
+      $ call_timeout_arg $ requests_arg $ mix_models_arg
+      $ availability_floor_arg $ json_arg)
 
 let bench_fusion_cmd =
   let json_arg =
@@ -1266,7 +1665,7 @@ let bench_fusion_cmd =
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench" ~doc:"Load benchmarks against the serving stack.")
-    [ bench_serve_cmd; bench_fusion_cmd ]
+    [ bench_serve_cmd; bench_chaos_cmd; bench_fusion_cmd ]
 
 let () =
   let info = Cmd.info "lcmm" ~doc:"Layer-conscious memory management for FPGA DNN accelerators" in

@@ -207,4 +207,87 @@ grep -q '"stream_tile"' "$out"
 awk -F': ' '/"fusion_ddr_wins"/ { exit ($2 + 0 >= 1) ? 0 : 1 }' "$out"
 echo "wrote $out"
 
+echo "== tier-2: chaos off is byte-identical =="
+# The whole resilience layer (retries, hedging, call timeouts, checksum
+# validation) plus a quiet chaos spec (seed only, no transport clauses)
+# must be invisible: the tier answers byte-for-byte what the plain serve
+# reference answered.
+dune exec bin/lcmm_cli.exe -- tier --shards 2 --no-timing \
+  --chaos 'seed=7' --retries 2 --hedge-ms 200 --call-timeout-ms 2000 \
+  < "$reqs" > _build/tier_quiet.ndjson 2> /dev/null
+cmp _build/tier_serve_ref.ndjson _build/tier_quiet.ndjson
+
+echo "== tier-2: malformed chaos spec is a structured CLI error =="
+# A bad clause must be rejected at argument-parse time (cmdliner exit
+# 124) with an error naming the offending clause — not at serve time.
+status=0
+dune exec bin/lcmm_cli.exe -- tier --chaos 'seed=1,bogus:0.5' \
+  < /dev/null > /dev/null 2> _build/chaos_badspec.err || status=$?
+[ "$status" -eq 124 ]
+grep -q 'clause' _build/chaos_badspec.err
+
+echo "== tier-2: SIGTERM drains gracefully =="
+# SIGTERM on a live tier must finish in-flight work, flush the router
+# LRU to the shard caches, report the drain, exit 0, and leave no shard
+# socket or process behind.
+drain_sockdir=_build/tier_drain_socks
+drain_fifo=_build/tier_drain_fifo
+# Stale outputs from a previous run would satisfy the response-wait
+# instantly and race the TERM against tier startup.
+rm -rf "$drain_sockdir"
+rm -f "$drain_fifo" _build/tier_drain.out _build/tier_drain.err
+mkfifo "$drain_fifo"
+# The binary directly, not via `dune exec`: the TERM must reach the
+# tier itself, not a wrapper that may die 143 before forwarding it.
+_build/default/bin/lcmm_cli.exe tier --shards 2 --no-timing \
+  --socket-dir "$drain_sockdir" < "$drain_fifo" \
+  > _build/tier_drain.out 2> _build/tier_drain.err &
+drain_pid=$!
+exec 9> "$drain_fifo"
+printf '{"op":"compile","model":"alexnet","dtype":"i8"}\n' >&9
+i=0
+while [ ! -s _build/tier_drain.out ] && [ "$i" -lt 200 ]; do
+  sleep 0.05; i=$((i + 1))
+done
+[ -s _build/tier_drain.out ]
+kill -TERM "$drain_pid"
+wait "$drain_pid"
+exec 9>&-
+rm -f "$drain_fifo"
+grep -q 'drained' _build/tier_drain.err
+grep -q '"ok":true' _build/tier_drain.out
+if ls "$drain_sockdir"/*.sock > /dev/null 2>&1; then
+  echo "leaked shard sockets after drain"; exit 1
+fi
+# Only a real lcmm process counts as a leak (pgrep -f also matches any
+# unrelated command line that merely mentions the socket dir).
+for p in $(pgrep -f "$drain_sockdir" || true); do
+  [ "$p" = "$$" ] && continue
+  if [ -e "/proc/$p/exe" ] \
+     && readlink "/proc/$p/exe" | grep -q lcmm_cli; then
+    echo "leaked shard process $p after drain"; exit 1
+  fi
+done
+
+echo "== tier-2: chaos soak — availability, integrity, reproducibility =="
+# The zoo mix through a deliberately faulty 2-shard tier over the
+# intensity ladder: availability at the middle rung must hold the
+# floor, every success must be byte-identical to the fault-free
+# reference (zero divergent), and the same spec + seed must reproduce
+# the injected/tier counters exactly across two runs.
+out=BENCH_chaos.json
+dune exec bin/lcmm_cli.exe -- bench chaos --json "$out" \
+  2> /dev/null > /dev/null
+grep -q '"experiment": "chaos"' "$out"
+grep -q '"divergent_total": 0' "$out"
+grep -q '"availability_pass": true' "$out"
+grep -q '"integrity_pass": true' "$out"
+grep -q '"chaos_pass": true' "$out"
+dune exec bin/lcmm_cli.exe -- bench chaos --json _build/BENCH_chaos_rerun.json \
+  2> /dev/null > /dev/null
+fp_a=$(grep -o '"counter_fingerprint": "[0-9a-f]*"' "$out")
+fp_b=$(grep -o '"counter_fingerprint": "[0-9a-f]*"' _build/BENCH_chaos_rerun.json)
+[ -n "$fp_a" ] && [ "$fp_a" = "$fp_b" ]
+echo "wrote $out"
+
 echo "CI OK"

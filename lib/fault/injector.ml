@@ -109,3 +109,62 @@ let next_droop_boundary t ~now =
       consider (consider acc d.Spec.droop_start)
         (d.Spec.droop_start +. d.Spec.droop_duration))
     infinity t.spec.Spec.droops
+
+(* --- transport faults (serving tier router->shard path) --- *)
+
+type transport_action = Pass | Delay of float | Hang | Trunc | Corrupt | Reset
+
+(* Each router-level attempt of a request key gets an independent
+   8-salt window, placed above the board-fault salts (1-2 stalls,
+   16+ failures, 64+ backoff) so the two families never alias. *)
+let t_salt ~attempt slot = 128 + (8 * attempt) + slot
+
+(* Precedence hard-to-soft: a reset preempts a hang preempts a
+   truncation preempts a corruption preempts a delay.  Each family
+   draws from its own salt so scaling one probability never flips
+   another family's outcome for the same (key, attempt). *)
+let transport_action t ~key ~attempt =
+  let s = t.spec in
+  let hit prob slot =
+    prob > 0. && draw t ~key ~salt:(t_salt ~attempt slot) < prob
+  in
+  if hit s.Spec.t_reset_prob 0 then Reset
+  else if hit s.Spec.t_hang_prob 1 then Hang
+  else if hit s.Spec.t_trunc_prob 2 then Trunc
+  else if hit s.Spec.t_corrupt_prob 3 then Corrupt
+  else if s.Spec.t_delay_seconds > 0. && hit s.Spec.t_delay_prob 4 then
+    Delay
+      (s.Spec.t_delay_seconds *. (0.5 +. draw t ~key ~salt:(t_salt ~attempt 5)))
+  else Pass
+
+(* Damage a response line the way the wire would: cut it short or flip
+   one byte.  Which prefix survives / which byte flips is itself a
+   seeded draw, so damage replays bit-identically. *)
+let mangle_line t ~key ~attempt ~action line =
+  let n = String.length line in
+  if n = 0 then line
+  else
+    match (action : transport_action) with
+    | Trunc ->
+      let keep =
+        1 + int_of_float (draw t ~key ~salt:(t_salt ~attempt 6)
+                          *. float_of_int (max 1 (n - 2)))
+      in
+      String.sub line 0 (min keep (n - 1))
+    | Corrupt ->
+      let pos =
+        min (n - 1)
+          (int_of_float (draw t ~key ~salt:(t_salt ~attempt 7) *. float_of_int n))
+      in
+      let b = Bytes.of_string line in
+      Bytes.set b pos (Char.chr (Char.code line.[pos] lxor 1));
+      Bytes.to_string b
+    | Pass | Delay _ | Hang | Reset -> line
+
+(* Deterministic per-shard slowdown; overlapping clauses take the worst. *)
+let slow_factor t ~shard =
+  List.fold_left
+    (fun acc (sl : Spec.slow_shard) ->
+      if sl.Spec.slow_index = shard then Float.max acc sl.Spec.slow_factor
+      else acc)
+    1. t.spec.Spec.slow_shards

@@ -44,3 +44,24 @@ val droop_factor : t -> now:float -> float
 val next_droop_boundary : t -> now:float -> float
 (** Next instant after [now] at which {!droop_factor} can change;
     [infinity] when none remain. *)
+
+(** {1 Transport faults (serving tier)} *)
+
+type transport_action = Pass | Delay of float | Hang | Trunc | Corrupt | Reset
+
+val transport_action : t -> key:int -> attempt:int -> transport_action
+(** The fault (if any) injected on router-level attempt [attempt] of
+    the request identified by [key].  Precedence hard-to-soft: reset,
+    hang, trunc, corrupt, delay — each family draws from its own salt,
+    so scaling one probability never flips another family's outcome.
+    [Delay] carries jittered seconds (0.5-1.5x the configured mean). *)
+
+val mangle_line : t -> key:int -> attempt:int -> action:transport_action
+  -> string -> string
+(** Apply [Trunc] (cut to a seeded strict prefix) or [Corrupt] (flip
+    one seeded byte) to a response line; other actions return the line
+    unchanged. *)
+
+val slow_factor : t -> shard:int -> float
+(** Deterministic service-time multiplier for shard [shard] (>= 1);
+    overlapping slowshard clauses take the worst. *)

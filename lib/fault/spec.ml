@@ -17,6 +17,17 @@
      bankloss@T:BYTES[:TEN]    SRAM bank loss for tenant TEN (default 0)
      abort@T:TEN               hard tenant abort
 
+   Transport clauses describe faults on the serving tier's router->shard
+   connections (the CLI's [lcmm tier --chaos SPEC]); they are inert for
+   the board runtime and probabilities are per connection attempt:
+
+     delay:PROB:MS             added response latency (jittered mean MS)
+     hang:PROB                 shard accepts the request, never answers
+     trunc:PROB                response line cut short mid-byte
+     corrupt:PROB              one response byte flipped
+     reset:PROB                connection reset before the response
+     slowshard@IDX:F           shard IDX serves F x slower (F >= 1)
+
    Byte counts accept k/K (KiB) and m/M (MiB) suffixes.  The internal
    representation is seconds and bytes. *)
 
@@ -36,6 +47,11 @@ type bank_loss = {
 
 type abort_event = { abort_at : float; abort_tenant : int }
 
+type slow_shard = {
+  slow_index : int;    (* shard index in sorted ring-member order *)
+  slow_factor : float; (* >= 1: multiplier on observed service time *)
+}
+
 type t = {
   seed : int;
   droops : droop list;
@@ -47,6 +63,14 @@ type t = {
   backoff_cap : float;   (* seconds *)
   bank_losses : bank_loss list;
   aborts : abort_event list;
+  (* transport faults (serving tier router->shard path) *)
+  t_delay_prob : float;
+  t_delay_seconds : float; (* mean injected response delay *)
+  t_hang_prob : float;
+  t_trunc_prob : float;
+  t_corrupt_prob : float;
+  t_reset_prob : float;
+  slow_shards : slow_shard list;
 }
 
 let default_retries = 3
@@ -63,17 +87,49 @@ let empty =
     backoff_base = default_backoff_base;
     backoff_cap = default_backoff_cap;
     bank_losses = [];
-    aborts = [] }
+    aborts = [];
+    t_delay_prob = 0.;
+    t_delay_seconds = 0.;
+    t_hang_prob = 0.;
+    t_trunc_prob = 0.;
+    t_corrupt_prob = 0.;
+    t_reset_prob = 0.;
+    slow_shards = [] }
 
-(* A spec with no active fault source is equivalent to no spec at all:
-   the runtime normalises it away so the no-fault path (and its
-   bit-exact output) is untouched. *)
-let is_empty t =
-  t.droops = []
-  && (t.stall_prob <= 0. || t.stall_seconds <= 0.)
-  && t.fail_prob <= 0.
-  && t.bank_losses = []
-  && t.aborts = []
+(* Board faults drive the runtime co-simulation; a run-op spec without
+   any is normalised away so the no-fault path (and its bit-exact
+   output) is untouched. *)
+let has_board_faults t =
+  t.droops <> []
+  || (t.stall_prob > 0. && t.stall_seconds > 0.)
+  || t.fail_prob > 0.
+  || t.bank_losses <> []
+  || t.aborts <> []
+
+(* Transport faults drive the tier's chaos layer; a spec without any
+   leaves the router->shard path untouched (chaos-off byte identity). *)
+let has_transport_faults t =
+  (t.t_delay_prob > 0. && t.t_delay_seconds > 0.)
+  || t.t_hang_prob > 0.
+  || t.t_trunc_prob > 0.
+  || t.t_corrupt_prob > 0.
+  || t.t_reset_prob > 0.
+  || t.slow_shards <> []
+
+let is_empty t = not (has_board_faults t) && not (has_transport_faults t)
+
+(* Intensity-ladder support: scale every transport probability by
+   [factor] (clamped to [0,1]); delay magnitude and slowshard factors
+   are left alone so a rung changes how often faults fire, not what
+   each fault does. *)
+let scale_transport t factor =
+  let p v = Float.max 0. (Float.min 1. (v *. factor)) in
+  { t with
+    t_delay_prob = p t.t_delay_prob;
+    t_hang_prob = p t.t_hang_prob;
+    t_trunc_prob = p t.t_trunc_prob;
+    t_corrupt_prob = p t.t_corrupt_prob;
+    t_reset_prob = p t.t_reset_prob }
 
 (* --- parsing --- *)
 
@@ -139,7 +195,7 @@ let parse_clause spec clause =
           Error "backoff: cap below base"
         else Ok { spec with backoff_base; backoff_cap }
       | _ -> Error "backoff: expected BASE_MS:CAP_MS")
-    | _ -> Error (Printf.sprintf "unknown clause %S" clause))
+    | _ -> Error "unknown clause")
   | None -> (
     match String.index_opt clause '@' with
     | Some i -> (
@@ -170,7 +226,17 @@ let parse_clause spec clause =
         let* abort_at = parse_ms ~what:"abort time" t in
         let* abort_tenant = parse_int ~what:"abort tenant" ten in
         Ok { spec with aborts = spec.aborts @ [ { abort_at; abort_tenant } ] }
-      | _ -> Error (Printf.sprintf "unknown clause %S" clause))
+      | "slowshard", [ idx; factor ] ->
+        let* slow_index = parse_int ~what:"slowshard index" idx in
+        let* slow_factor = parse_float ~what:"slowshard factor" factor in
+        if slow_index < 0 then Error "slowshard: index must be non-negative"
+        else if slow_factor < 1. then
+          Error (Printf.sprintf "slowshard: factor %g below 1" slow_factor)
+        else
+          Ok { spec with
+               slow_shards = spec.slow_shards @ [ { slow_index; slow_factor } ] }
+      | "slowshard", _ -> Error "slowshard: expected IDX:FACTOR"
+      | _ -> Error "unknown clause")
     | None -> (
       match split_on ':' clause with
       | [ "stall"; prob; ms ] ->
@@ -180,19 +246,56 @@ let parse_clause spec clause =
       | [ "fail"; prob ] ->
         let* fail_prob = parse_prob ~what:"fail probability" prob in
         Ok { spec with fail_prob }
-      | _ -> Error (Printf.sprintf "unknown clause %S" clause)))
+      | [ "delay"; prob; ms ] ->
+        let* t_delay_prob = parse_prob ~what:"delay probability" prob in
+        let* t_delay_seconds = parse_ms ~what:"delay duration" ms in
+        Ok { spec with t_delay_prob; t_delay_seconds }
+      | [ "hang"; prob ] ->
+        let* t_hang_prob = parse_prob ~what:"hang probability" prob in
+        Ok { spec with t_hang_prob }
+      | [ "trunc"; prob ] ->
+        let* t_trunc_prob = parse_prob ~what:"trunc probability" prob in
+        Ok { spec with t_trunc_prob }
+      | [ "corrupt"; prob ] ->
+        let* t_corrupt_prob = parse_prob ~what:"corrupt probability" prob in
+        Ok { spec with t_corrupt_prob }
+      | [ "reset"; prob ] ->
+        let* t_reset_prob = parse_prob ~what:"reset probability" prob in
+        Ok { spec with t_reset_prob }
+      | ("delay" | "hang" | "trunc" | "corrupt" | "reset" | "stall" | "fail")
+        :: _ ->
+        Error "wrong number of arguments"
+      | _ -> Error "unknown clause"))
 
+(* Parse errors name the offending clause and its character position in
+   the original spec string, so a long comma-separated spec fails with a
+   pointer instead of a bare reason. *)
 let of_string s =
-  let clauses =
-    String.split_on_char ',' s
-    |> List.map String.trim
-    |> List.filter (fun c -> c <> "")
+  let n = String.length s in
+  let rec go spec idx start =
+    if start >= n + 1 then Ok spec
+    else begin
+      let stop =
+        match String.index_from_opt s (min start n) ',' with
+        | Some i -> i
+        | None -> n
+      in
+      let raw = if start >= n then "" else String.sub s start (stop - start) in
+      let clause = String.trim raw in
+      if clause = "" then go spec idx (stop + 1)
+      else
+        match parse_clause spec clause with
+        | Ok spec -> go spec (idx + 1) (stop + 1)
+        | Error msg ->
+          let blank = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false in
+          let lead = ref 0 in
+          while !lead < String.length raw && blank raw.[!lead] do incr lead done;
+          Error
+            (Printf.sprintf "clause %d (%S) at char %d: %s" idx clause
+               (start + !lead) msg)
+    end
   in
-  List.fold_left
-    (fun acc clause ->
-      let* spec = acc in
-      parse_clause spec clause)
-    (Ok empty) clauses
+  go empty 1 0
 
 (* Canonical rendering: round-trips through [of_string]. *)
 let to_string t =
@@ -221,6 +324,22 @@ let to_string t =
     @ List.map
         (fun a -> Printf.sprintf "abort@%s:%d" (ms a.abort_at) a.abort_tenant)
         t.aborts
+    @ (if t.t_delay_prob > 0. && t.t_delay_seconds > 0. then
+         [ Printf.sprintf "delay:%g:%s" t.t_delay_prob (ms t.t_delay_seconds) ]
+       else [])
+    @ (if t.t_hang_prob > 0. then [ Printf.sprintf "hang:%g" t.t_hang_prob ]
+       else [])
+    @ (if t.t_trunc_prob > 0. then [ Printf.sprintf "trunc:%g" t.t_trunc_prob ]
+       else [])
+    @ (if t.t_corrupt_prob > 0. then
+         [ Printf.sprintf "corrupt:%g" t.t_corrupt_prob ]
+       else [])
+    @ (if t.t_reset_prob > 0. then [ Printf.sprintf "reset:%g" t.t_reset_prob ]
+       else [])
+    @ List.map
+        (fun sl ->
+          Printf.sprintf "slowshard@%d:%g" sl.slow_index sl.slow_factor)
+        t.slow_shards
   in
   String.concat "," clauses
 
@@ -258,4 +377,18 @@ let to_json t =
               Json.Obj
                 [ ("t_ms", Json.Float (a.abort_at *. 1e3));
                   ("tenant", Json.Int a.abort_tenant) ])
-            t.aborts)) ]
+            t.aborts));
+      ("delay_prob", Json.Float t.t_delay_prob);
+      ("delay_ms", Json.Float (t.t_delay_seconds *. 1e3));
+      ("hang_prob", Json.Float t.t_hang_prob);
+      ("trunc_prob", Json.Float t.t_trunc_prob);
+      ("corrupt_prob", Json.Float t.t_corrupt_prob);
+      ("reset_prob", Json.Float t.t_reset_prob);
+      ("slow_shards",
+       Json.List
+         (List.map
+            (fun sl ->
+              Json.Obj
+                [ ("shard", Json.Int sl.slow_index);
+                  ("factor", Json.Float sl.slow_factor) ])
+            t.slow_shards)) ]

@@ -20,6 +20,20 @@
     abort@T:TEN               hard tenant abort
     v}
 
+    Transport clauses describe faults on the serving tier's
+    router->shard connections (the CLI's [lcmm tier --chaos SPEC]); they
+    are inert for the board runtime and probabilities are per connection
+    attempt:
+
+    {v
+    delay:PROB:MS             added response latency (jittered mean MS)
+    hang:PROB                 shard accepts the request, never answers
+    trunc:PROB                response line cut short mid-byte
+    corrupt:PROB              one response byte flipped
+    reset:PROB                connection reset before the response
+    slowshard@IDX:F           shard IDX serves F x slower (F >= 1)
+    v}
+
     Byte counts accept [k]/[K] (KiB) and [m]/[M] (MiB) suffixes. *)
 
 type droop = {
@@ -36,6 +50,11 @@ type bank_loss = {
 
 type abort_event = { abort_at : float; abort_tenant : int }
 
+type slow_shard = {
+  slow_index : int;    (** Shard index in sorted ring-member order. *)
+  slow_factor : float; (** >= 1: multiplier on observed service time. *)
+}
+
 type t = {
   seed : int;
   droops : droop list;
@@ -47,6 +66,13 @@ type t = {
   backoff_cap : float;   (** Seconds. *)
   bank_losses : bank_loss list;
   aborts : abort_event list;
+  t_delay_prob : float;
+  t_delay_seconds : float; (** Mean injected response delay, seconds. *)
+  t_hang_prob : float;
+  t_trunc_prob : float;
+  t_corrupt_prob : float;
+  t_reset_prob : float;
+  slow_shards : slow_shard list;
 }
 
 val empty : t
@@ -54,11 +80,28 @@ val empty : t
     (0.05 ms base, 2 ms cap). *)
 
 val is_empty : t -> bool
-(** True when no fault source is active — the runtime normalises such a
-    spec away so the no-fault path stays bit-identical. *)
+(** True when no fault source of either family is active — neither
+    board faults nor transport faults. *)
+
+val has_board_faults : t -> bool
+(** True when a board-fault source (droop, stall, fail, bankloss,
+    abort) is active.  A run-op spec without any is normalised away so
+    the no-fault simulation path stays bit-identical. *)
+
+val has_transport_faults : t -> bool
+(** True when a transport-fault source (delay, hang, trunc, corrupt,
+    reset, slowshard) is active.  A tier spec without any leaves the
+    router->shard path untouched (chaos-off byte identity). *)
+
+val scale_transport : t -> float -> t
+(** Scale every transport probability by the factor (clamped to [0,1]);
+    delay magnitude and slowshard factors are unchanged.  The chaos
+    bench's intensity ladder. *)
 
 val of_string : string -> (t, string) result
-(** Parse the clause grammar above.  The empty string is [empty]. *)
+(** Parse the clause grammar above.  The empty string is [empty].
+    Errors name the offending clause and its character position, e.g.
+    [clause 2 ("hang:2") at char 8: hang probability 2 outside [0,1]]. *)
 
 val to_string : t -> string
 (** Canonical rendering; round-trips through {!of_string}. *)

@@ -103,12 +103,12 @@ let slack_of (p : F.plan) (iso : Sim.Engine.run) =
         | None -> 0.)
 
 let run ?pool options specs =
-  (* A spec with no active fault source is normalised away so the
-     no-fault path — and its bit-exact output — is completely
-     untouched. *)
+  (* A spec with no active board-fault source is normalised away so the
+     no-fault path — and its bit-exact output — is completely untouched.
+     Transport clauses are tier-level and inert for a board run. *)
   let fault_spec =
     match options.faults with
-    | Some s when Fault.Spec.is_empty s -> None
+    | Some s when not (Fault.Spec.has_board_faults s) -> None
     | f -> f
   in
   let injector = Option.map Fault.Injector.create fault_spec in

@@ -1,4 +1,4 @@
-let ok ?id ~op ?cache ?elapsed_ms result =
+let ok ?id ~op ?cache ?elapsed_ms ?sum result =
   let fields =
     (match id with None -> [] | Some v -> [ ("id", v) ])
     @ [ ("op", Json.String op); ("ok", Json.Bool true) ]
@@ -6,6 +6,7 @@ let ok ?id ~op ?cache ?elapsed_ms result =
     @ (match elapsed_ms with
       | None -> []
       | Some ms -> [ ("elapsed_ms", Json.Float ms) ])
+    @ (match sum with None -> [] | Some s -> [ ("sum", Json.String s) ])
     @ [ ("result", result) ]
   in
   Json.Obj fields
@@ -24,8 +25,39 @@ let to_line v = Json.to_string v ^ "\n"
 let is_blank s =
   String.for_all (function ' ' | '\t' | '\r' -> true | _ -> false) s
 
+(* NDJSON framing reads records byte-by-byte up to the '\n' terminator
+   so end-of-input *inside* a record is distinguishable from
+   end-of-input between records.  [input_line] cannot make that
+   distinction: it silently returns the partial final line, and a peer
+   killed mid-write would hand half a JSON document to the parser. *)
+let read_raw_line ic =
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    match input_char ic with
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+      Buffer.add_char buf c;
+      loop ()
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then `Eof else `Partial (Buffer.length buf)
+    | exception Sys_error msg -> `Err msg
+  in
+  loop ()
+
+let partial_error n =
+  Printf.sprintf
+    "connection closed mid-line after %d bytes (truncated NDJSON record)" n
+
 let rec read_request ic =
-  match input_line ic with
-  | exception End_of_file -> Ok None
-  | exception Sys_error msg -> Error msg
-  | line -> if is_blank line then read_request ic else Ok (Some line)
+  match read_raw_line ic with
+  | `Eof -> Ok None
+  | `Partial n -> Error (partial_error n)
+  | `Err msg -> Error msg
+  | `Line line -> if is_blank line then read_request ic else Ok (Some line)
+
+let read_reply ic =
+  match read_raw_line ic with
+  | `Line line -> Ok line
+  | `Eof -> Error "connection closed before reply"
+  | `Partial n -> Error (partial_error n)
+  | `Err msg -> Error msg

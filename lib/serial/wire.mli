@@ -7,11 +7,14 @@
 
 val ok :
   ?id:Json.t -> op:string -> ?cache:string -> ?elapsed_ms:float ->
-  Json.t -> Json.t
+  ?sum:string -> Json.t -> Json.t
 (** [ok ~op result] is [{"id"?, "op", "ok": true, "cache"?,
-    "elapsed_ms"?, "result"}].  [id] echoes the request's id verbatim;
-    [cache] is ["hit"] or ["miss"] when the operation went through a
-    cache. *)
+    "elapsed_ms"?, "sum"?, "result"}].  [id] echoes the request's id
+    verbatim; [cache] is ["hit"] or ["miss"] when the operation went
+    through a cache; [sum] is a digest of the compact [result]
+    rendering, emitted only when the request asked for end-to-end
+    integrity (["checksum": true]) — absent otherwise, keeping default
+    responses byte-identical to older builds. *)
 
 val error : ?id:Json.t -> op:string -> ?kind:string -> string -> Json.t
 (** [{"id"?, "op", "ok": false, "kind"?, "error": msg}].  [kind] is a
@@ -25,4 +28,12 @@ val to_line : Json.t -> string
 
 val read_request : in_channel -> (string option, string) result
 (** Next non-blank line, [Ok None] at end of input.  Lines are the
-    protocol's framing; parsing their content is the caller's job. *)
+    protocol's framing; parsing their content is the caller's job.
+    End-of-input *inside* a record — the peer died mid-write — is a
+    framing [Error] naming the truncated byte count, never a partial
+    line handed to the parser. *)
+
+val read_reply : in_channel -> (string, string) result
+(** One response line for a client-side roundtrip.  Clean EOF (the
+    server closed before answering) and mid-line EOF are both framing
+    [Error]s; a reply is never a partial record. *)

@@ -149,6 +149,9 @@ type response = {
   elapsed_s : float;
   outcome : (Json.t, string) result;
   subs : response list;
+  checksum : bool;
+      (* The request asked for end-to-end integrity: rendering adds a
+         "sum" digest of the compact result payload. *)
 }
 
 (* --- result payload encoders --- *)
@@ -511,7 +514,8 @@ let handle_leaf t (env : P.envelope) =
         | Miss, Error _ | Uncached, Error _ -> "error"
         | Uncached, Ok _ -> "ok")
         (elapsed_s *. 1e3));
-  { id = env.P.id; op; cache = cache_status; elapsed_s; outcome; subs = [] }
+  { id = env.P.id; op; cache = cache_status; elapsed_s; outcome; subs = [];
+    checksum = env.P.checksum }
 
 let deadline_error ms =
   Printf.sprintf "deadline exceeded: still computing after the %.0f ms budget"
@@ -526,14 +530,15 @@ let timeout_response t (env : P.envelope) ~elapsed_s ~ms =
     cache = Uncached;
     elapsed_s;
     outcome = Error (deadline_error ms);
-    subs = [] }
+    subs = [];
+    checksum = env.P.checksum }
 
 let shed_response t (env : P.envelope) msg =
   let op = P.op_name env.P.request in
   Metrics.record t.meters ~op ~ok:false ~seconds:0.;
   Log.info (fun m -> m "%s -> shed: %s" op msg);
   { id = env.P.id; op; cache = Uncached; elapsed_s = 0.; outcome = Error msg;
-    subs = [] }
+    subs = []; checksum = env.P.checksum }
 
 (* Which requests the circuit breaker guards: the expensive pool-bound
    compute ops.  [stats]/[models] must keep answering even when the
@@ -613,7 +618,8 @@ let handle t (env : P.envelope) =
       cache = Uncached;
       elapsed_s;
       outcome = Ok Json.Null;  (* rendered from [subs] *)
-      subs = responses }
+      subs = responses;
+      checksum = env.P.checksum }
   | P.Compile _ | P.Simulate _ | P.Run _ -> (
     let op = P.op_name env.P.request in
     match breaker_admit t op with
@@ -670,7 +676,16 @@ let rec response_to_json ?(timing = true) r =
   in
   match result with
   | Ok payload ->
-    Dnn_serial.Wire.ok ?id:r.id ~op:r.op ?cache:cache_field ?elapsed_ms payload
+    (* The sum digests the exact compact payload rendering the peer
+       will extract, so any byte damage in transit is detectable by
+       re-digesting what arrived. *)
+    let sum =
+      if r.checksum then
+        Some (Dnn_serial.Codec.digest_string (Json.to_string payload))
+      else None
+    in
+    Dnn_serial.Wire.ok ?id:r.id ~op:r.op ?cache:cache_field ?elapsed_ms ?sum
+      payload
   | Error msg ->
     Dnn_serial.Wire.error ?id:r.id ~op:r.op ?kind:(error_kind msg) msg
 

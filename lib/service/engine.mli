@@ -40,6 +40,10 @@ type response = {
   elapsed_s : float;
   outcome : (Dnn_serial.Json.t, string) result;
   subs : response list;  (** Sub-responses of a [batch], else empty. *)
+  checksum : bool;
+      (** The request asked for end-to-end integrity
+          (["checksum": true]): rendering adds a ["sum"] digest of the
+          compact result payload. *)
 }
 
 val handle : t -> Protocol.envelope -> response

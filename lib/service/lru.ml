@@ -71,3 +71,11 @@ let total_bytes t = t.bytes_held
 let clear t =
   Hashtbl.reset t.table;
   t.bytes_held <- 0
+
+(* Snapshot for drain: every resident entry, most recently used first,
+   so a bounded flush writes back the hottest entries first.  Recency
+   stamps are not touched — a snapshot is not a use. *)
+let bindings t =
+  Hashtbl.fold (fun key e acc -> (key, e.value, e.stamp) :: acc) t.table []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.map (fun (key, value, _) -> (key, value))

@@ -28,3 +28,8 @@ val length : 'a t -> int
 val total_bytes : 'a t -> int
 
 val clear : 'a t -> unit
+
+val bindings : 'a t -> (string * 'a) list
+(** Every resident entry, most recently used first.  Recency is not
+    perturbed: a snapshot is not a use.  The tier's graceful drain
+    flushes the router cache back to shard owners from this list. *)

@@ -44,6 +44,11 @@ type request =
 and envelope = {
   id : Json.t option;
   deadline_ms : float option;
+  checksum : bool;
+      (* request end-to-end integrity: the engine adds a "sum" digest of
+         the result payload to the response.  Set by the tier router on
+         forwarded requests so corrupted shard replies are detectable;
+         defaults to false, leaving direct clients byte-identical. *)
   request : request;
 }
 
@@ -270,7 +275,11 @@ let run_spec_of_json v =
       | Error _ -> Error "field \"faults\": expected a fault-spec string"
       | Ok s -> (
         match Fault.Spec.of_string s with
-        | Ok spec -> Ok (if Fault.Spec.is_empty spec then None else Some spec)
+        | Ok spec ->
+          (* Transport clauses are tier-level: a run op keeps only board
+             faults, so transport-only specs normalise to the no-fault
+             path (and the no-fault digest). *)
+          Ok (if Fault.Spec.has_board_faults spec then Some spec else None)
         | Error msg -> Error (Printf.sprintf "field \"faults\": %s" msg)))
   in
   Ok
@@ -302,6 +311,12 @@ let rec request_of_json v =
       | Ok ms when ms > 0. -> Ok (Some ms)
       | Ok _ -> Error "field \"deadline_ms\": expected a positive number"
       | Error _ -> Error "field \"deadline_ms\": expected a number")
+  in
+  let* checksum =
+    match Json.member_opt "checksum" v with
+    | None -> Ok false
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> Error "field \"checksum\": expected a boolean"
   in
   let* request =
     match op with
@@ -355,7 +370,7 @@ let rec request_of_json v =
             cache_get cache_put)"
            other)
   in
-  Ok { id; deadline_ms; request }
+  Ok { id; deadline_ms; checksum; request }
 
 let request_of_line line =
   let* v = Json.of_string line in
@@ -447,4 +462,5 @@ let rec envelope_to_json (env : envelope) =
     @ (match env.deadline_ms with
       | None -> []
       | Some ms -> [ ("deadline_ms", Json.Float ms) ])
+    @ (if env.checksum then [ ("checksum", Json.Bool true) ] else [])
     @ body)

@@ -89,6 +89,12 @@ and envelope = {
       (** Per-request compute budget; exceeding it turns the response
           into a structured deadline error instead of an open-ended
           stall. *)
+  checksum : bool;
+      (** Request end-to-end integrity: the engine adds a ["sum"] digest
+          of the compact result payload to the response.  Set by the
+          tier router on forwarded requests so corrupted shard replies
+          are detectable; defaults to [false], leaving direct-client
+          responses byte-identical. *)
   request : request;
 }
 

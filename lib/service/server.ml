@@ -10,7 +10,17 @@ let serve_lines handler ic oc =
   let rec loop () =
     match Dnn_serial.Wire.read_request ic with
     | Ok None -> ()
-    | Error msg -> Log.warn (fun m -> m "input error: %s" msg)
+    | Error msg ->
+      (* Framing failure (peer died mid-write, channel error): answer
+         with a structured parse-class error — the peer may have only
+         half-closed its write side — then stop serving the
+         connection.  Never hand a partial record to the JSON parser. *)
+      Log.warn (fun m -> m "input error: %s" msg);
+      (try
+         output_string oc
+           (Dnn_serial.Wire.to_line (Dnn_serial.Wire.error ~op:"parse" msg));
+         flush oc
+       with Sys_error _ | Unix.Unix_error _ -> ())
     | Ok (Some line) ->
       output_string oc (handler line);
       flush oc;

@@ -40,6 +40,7 @@ type result = {
   ok : int;
   errors : int;
   shed : int;
+  divergent : int;
   achieved_rps : float;
   p50_ms : float;
   p99_ms : float;
@@ -64,6 +65,7 @@ type worker_acc = {
   mutable w_ok : int;
   mutable w_shed : int;
   mutable w_errors : int;
+  mutable w_divergent : int;
   mutable lats : float list;  (* seconds, newest first *)
 }
 
@@ -71,17 +73,21 @@ type worker_acc = {
    earlier requests took — the schedule does not slow down when the
    server does, which is what exposes saturation (a closed loop would
    politely self-throttle and hide it). *)
-let run ~handler ~mix ~rps ~duration_s ?(threads = 8) () =
+let run ~handler ~mix ~rps ~duration_s ?(threads = 8) ?reference () =
   if rps <= 0. then invalid_arg "Loadgen.run: rps must be positive";
   if mix = [] then invalid_arg "Loadgen.run: empty mix";
   let lines = Array.of_list mix in
   let total = max 1 (int_of_float (rps *. duration_s)) in
   let next = Atomic.make 0 in
   let results = Mutex.create () in
-  let merged = { w_ok = 0; w_shed = 0; w_errors = 0; lats = [] } in
+  let merged =
+    { w_ok = 0; w_shed = 0; w_errors = 0; w_divergent = 0; lats = [] }
+  in
   let t0 = Unix.gettimeofday () in
   let worker () =
-    let acc = { w_ok = 0; w_shed = 0; w_errors = 0; lats = [] } in
+    let acc =
+      { w_ok = 0; w_shed = 0; w_errors = 0; w_divergent = 0; lats = [] }
+    in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < total then begin
@@ -89,10 +95,23 @@ let run ~handler ~mix ~rps ~duration_s ?(threads = 8) () =
         let now = Unix.gettimeofday () in
         if due > now then Unix.sleepf (due -. now);
         let sent_at = Unix.gettimeofday () in
-        let response = handler lines.(i mod Array.length lines) in
+        let request = lines.(i mod Array.length lines) in
+        let response = handler request in
         acc.lats <- (Unix.gettimeofday () -. sent_at) :: acc.lats;
         (match classify response with
-        | Resp_ok -> acc.w_ok <- acc.w_ok + 1
+        | Resp_ok ->
+          acc.w_ok <- acc.w_ok + 1;
+          (* A success that differs byte-for-byte from the fault-free
+             reference answer is the one failure mode worse than an
+             error: the client cannot tell it was served damaged
+             goods. *)
+          (match reference with
+          | Some expected_of -> (
+            match expected_of request with
+            | Some expected when expected <> response ->
+              acc.w_divergent <- acc.w_divergent + 1
+            | Some _ | None -> ())
+          | None -> ())
         | Resp_shed -> acc.w_shed <- acc.w_shed + 1
         | Resp_error -> acc.w_errors <- acc.w_errors + 1);
         loop ()
@@ -103,6 +122,7 @@ let run ~handler ~mix ~rps ~duration_s ?(threads = 8) () =
     merged.w_ok <- merged.w_ok + acc.w_ok;
     merged.w_shed <- merged.w_shed + acc.w_shed;
     merged.w_errors <- merged.w_errors + acc.w_errors;
+    merged.w_divergent <- merged.w_divergent + acc.w_divergent;
     merged.lats <- List.rev_append acc.lats merged.lats;
     Mutex.unlock results
   in
@@ -121,6 +141,7 @@ let run ~handler ~mix ~rps ~duration_s ?(threads = 8) () =
     ok = merged.w_ok;
     errors = merged.w_errors;
     shed = merged.w_shed;
+    divergent = merged.w_divergent;
     achieved_rps = float_of_int sent /. elapsed;
     p50_ms = p 0.5;
     p99_ms = p 0.99;
@@ -135,6 +156,7 @@ let result_to_json r =
       ("ok", Json.Int r.ok);
       ("errors", Json.Int r.errors);
       ("shed", Json.Int r.shed);
+      ("divergent", Json.Int r.divergent);
       ("achieved_rps", Json.Float r.achieved_rps);
       ("p50_ms", Json.Float r.p50_ms);
       ("p99_ms", Json.Float r.p99_ms);

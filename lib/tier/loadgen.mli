@@ -18,6 +18,10 @@ type result = {
   ok : int;
   errors : int;
   shed : int;  (** Structured overloaded/unavailable responses. *)
+  divergent : int;
+      (** Successes that differed byte-for-byte from the [reference]
+          answer — silently corrupted responses, the failure mode the
+          chaos bench must prove is zero. *)
   achieved_rps : float;
   p50_ms : float;
   p99_ms : float;
@@ -27,10 +31,14 @@ type result = {
 
 val run :
   handler:(string -> string) -> mix:string list -> rps:float ->
-  duration_s:float -> ?threads:int -> unit -> result
+  duration_s:float -> ?threads:int -> ?reference:(string -> string option) ->
+  unit -> result
 (** Drive [rps * duration_s] requests (round-robin over [mix]) from
     [threads] (default 8) sender threads; latency percentiles are
-    measured per request via {!Lcmm_service.Metrics.percentile}. *)
+    measured per request via {!Lcmm_service.Metrics.percentile}.
+    [reference] maps a request line to its expected fault-free response
+    line; every success is compared against it and mismatches counted
+    as [divergent] (requests it maps to [None] are not checked). *)
 
 val result_to_json : result -> Dnn_serial.Json.t
 

@@ -81,3 +81,14 @@ let successors t key =
     incr i
   done;
   List.rev !out
+
+(* Stable shard index: position in the sorted member list.  The chaos
+   spec's [slowshard@IDX] clauses address shards by this number, so a
+   spec written for "shard 0" means the same process on every run. *)
+let position t name =
+  let rec find i =
+    if i >= Array.length t.names then None
+    else if String.equal t.names.(i) name then Some i
+    else find (i + 1)
+  in
+  find 0

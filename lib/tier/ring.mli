@@ -25,3 +25,7 @@ val successors : t -> string -> string list
 (** All shards in ring order starting from [key]'s owner, each listed
     once — the owner first, then the fallback order for routing around
     an unhealthy shard. *)
+
+val position : t -> string -> int option
+(** Index of a shard in the sorted member list; [None] for non-members.
+    The stable number chaos specs address with [slowshard@IDX]. *)

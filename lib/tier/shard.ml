@@ -12,8 +12,9 @@ let error_message = function
 
 (* A backend is either an in-process handler (tests, single-process
    tiers) or a child process serving the NDJSON protocol on a Unix
-   socket. *)
-type conn = { ic : in_channel; oc : out_channel }
+   socket.  The raw fd rides along so per-call receive timeouts can be
+   set without tearing the buffered channels down. *)
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
 type proc = {
   socket : string;
@@ -32,34 +33,52 @@ type t = {
   backend : backend;
   mutex : Mutex.t;
   max_inflight : int;
+  (* Circuit breaker over transport failures: [breaker_threshold]
+     consecutive failures open the circuit for [breaker_cooldown_s];
+     after that one probe call is admitted and its outcome closes or
+     re-opens it.  An active health probe ({!probe}) short-circuits the
+     wait by closing the circuit on a successful roundtrip. *)
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
   mutable inflight : int;
-  (* Circuit breaker over transport failures: [threshold] consecutive
-     failures open the circuit for [cooldown_s]; after that one probe
-     call is admitted and its outcome closes or re-opens it. *)
   mutable consecutive_failures : int;
   mutable open_until : float;
+  mutable tripped : bool;  (* circuit opened at least once, not yet re-closed *)
   mutable calls : int;
   mutable failures : int;
+  mutable probes : int;
 }
 
-let breaker_threshold = 3
+let default_breaker_threshold = 3
 
-let breaker_cooldown_s = 2.0
+let default_breaker_cooldown_s = 2.0
 
-let make name backend max_inflight =
+let make ?(breaker_threshold = default_breaker_threshold)
+    ?(breaker_cooldown_s = default_breaker_cooldown_s) name backend
+    max_inflight =
   if max_inflight < 1 then invalid_arg "Shard: max_inflight must be >= 1";
+  if breaker_threshold < 1 then
+    invalid_arg "Shard: breaker_threshold must be >= 1";
+  if breaker_cooldown_s <= 0. then
+    invalid_arg "Shard: breaker_cooldown_s must be positive";
   { name;
     backend;
     mutex = Mutex.create ();
     max_inflight;
+    breaker_threshold;
+    breaker_cooldown_s;
     inflight = 0;
     consecutive_failures = 0;
     open_until = 0.;
+    tripped = false;
     calls = 0;
-    failures = 0 }
+    failures = 0;
+    probes = 0 }
 
-let local ~name ?(max_inflight = 64) handler =
-  make name (Local handler) max_inflight
+let local ~name ?(max_inflight = 64) ?breaker_threshold ?breaker_cooldown_s
+    handler =
+  make ?breaker_threshold ?breaker_cooldown_s name (Local handler)
+    max_inflight
 
 let name t = t.name
 
@@ -114,7 +133,8 @@ let start_process ~socket argv =
       let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       match Unix.connect sock (Unix.ADDR_UNIX socket) with
       | () ->
-        Ok { ic = Unix.in_channel_of_descr sock;
+        Ok { fd = sock;
+             ic = Unix.in_channel_of_descr sock;
              oc = Unix.out_channel_of_descr sock }
       | exception Unix.Unix_error _ ->
         (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -132,13 +152,14 @@ let start_process ~socket argv =
     (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
     e
 
-let spawn ~name ~socket ?(max_inflight = 64) argv =
+let spawn ~name ~socket ?(max_inflight = 64) ?breaker_threshold
+    ?breaker_cooldown_s argv =
   match start_process ~socket argv with
   | Error _ as e -> e
   | Ok (pid, conn) ->
     Log.info (fun m -> m "shard %s up: pid %d on %s" name pid socket);
     Ok
-      (make name
+      (make ?breaker_threshold ?breaker_cooldown_s name
          (Proc { socket; argv; pid; idle = [ conn ]; restarts = 0 })
          max_inflight)
 
@@ -180,7 +201,8 @@ let checkout t p =
           let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
           match Unix.connect sock (Unix.ADDR_UNIX p.socket) with
           | () ->
-            Ok { ic = Unix.in_channel_of_descr sock;
+            Ok { fd = sock;
+                 ic = Unix.in_channel_of_descr sock;
                  oc = Unix.out_channel_of_descr sock }
           | exception Unix.Unix_error (err, _, _) ->
             (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -192,28 +214,61 @@ let checkin t p conn = with_lock t (fun () -> p.idle <- conn :: p.idle)
 
 (* --- the call path --- *)
 
-let roundtrip conn line =
+(* One request line out, one framed reply line back.  [timeout_s]
+   bounds the reply wait via SO_RCVTIMEO on the raw socket — a hung
+   shard surfaces as a transport timeout instead of wedging the router
+   thread.  The timeout is cleared again before the connection goes
+   back to the pool; a timed-out connection is never pooled (its late
+   reply would answer the wrong request). *)
+let roundtrip ?timeout_s conn line =
   output_string conn.oc line;
   if not (String.length line > 0 && line.[String.length line - 1] = '\n') then
     output_char conn.oc '\n';
   flush conn.oc;
-  input_line conn.ic
+  (match timeout_s with
+  | Some s -> (
+    try Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO s
+    with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | None -> ());
+  let reply = Dnn_serial.Wire.read_reply conn.ic in
+  (match timeout_s, reply with
+  | Some _, Ok _ -> (
+    try Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO 0.
+    with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | _ -> ());
+  reply
 
-let attempt_proc t p line =
+let attempt_proc t ?timeout_s p line =
   match checkout t p with
   | Error msg -> Error msg
   | Ok conn -> (
-    match roundtrip conn line with
-    | response ->
+    let t0 = Unix.gettimeofday () in
+    match roundtrip ?timeout_s conn line with
+    | Ok response ->
       checkin t p conn;
       Ok response
-    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
+    | Error msg ->
       close_conn conn;
-      Error "connection lost")
+      Error msg
+    | exception (End_of_file | Sys_error _ | Sys_blocked_io
+                | Unix.Unix_error _) ->
+      close_conn conn;
+      let timed_out =
+        match timeout_s with
+        | Some s -> Unix.gettimeofday () -. t0 >= 0.5 *. s
+        | None -> false
+      in
+      if timed_out then
+        Error
+          (Printf.sprintf "no reply within %.0f ms"
+             (Option.get timeout_s *. 1e3))
+      else Error "connection lost")
 
-let attempt t line =
+let attempt t ?timeout_s line =
   match t.backend with
   | Local handler -> (
+    (* In-process handlers run on the caller thread; a receive timeout
+       cannot interrupt them and is ignored. *)
     match handler line with
     | response ->
       (* Normalise: in-process handlers return newline-terminated
@@ -222,25 +277,42 @@ let attempt t line =
     | exception e ->
       Error (Printf.sprintf "handler raised: %s" (Printexc.to_string e)))
   | Proc p -> (
-    match attempt_proc t p line with
+    match attempt_proc t ?timeout_s p line with
     | Ok _ as ok -> ok
     | Error _ ->
       (* One retry on a fresh connection: the common failure is a stale
          pooled connection to a restarted process. *)
-      attempt_proc t p line)
+      attempt_proc t ?timeout_s p line)
+
+let trip_if_needed t =
+  if t.consecutive_failures >= t.breaker_threshold then begin
+    t.open_until <- Unix.gettimeofday () +. t.breaker_cooldown_s;
+    t.tripped <- true
+  end
 
 let record_outcome t ok =
   with_lock t (fun () ->
       t.calls <- t.calls + 1;
-      if ok then t.consecutive_failures <- 0
+      if ok then begin
+        t.consecutive_failures <- 0;
+        t.tripped <- false
+      end
       else begin
         t.failures <- t.failures + 1;
         t.consecutive_failures <- t.consecutive_failures + 1;
-        if t.consecutive_failures >= breaker_threshold then
-          t.open_until <- Unix.gettimeofday () +. breaker_cooldown_s
+        trip_if_needed t
       end)
 
-let call t line =
+(* A transport-level success whose *content* the router rejected
+   (corrupted or mismatched reply): charge it to the breaker like a
+   failure, without double-counting the call. *)
+let penalize t =
+  with_lock t (fun () ->
+      t.failures <- t.failures + 1;
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      trip_if_needed t)
+
+let call ?timeout_s t line =
   let admitted =
     with_lock t (fun () ->
         if Unix.gettimeofday () < t.open_until then
@@ -264,7 +336,7 @@ let call t line =
     let result =
       Fun.protect
         ~finally:(fun () -> with_lock t (fun () -> t.inflight <- t.inflight - 1))
-        (fun () -> attempt t line)
+        (fun () -> attempt t ?timeout_s line)
     in
     (match result with
     | Ok response ->
@@ -277,22 +349,68 @@ let call t line =
 let healthy t =
   with_lock t (fun () -> Unix.gettimeofday () >= t.open_until)
 
+(* Tri-state health as the prober sees it: [`Down] while the circuit is
+   open; [`Suspect] once the cooldown expires (the classic half-open
+   probation — failures on record, recovery unproven) or while recent
+   failures accumulate under a still-closed circuit; [`Up] otherwise. *)
+let state t =
+  with_lock t (fun () ->
+      if Unix.gettimeofday () < t.open_until then `Down
+      else if t.tripped || t.consecutive_failures > 0 then `Suspect
+      else `Up)
+
+let state_name = function `Up -> "up" | `Suspect -> "suspect" | `Down -> "down"
+
+let probe_line =
+  Dnn_serial.Json.to_string
+    (Dnn_serial.Json.Obj [ ("op", Dnn_serial.Json.String "stats") ])
+
+(* Active health probe: one [stats] roundtrip, bypassing both the
+   in-flight gate and the open circuit (probing a down shard is the
+   point).  Success closes the circuit immediately — the prober
+   promotes a shard down -> suspect -> up faster than the passive
+   cooldown-and-retry path — while failure re-arms the cooldown. *)
+let probe ?timeout_s t =
+  with_lock t (fun () -> t.probes <- t.probes + 1);
+  match attempt t ?timeout_s probe_line with
+  | Ok _ ->
+    with_lock t (fun () ->
+        t.consecutive_failures <- 0;
+        t.tripped <- false;
+        t.open_until <- 0.);
+    true
+  | Error _ ->
+    with_lock t (fun () ->
+        t.failures <- t.failures + 1;
+        t.consecutive_failures <- t.consecutive_failures + 1;
+        t.open_until <- Unix.gettimeofday () +. t.breaker_cooldown_s;
+        t.tripped <- true);
+    false
+
 let restarts t =
   match t.backend with Local _ -> 0 | Proc p -> with_lock t (fun () -> p.restarts)
 
 let stats_json t =
   let open Dnn_serial.Json in
   with_lock t (fun () ->
+      let now = Unix.gettimeofday () in
+      let st =
+        if now < t.open_until then `Down
+        else if t.tripped || t.consecutive_failures > 0 then `Suspect
+        else `Up
+      in
       Obj
         [ ("name", String t.name);
           ( "backend",
             String (match t.backend with Local _ -> "local" | Proc _ -> "proc")
           );
-          ("healthy", Bool (Unix.gettimeofday () >= t.open_until));
+          ("healthy", Bool (now >= t.open_until));
+          ("state", String (state_name st));
           ("inflight", Int t.inflight);
           ("max_inflight", Int t.max_inflight);
           ("calls", Int t.calls);
           ("failures", Int t.failures);
+          ("probes", Int t.probes);
           ( "restarts",
             Int (match t.backend with Local _ -> 0 | Proc p -> p.restarts) ) ])
 

@@ -8,7 +8,14 @@
     stream), reaps and respawns it in place when it dies, and on
     {!stop} terminates it (SIGTERM, then SIGKILL after a 2 s grace
     window), reaps it and removes the socket file — no leaked sockets
-    or orphan processes survive the tier. *)
+    or orphan processes survive the tier.
+
+    Health is tri-state.  [`Down] while the breaker's circuit is open;
+    [`Suspect] once the cooldown expires with recovery unproven (the
+    half-open probation) or while failures accumulate under a closed
+    circuit; [`Up] otherwise.  The passive path recovers through the
+    cooldown plus one successful call; the active {!probe} promotes a
+    shard the moment it answers again. *)
 
 type t
 
@@ -25,12 +32,17 @@ type error =
 
 val error_message : error -> string
 
-val local : name:string -> ?max_inflight:int -> (string -> string) -> t
+val local :
+  name:string -> ?max_inflight:int -> ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float -> (string -> string) -> t
 (** An in-process shard over a line handler (tests, single-process
-    tiers).  [max_inflight] defaults to 64. *)
+    tiers).  [max_inflight] defaults to 64; the breaker to 3
+    consecutive failures / 2 s cooldown.  Raises [Invalid_argument]
+    for a threshold below 1 or a non-positive cooldown. *)
 
 val spawn :
-  name:string -> socket:string -> ?max_inflight:int -> string array ->
+  name:string -> socket:string -> ?max_inflight:int ->
+  ?breaker_threshold:int -> ?breaker_cooldown_s:float -> string array ->
   (t, string) result
 (** [spawn ~name ~socket argv] starts [argv] (argv.(0) is the program
     path) as a child process, expecting it to bind and serve [socket];
@@ -39,15 +51,35 @@ val spawn :
 
 val name : t -> string
 
-val call : t -> string -> (string, error) result
+val call : ?timeout_s:float -> t -> string -> (string, error) result
 (** Send one request line, wait for the one response line (returned
-    without its trailing newline).  Three consecutive transport
-    failures open the circuit for 2 s; then one probe is admitted and
-    its outcome closes or re-opens it.  A dead child is reaped and
+    without its trailing newline).  [timeout_s] bounds the reply wait
+    (SO_RCVTIMEO on the socket): a hung shard surfaces as a transport
+    timeout instead of wedging the caller, and the timed-out connection
+    is discarded, never pooled.  In-process shards cannot be
+    interrupted and ignore the timeout.  [breaker_threshold]
+    consecutive transport failures open the circuit for
+    [breaker_cooldown_s]; then one probe call is admitted and its
+    outcome closes or re-opens it.  A dead child is reaped and
     respawned transparently on the next call. *)
+
+val penalize : t -> unit
+(** Charge the breaker with a failure for a call that succeeded at the
+    transport level but whose content the router rejected (corrupted,
+    truncated or mismatched reply).  Does not double-count the call. *)
 
 val healthy : t -> bool
 (** False while the circuit is open. *)
+
+val state : t -> [ `Up | `Suspect | `Down ]
+(** Tri-state health (see the module doc). *)
+
+val state_name : [ `Up | `Suspect | `Down ] -> string
+
+val probe : ?timeout_s:float -> t -> bool
+(** Active health probe: one [stats] roundtrip, bypassing both the
+    in-flight gate and the open circuit.  Success closes the circuit
+    immediately (down/suspect -> up); failure re-arms the cooldown. *)
 
 val restarts : t -> int
 (** Crash-restarts performed so far (always 0 for local shards). *)

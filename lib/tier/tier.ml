@@ -6,6 +6,7 @@ module Wire = Dnn_serial.Wire
 module P = Lcmm_service.Protocol
 module Engine = Lcmm_service.Engine
 module Lru = Lcmm_service.Lru
+module Metrics = Lcmm_service.Metrics
 
 type counters = {
   mutable requests : int;  (* leaf requests routed by digest *)
@@ -16,6 +17,12 @@ type counters = {
   mutable computes : int;  (* requests forwarded for actual compute *)
   mutable shed : int;  (* rejected with a structured overload error *)
   mutable errors : int;  (* error responses of any other kind *)
+  mutable retries : int;  (* compute attempts re-sent after a failure *)
+  mutable hedges : int;  (* hedge requests launched *)
+  mutable hedge_wins : int;  (* hedges whose reply beat the primary *)
+  mutable invalid : int;  (* replies rejected by integrity validation *)
+  mutable deadline : int;  (* requests expired inside the router *)
+  mutable flushed : int;  (* entries pushed to owners by the drain flush *)
 }
 
 type t = {
@@ -26,11 +33,75 @@ type t = {
   mutex : Mutex.t;
   timing : bool;
   deadline_ms : float option;
+  retries : int;
+  retry_backoff_s : float;
+  hedge_s : float option;  (* fixed hedge threshold *)
+  hedge_quantile : float option;  (* adaptive threshold off the reservoir *)
+  call_timeout_s : float option;
+  reservoir : Metrics.Reservoir.t;  (* compute-call latencies, seconds *)
+  mutable chaos : Chaos.t option;
+  mutable draining : bool;
+  mutable inflight : int;
+  mutable stop_prober : bool;
+  mutable prober : Thread.t option;
   c : counters;
 }
 
+let with_lock t fn =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) fn
+
+let count t bump = with_lock t (fun () -> bump t.c)
+
+let shard t name = Hashtbl.find t.by_name name
+
+(* The background prober gives failed shards a way back to [`Up]
+   between requests: passive recovery needs live traffic to hit the
+   half-open circuit, which a drained or lightly loaded tier may never
+   send.  Only non-[`Up] shards are probed — healthy shards prove
+   themselves on every call. *)
+let prober_loop t interval_s () =
+  let rec sleep remaining =
+    if remaining > 0. && not t.stop_prober then begin
+      Unix.sleepf (Float.min 0.05 remaining);
+      sleep (remaining -. 0.05)
+    end
+  in
+  while not t.stop_prober do
+    sleep interval_s;
+    if not t.stop_prober then
+      List.iter
+        (fun s ->
+          if Shard.state s <> `Up then begin
+            let recovered = Shard.probe ?timeout_s:t.call_timeout_s s in
+            Log.debug (fun m ->
+                m "probe %s -> %s" (Shard.name s)
+                  (if recovered then "recovered" else "still failing"))
+          end)
+        t.shards
+  done
+
 let create ?(router_cache_entries = 512) ?(router_cache_mb = 64)
-    ?deadline_ms ?(timing = true) ~ring ~shards () =
+    ?deadline_ms ?(timing = true) ?(retries = 0) ?(retry_backoff_ms = 25.)
+    ?hedge_ms ?hedge_quantile ?call_timeout_ms ?probe_interval_ms ?chaos
+    ~ring ~shards () =
+  if retries < 0 then invalid_arg "Tier.create: retries must be >= 0";
+  if retry_backoff_ms < 0. then
+    invalid_arg "Tier.create: retry_backoff_ms must be >= 0";
+  Option.iter
+    (fun q ->
+      if q <= 0. || q >= 1. then
+        invalid_arg "Tier.create: hedge_quantile must be in (0, 1)")
+    hedge_quantile;
+  Option.iter
+    (fun ms ->
+      if ms <= 0. then invalid_arg "Tier.create: hedge_ms must be positive")
+    hedge_ms;
+  Option.iter
+    (fun ms ->
+      if ms <= 0. then
+        invalid_arg "Tier.create: call_timeout_ms must be positive")
+    call_timeout_ms;
   let by_name = Hashtbl.create 8 in
   List.iter (fun s -> Hashtbl.replace by_name (Shard.name s) s) shards;
   let shards =
@@ -41,32 +112,54 @@ let create ?(router_cache_entries = 512) ?(router_cache_mb = 64)
         | None -> invalid_arg ("Tier.create: no shard named " ^ name))
       (Ring.shards ring)
   in
-  { ring;
-    by_name;
-    shards;
-    lru =
-      Lru.create ~max_entries:router_cache_entries
-        ~max_bytes:(router_cache_mb * 1024 * 1024);
-    mutex = Mutex.create ();
-    timing;
-    deadline_ms;
-    c =
-      { requests = 0;
-        router_hits = 0;
-        shard_hits = 0;
-        peer_probes = 0;
-        peer_fills = 0;
-        computes = 0;
-        shed = 0;
-        errors = 0 } }
+  let t =
+    { ring;
+      by_name;
+      shards;
+      lru =
+        Lru.create ~max_entries:router_cache_entries
+          ~max_bytes:(router_cache_mb * 1024 * 1024);
+      mutex = Mutex.create ();
+      timing;
+      deadline_ms;
+      retries;
+      retry_backoff_s = retry_backoff_ms /. 1e3;
+      hedge_s = Option.map (fun ms -> ms /. 1e3) hedge_ms;
+      hedge_quantile;
+      call_timeout_s = Option.map (fun ms -> ms /. 1e3) call_timeout_ms;
+      reservoir = Metrics.Reservoir.create ~capacity:512 ~seed:1 ();
+      chaos;
+      draining = false;
+      inflight = 0;
+      stop_prober = false;
+      prober = None;
+      c =
+        { requests = 0;
+          router_hits = 0;
+          shard_hits = 0;
+          peer_probes = 0;
+          peer_fills = 0;
+          computes = 0;
+          shed = 0;
+          errors = 0;
+          retries = 0;
+          hedges = 0;
+          hedge_wins = 0;
+          invalid = 0;
+          deadline = 0;
+          flushed = 0 } }
+  in
+  (match probe_interval_ms with
+  | None -> ()
+  | Some ms ->
+    if ms <= 0. then
+      invalid_arg "Tier.create: probe_interval_ms must be positive";
+    t.prober <- Some (Thread.create (prober_loop t (ms /. 1e3)) ()));
+  t
 
-let with_lock t fn =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) fn
+let set_chaos t chaos = with_lock t (fun () -> t.chaos <- chaos)
 
-let count t bump = with_lock t (fun () -> bump t.c)
-
-let shard t name = Hashtbl.find t.by_name name
+let chaos t = with_lock t (fun () -> t.chaos)
 
 let lru_find t digest = with_lock t (fun () -> Lru.find t.lru digest)
 
@@ -84,7 +177,10 @@ let lru_store t digest payload =
    off both render [Wire.ok ?id ~op payload] from the same [Json]
    payload (the codec round-trips renderings exactly), and error
    messages pass through verbatim with their kind re-derived from the
-   same stable prefixes. *)
+   same stable prefixes.  The router->shard hop may decorate the
+   forwarded envelope (integrity digest, remaining deadline) because
+   the response the client sees is re-rendered here from the payload,
+   never relayed. *)
 
 let render_ok t (env : P.envelope) ?cache ~t0 payload =
   let cache = if t.timing then cache else None in
@@ -95,24 +191,52 @@ let render_ok t (env : P.envelope) ?cache ~t0 payload =
 
 let render_error t (env : P.envelope) msg =
   count t (fun c ->
-      if Engine.error_kind msg = Some "overloaded" then c.shed <- c.shed + 1
-      else c.errors <- c.errors + 1);
+      match Engine.error_kind msg with
+      | Some "overloaded" -> c.shed <- c.shed + 1
+      | Some "deadline" ->
+        c.deadline <- c.deadline + 1;
+        c.errors <- c.errors + 1
+      | _ -> c.errors <- c.errors + 1);
   Wire.error ?id:env.P.id
     ~op:(P.op_name env.P.request)
     ?kind:(Engine.error_kind msg) msg
 
 (* --- talking to shards --- *)
 
-(* One-line request documents for the cache plane. *)
+(* One-line request documents for the cache plane.  They carry the
+   digest as [id] and ask for a [sum] so the router can validate the
+   reply end to end — a corrupted cache hit must never be cached or
+   served. *)
 let cache_get_line digest =
-  Json.to_string (Json.Obj [ ("op", Json.String "cache_get");
-                             ("digest", Json.String digest) ])
+  Json.to_string
+    (Json.Obj
+       [ ("op", Json.String "cache_get"); ("digest", Json.String digest);
+         ("id", Json.String digest); ("checksum", Json.Bool true) ])
 
 let cache_put_line digest payload =
   Json.to_string
     (Json.Obj
        [ ("op", Json.String "cache_put"); ("digest", Json.String digest);
          ("payload", payload) ])
+
+(* The forwarded copy of a routed envelope: the route digest rides as
+   [id] (so the reply provably answers this request), [checksum]
+   requests the integrity digest, and the deadline becomes the budget
+   remaining *now* — the shard must not spend time the router already
+   burned on probes, backoff or earlier attempts. *)
+let forward_line t (env : P.envelope) ~digest ~remaining_ms =
+  let deadline_ms =
+    match remaining_ms with
+    | Some _ -> remaining_ms
+    | None -> t.deadline_ms
+  in
+  let env =
+    { env with
+      P.id = Some (Json.String digest);
+      P.checksum = true;
+      P.deadline_ms }
+  in
+  Json.to_string (P.envelope_to_json env)
 
 (* Split a shard's NDJSON response into the engine's outcome. *)
 let parse_response line =
@@ -130,49 +254,277 @@ let parse_response line =
       | _ -> Error "internal: shard response missing error")
     | _ -> Error "internal: shard response missing ok field")
 
+(* --- the chaos-interposed physical call --- *)
+
+(* Attempt numbers distinguish the draws of one request's physical
+   calls (probe, compute, retries, hedges).  They are taken from a
+   request-local counter *before* a call launches, so a hedge race
+   assigns primary/hedge numbers deterministically regardless of which
+   thread runs first. *)
+type call_ctx = { ckey : int option; next_attempt : int ref }
+
+let make_ctx t ~digest =
+  match with_lock t (fun () -> t.chaos) with
+  | None -> { ckey = None; next_attempt = ref 0 }
+  | Some ch ->
+    { ckey = Some (Chaos.key ch ~digest); next_attempt = ref 0 }
+
+let take_attempt ctx =
+  let n = !(ctx.next_attempt) in
+  ctx.next_attempt := n + 1;
+  n
+
+let shard_index t s = Ring.position t.ring (Shard.name s)
+
+(* One physical call to [s] with the chaos injector interposed on the
+   wire.  [Reset] fails without touching the shard; [Hang] burns the
+   call timeout then fails (the shard never saw the request — exactly
+   what a hung connection looks like from the router); [Trunc]/
+   [Corrupt] let the real reply through mangled; [Delay] and slow-shard
+   factors stretch the observed latency.  Injected transport failures
+   are charged to the shard's breaker just like real ones. *)
+let shard_call t ctx s line =
+  match (with_lock t (fun () -> t.chaos), ctx.ckey) with
+  | None, _ | _, None -> Shard.call ?timeout_s:t.call_timeout_s s line
+  | Some ch, Some key -> (
+    let attempt = take_attempt ctx in
+    match Chaos.action ch ~key ~attempt with
+    | Fault.Injector.Reset ->
+      Shard.penalize s;
+      Error (Shard.Transport "connection reset (injected)")
+    | Fault.Injector.Hang ->
+      let budget = Option.value t.call_timeout_s ~default:1.0 in
+      Unix.sleepf budget;
+      Shard.penalize s;
+      Error
+        (Shard.Transport
+           (Printf.sprintf "no reply within %.0f ms (injected hang)"
+              (budget *. 1e3)))
+    | (Fault.Injector.Pass | Fault.Injector.Delay _ | Fault.Injector.Trunc
+      | Fault.Injector.Corrupt) as action -> (
+      let t0 = Unix.gettimeofday () in
+      let r = Shard.call ?timeout_s:t.call_timeout_s s line in
+      let factor =
+        match shard_index t s with
+        | Some idx -> Chaos.slow_factor ch ~shard:idx
+        | None -> 1.
+      in
+      if factor > 1. then
+        Unix.sleepf ((factor -. 1.) *. (Unix.gettimeofday () -. t0));
+      (match action with
+      | Fault.Injector.Delay d -> Unix.sleepf d
+      | _ -> ());
+      match (r, action) with
+      | Ok reply, (Fault.Injector.Trunc | Fault.Injector.Corrupt) ->
+        Ok (Chaos.mangle ch ~key ~attempt ~action reply)
+      | _ -> r))
+
+(* --- reply validation --- *)
+
+(* What one compute attempt came back as.  [Invalid] covers everything
+   integrity validation rejects: unparsable bytes, an [id] echo that is
+   not this request's digest, a missing or mismatched [sum].  The shard
+   is penalized (the damage happened on its path) and the attempt is
+   retried like a transport failure — a corrupted reply must never
+   reach the client as a success. *)
+type reply =
+  | RValid of Json.t
+  | RApp of string  (* structured application error: pass through *)
+  | RShed of string  (* the shard's in-flight gate said no *)
+  | RRetry of string  (* transport failure or invalid reply *)
+
+let validate_reply t s ~digest line =
+  let invalid why =
+    count t (fun c -> c.invalid <- c.invalid + 1);
+    Shard.penalize s;
+    Log.warn (fun m ->
+        m "invalid reply from %s for %s: %s" (Shard.name s) digest why);
+    RRetry (Printf.sprintf "invalid reply from shard %s: %s" (Shard.name s) why)
+  in
+  match Json.of_string line with
+  | Error msg -> invalid ("unparsable: " ^ msg)
+  | Ok doc -> (
+    let id_ok =
+      match Json.member_opt "id" doc with
+      | Some (Json.String id) -> id = digest
+      | _ -> false
+    in
+    if not id_ok then invalid "id echo does not match the route digest"
+    else
+      match Json.member_opt "ok" doc with
+      | Some (Json.Bool true) -> (
+        match Json.member_opt "result" doc with
+        | None -> invalid "missing result"
+        | Some payload -> (
+          match Json.member_opt "sum" doc with
+          | Some (Json.String sum)
+            when sum = Dnn_serial.Codec.digest_string (Json.to_string payload)
+            ->
+            RValid payload
+          | Some _ -> invalid "sum does not match the payload"
+          | None -> invalid "missing sum"))
+      | Some (Json.Bool false) -> (
+        match Json.member_opt "error" doc with
+        | Some (Json.String msg) ->
+          if Engine.error_kind msg = Some "overloaded" then RShed msg
+          else RApp msg
+        | _ -> invalid "missing error")
+      | _ -> invalid "missing ok field")
+
+let classify_attempt t s ~digest = function
+  | Error (Shard.Overloaded msg) -> RShed msg
+  | Error (Shard.Unavailable msg | Shard.Transport msg) -> RRetry msg
+  | Ok line -> validate_reply t s ~digest line
+
+(* --- hedged calls --- *)
+
+let hedge_threshold_s t =
+  match t.hedge_s with
+  | Some _ as fixed -> fixed
+  | None -> (
+    match t.hedge_quantile with
+    | None -> None
+    | Some q ->
+      with_lock t (fun () ->
+          if Metrics.Reservoir.count t.reservoir < 20 then None
+          else Some (Metrics.Reservoir.percentile t.reservoir q)))
+
+let record_latency t seconds =
+  with_lock t (fun () -> Metrics.Reservoir.add t.reservoir seconds)
+
+(* Race the primary against [hedge] once the primary has been quiet for
+   the hedge threshold.  A polling race, not a pipe-based one: each
+   finisher posts into a mutex-guarded slot and the coordinator polls
+   at 1 ms — the loser thread outlives the return harmlessly (its post
+   lands in a slot nobody reads) instead of writing into a file
+   descriptor the winner already closed.
+
+   The first *valid* reply wins ([RValid] or a structured app error —
+   both are definitive answers); if both attempts finish without one,
+   the primary's failure is reported.  Attempt numbers are taken for
+   both racers up front so the chaos draws do not depend on thread
+   scheduling. *)
+let hedged_call t ctx ~digest ~primary ~hedge line =
+  match (hedge, hedge_threshold_s t) with
+  | None, _ | _, None ->
+    classify_attempt t primary ~digest (shard_call t ctx primary line)
+  | Some hedge_shard, Some threshold ->
+    let slot = Mutex.create () in
+    let first = ref None in  (* first definitive reply *)
+    let fallback = ref None in  (* first reply of any kind *)
+    let finished = ref 0 in
+    let definitive = function RValid _ | RApp _ -> true | _ -> false in
+    let post ~hedged reply =
+      Mutex.lock slot;
+      finished := !finished + 1;
+      if !fallback = None then fallback := Some (hedged, reply);
+      if !first = None && definitive reply then first := Some (hedged, reply);
+      Mutex.unlock slot
+    in
+    let launch ~hedged s attempt =
+      Thread.create
+        (fun () ->
+          let ctx_one = { ckey = ctx.ckey; next_attempt = ref attempt } in
+          let r =
+            try classify_attempt t s ~digest (shard_call t ctx_one s line)
+            with e -> RRetry ("hedge race: " ^ Printexc.to_string e)
+          in
+          post ~hedged r)
+        ()
+    in
+    let a_primary = take_attempt ctx in
+    let a_hedge = take_attempt ctx in
+    ignore (launch ~hedged:false primary a_primary);
+    let t0 = Unix.gettimeofday () in
+    let hedge_launched = ref false in
+    let result = ref None in
+    while !result = None do
+      Mutex.lock slot;
+      let racers = if !hedge_launched then 2 else 1 in
+      (match !first with
+      | Some (hedged, reply) ->
+        if hedged then count t (fun c -> c.hedge_wins <- c.hedge_wins + 1);
+        result := Some reply
+      | None ->
+        if !finished >= racers then
+          result := Some (match !fallback with
+            | Some (_, reply) -> reply
+            | None -> RRetry "hedge race finished without a reply"));
+      Mutex.unlock slot;
+      if !result = None then begin
+        if (not !hedge_launched)
+           && Unix.gettimeofday () -. t0 >= threshold
+        then begin
+          hedge_launched := true;
+          count t (fun c -> c.hedges <- c.hedges + 1);
+          ignore (launch ~hedged:true hedge_shard a_hedge)
+        end;
+        Thread.delay 0.001
+      end
+    done;
+    Option.get !result
+
+(* --- the routing flow --- *)
+
 (* Probe one shard's cache for a digest.  [`Hit payload] on success,
-   [`Miss] when the shard answered but had nothing (or answered
-   garbage), [`Down] when it could not be reached at all,
-   [`Overloaded msg] when its in-flight gate shed the probe — the
-   caller must shed the request rather than fail over, or overload on
-   one shard would amplify onto the survivors. *)
-let probe_cache s digest =
-  match Shard.call s (cache_get_line digest) with
+   [`Miss] when the shard answered but had nothing — or answered
+   something integrity validation rejected (penalized, and a miss is
+   the safe reading: worst case we recompute), [`Down] when it could
+   not be reached at all, [`Overloaded msg] when its in-flight gate
+   shed the probe — the caller must shed the request rather than fail
+   over, or overload on one shard would amplify onto the survivors. *)
+let probe_cache t ctx s digest =
+  match shard_call t ctx s (cache_get_line digest) with
   | Error (Shard.Overloaded msg) -> `Overloaded msg
   | Error (Shard.Unavailable _ | Shard.Transport _) -> `Down
   | Ok line -> (
-    match parse_response line with
-    | Ok (Ok payload) -> `Hit payload
-    | Ok (Error _) | Error _ -> `Miss)
+    match validate_reply t s ~digest line with
+    | RValid payload -> `Hit payload
+    | RApp _ | RShed _ | RRetry _ -> `Miss)
 
 (* Best-effort: seed the owner's cache with a payload found elsewhere so
    the next probe for this digest hits locally. *)
-let backfill owner digest payload =
-  match Shard.call owner (cache_put_line digest payload) with
+let backfill t ctx owner digest payload =
+  match shard_call t ctx owner (cache_put_line digest payload) with
   | Ok _ -> ()
   | Error e ->
     Log.warn (fun m ->
         m "peer backfill of %s into %s failed: %s" digest (Shard.name owner)
           (Shard.error_message e))
 
-let forward_line t (env : P.envelope) =
-  let env =
-    match env.P.deadline_ms with
-    | Some _ -> env
-    | None -> { env with P.deadline_ms = t.deadline_ms }
-  in
-  Json.to_string (P.envelope_to_json env)
-
-(* --- the routing flow --- *)
-
 (* Answer a digest-addressed leaf request: front LRU, then the owner's
    cache, then the sibling caches (peer fill), then compute on the
    owner.  An unreachable owner fails over to the next shard in ring
    order; an overloaded owner sheds the request instead — backpressure
-   must push load back to the client, not amplify it onto the survivors. *)
+   must push load back to the client, not amplify it onto the
+   survivors.
+
+   Compute attempts carry a retry budget per candidate shard
+   ([t.retries] re-sends with doubling, capped backoff), hedge against
+   the next shard in ring order when the primary is slow, and check the
+   request's remaining deadline before every physical attempt — when
+   the budget is gone, the router answers [deadline exceeded] itself
+   instead of spending a shard's time on an answer nobody is waiting
+   for. *)
 let route t (env : P.envelope) digest =
   let t0 = Unix.gettimeofday () in
   count t (fun c -> c.requests <- c.requests + 1);
+  let ctx = make_ctx t ~digest in
+  let deadline_at =
+    match env.P.deadline_ms with
+    | Some ms -> Some (t0 +. (ms /. 1e3))
+    | None -> Option.map (fun ms -> t0 +. (ms /. 1e3)) t.deadline_ms
+  in
+  let remaining_ms () =
+    Option.map (fun at -> (at -. Unix.gettimeofday ()) *. 1e3) deadline_at
+  in
+  let expired () =
+    match remaining_ms () with Some ms -> ms <= 0. | None -> false
+  in
+  let deadline_error () =
+    render_error t env
+      "deadline exceeded: request budget exhausted in the router"
+  in
   match lru_find t digest with
   | Some payload ->
     count t (fun c -> c.router_hits <- c.router_hits + 1);
@@ -187,7 +539,7 @@ let route t (env : P.envelope) digest =
         | [] -> None
         | name :: rest -> (
           count t (fun c -> c.peer_probes <- c.peer_probes + 1);
-          match probe_cache (shard t name) digest with
+          match probe_cache t ctx (shard t name) digest with
           | `Hit payload -> Some payload
           (* A busy peer just doesn't help with this fill. *)
           | `Miss | `Down | `Overloaded _ -> probe rest)
@@ -196,85 +548,130 @@ let route t (env : P.envelope) digest =
       | None -> None
       | Some payload ->
         count t (fun c -> c.peer_fills <- c.peer_fills + 1);
-        backfill owner digest payload;
+        backfill t ctx owner digest payload;
         Some payload
     in
     let compute owner retry_names =
       count t (fun c -> c.computes <- c.computes + 1);
-      let rec on candidates =
-        match candidates with
+      let rec on_candidates = function
         | [] ->
           render_error t env
             "unavailable: no shard could take the request"
-        | s :: rest -> (
-          match Shard.call s (forward_line t env) with
-          | Ok line -> (
-            match parse_response line with
-            | Ok (Ok payload) ->
-              lru_store t digest payload;
-              render_ok t env ~cache:"miss" ~t0 payload
-            | Ok (Error msg) -> render_error t env msg
-            | Error msg -> render_error t env msg)
-          | Error (Shard.Overloaded msg) -> render_error t env msg
-          | Error (Shard.Unavailable msg | Shard.Transport msg) ->
-            Log.warn (fun m ->
-                m "compute on %s failed (%s); trying next shard"
-                  (Shard.name s) msg);
-            on rest)
+        | s :: rest ->
+          let hedge = match rest with [] -> None | h :: _ -> Some h in
+          (* Per-candidate retry budget: attempt 0 plus [t.retries]
+             re-sends, each after a doubling backoff capped at 8x the
+             base and at the remaining deadline. *)
+          let rec attempt k last_err =
+            if k > t.retries then begin
+              Log.warn (fun m ->
+                  m "compute on %s failed (%s); trying next shard"
+                    (Shard.name s) last_err);
+              on_candidates rest
+            end
+            else if expired () then deadline_error ()
+            else begin
+              if k > 0 then begin
+                count t (fun c -> c.retries <- c.retries + 1);
+                let back =
+                  Float.min
+                    (t.retry_backoff_s *. (2. ** float_of_int (k - 1)))
+                    (t.retry_backoff_s *. 8.)
+                in
+                let back =
+                  match remaining_ms () with
+                  | Some ms -> Float.min back (Float.max 0. (ms /. 1e3))
+                  | None -> back
+                in
+                if back > 0. then Unix.sleepf back
+              end;
+              if expired () then deadline_error ()
+              else begin
+                let line =
+                  forward_line t env ~digest ~remaining_ms:(remaining_ms ())
+                in
+                let call_t0 = Unix.gettimeofday () in
+                let reply = hedged_call t ctx ~digest ~primary:s ~hedge line in
+                record_latency t (Unix.gettimeofday () -. call_t0);
+                match reply with
+                | RValid payload ->
+                  lru_store t digest payload;
+                  render_ok t env ~cache:"miss" ~t0 payload
+                | RApp msg -> render_error t env msg
+                | RShed msg -> render_error t env msg
+                | RRetry msg -> attempt (k + 1) msg
+              end
+            end
+          in
+          attempt 0 "no attempt made"
       in
-      on (owner :: List.map (shard t) retry_names)
+      on_candidates (Shard.name owner :: retry_names |> List.map (shard t))
     in
     let rec from_owner = function
       | [] ->
         render_error t env "unavailable: no shard could take the request"
       | owner_name :: fallbacks -> (
-        let owner = shard t owner_name in
-        match probe_cache owner digest with
-        | `Hit payload ->
-          count t (fun c -> c.shard_hits <- c.shard_hits + 1);
-          lru_store t digest payload;
-          render_ok t env ~cache:"hit" ~t0 payload
-        | `Miss -> (
-          match peer_fill owner with
-          | Some payload ->
+        if expired () then deadline_error ()
+        else
+          let owner = shard t owner_name in
+          match probe_cache t ctx owner digest with
+          | `Hit payload ->
+            count t (fun c -> c.shard_hits <- c.shard_hits + 1);
             lru_store t digest payload;
-            render_ok t env ~cache:"peer" ~t0 payload
-          | None -> (
-            match env.P.request with
-            | P.Cache_get _ ->
-              (* Nothing to compute: the probe is the request. *)
-              render_error t env (Printf.sprintf "not cached: %s" digest)
-            | _ -> compute owner fallbacks))
-        | `Overloaded msg ->
-          (* Backpressure, not failover: the owner is alive but full. *)
-          render_error t env msg
-        | `Down ->
-          (* The owner is unreachable for probes too; the next shard in
-             ring order takes over wholesale. *)
-          from_owner fallbacks)
+            render_ok t env ~cache:"hit" ~t0 payload
+          | `Miss -> (
+            match peer_fill owner with
+            | Some payload ->
+              lru_store t digest payload;
+              render_ok t env ~cache:"peer" ~t0 payload
+            | None -> (
+              match env.P.request with
+              | P.Cache_get _ ->
+                (* Nothing to compute: the probe is the request. *)
+                render_error t env (Printf.sprintf "not cached: %s" digest)
+              | _ -> compute owner fallbacks))
+          | `Overloaded msg ->
+            (* Backpressure, not failover: the owner is alive but full. *)
+            render_error t env msg
+          | `Down ->
+            (* The owner is unreachable for probes too; the next shard in
+               ring order takes over wholesale. *)
+            from_owner fallbacks)
     in
     match env.P.request with
     | P.Cache_put (_, payload) ->
       lru_store t digest payload;
       let owner = shard t (Ring.lookup t.ring digest) in
-      (match Shard.call owner (forward_line t env) with
+      (match
+         shard_call t ctx owner
+           (forward_line t env ~digest ~remaining_ms:(remaining_ms ()))
+       with
       | Ok line -> (
-        match parse_response line with
-        | Ok (Ok payload) -> render_ok t env ~t0 payload
-        | Ok (Error msg) | Error msg -> render_error t env msg)
+        match validate_reply t owner ~digest line with
+        | RValid payload -> render_ok t env ~t0 payload
+        | RApp msg | RShed msg | RRetry msg -> render_error t env msg)
       | Error e -> render_error t env (Shard.error_message e))
     | _ -> from_owner owners)
 
-(* Requests with no digest (models) go to the first shard that answers. *)
+(* Requests with no digest (models) go to the first shard that answers.
+   They carry no chaos key — there is no stable identity to draw
+   against — and no integrity digest, since there is no digest for the
+   reply to echo. *)
 let forward_any t (env : P.envelope) =
   let t0 = Unix.gettimeofday () in
+  let env =
+    match env.P.deadline_ms with
+    | Some _ -> env
+    | None -> { env with P.deadline_ms = t.deadline_ms }
+  in
+  let line = Json.to_string (P.envelope_to_json env) in
   let rec on = function
     | [] ->
       render_error t env "unavailable: no shard could take the request"
     | s :: rest -> (
-      match Shard.call s (forward_line t env) with
-      | Ok line -> (
-        match parse_response line with
+      match Shard.call ?timeout_s:t.call_timeout_s s line with
+      | Ok reply -> (
+        match parse_response reply with
         | Ok (Ok payload) -> render_ok t env ~t0 payload
         | Ok (Error msg) -> render_error t env msg
         | Error msg -> render_error t env msg)
@@ -284,32 +681,46 @@ let forward_any t (env : P.envelope) =
 
 (* --- aggregated stats --- *)
 
-let counters_json t =
+let counter_list t =
   with_lock t (fun () ->
-      Json.Obj
-        [ ("requests", Json.Int t.c.requests);
-          ("router_hits", Json.Int t.c.router_hits);
-          ("shard_hits", Json.Int t.c.shard_hits);
-          ("peer_probes", Json.Int t.c.peer_probes);
-          ("peer_fills", Json.Int t.c.peer_fills);
-          ("computes", Json.Int t.c.computes);
-          ("shed", Json.Int t.c.shed);
-          ("errors", Json.Int t.c.errors);
-          ( "router_cache",
-            Json.Obj
-              [ ("entries", Json.Int (Lru.length t.lru));
-                ("bytes", Json.Int (Lru.total_bytes t.lru)) ] );
-          ( "ring",
-            Json.Obj
-              [ ("shards", Json.Int (List.length t.shards));
-                ("vnodes", Json.Int (Ring.vnodes t.ring)) ] ) ])
+      [ ("requests", t.c.requests);
+        ("router_hits", t.c.router_hits);
+        ("shard_hits", t.c.shard_hits);
+        ("peer_probes", t.c.peer_probes);
+        ("peer_fills", t.c.peer_fills);
+        ("computes", t.c.computes);
+        ("shed", t.c.shed);
+        ("errors", t.c.errors);
+        ("retries", t.c.retries);
+        ("hedges", t.c.hedges);
+        ("hedge_wins", t.c.hedge_wins);
+        ("invalid_replies", t.c.invalid);
+        ("deadline_errors", t.c.deadline);
+        ("flushed", t.c.flushed) ])
+
+let counters_json t =
+  let base = List.map (fun (k, v) -> (k, Json.Int v)) (counter_list t) in
+  Json.Obj
+    (base
+    @ [ ( "router_cache",
+          Json.Obj
+            [ ("entries", Json.Int (Lru.length t.lru));
+              ("bytes", Json.Int (Lru.total_bytes t.lru)) ] );
+        ( "ring",
+          Json.Obj
+            [ ("shards", Json.Int (List.length t.shards));
+              ("vnodes", Json.Int (Ring.vnodes t.ring)) ] );
+        ("draining", Json.Bool (with_lock t (fun () -> t.draining))) ])
 
 let stats_payload t =
   let shard_stats =
     List.map
       (fun s ->
         let remote =
-          match Shard.call s (Json.to_string (Json.Obj [ ("op", Json.String "stats") ])) with
+          match
+            Shard.call ?timeout_s:t.call_timeout_s s
+              (Json.to_string (Json.Obj [ ("op", Json.String "stats") ]))
+          with
           | Ok line -> (
             match parse_response line with
             | Ok (Ok payload) -> payload
@@ -331,22 +742,28 @@ let stats_payload t =
         | None -> acc)
       0 shard_stats
   in
+  let chaos_field =
+    match with_lock t (fun () -> t.chaos) with
+    | None -> []
+    | Some ch -> [ ("chaos", Chaos.counters_json ch) ]
+  in
   Json.Obj
-    [ ("tier", counters_json t);
-      ( "aggregate",
-        Json.Obj
-          [ ("cache_hits", Json.Int (cache_total "hits"));
-            ("cache_misses", Json.Int (cache_total "misses"));
-            ("cache_entries", Json.Int (cache_total "entries"));
-            ("cache_bytes", Json.Int (cache_total "bytes")) ] );
-      ( "shards",
-        Json.List
-          (List.map
-             (fun (name, health, remote) ->
-               Json.Obj
-                 [ ("name", Json.String name); ("health", health);
-                   ("stats", remote) ])
-             shard_stats) ) ]
+    ([ ("tier", counters_json t);
+       ( "aggregate",
+         Json.Obj
+           [ ("cache_hits", Json.Int (cache_total "hits"));
+             ("cache_misses", Json.Int (cache_total "misses"));
+             ("cache_entries", Json.Int (cache_total "entries"));
+             ("cache_bytes", Json.Int (cache_total "bytes")) ] );
+       ( "shards",
+         Json.List
+           (List.map
+              (fun (name, health, remote) ->
+                Json.Obj
+                  [ ("name", Json.String name); ("health", health);
+                    ("stats", remote) ])
+              shard_stats) ) ]
+    @ chaos_field)
 
 (* --- entry points --- *)
 
@@ -375,16 +792,102 @@ let handle_line t line =
     | Error msg ->
       Wire.to_line (Wire.error ~op:"parse" msg)
     | Ok env -> (
-      match respond t env with
-      | doc -> Wire.to_line doc
-      | exception e ->
-        Log.err (fun m -> m "tier dispatch raised: %s" (Printexc.to_string e));
+      (* A draining tier stops admitting work ([stats] stays open so
+         the operator can watch the drain) but finishes what it already
+         accepted — the in-flight gate below is what [await_idle]
+         waits on. *)
+      let admitted =
+        with_lock t (fun () ->
+            match env.P.request with
+            | P.Stats -> true
+            | _ ->
+              if t.draining then false
+              else begin
+                t.inflight <- t.inflight + 1;
+                true
+              end)
+      in
+      if not admitted then
         Wire.to_line
           (Wire.error ?id:env.P.id
              ~op:(P.op_name env.P.request)
-             ~kind:"internal"
-             ("internal: " ^ Printexc.to_string e)))
+             ~kind:"unavailable" "unavailable: tier is draining")
+      else
+        let release () =
+          match env.P.request with
+          | P.Stats -> ()
+          | _ -> with_lock t (fun () -> t.inflight <- t.inflight - 1)
+        in
+        Fun.protect ~finally:release (fun () ->
+            match respond t env with
+            | doc -> Wire.to_line doc
+            | exception e ->
+              Log.err (fun m ->
+                  m "tier dispatch raised: %s" (Printexc.to_string e));
+              Wire.to_line
+                (Wire.error ?id:env.P.id
+                   ~op:(P.op_name env.P.request)
+                   ~kind:"internal"
+                   ("internal: " ^ Printexc.to_string e))))
+
+(* --- graceful drain --- *)
+
+let begin_drain t = with_lock t (fun () -> t.draining <- true)
+
+let draining t = with_lock t (fun () -> t.draining)
+
+let inflight t = with_lock t (fun () -> t.inflight)
+
+(* Wait for every admitted request to finish rendering; true when the
+   tier went idle within the budget. *)
+let await_idle ?(timeout_s = 10.) t =
+  let t0 = Unix.gettimeofday () in
+  let rec wait () =
+    if inflight t = 0 then true
+    else if Unix.gettimeofday () -. t0 >= timeout_s then false
+    else begin
+      Thread.delay 0.005;
+      wait ()
+    end
+  in
+  wait ()
+
+(* Push the router's LRU back to the owning shards so a restarted tier
+   warms from their caches instead of recomputing.  MRU first: if the
+   shards go away mid-flush, the hottest entries made it.  The flush
+   bypasses the chaos injector (no chaos key) — it repairs state, and
+   the entries were validated when they were cached. *)
+let flush_cache t =
+  let entries = with_lock t (fun () -> Lru.bindings t.lru) in
+  List.fold_left
+    (fun acc (digest, payload) ->
+      let owner = shard t (Ring.lookup t.ring digest) in
+      match
+        Shard.call ?timeout_s:t.call_timeout_s owner
+          (cache_put_line digest payload)
+      with
+      | Ok _ ->
+        count t (fun c -> c.flushed <- c.flushed + 1);
+        acc + 1
+      | Error e ->
+        Log.warn (fun m ->
+            m "drain flush of %s to %s failed: %s" digest (Shard.name owner)
+              (Shard.error_message e));
+        acc)
+    0 entries
+
+let drain ?timeout_s t =
+  begin_drain t;
+  let idle = await_idle ?timeout_s t in
+  if not idle then
+    Log.warn (fun m ->
+        m "drain timed out with %d requests still in flight" (inflight t));
+  flush_cache t
 
 let shards t = t.shards
 
-let shutdown t = List.iter Shard.stop t.shards
+let shutdown t =
+  t.stop_prober <- true;
+  Option.iter Thread.join t.prober;
+  t.prober <- None;
+  List.iter Shard.stop t.shards

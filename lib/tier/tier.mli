@@ -1,5 +1,6 @@
 (** The tier router: consistent-hash request routing over a fleet of
-    shards, with a tiered cache in front.
+    shards, with a tiered cache in front and a resilience layer on the
+    router->shard path.
 
     Each digest-addressed request ({!Lcmm_service.Engine.route_digest})
     is answered from the first tier that has it: the router's in-memory
@@ -11,35 +12,108 @@
     ["overloaded"] error — backpressure pushes load back to the client
     instead of amplifying it onto the surviving shards.
 
-    With [timing] off the rendered responses are byte-identical to a
-    single-process [lcmm serve] answering the same requests. *)
+    The resilience layer, all off by default:
+    {ul
+    {- {b Integrity}: always on — forwarded requests carry the route
+       digest as [id] and ask for a ["sum"] digest of the reply
+       payload; a reply that fails validation (wrong echo, bad sum,
+       unparsable) is counted, charged to the shard's breaker and
+       retried, never served.}
+    {- {b Retries}: [retries] re-sends per candidate shard after
+       transport failures or invalid replies, with doubling backoff
+       capped at 8x the base and at the remaining deadline.}
+    {- {b Hedging}: when a compute attempt has been quiet for [hedge_ms]
+       (or the [hedge_quantile] of observed call latency), the same
+       request races the next shard in ring order; the first reply that
+       passes validation wins.}
+    {- {b Deadlines}: the forwarded envelope carries the budget
+       remaining now, not the original figure — probes, backoff and
+       earlier attempts all spend from the same purse, and an expired
+       budget is answered [deadline exceeded] by the router itself.}
+    {- {b Health probes}: with [probe_interval_ms], a background thread
+       probes every non-[`Up] shard ({!Shard.probe}) so shards recover
+       without waiting for live traffic to test the half-open circuit.}
+    {- {b Chaos}: a {!Chaos.t} interposes seeded transport faults on
+       every digest-addressed shard call (and only those — health
+       probes, stats and drain flushes pass untouched).}}
+
+    With [timing] off and the resilience knobs at their defaults the
+    rendered responses are byte-identical to a single-process
+    [lcmm serve] answering the same requests. *)
 
 type t
 
 val create :
   ?router_cache_entries:int -> ?router_cache_mb:int -> ?deadline_ms:float ->
-  ?timing:bool -> ring:Ring.t -> shards:Shard.t list -> unit -> t
+  ?timing:bool -> ?retries:int -> ?retry_backoff_ms:float ->
+  ?hedge_ms:float -> ?hedge_quantile:float -> ?call_timeout_ms:float ->
+  ?probe_interval_ms:float -> ?chaos:Chaos.t -> ring:Ring.t ->
+  shards:Shard.t list -> unit -> t
 (** Router over [shards]; every name in [ring] must have a shard
     (raises [Invalid_argument] otherwise).  The front LRU holds up to
     [router_cache_entries] (default 512) payloads within
-    [router_cache_mb] (default 64) MiB.  [deadline_ms] is injected into
-    forwarded requests that carry none of their own. *)
+    [router_cache_mb] (default 64) MiB.  [deadline_ms] is the default
+    budget for requests that carry none of their own.  [retries]
+    (default 0) extra attempts per candidate with [retry_backoff_ms]
+    (default 25) base backoff; [hedge_ms] or [hedge_quantile] (in
+    (0,1)) enable hedging; [call_timeout_ms] bounds every shard call
+    (also the time an injected hang burns); [probe_interval_ms] starts
+    the background health prober.  Raises [Invalid_argument] on
+    non-positive knobs ([retries]/[retry_backoff_ms] may be 0). *)
+
+val set_chaos : t -> Chaos.t option -> unit
+(** Swap the chaos injector at runtime (the bench resets counters per
+    intensity rung by installing a fresh one). *)
+
+val chaos : t -> Chaos.t option
 
 val handle_line : t -> string -> string
 (** One NDJSON request line in, one newline-terminated response line
     out; never raises.  Serve it with
     {!Lcmm_service.Server.serve_channels_with} or
-    {!Lcmm_service.Server.serve_unix_socket_with}. *)
+    {!Lcmm_service.Server.serve_unix_socket_with}.  While draining,
+    everything except [stats] is refused with a structured
+    ["unavailable"] error. *)
 
 val stats_payload : t -> Dnn_serial.Json.t
 (** The extended [stats] body: the router's own counters (router /
-    shard / peer-fill hits, sheds, computes, LRU occupancy, ring
-    shape), fleet-wide cache totals aggregated over the shards that
-    answered, and each shard's health plus its own [stats] payload. *)
+    shard / peer-fill hits, sheds, computes, retries, hedges, invalid
+    replies, LRU occupancy, ring shape), fleet-wide cache totals
+    aggregated over the shards that answered, each shard's health plus
+    its own [stats] payload, and the chaos injector's counters when one
+    is installed. *)
+
+val counter_list : t -> (string * int) list
+(** The router's request counters as a flat association list, in a
+    fixed order — the bench fingerprints these. *)
+
+val begin_drain : t -> unit
+(** Stop admitting new work (except [stats]).  In-flight requests keep
+    running. *)
+
+val draining : t -> bool
+
+val inflight : t -> int
+(** Requests admitted and not yet answered. *)
+
+val await_idle : ?timeout_s:float -> t -> bool
+(** Wait (default 10 s) for the in-flight count to reach zero; [false]
+    on timeout. *)
+
+val flush_cache : t -> int
+(** Push every front-LRU entry to its owning shard with [cache_put],
+    hottest first, so a restarted tier warms from the shard caches.
+    Returns the number of entries flushed; failures are logged and
+    skipped.  Never chaos-faulted. *)
+
+val drain : ?timeout_s:float -> t -> int
+(** {!begin_drain}, {!await_idle}, then {!flush_cache} (returning its
+    count).  The SIGTERM path: stop admitting, finish in-flight work,
+    save the cache. *)
 
 val shards : t -> Shard.t list
 (** In ring order. *)
 
 val shutdown : t -> unit
-(** Stop every shard ({!Shard.stop}): terminate, reap, remove socket
-    files. *)
+(** Stop the health prober, then every shard ({!Shard.stop}):
+    terminate, reap, remove socket files. *)

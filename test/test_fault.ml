@@ -285,6 +285,133 @@ let test_droop_slows () =
   Alcotest.(check bool) "halved bandwidth slows the run" true
     (drooped.Rt.Report.makespan_ms > plain.Rt.Report.makespan_ms)
 
+(* --- transport faults --- *)
+
+let test_transport_roundtrip () =
+  List.iter
+    (fun s ->
+      let spec = ok_spec s in
+      let canon = Spec.to_string spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S has transport faults" s)
+        true
+        (Spec.has_transport_faults spec);
+      Alcotest.(check bool)
+        (Printf.sprintf "%S stays board-fault free" s)
+        false (Spec.has_board_faults spec);
+      Alcotest.(check string)
+        (Printf.sprintf "%S round-trips" s)
+        canon
+        (Spec.to_string (ok_spec canon)))
+    [ "delay:0.1:40";
+      "hang:0.02";
+      "trunc:0.05";
+      "corrupt:0.01";
+      "reset:0.03";
+      "slowshard@2:3.5";
+      "seed=9,delay:0.08:40,hang:0.02,trunc:0.02,corrupt:0.02,reset:0.03,\
+       slowshard@0:2" ]
+
+let test_spec_positional_errors () =
+  let expect_error s fragments =
+    match Spec.of_string s with
+    | Ok _ -> Alcotest.failf "spec %S unexpectedly parsed" s
+    | Error msg ->
+      List.iter
+        (fun frag ->
+          let contains =
+            let flen = String.length frag and mlen = String.length msg in
+            let rec scan i =
+              i + flen <= mlen
+              && (String.sub msg i flen = frag || scan (i + 1))
+            in
+            scan 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "error for %S mentions %S: %s" s frag msg)
+            true contains)
+        fragments
+  in
+  (* The error names the clause by (1-based) index, text and character
+     offset into the original spec string. *)
+  expect_error "seed=1,bogus:0.5" [ "clause 2"; "bogus:0.5"; "at char 7" ];
+  expect_error "delay:0.1" [ "clause 1"; "delay" ];
+  expect_error "seed=1,hang:2.0" [ "clause 2"; "hang" ];
+  expect_error "slowshard@0:0.5" [ "clause 1"; "slowshard" ];
+  (* Empty clauses (stray or trailing commas) are tolerated, not errors,
+     and do not advance the clause numbering. *)
+  Alcotest.(check string) "empty clauses skipped"
+    (Spec.to_string (ok_spec "seed=1,reset:0.1"))
+    (Spec.to_string (ok_spec "seed=1,,reset:0.1,"))
+
+let test_scale_transport () =
+  let spec = ok_spec "delay:0.4:40,reset:0.6" in
+  let doubled = Spec.scale_transport spec 2. in
+  Alcotest.(check (float 1e-9)) "delay prob scaled" 0.8
+    doubled.Spec.t_delay_prob;
+  Alcotest.(check (float 1e-9)) "reset prob clamped to 1" 1.0
+    doubled.Spec.t_reset_prob;
+  Alcotest.(check (float 1e-9)) "magnitude untouched" 0.04
+    doubled.Spec.t_delay_seconds;
+  let halved = Spec.scale_transport spec 0.5 in
+  Alcotest.(check (float 1e-9)) "halved" 0.2 halved.Spec.t_delay_prob
+
+let test_transport_action_determinism () =
+  let inj = Inj.create (ok_spec "seed=5,delay:0.2:10,reset:0.1,trunc:0.1") in
+  for key = 0 to 50 do
+    for attempt = 0 to 3 do
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d attempt %d replays" key attempt)
+        true
+        (Inj.transport_action inj ~key ~attempt
+        = Inj.transport_action inj ~key ~attempt)
+    done
+  done;
+  (* A quiet spec never injects. *)
+  let quiet = Inj.create (ok_spec "seed=5") in
+  for key = 0 to 50 do
+    Alcotest.(check bool) "quiet spec passes" true
+      (Inj.transport_action quiet ~key ~attempt:0 = Inj.Pass)
+  done;
+  (* Certain faults always fire, with reset outranking delay. *)
+  let certain = Inj.create (ok_spec "seed=5,delay:1.0:10,reset:1.0") in
+  for key = 0 to 20 do
+    Alcotest.(check bool) "reset wins precedence" true
+      (Inj.transport_action certain ~key ~attempt:0 = Inj.Reset)
+  done
+
+let test_mangle_line () =
+  let inj = Inj.create (ok_spec "seed=11,trunc:1.0") in
+  let line = {|{"id":"abc","ok":true,"result":{"x":1,"y":[1,2,3]}}|} in
+  let truncated = Inj.mangle_line inj ~key:3 ~attempt:0 ~action:Inj.Trunc line in
+  Alcotest.(check bool) "truncation shortens" true
+    (String.length truncated < String.length line);
+  Alcotest.(check string) "truncation keeps a prefix"
+    (String.sub line 0 (String.length truncated))
+    truncated;
+  let corrupted =
+    Inj.mangle_line inj ~key:3 ~attempt:0 ~action:Inj.Corrupt line
+  in
+  Alcotest.(check int) "corruption keeps the length" (String.length line)
+    (String.length corrupted);
+  let diffs = ref 0 in
+  String.iteri (fun i c -> if c <> corrupted.[i] then incr diffs) line;
+  Alcotest.(check int) "corruption flips exactly one byte" 1 !diffs;
+  (* Both are deterministic for a (key, attempt). *)
+  Alcotest.(check string) "trunc replays" truncated
+    (Inj.mangle_line inj ~key:3 ~attempt:0 ~action:Inj.Trunc line);
+  Alcotest.(check string) "corrupt replays" corrupted
+    (Inj.mangle_line inj ~key:3 ~attempt:0 ~action:Inj.Corrupt line)
+
+let test_slow_factor () =
+  let inj = Inj.create (ok_spec "slowshard@1:3,slowshard@2:1.5") in
+  Alcotest.(check (float 1e-9)) "unlisted shard unscaled" 1.0
+    (Inj.slow_factor inj ~shard:0);
+  Alcotest.(check (float 1e-9)) "listed shard scaled" 3.0
+    (Inj.slow_factor inj ~shard:1);
+  Alcotest.(check (float 1e-9)) "second listing" 1.5
+    (Inj.slow_factor inj ~shard:2)
+
 let suite =
   [ Alcotest.test_case "spec round-trip" `Quick test_roundtrip;
     Alcotest.test_case "spec byte suffixes" `Quick test_byte_suffixes;
@@ -302,4 +429,15 @@ let suite =
     Alcotest.test_case "retry exhaustion aborts" `Quick
       test_retry_exhaustion_aborts;
     Alcotest.test_case "abort event" `Quick test_abort_event;
-    Alcotest.test_case "droop slows the board" `Quick test_droop_slows ]
+    Alcotest.test_case "droop slows the board" `Quick test_droop_slows;
+    Alcotest.test_case "transport spec round-trip" `Quick
+      test_transport_roundtrip;
+    Alcotest.test_case "spec errors carry clause and position" `Quick
+      test_spec_positional_errors;
+    Alcotest.test_case "scale_transport scales and clamps" `Quick
+      test_scale_transport;
+    Alcotest.test_case "transport actions deterministic" `Quick
+      test_transport_action_determinism;
+    Alcotest.test_case "mangle truncates and corrupts deterministically"
+      `Quick test_mangle_line;
+    Alcotest.test_case "slow factors per shard" `Quick test_slow_factor ]

@@ -203,6 +203,55 @@ let test_wire_read_request () =
           Alcotest.(check (result (option string) string)) "eof"
             (Ok None) (Wire.read_request ic)))
 
+(* A peer dying mid-write leaves a line without its newline.  That must
+   surface as a structured framing error — never as an EOF (which would
+   silently drop the partial record) and never as a line handed to the
+   JSON parser. *)
+let with_content content fn =
+  let path = Filename.temp_file "lcmm_wire" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> fn ic))
+
+let test_wire_read_request_truncated () =
+  with_content "{\"op\":\"stats\"}\n{\"op\":\"mod" (fun ic ->
+      Alcotest.(check (result (option string) string))
+        "complete line still delivered"
+        (Ok (Some {|{"op":"stats"}|}))
+        (Wire.read_request ic);
+      match Wire.read_request ic with
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "names the truncation: %s" msg)
+          true
+          (String.length msg > 0
+          && String.starts_with ~prefix:"connection closed mid-line" msg)
+      | Ok v ->
+        Alcotest.failf "expected a framing error, got %s"
+          (match v with None -> "EOF" | Some l -> l))
+
+let test_wire_read_reply_eof () =
+  with_content "" (fun ic ->
+      match Wire.read_reply ic with
+      | Error msg ->
+        Alcotest.(check string) "clean EOF before any reply"
+          "connection closed before reply" msg
+      | Ok l -> Alcotest.failf "expected an error, got %s" l);
+  with_content "{\"ok\":tru" (fun ic ->
+      match Wire.read_reply ic with
+      | Error msg ->
+        Alcotest.(check bool) "mid-line EOF named" true
+          (String.starts_with ~prefix:"connection closed mid-line" msg)
+      | Ok l -> Alcotest.failf "expected an error, got %s" l);
+  with_content "{\"ok\":true}\n" (fun ic ->
+      Alcotest.(check (result string string)) "whole line delivered"
+        (Ok {|{"ok":true}|}) (Wire.read_reply ic))
+
 (* --- content digests --- *)
 
 let test_codec_digest () =
@@ -230,6 +279,10 @@ let suite =
     prop_json_roundtrip;
     Alcotest.test_case "wire envelopes" `Quick test_wire_envelopes;
     Alcotest.test_case "wire read_request" `Quick test_wire_read_request;
+    Alcotest.test_case "wire read_request truncated mid-line" `Quick
+      test_wire_read_request_truncated;
+    Alcotest.test_case "wire read_reply EOF and truncation" `Quick
+      test_wire_read_reply_eof;
     Alcotest.test_case "codec digest" `Quick test_codec_digest;
     Alcotest.test_case "graph round-trip fixtures" `Quick test_graph_roundtrip_fixtures;
     Alcotest.test_case "graph round-trip zoo" `Quick test_graph_roundtrip_zoo;

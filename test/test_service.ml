@@ -288,6 +288,41 @@ let test_engine_simulate_and_errors () =
       Alcotest.check json_t "parse error op" (Json.String "parse")
         (field_exn "op" parse_err))
 
+(* End-to-end integrity: a request carrying ["checksum": true] gets a
+   ["sum"] digest of the compact result payload; one without does not
+   (so the default client-visible rendering is unchanged).  The sum is
+   what the tier router validates replies against. *)
+let test_engine_checksum () =
+  with_engine ~domains:1 (fun engine ->
+      let plain =
+        result_of_line
+          (handle_line ~timing:false engine
+             {|{"op":"compile","model":"alexnet","dtype":"i8"}|})
+      in
+      Alcotest.(check bool) "no sum unless asked" true
+        (Json.member_opt "sum" plain = None);
+      let summed =
+        result_of_line
+          (handle_line ~timing:false engine
+             {|{"op":"compile","model":"alexnet","dtype":"i8","checksum":true}|})
+      in
+      (match Json.member_opt "sum" summed with
+      | Some (Json.String sum) ->
+        Alcotest.(check string) "sum is the digest of the compact payload"
+          (Dnn_serial.Codec.digest_string
+             (Json.to_string (field_exn "result" summed)))
+          sum
+      | _ -> Alcotest.fail "expected a sum field");
+      Alcotest.check json_t "payload unchanged by the checksum request"
+        (field_exn "result" plain) (field_exn "result" summed);
+      (* Errors carry no sum — there is no payload to digest. *)
+      let err =
+        result_of_line
+          (handle_line engine {|{"op":"compile","model":"nope","checksum":true}|})
+      in
+      Alcotest.(check bool) "no sum on errors" true
+        (Json.member_opt "sum" err = None))
+
 (* The acceptance property: a ≥2-domain pool answers a parallel batch
    byte-identically to a 1-domain (sequential) pool in canonical
    (timing-free) form.  The LCMM passes are pure, so this must hold. *)
@@ -600,10 +635,12 @@ let test_engine_circuit_breaker () =
     ~finally:(fun () -> Svc.Engine.shutdown engine)
     (fun () ->
       (* Distinct option digests force cold compiles; a 1 ms budget on a
-         cold compile is a guaranteed deadline miss — a counted failure. *)
+         cold VGG-16 compile is a guaranteed deadline miss — a counted
+         failure.  (VGG-16, not alexnet: a warm process can plan small
+         models inside 1 ms, which would dodge the miss.) *)
       let miss slices =
         Printf.sprintf
-          {|{"op":"compile","model":"alexnet","deadline_ms":1,"options":{"weight_slices":%d}}|}
+          {|{"op":"compile","model":"vgg16","deadline_ms":1,"options":{"weight_slices":%d}}|}
           slices
       in
       let r1 = result_of_line (handle_line engine (miss 2)) in
@@ -954,6 +991,7 @@ let suite =
     Alcotest.test_case "options round-trip" `Quick test_options_roundtrip;
     Alcotest.test_case "compile cache hit" `Quick test_engine_compile_cache_hit;
     Alcotest.test_case "simulate and errors" `Quick test_engine_simulate_and_errors;
+    Alcotest.test_case "checksum round-trip" `Quick test_engine_checksum;
     Alcotest.test_case "parallel determinism" `Quick test_engine_parallel_determinism;
     Alcotest.test_case "batch ordering" `Quick test_engine_batch_parallel_speed;
     Alcotest.test_case "run op parse" `Quick test_protocol_run_parse;

@@ -131,6 +131,76 @@ let test_shard_breaker_opens () =
   | Error (Shard.Unavailable _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected unavailable while open"
 
+(* The full passive breaker lifecycle on one shard: closed (up) ->
+   open (down) after threshold consecutive failures -> half-open
+   (suspect) once the cooldown expires -> re-open when the probation
+   call fails -> closed (up) again when one finally succeeds. *)
+let test_shard_breaker_half_open_sequence () =
+  let failing = ref true in
+  let handler _line =
+    if !failing then failwith "boom" else ok_line (Json.Int 1)
+  in
+  let shard =
+    Shard.local ~name:"s" ~breaker_threshold:3 ~breaker_cooldown_s:0.15
+      handler
+  in
+  Alcotest.(check string) "starts up" "up" (Shard.state_name (Shard.state shard));
+  for _ = 1 to 3 do
+    match Shard.call shard "x" with
+    | Error (Shard.Transport _) -> ()
+    | Ok _ | Error _ -> Alcotest.fail "expected a transport failure"
+  done;
+  Alcotest.(check string) "open after threshold" "down"
+    (Shard.state_name (Shard.state shard));
+  (match Shard.call shard "x" with
+  | Error (Shard.Unavailable _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected unavailable while open");
+  Thread.delay 0.2;
+  (* Cooldown expired, recovery unproven: half-open probation. *)
+  Alcotest.(check string) "suspect once cooldown expires" "suspect"
+    (Shard.state_name (Shard.state shard));
+  (* The probation call is admitted — and fails, re-opening the circuit. *)
+  (match Shard.call shard "x" with
+  | Error (Shard.Transport _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected the probation call to fail");
+  Alcotest.(check string) "re-opened" "down"
+    (Shard.state_name (Shard.state shard));
+  Thread.delay 0.2;
+  failing := false;
+  (match Shard.call shard "x" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "probation success: %s" (Shard.error_message e));
+  Alcotest.(check string) "closed again" "up"
+    (Shard.state_name (Shard.state shard));
+  Alcotest.(check bool) "healthy again" true (Shard.healthy shard)
+
+(* The active probe closes an open circuit without waiting out the
+   cooldown — the recovery path a drained or idle tier depends on. *)
+let test_shard_probe_recovers () =
+  let failing = ref true in
+  let handler _line =
+    if !failing then failwith "boom" else ok_line (Json.Int 1)
+  in
+  let shard =
+    Shard.local ~name:"s" ~breaker_threshold:2 ~breaker_cooldown_s:60.
+      handler
+  in
+  for _ = 1 to 2 do
+    ignore (Shard.call shard "x")
+  done;
+  Alcotest.(check string) "down" "down" (Shard.state_name (Shard.state shard));
+  Alcotest.(check bool) "probe fails while broken" false (Shard.probe shard);
+  Alcotest.(check string) "still down" "down"
+    (Shard.state_name (Shard.state shard));
+  failing := false;
+  Alcotest.(check bool) "probe succeeds" true (Shard.probe shard);
+  Alcotest.(check string) "promoted straight to up" "up"
+    (Shard.state_name (Shard.state shard));
+  match Shard.call shard "x" with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "call after recovery: %s" (Shard.error_message e)
+
 (* --- tier routing over in-process shards --- *)
 
 (* Engines are expensive to spin up (domains); each test builds the
@@ -322,7 +392,256 @@ let test_tier_cache_ops_through_front () =
       Alcotest.check json_t "not cached" (Json.Bool false)
         (field_exn "ok" missing))
 
+(* --- resilience: retries, deadlines, hedging, integrity, drain --- *)
+
+let contains ~needle hay =
+  let nlen = String.length needle and hlen = String.length hay in
+  let rec scan i =
+    i + nlen <= hlen && (String.sub hay i nlen = needle || scan (i + 1))
+  in
+  scan 0
+
+(* A transient compute failure is retried on the same shard and masked
+   from the client. *)
+let test_tier_retries_mask_transient () =
+  with_engines 1 (fun engines ->
+      let engine = List.hd engines in
+      let compile_calls = ref 0 in
+      let handler line =
+        if contains ~needle:{|"op":"compile"|} line then begin
+          incr compile_calls;
+          if !compile_calls = 1 then failwith "transient"
+          else Svc.Engine.handle_line ~timing:true engine line
+        end
+        else Svc.Engine.handle_line ~timing:true engine line
+      in
+      let shard = Shard.local ~name:"a" handler in
+      let tier =
+        Tier.create ~ring:(Ring.create [ "a" ]) ~shards:[ shard ] ~retries:2
+          ~retry_backoff_ms:1. ()
+      in
+      let resp = response_of (Tier.handle_line tier (compile_line "alexnet")) in
+      Alcotest.check json_t "masked from the client" (Json.Bool true)
+        (field_exn "ok" resp);
+      Alcotest.(check int) "one retry counted" 1 (counter tier "retries");
+      Alcotest.(check int) "two compile attempts" 2 !compile_calls)
+
+(* The forwarded envelope carries the route digest as id, asks for a
+   sum, and propagates the *remaining* deadline, not the original. *)
+let test_tier_forwarded_envelope () =
+  with_engines 1 (fun engines ->
+      let engine = List.hd engines in
+      let recorded = ref [] in
+      let handler line =
+        recorded := line :: !recorded;
+        Svc.Engine.handle_line ~timing:true engine line
+      in
+      let shard = Shard.local ~name:"a" handler in
+      let tier =
+        Tier.create ~ring:(Ring.create [ "a" ]) ~shards:[ shard ] ()
+      in
+      let line =
+        {|{"op":"compile","model":"alexnet","dtype":"i8","deadline_ms":5000}|}
+      in
+      let digest =
+        match Svc.Protocol.request_of_line line with
+        | Ok env -> (
+          match Svc.Engine.route_digest env.Svc.Protocol.request with
+          | Ok (Some d) -> d
+          | _ -> Alcotest.fail "expected a digest")
+        | Error msg -> Alcotest.fail msg
+      in
+      let resp = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "answered" (Json.Bool true) (field_exn "ok" resp);
+      let forwarded_compile =
+        match
+          List.find_opt (contains ~needle:{|"op":"compile"|}) !recorded
+        with
+        | Some l -> response_of l
+        | None -> Alcotest.fail "no compile forwarded"
+      in
+      Alcotest.check json_t "digest rides as id" (Json.String digest)
+        (field_exn "id" forwarded_compile);
+      Alcotest.check json_t "sum requested" (Json.Bool true)
+        (field_exn "checksum" forwarded_compile);
+      (match field_exn "deadline_ms" forwarded_compile with
+      | Json.Float ms ->
+        Alcotest.(check bool)
+          (Printf.sprintf "remaining budget (%.3f ms) below the original" ms)
+          true
+          (ms > 0. && ms < 5000.)
+      | v -> Alcotest.failf "deadline_ms: %s" (Json.to_string v));
+      (* And the reply the shard produced carried a sum that verified:
+         no invalid replies were counted. *)
+      Alcotest.(check int) "reply validated" 0 (counter tier "invalid_replies"))
+
+(* A budget that expires inside the router is answered by the router:
+   structured deadline error, no compute spent on it. *)
+let test_tier_deadline_expires_in_router () =
+  with_engines 1 (fun engines ->
+      let engine = List.hd engines in
+      let compile_calls = ref 0 in
+      let handler line =
+        if contains ~needle:{|"op":"cache_get"|} line then begin
+          Thread.delay 0.06;
+          Svc.Engine.handle_line ~timing:true engine line
+        end
+        else begin
+          if contains ~needle:{|"op":"compile"|} line then incr compile_calls;
+          Svc.Engine.handle_line ~timing:true engine line
+        end
+      in
+      let shard = Shard.local ~name:"a" handler in
+      let tier =
+        Tier.create ~ring:(Ring.create [ "a" ]) ~shards:[ shard ] ()
+      in
+      let resp =
+        response_of
+          (Tier.handle_line tier
+             {|{"op":"compile","model":"alexnet","dtype":"i8","deadline_ms":20}|})
+      in
+      Alcotest.check json_t "an error" (Json.Bool false) (field_exn "ok" resp);
+      Alcotest.check json_t "structured deadline kind"
+        (Json.String "deadline") (field_exn "kind" resp);
+      Alcotest.(check int) "no compute attempted" 0 !compile_calls;
+      Alcotest.(check int) "counted" 1 (counter tier "deadline_errors"))
+
+(* A slow primary is hedged against the next shard in ring order; the
+   hedge's validated reply answers the request. *)
+let test_tier_hedging () =
+  with_engines 2 (fun engines ->
+      let e_a = List.nth engines 0 and e_b = List.nth engines 1 in
+      let ring = Ring.create [ "a"; "b" ] in
+      let line = request_owned_by ring "a" in
+      let slow_handler l =
+        if contains ~needle:{|"op":"compile"|} l then Thread.delay 0.4;
+        Svc.Engine.handle_line ~timing:true e_a l
+      in
+      let shards =
+        [ Shard.local ~name:"a" slow_handler; local_shard "b" e_b ]
+      in
+      let tier = Tier.create ~ring ~shards ~hedge_ms:50. () in
+      let resp = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "answered" (Json.Bool true) (field_exn "ok" resp);
+      Alcotest.(check int) "hedge launched" 1 (counter tier "hedges");
+      Alcotest.(check int) "hedge won" 1 (counter tier "hedge_wins");
+      (* Let the abandoned primary finish before the engines shut down. *)
+      Thread.delay 0.5)
+
+(* A corrupted reply is rejected by validation, penalized, and never
+   served as a success. *)
+let test_tier_rejects_corrupt_reply () =
+  with_engines 1 (fun engines ->
+      let engine = List.hd engines in
+      let handler line =
+        let reply = Svc.Engine.handle_line ~timing:true engine line in
+        if contains ~needle:{|"op":"compile"|} line then
+          String.trim reply ^ "!"
+        else reply
+      in
+      let shard = Shard.local ~name:"a" handler in
+      let tier =
+        Tier.create ~ring:(Ring.create [ "a" ]) ~shards:[ shard ] ()
+      in
+      let resp = response_of (Tier.handle_line tier (compile_line "alexnet")) in
+      Alcotest.check json_t "not served as success" (Json.Bool false)
+        (field_exn "ok" resp);
+      Alcotest.(check bool) "invalid replies counted" true
+        (counter tier "invalid_replies" >= 1))
+
+(* Chaos at probability 1.0: every physical call faults, and with no
+   retry budget the request surfaces a structured error — never a
+   damaged success. *)
+let test_tier_chaos_injection () =
+  with_engines 1 (fun engines ->
+      let shard = local_shard "a" (List.hd engines) in
+      let spec =
+        match Fault.Spec.of_string "seed=3,trunc:1.0" with
+        | Ok s -> s
+        | Error msg -> Alcotest.fail msg
+      in
+      let chaos =
+        match Lcmm_tier.Chaos.create spec with
+        | Some c -> c
+        | None -> Alcotest.fail "expected transport faults"
+      in
+      let tier =
+        Tier.create ~ring:(Ring.create [ "a" ]) ~shards:[ shard ] ~chaos ()
+      in
+      let resp = response_of (Tier.handle_line tier (compile_line "alexnet")) in
+      Alcotest.check json_t "structured failure" (Json.Bool false)
+        (field_exn "ok" resp);
+      Alcotest.(check bool) "truncations counted" true
+        (match List.assoc_opt "injected_truncs"
+                 (Lcmm_tier.Chaos.counter_list chaos)
+         with
+        | Some n -> n >= 1
+        | None -> false);
+      Alcotest.(check bool) "rejected as invalid" true
+        (counter tier "invalid_replies" >= 1))
+
+(* Drain: stop admitting (except stats), finish in-flight, flush the
+   front LRU back to the owners. *)
+let test_tier_drain () =
+  with_engines 1 (fun engines ->
+      let shard = local_shard "a" (List.hd engines) in
+      let tier =
+        Tier.create ~ring:(Ring.create [ "a" ]) ~shards:[ shard ] ()
+      in
+      let line = compile_line "alexnet" in
+      let warm = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "warm" (Json.Bool true) (field_exn "ok" warm);
+      Tier.begin_drain tier;
+      Alcotest.(check bool) "draining" true (Tier.draining tier);
+      let refused = response_of (Tier.handle_line tier line) in
+      Alcotest.check json_t "refused" (Json.Bool false)
+        (field_exn "ok" refused);
+      Alcotest.check json_t "unavailable kind" (Json.String "unavailable")
+        (field_exn "kind" refused);
+      Alcotest.check json_t "names the drain"
+        (Json.String "unavailable: tier is draining")
+        (field_exn "error" refused);
+      (* stats stays open so the operator can watch the drain. *)
+      let stats = response_of (Tier.handle_line tier {|{"op":"stats"}|}) in
+      Alcotest.check json_t "stats still answered" (Json.Bool true)
+        (field_exn "ok" stats);
+      Alcotest.(check bool) "idle" true (Tier.await_idle ~timeout_s:1. tier);
+      Alcotest.(check int) "front LRU flushed to the owner" 1
+        (Tier.flush_cache tier);
+      Alcotest.(check int) "flush counted" 1 (counter tier "flushed"))
+
 (* --- load generator --- *)
+
+let test_loadgen_divergence () =
+  let good = ok_line (Json.Int 1) in
+  let bad = ok_line (Json.Int 2) in
+  let r_diverging =
+    Loadgen.run
+      ~handler:(fun _ -> bad)
+      ~mix:[ "x" ] ~rps:100. ~duration_s:0.1 ~threads:2
+      ~reference:(fun _ -> Some good)
+      ()
+  in
+  Alcotest.(check int) "every success diverges" r_diverging.Loadgen.sent
+    r_diverging.Loadgen.divergent;
+  let r_matching =
+    Loadgen.run
+      ~handler:(fun _ -> good)
+      ~mix:[ "x" ] ~rps:100. ~duration_s:0.1 ~threads:2
+      ~reference:(fun _ -> Some good)
+      ()
+  in
+  Alcotest.(check int) "byte-identical successes pass" 0
+    r_matching.Loadgen.divergent;
+  let r_unchecked =
+    Loadgen.run
+      ~handler:(fun _ -> bad)
+      ~mix:[ "x" ] ~rps:100. ~duration_s:0.1 ~threads:2
+      ~reference:(fun _ -> None)
+      ()
+  in
+  Alcotest.(check int) "unmapped requests not checked" 0
+    r_unchecked.Loadgen.divergent
 
 let test_loadgen_counts_and_percentiles () =
   let handler _line = ok_line (Json.Int 1) in
@@ -372,6 +691,11 @@ let suite =
       test_shard_inflight_gate;
     Alcotest.test_case "shard: breaker opens after repeated failures" `Quick
       test_shard_breaker_opens;
+    Alcotest.test_case
+      "shard: breaker walks closed->open->half-open->closed" `Quick
+      test_shard_breaker_half_open_sequence;
+    Alcotest.test_case "shard: active probe closes the circuit" `Quick
+      test_shard_probe_recovers;
     Alcotest.test_case "tier: front LRU and shard cache tiers" `Quick
       test_tier_cache_tiers;
     Alcotest.test_case "tier: peer fill after resharding, with backfill"
@@ -382,9 +706,24 @@ let suite =
       `Quick test_tier_shedding;
     Alcotest.test_case "tier: cache_get/cache_put through the front" `Quick
       test_tier_cache_ops_through_front;
+    Alcotest.test_case "tier: retries mask a transient failure" `Quick
+      test_tier_retries_mask_transient;
+    Alcotest.test_case "tier: forwards digest id, sum, remaining deadline"
+      `Quick test_tier_forwarded_envelope;
+    Alcotest.test_case "tier: expired deadline answered by the router"
+      `Quick test_tier_deadline_expires_in_router;
+    Alcotest.test_case "tier: hedges a slow primary" `Quick test_tier_hedging;
+    Alcotest.test_case "tier: rejects a corrupted reply" `Quick
+      test_tier_rejects_corrupt_reply;
+    Alcotest.test_case "tier: chaos injection surfaces structured errors"
+      `Quick test_tier_chaos_injection;
+    Alcotest.test_case "tier: drain refuses, finishes, flushes" `Quick
+      test_tier_drain;
     Alcotest.test_case "loadgen: open-loop counts and percentiles" `Quick
       test_loadgen_counts_and_percentiles;
     Alcotest.test_case "loadgen: classifies structured sheds" `Quick
       test_loadgen_classifies_sheds;
     Alcotest.test_case "loadgen: zoo mix is deterministic" `Quick
-      test_loadgen_zoo_mix_deterministic ]
+      test_loadgen_zoo_mix_deterministic;
+    Alcotest.test_case "loadgen: counts divergence from a reference" `Quick
+      test_loadgen_divergence ]
