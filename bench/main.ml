@@ -730,58 +730,174 @@ let zoo () =
 
 (* ------------------------------------------------------------------ *)
 
-(* Multi-tenant board runtime: greedy vs EDF transfer scheduling under
-   fair bus arbitration and equal SRAM partitioning.  The suite sticks
-   to mixes whose tenants have comparable prefetch-slack scales
-   (homogeneous replicas, googlenet+vgg16) — there EDF's
-   urgency-ordering of the bus pays off in makespan; mixing a
-   short-node model like alexnet against much longer tenants makes EDF
-   trade makespan for per-tenant latency instead (see DESIGN.md). *)
+(* Multi-tenant board runtime: greedy vs EDF vs the optimized schedule
+   search.  The fair-share mixes stick to tenants with comparable
+   prefetch-slack scales (homogeneous replicas, googlenet+vgg16) —
+   there EDF's urgency-ordering of the bus pays off in makespan; mixing
+   a short-node model like alexnet against much longer tenants makes
+   EDF trade makespan for per-tenant latency instead (see DESIGN.md).
+   The priority-arbitrated mixes pit a high-priority tenant against
+   bandwidth-hungry background tenants; there the optimizer's hp-first
+   objective should cut the high-priority slowdown without giving up
+   makespan.  Each mix entry is (label, arbitration,
+   [(model, replicas, priority)]). *)
 let runtime_mixes =
-  [ ("alexnet x2", [ ("alexnet", 2) ]);
-    ("googlenet x2", [ ("googlenet", 2) ]);
-    ("vgg16 x2", [ ("vgg16", 2) ]);
-    ("resnet50 x2", [ ("resnet50", 2) ]);
-    ("googlenet + vgg16", [ ("googlenet", 1); ("vgg16", 1) ]) ]
+  let fair = Lcmm_runtime.Arbiter.Fair_share in
+  let prio = Lcmm_runtime.Arbiter.Priority in
+  [ ("alexnet x2", fair, [ ("alexnet", 2, 0) ]);
+    ("googlenet x2", fair, [ ("googlenet", 2, 0) ]);
+    ("vgg16 x2", fair, [ ("vgg16", 2, 0) ]);
+    ("resnet50 x2", fair, [ ("resnet50", 2, 0) ]);
+    ("googlenet + vgg16", fair, [ ("googlenet", 1, 0); ("vgg16", 1, 0) ]);
+    ("resnet50! + vgg16 x2", prio, [ ("resnet50", 1, 0); ("vgg16", 2, 1) ]);
+    ( "googlenet!x2 + alexnet x2", prio,
+      [ ("googlenet", 2, 0); ("alexnet", 2, 1) ] );
+    ( "mobilenet! + resnet152 + vgg16", prio,
+      [ ("mobilenet_v2", 1, 0); ("resnet152", 1, 1); ("vgg16", 1, 1) ] );
+    ( "squeezenet!x2 + inception x2", prio,
+      [ ("squeezenet", 2, 0); ("inception_v4", 2, 1) ] );
+    ( "alexnet! + vgg16 + resnet50", prio,
+      [ ("alexnet", 1, 0); ("vgg16", 1, 1); ("resnet50", 1, 1) ] ) ]
 
 let runtime_specs mix =
   List.concat_map
-    (fun (model, count) ->
+    (fun (model, count, priority) ->
       let graph = Models.Zoo.build model in
       List.init count (fun k ->
           { Lcmm_runtime.Runtime.name = Printf.sprintf "%s#%d" model k;
-            model; graph; priority = 0; arrival = 0. }))
+            model; graph; priority; arrival = 0. }))
     mix
 
-let runtime_report scheduler mix =
+let runtime_report ?(channels = 1) scheduler arbitration mix =
   Lcmm_runtime.Runtime.run
-    { Lcmm_runtime.Runtime.default_options with scheduler }
+    { Lcmm_runtime.Runtime.default_options with scheduler; arbitration;
+      channels }
     (runtime_specs mix)
+
+(* Worst slowdown among the highest-priority (lowest value) tenants —
+   the metric the optimizer minimizes first under priority
+   arbitration. *)
+let runtime_hp_slowdown (r : Lcmm_runtime.Report.t) =
+  let ts = r.Lcmm_runtime.Report.tenants in
+  let hp =
+    List.fold_left
+      (fun acc (t : Lcmm_runtime.Report.tenant_report) ->
+        min acc t.Lcmm_runtime.Report.priority)
+      max_int ts
+  in
+  List.fold_left
+    (fun acc (t : Lcmm_runtime.Report.tenant_report) ->
+      if t.Lcmm_runtime.Report.priority = hp then
+        Float.max acc t.Lcmm_runtime.Report.slowdown
+      else acc)
+    1. ts
+
+type runtime_row = {
+  rt_label : string;
+  rt_arbitration : Lcmm_runtime.Arbiter.t;
+  rt_greedy : Lcmm_runtime.Report.t;
+  rt_edf : Lcmm_runtime.Report.t;
+  rt_opt : Lcmm_runtime.Report.t;
+}
 
 let runtime_experiment () =
   header
-    "Multi-tenant runtime: greedy vs EDF transfer scheduling (fair \
-     arbitration, equal SRAM partition, 16-bit, VU9P)";
-  Printf.printf "%-20s %10s %10s %8s %8s\n" "mix" "greedy ms" "edf ms"
-    "gain %" "bus %";
+    "Multi-tenant runtime: greedy vs EDF vs optimized transfer \
+     scheduling (equal SRAM partition, 16-bit, VU9P)";
+  Printf.printf "%-30s %5s %9s %9s %9s %7s %7s %7s %6s\n" "mix" "arb"
+    "greedy ms" "edf ms" "opt ms" "gain %" "hp edf" "hp opt" "rnds";
   let rows =
     List.map
-      (fun (label, mix) ->
-        let greedy = runtime_report Lcmm_runtime.Scheduler.Greedy mix in
-        let edf = runtime_report Lcmm_runtime.Scheduler.Edf mix in
+      (fun (label, arbitration, mix) ->
+        let greedy =
+          runtime_report Lcmm_runtime.Scheduler.Greedy arbitration mix
+        in
+        let edf = runtime_report Lcmm_runtime.Scheduler.Edf arbitration mix in
+        let opt =
+          runtime_report Lcmm_runtime.Scheduler.Optimized arbitration mix
+        in
         let gain =
           100.
-          *. (greedy.Lcmm_runtime.Report.makespan_ms
-             -. edf.Lcmm_runtime.Report.makespan_ms)
-          /. greedy.Lcmm_runtime.Report.makespan_ms
+          *. (edf.Lcmm_runtime.Report.makespan_ms
+             -. opt.Lcmm_runtime.Report.makespan_ms)
+          /. edf.Lcmm_runtime.Report.makespan_ms
         in
-        Printf.printf "%-20s %10.3f %10.3f %8.2f %8.0f\n%!" label
+        let rounds, converged =
+          match opt.Lcmm_runtime.Report.schedule with
+          | Some s ->
+            ( s.Lcmm_runtime.Report.sched_rounds,
+              s.Lcmm_runtime.Report.sched_converged )
+          | None -> (0, false)
+        in
+        Printf.printf "%-30s %5s %9.3f %9.3f %9.3f %7.2f %7.2f %7.2f %5d%s\n%!"
+          label
+          (match arbitration with
+           | Lcmm_runtime.Arbiter.Fair_share -> "fair"
+           | Lcmm_runtime.Arbiter.Priority -> "prio")
           greedy.Lcmm_runtime.Report.makespan_ms
-          edf.Lcmm_runtime.Report.makespan_ms gain
-          (100. *. edf.Lcmm_runtime.Report.bus_busy_fraction);
-        (label, greedy, edf, gain))
+          edf.Lcmm_runtime.Report.makespan_ms
+          opt.Lcmm_runtime.Report.makespan_ms gain (runtime_hp_slowdown edf)
+          (runtime_hp_slowdown opt) rounds
+          (if converged then "*" else "");
+        { rt_label = label; rt_arbitration = arbitration; rt_greedy = greedy;
+          rt_edf = edf; rt_opt = opt })
       runtime_mixes
   in
+  (* Per-channel utilization of a 4-channel optimized run on the
+     heterogeneous fair-share mix: static striping exposes imbalance,
+     which is exactly what the column is there to show. *)
+  let chan_mix =
+    List.find_map
+      (fun (label, _, mix) ->
+        if label = "googlenet + vgg16" then Some mix else None)
+      runtime_mixes
+    |> Option.get
+  in
+  let chan =
+    runtime_report ~channels:4 Lcmm_runtime.Scheduler.Optimized
+      Lcmm_runtime.Arbiter.Fair_share chan_mix
+  in
+  let chan_busy =
+    Array.to_list
+      (Array.map
+         (Lcmm_runtime.Report.channel_busy_fraction
+            ~channels:chan.Lcmm_runtime.Report.channels
+            ~makespan_ms:chan.Lcmm_runtime.Report.makespan_ms)
+         chan.Lcmm_runtime.Report.channel_timelines)
+  in
+  Printf.printf
+    "\ngooglenet + vgg16 @ 4 channels (optimized): %.3f ms | per-channel \
+     busy %s\n%!"
+    chan.Lcmm_runtime.Report.makespan_ms
+    (String.concat " / "
+       (List.map (fun b -> Printf.sprintf "%.0f%%" (100. *. b)) chan_busy));
+  let eps = 1e-9 in
+  let all_not_worse =
+    List.for_all
+      (fun r ->
+        r.rt_opt.Lcmm_runtime.Report.makespan_ms
+        <= Float.min r.rt_greedy.Lcmm_runtime.Report.makespan_ms
+             r.rt_edf.Lcmm_runtime.Report.makespan_ms
+           +. eps)
+      rows
+  in
+  let priority_rows =
+    List.filter
+      (fun r -> r.rt_arbitration = Lcmm_runtime.Arbiter.Priority)
+      rows
+  in
+  let hp_reduced =
+    List.length
+      (List.filter
+         (fun r ->
+           runtime_hp_slowdown r.rt_opt
+           < runtime_hp_slowdown r.rt_edf -. 1e-6)
+         priority_rows)
+  in
+  Printf.printf
+    "optimized never worse than greedy/edf: %b | hp slowdown reduced on \
+     %d of %d priority mixes\n%!"
+    all_not_worse hp_reduced (List.length priority_rows);
   match !json_path with
   | None -> ()
   | Some path ->
@@ -789,27 +905,74 @@ let runtime_experiment () =
     let tenant_json (t : Lcmm_runtime.Report.tenant_report) =
       Json.Obj
         [ ("name", Json.String t.Lcmm_runtime.Report.name);
+          ("priority", Json.Int t.Lcmm_runtime.Report.priority);
           ("latency_ms", Json.Float t.Lcmm_runtime.Report.latency_ms);
           ("slowdown", Json.Float t.Lcmm_runtime.Report.slowdown) ]
     in
-    let row_json (label, (g : Lcmm_runtime.Report.t),
-                  (e : Lcmm_runtime.Report.t), gain) =
+    let row_json r =
+      let g = r.rt_greedy and e = r.rt_edf and o = r.rt_opt in
+      let gain =
+        100.
+        *. (e.Lcmm_runtime.Report.makespan_ms
+           -. o.Lcmm_runtime.Report.makespan_ms)
+        /. e.Lcmm_runtime.Report.makespan_ms
+      in
+      let sched =
+        match o.Lcmm_runtime.Report.schedule with
+        | None -> []
+        | Some s ->
+          [ ("sched_rounds", Json.Int s.Lcmm_runtime.Report.sched_rounds);
+            ( "sched_converged",
+              Json.Bool s.Lcmm_runtime.Report.sched_converged );
+            ("sched_chosen", Json.String s.Lcmm_runtime.Report.sched_chosen)
+          ]
+      in
       Json.Obj
-        [ ("mix", Json.String label);
-          ("greedy_makespan_ms", Json.Float g.Lcmm_runtime.Report.makespan_ms);
-          ("edf_makespan_ms", Json.Float e.Lcmm_runtime.Report.makespan_ms);
-          ("edf_gain_pct", Json.Float gain);
-          ( "greedy_bus_busy",
-            Json.Float g.Lcmm_runtime.Report.bus_busy_fraction );
-          ("edf_bus_busy", Json.Float e.Lcmm_runtime.Report.bus_busy_fraction);
-          ( "edf_tenants",
-            Json.List
-              (List.map tenant_json e.Lcmm_runtime.Report.tenants) ) ]
+        ([ ("mix", Json.String r.rt_label);
+           ( "arbitration",
+             Json.String
+               (match r.rt_arbitration with
+                | Lcmm_runtime.Arbiter.Fair_share -> "fair-share"
+                | Lcmm_runtime.Arbiter.Priority -> "priority") );
+           ("greedy_makespan_ms", Json.Float g.Lcmm_runtime.Report.makespan_ms);
+           ("edf_makespan_ms", Json.Float e.Lcmm_runtime.Report.makespan_ms);
+           ( "optimized_makespan_ms",
+             Json.Float o.Lcmm_runtime.Report.makespan_ms );
+           ("optimized_gain_pct", Json.Float gain);
+           ( "optimized_not_worse",
+             Json.Bool
+               (o.Lcmm_runtime.Report.makespan_ms
+                <= Float.min g.Lcmm_runtime.Report.makespan_ms
+                     e.Lcmm_runtime.Report.makespan_ms
+                   +. eps) );
+           ("greedy_hp_slowdown", Json.Float (runtime_hp_slowdown g));
+           ("edf_hp_slowdown", Json.Float (runtime_hp_slowdown e));
+           ("optimized_hp_slowdown", Json.Float (runtime_hp_slowdown o));
+           ( "greedy_bus_busy",
+             Json.Float g.Lcmm_runtime.Report.bus_busy_fraction );
+           ("edf_bus_busy", Json.Float e.Lcmm_runtime.Report.bus_busy_fraction);
+           ( "optimized_bus_busy",
+             Json.Float o.Lcmm_runtime.Report.bus_busy_fraction ) ]
+        @ sched
+        @ [ ( "optimized_tenants",
+              Json.List
+                (List.map tenant_json o.Lcmm_runtime.Report.tenants) ) ])
     in
     let doc =
       Json.Obj
         [ ("experiment", Json.String "runtime");
-          ("rows", Json.List (List.map row_json rows)) ]
+          ("rows", Json.List (List.map row_json rows));
+          ( "channels4",
+            Json.Obj
+              [ ("mix", Json.String "googlenet + vgg16");
+                ( "optimized_makespan_ms",
+                  Json.Float chan.Lcmm_runtime.Report.makespan_ms );
+                ( "channel_busy_fractions",
+                  Json.List (List.map (fun b -> Json.Float b) chan_busy) ) ]
+          );
+          ("all_not_worse", Json.Bool all_not_worse);
+          ("priority_mix_count", Json.Int (List.length priority_rows));
+          ("hp_reduced_count", Json.Int hp_reduced) ]
     in
     Lcmm.Report.write_text_file ~path (Json.to_string ~indent:2 doc ^ "\n");
     Printf.printf "wrote %s\n" path
@@ -839,7 +1002,7 @@ let faults_experiment () =
   header
     "Fault injection: latency degradation vs fault intensity (alexnet x2 + \
      squeezenet, fair/EDF, 16-bit, VU9P, seed 42)";
-  let mix = [ ("alexnet", 2); ("squeezenet", 1) ] in
+  let mix = [ ("alexnet", 2, 0); ("squeezenet", 1, 0) ] in
   Printf.printf "%-10s %12s %8s %8s %8s %11s %9s %8s\n" "intensity"
     "makespan ms" "x base" "retries" "stalls" "evicted MB" "degrades"
     "aborted";

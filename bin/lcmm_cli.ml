@@ -185,9 +185,9 @@ let plan_cmd =
     in
     Arg.(value & flag & info [ "profile" ] ~doc)
   in
-  let plan_one ?pool ~profile ~fusion dtype name =
+  let plan_one ?pool ~profile ~fusion ~channels dtype name =
     let model, g = or_die (build_model name) in
-    let options = { Lcmm.Framework.default_options with fusion } in
+    let options = { Lcmm.Framework.default_options with fusion; channels } in
     let c = Lcmm.Framework.compare_designs ~options ?pool ~model dtype g in
     let fz =
       if fusion then Some (Lcmm_fusion.Fusion.apply ?pool c.Lcmm.Framework.lcmm_plan)
@@ -247,6 +247,17 @@ let plan_cmd =
         (Lcmm.Traffic.total_bytes fz.Fz.base_traffic)
         (Lcmm.Traffic.total_bytes fz.Fz.traffic)
         fz.Fz.peak_sram_bytes);
+    (match p.Lcmm.Framework.channel_assignment with
+    | None -> ()
+    | Some a ->
+      Format.printf "channels: %d | bytes %s | balance %.3f@."
+        a.Lcmm.Channels.channels
+        (String.concat " / "
+           (Array.to_list
+              (Array.map
+                 (fun b -> Printf.sprintf "%.2f MB" (b /. 1e6))
+                 a.Lcmm.Channels.channel_bytes)))
+        (Lcmm.Channels.balance a));
     if profile then begin
       Printf.eprintf "%s pass times:\n" model;
       let assoc =
@@ -265,14 +276,24 @@ let plan_cmd =
     in
     Arg.(value & flag & info [ "fusion" ] ~doc)
   in
-  let run () name dtype profile fusion domains =
+  let channels_arg =
+    let doc =
+      "Add a DDR channel-assignment pass mapping every stream onto this \
+       many channels; a summary line joins the plan output.  1 (the \
+       default) skips the pass and keeps the output byte-identical."
+    in
+    Arg.(value & opt int 1 & info [ "channels" ] ~docv:"N" ~doc)
+  in
+  let run () name dtype profile fusion channels domains =
+    if channels < 1 then or_die (Error "channels must be >= 1");
     with_pool domains (fun pool ->
         match name with
-        | Some name -> plan_one ?pool ~profile ~fusion dtype name
+        | Some name -> plan_one ?pool ~profile ~fusion ~channels dtype name
         | None ->
           List.iter
             (fun e ->
-              plan_one ?pool ~profile ~fusion dtype e.Models.Zoo.model_name)
+              plan_one ?pool ~profile ~fusion ~channels dtype
+                e.Models.Zoo.model_name)
             Models.Zoo.all)
   in
   Cmd.v
@@ -285,7 +306,7 @@ let plan_cmd =
           domains without changing a byte of the output.")
     Term.(
       const run $ log_arg $ model_opt_arg $ dtype_arg $ profile_arg
-      $ fusion_arg $ domains_arg)
+      $ fusion_arg $ channels_arg $ domains_arg)
 
 let simulate_cmd =
   let run () name dtype =
@@ -484,15 +505,32 @@ let runtime_cmd =
   in
   let scheduler_arg =
     let cv =
-      policy_conv ~what:"scheduler" ~known:"greedy, edf"
+      policy_conv ~what:"scheduler" ~known:"greedy, edf, optimized"
         Lcmm_runtime.Scheduler.of_string Lcmm_runtime.Scheduler.to_string
     in
     Arg.(
       value
       & opt cv Lcmm_runtime.Scheduler.Edf
-      & info [ "scheduler" ]
+      & info
+          [ "scheduler"; "schedule" ]
           ~doc:"Transfer scheduler: greedy (all released transfers share the \
-                bus) or edf (earliest prefetch deadline first).")
+                bus), edf (earliest prefetch deadline first), or optimized \
+                (searched transfer orders over per-channel timelines with \
+                plan/schedule co-iteration; never worse than greedy or edf).")
+  in
+  let channels_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "channels" ]
+          ~doc:"DDR channels to schedule over (>= 1).  1 is the aggregate \
+                fluid-bus model; 0 means the device's DDR bank count.")
+  in
+  let schedule_rounds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "schedule-rounds" ]
+          ~doc:"Plan/schedule co-iteration bound for the optimized \
+                scheduler.")
   in
   let partition_arg =
     let cv =
@@ -589,10 +627,16 @@ let runtime_cmd =
     in
     Arg.(value & flag & info [ "fusion" ] ~doc)
   in
-  let run () mix dtype device arbitration scheduler partition overcommit
-      stagger_ms seed json_path faults fusion domains =
+  let run () mix dtype device arbitration scheduler channels schedule_rounds
+      partition overcommit stagger_ms seed json_path faults fusion domains =
     if overcommit <= 0. then or_die (Error "overcommit must be positive");
     if stagger_ms < 0. then or_die (Error "stagger-ms must be non-negative");
+    if channels < 0 then or_die (Error "channels must be >= 0");
+    if schedule_rounds < 1 then
+      or_die (Error "schedule-rounds must be >= 1");
+    let channels =
+      if channels = 0 then Fpga.Device.ddr_channels device else channels
+    in
     let entries = or_die (parse_mix mix) in
     let rng = Option.map (fun s -> Random.State.make [| s |]) seed in
     let counter = Hashtbl.create 8 in
@@ -624,7 +668,8 @@ let runtime_cmd =
     in
     let options =
       { Lcmm_runtime.Runtime.default_options with
-        dtype; device; arbitration; scheduler; partition; overcommit; faults;
+        dtype; device; arbitration; scheduler; channels; schedule_rounds;
+        partition; overcommit; faults;
         fw_options = { Lcmm.Framework.default_options with fusion } }
     in
     let report =
@@ -653,9 +698,9 @@ let runtime_cmd =
           scheduler.")
     Term.(
       const run $ log_arg $ tenants_arg $ dtype_arg $ device_arg
-      $ arbitration_arg $ scheduler_arg $ partition_arg $ overcommit_arg
-      $ stagger_arg $ seed_arg $ json_arg $ faults_arg $ fusion_arg
-      $ domains_arg)
+      $ arbitration_arg $ scheduler_arg $ channels_arg $ schedule_rounds_arg
+      $ partition_arg $ overcommit_arg $ stagger_arg $ seed_arg $ json_arg
+      $ faults_arg $ fusion_arg $ domains_arg)
 
 let serve_cmd =
   let socket_arg =

@@ -50,6 +50,18 @@ dune exec bench/main.exe -- runtime --json "$out" > /dev/null
 grep -q '"experiment": "runtime"' "$out"
 grep -q '"edf_makespan_ms"' "$out"
 grep -q '"greedy_makespan_ms"' "$out"
+grep -q '"optimized_makespan_ms"' "$out"
+# Portfolio guarantee, per mix and in aggregate: the optimized schedule
+# never loses to greedy or EDF on makespan.
+grep -q '"all_not_worse": true' "$out"
+if grep -q '"optimized_not_worse": false' "$out"; then
+  echo "optimized schedule lost to greedy/edf on a mix"; exit 1
+fi
+# On at least half of the priority-arbitrated mixes the optimizer must
+# cut the high-priority tenant's slowdown below EDF's.
+awk -F': ' '/"priority_mix_count"/ { p = $2 + 0 }
+            /"hp_reduced_count"/ { h = $2 + 0 }
+            END { exit (p > 0 && 2 * h >= p) ? 0 : 1 }' "$out"
 echo "wrote $out"
 
 echo "== tier-2: seeded fault-injection smoke =="
@@ -170,6 +182,28 @@ golden_diff test/golden/plan_zoo.golden _build/plan_zoo.out
 dune exec bin/lcmm_cli.exe -- runtime --tenants googlenet:1 \
   --json _build/runtime_single.json > /dev/null
 golden_diff test/golden/runtime_single.golden.json _build/runtime_single.json
+# The optimizer work must leave the exact greedy and EDF paths byte
+# identical: goldens snapshotted before the schedule search landed.
+dune exec bin/lcmm_cli.exe -- runtime --tenants googlenet:1 \
+  --scheduler greedy --json _build/runtime_single_greedy.json > /dev/null
+golden_diff test/golden/runtime_single_greedy.golden.json \
+  _build/runtime_single_greedy.json
+dune exec bin/lcmm_cli.exe -- runtime --tenants alexnet:2,vgg16:1 --seed 7 \
+  --json _build/runtime_multi_edf.json > /dev/null
+golden_diff test/golden/runtime_multi_edf.golden.json \
+  _build/runtime_multi_edf.json
+
+echo "== tier-2: optimized schedule search converges across the zoo =="
+# Two replicas of every zoo model: the plan/schedule co-iteration must
+# reach its fixpoint (not the round limit) and report the search
+# telemetry on each.
+for m in $(dune exec bin/lcmm_cli.exe -- models 2> /dev/null \
+             | awk '{ print $1 }'); do
+  dune exec bin/lcmm_cli.exe -- runtime --tenants "$m:2" \
+    --scheduler optimized --json _build/runtime_opt_zoo.json > /dev/null
+  grep -q '"converged": true' _build/runtime_opt_zoo.json \
+    || { echo "optimized schedule did not converge on $m x2"; exit 1; }
+done
 
 echo "== tier-2: parallel planning is byte-identical (whole zoo) =="
 # Planner parallelism must be a pure speedup: the same zoo plans and

@@ -991,6 +991,121 @@ let check_stream_conserve ctx =
       recomputed.Lcmm.Traffic.wt_bytes recomputed.Lcmm.Traffic.of_bytes
   else Ok ()
 
+(* --- the DRAM schedule: conservation and the portfolio guarantee --- *)
+
+(* Two replicas of the generated case contend for two DDR channels under
+   priority arbitration — the smallest run where scheduling decisions
+   matter.  Whatever order a scheduler picks, it must conserve bytes
+   (the same transfers move the same bytes over the same channels),
+   never start a transfer before its PDG release, and the optimizer's
+   portfolio selection must never lose to either baseline. *)
+let check_schedule_conserve ctx =
+  let module REngine = Lcmm_runtime.Engine in
+  let module RScheduler = Lcmm_runtime.Scheduler in
+  let module RArbiter = Lcmm_runtime.Arbiter in
+  let module ROptimizer = Lcmm_runtime.Optimizer in
+  let alloc = Lazy.force ctx.dnnk_table in
+  let on_chip = alloc.Dnnk.on_chip in
+  let metric = ctx.metric in
+  let iso = Sim.Engine.simulate ?prefetch:ctx.pdg metric ~on_chip in
+  let slack =
+    match ctx.pdg with
+    | None -> fun _ -> 0.
+    | Some pdg -> (
+        fun target ->
+          match Prefetch.source_of pdg target with
+          | Some s ->
+            iso.Sim.Engine.timings.(target).Sim.Engine.start
+            -. iso.Sim.Engine.timings.(s).Sim.Engine.start
+          | None -> 0.)
+  in
+  let input label priority =
+    { REngine.label; metric; on_chip; prefetch = ctx.pdg; arrival = 0.;
+      priority; slack; replan = None }
+  in
+  let inputs = [| input "a" 0; input "b" 1 |] in
+  let channels = 2 in
+  let a = Lcmm.Channels.assign ~channels metric ~on_chip in
+  let assign ~owner:_ ~target kind =
+    let cls =
+      match kind with
+      | REngine.Prefetch_load | REngine.Demand_load -> Lcmm.Channels.Wt_load
+      | REngine.Weight_stream_x -> Lcmm.Channels.Wt_stream
+    in
+    Lcmm.Channels.channel_for a cls target
+  in
+  let arbitration = RArbiter.Priority in
+  let greedy =
+    REngine.run ~arbitration ~scheduler:RScheduler.Greedy ~channels ~assign
+      inputs
+  in
+  let edf =
+    REngine.run ~arbitration ~scheduler:RScheduler.Edf ~channels ~assign
+      inputs
+  in
+  let opt =
+    ROptimizer.search ~arbitration ~channels ~assign ~isos:[| iso; iso |]
+      inputs
+  in
+  let channel_bytes (r : REngine.result) =
+    let sums = Array.make channels 0. in
+    List.iter
+      (fun (x : REngine.xfer_log) ->
+        sums.(x.REngine.log_channel) <- sums.(x.REngine.log_channel)
+                                        +. x.REngine.log_bytes)
+      r.REngine.transfers;
+    sums
+  in
+  let ref_bytes = channel_bytes greedy in
+  let* () =
+    iter_result
+      (fun (name, r) ->
+        let b = channel_bytes r in
+        let rec chk c =
+          if c >= channels then Ok ()
+          else if Float.abs (b.(c) -. ref_bytes.(c)) > 1e-6 then
+            fail
+              "%s moved %.17g bytes on channel %d where greedy moved %.17g \
+               — schedule changed the traffic, not just its order"
+              name b.(c) c ref_bytes.(c)
+          else chk (c + 1)
+        in
+        chk 0)
+      [ ("edf", edf); ("optimized", opt.ROptimizer.result) ]
+  in
+  let* () =
+    iter_result
+      (fun (name, (r : REngine.result)) ->
+        iter_result
+          (fun (x : REngine.xfer_log) ->
+            let* () =
+              if
+                x.REngine.log_started >= 0.
+                && x.REngine.log_started +. eps ctx < x.REngine.log_released
+              then
+                fail "%s started a transfer at %.9e before its release %.9e"
+                  name x.REngine.log_started x.REngine.log_released
+              else Ok ()
+            in
+            if
+              x.REngine.log_finished >= 0.
+              && x.REngine.log_finished +. eps ctx < x.REngine.log_started
+            then
+              fail "%s finished a transfer at %.9e before it started at %.9e"
+                name x.REngine.log_finished x.REngine.log_started
+            else Ok ())
+          r.REngine.transfers)
+      [ ("greedy", greedy); ("edf", edf); ("optimized", opt.ROptimizer.result) ]
+  in
+  let baseline = Float.min greedy.REngine.makespan edf.REngine.makespan in
+  if opt.ROptimizer.result.REngine.makespan > baseline +. eps ctx then
+    fail
+      "optimized makespan %.9e loses to min(greedy %.9e, edf %.9e) — the \
+       portfolio guarantee is broken"
+      opt.ROptimizer.result.REngine.makespan greedy.REngine.makespan
+      edf.REngine.makespan
+  else Ok ()
+
 let optimality_gaps ctx =
   let exact = Lazy.force ctx.exact in
   if (not exact.Exact.proven_optimal) || exact.Exact.latency <= 0. then []
@@ -1045,7 +1160,12 @@ let all =
       check = check_segment_legal };
     { name = "stream-conserve";
       doc = "a streamed weight moves exactly its bytes once per inference";
-      check = check_stream_conserve } ]
+      check = check_stream_conserve };
+    { name = "schedule-conserve";
+      doc =
+        "DRAM schedules conserve per-channel bytes, respect releases, and \
+         the optimizer never loses to greedy or edf";
+      check = check_schedule_conserve } ]
 
 let names = List.map (fun o -> o.name) all
 

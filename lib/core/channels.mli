@@ -1,0 +1,43 @@
+(** Static DDR channel assignment.
+
+    The board's DDR is not one pipe: the device exposes
+    [Fpga.Device.ddr_channels] independently schedulable channels, each
+    carrying an equal stripe of the aggregate bandwidth.  This pass maps
+    every DDR stream a plan will issue — whole weight loads (prefetched
+    or demand-fetched), streamed weight tiles, off-chip input-feature
+    streams and output write-backs — onto a channel, balancing total
+    bytes per channel with a longest-processing-time greedy.  The result
+    is deterministic (a pure function of the metric and allocation) and
+    byte-count balanced, and with [channels = 1] every stream lands on
+    channel 0, recovering the aggregate fluid-bus model exactly. *)
+
+type stream_class =
+  | Wt_load    (** Whole weight-tensor load (prefetch or demand). *)
+  | Wt_stream  (** Streamed weight tiles of an unpinned remainder. *)
+  | If_stream  (** Off-chip input-feature stream. *)
+  | Of_stream  (** Output feature write-back. *)
+
+type assignment = {
+  channels : int;
+  wt_load_channel : int array;   (** Per node; [-1] when no such stream. *)
+  wt_stream_channel : int array;
+  if_channel : int array;
+  of_channel : int array;
+  channel_bytes : float array;   (** Total assigned DDR bytes per channel. *)
+}
+
+val assign :
+  channels:int -> Metric.t -> on_chip:Metric.Item_set.t -> assignment
+(** Assign every stream of the allocation to a channel.  Heaviest
+    stream first onto the least-loaded channel; ties break by node id,
+    stream class, then lowest channel index. *)
+
+val channel_for : assignment -> stream_class -> int -> int
+(** [channel_for a cls node] — the channel of [node]'s [cls] stream;
+    0 for nodes without one (a safe default for transfers created by
+    degraded-mode replans the static assignment never saw). *)
+
+val balance : assignment -> float
+(** Min/max channel load ratio; 1.0 = perfectly balanced. *)
+
+val total_bytes : assignment -> float

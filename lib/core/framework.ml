@@ -17,6 +17,7 @@ type options = {
   capacity_override : int option;
   weight_slices : int;
   fusion : bool;
+  channels : int;
 }
 
 let default_options =
@@ -29,7 +30,8 @@ let default_options =
     coloring = Coloring.Min_growth;
     capacity_override = None;
     weight_slices = 1;
-    fusion = false }
+    fusion = false;
+    channels = 1 }
 
 type pass_times = {
   liveness_us : float;
@@ -39,6 +41,8 @@ type pass_times = {
   dnnk_us : float;
   splitting_us : float;
   segmentation_us : float;
+  channel_assign_us : float;
+  schedule_us : float;
 }
 
 let zero_pass_times =
@@ -48,7 +52,9 @@ let zero_pass_times =
     prefetch_us = 0.;
     dnnk_us = 0.;
     splitting_us = 0.;
-    segmentation_us = 0. }
+    segmentation_us = 0.;
+    channel_assign_us = 0.;
+    schedule_us = 0. }
 
 let add_pass_times a b =
   { liveness_us = a.liveness_us +. b.liveness_us;
@@ -57,7 +63,9 @@ let add_pass_times a b =
     prefetch_us = a.prefetch_us +. b.prefetch_us;
     dnnk_us = a.dnnk_us +. b.dnnk_us;
     splitting_us = a.splitting_us +. b.splitting_us;
-    segmentation_us = a.segmentation_us +. b.segmentation_us }
+    segmentation_us = a.segmentation_us +. b.segmentation_us;
+    channel_assign_us = a.channel_assign_us +. b.channel_assign_us;
+    schedule_us = a.schedule_us +. b.schedule_us }
 
 let pass_times_assoc t =
   [ ("liveness_us", t.liveness_us);
@@ -66,7 +74,9 @@ let pass_times_assoc t =
     ("prefetch_us", t.prefetch_us);
     ("dnnk_us", t.dnnk_us);
     ("splitting_us", t.splitting_us);
-    ("segmentation_us", t.segmentation_us) ]
+    ("segmentation_us", t.segmentation_us);
+    ("channel_assign_us", t.channel_assign_us);
+    ("schedule_us", t.schedule_us) ]
 
 (* Process-wide cumulative per-pass wall clock, so long-running hosts
    (the plan service's stats op) can attribute planner time without
@@ -102,6 +112,7 @@ type plan = {
   predicted_latency : float;
   pol : float;
   tensor_sram_bytes : int;
+  channel_assignment : Channels.assignment option;
   pass_times : pass_times;
 }
 
@@ -170,7 +181,7 @@ let par_map pool f arr =
       Array.concat parts
     end
 
-let plan ?(options = default_options) ?pool config g =
+let plan ?(options = default_options) ?(stall_scale = 1.) ?pool config g =
   Log.info (fun m ->
       m "plan: %d nodes, %s, device %s" (G.node_count g)
         (Tensor.Dtype.to_string config.Config.dtype)
@@ -279,7 +290,15 @@ let plan ?(options = default_options) ?pool config g =
   (* DNNK values weight pinning by its Eq. 1 reduction, but a pinned
      weight whose PDG source leaves too little headroom also costs its
      unhidden stall.  Prune chosen buffers whose stalls outweigh their
-     benefit (whole buffers, keeping the sharing groups atomic). *)
+     benefit (whole buffers, keeping the sharing groups atomic).
+
+     [stall_scale] is the plan↔schedule co-iteration's feedback: the
+     runtime's schedule optimizer observes how much DDR contention
+     inflates this tenant's transfers and replans with stalls scaled
+     up accordingly, so marginally-hidden prefetches that contention
+     exposes get pruned.  Multiplying by the default 1.0 is skipped
+     outright so the standalone planning path stays bit-identical. *)
+  let scaled s = if stall_scale = 1. then s else s *. stall_scale in
   let vbuf_stall vb =
     match pdg with
     | None -> 0.
@@ -297,7 +316,7 @@ let plan ?(options = default_options) ?pool config g =
     let candidates =
       List.filter_map
         (fun vb ->
-          let stall = vbuf_stall vb in
+          let stall = scaled (vbuf_stall vb) in
           if stall <= 0. then None
           else
             let without =
@@ -342,7 +361,7 @@ let plan ?(options = default_options) ?pool config g =
   let allocation =
     let total =
       allocation.Dnnk.predicted_latency
-      +. unhidden_stalls pdg allocation.Dnnk.on_chip
+      +. scaled (unhidden_stalls pdg allocation.Dnnk.on_chip)
     in
     if total > Latency.umm_total profiles +. 1e-15 then
       { allocation with
@@ -364,6 +383,18 @@ let plan ?(options = default_options) ?pool config g =
         splitting_iterations
         ((allocation.Dnnk.predicted_latency +. stalls) *. 1e3)
         helped bound);
+  (* Channel assignment (skipped entirely at 1 channel, where every
+     stream trivially lands on channel 0 and the plan must stay
+     byte-identical to the pre-channel planner). *)
+  let channel_assign_us = ref 0. in
+  let channel_assignment =
+    if options.channels <= 1 then None
+    else
+      timed channel_assign_us (fun () ->
+          Some
+            (Channels.assign ~channels:options.channels metric
+               ~on_chip:allocation.Dnnk.on_chip))
+  in
   let pass_times =
     { liveness_us = !liveness_us;
       interference_us = !interference_us;
@@ -371,7 +402,9 @@ let plan ?(options = default_options) ?pool config g =
       prefetch_us = !prefetch_us;
       dnnk_us = !dnnk_us;
       splitting_us = !splitting_us;
-      segmentation_us = 0. }
+      segmentation_us = 0.;
+      channel_assign_us = !channel_assign_us;
+      schedule_us = 0. }
   in
   record_pass_times pass_times;
   { config;
@@ -384,13 +417,15 @@ let plan ?(options = default_options) ?pool config g =
     predicted_latency = allocation.Dnnk.predicted_latency +. stalls;
     pol = (if bound = 0 then 1. else float_of_int helped /. float_of_int bound);
     tensor_sram_bytes = allocation.Dnnk.used_blocks * Dnnk.block_bytes;
+    channel_assignment;
     pass_times }
 
-let plan_partitioned ?(options = default_options) ?pool ~capacity_bytes config g =
+let plan_partitioned ?(options = default_options) ?stall_scale ?pool
+    ~capacity_bytes config g =
   if capacity_bytes < 0 then
     invalid_arg "Framework.plan_partitioned: negative capacity";
-  plan ~options:{ options with capacity_override = Some capacity_bytes } ?pool
-    config g
+  plan ~options:{ options with capacity_override = Some capacity_bytes }
+    ?stall_scale ?pool config g
 
 (* Degraded-mode replanning for a board whose SRAM shrank under a live
    plan (bank loss).  Two steps, mirroring the paper's spill reasoning
@@ -468,6 +503,18 @@ let fingerprint p =
   f p.predicted_latency;
   f p.pol;
   i p.tensor_sram_bytes;
+  (* Appended only when present, so 1-channel plans fingerprint exactly
+     as they did before channel assignment existed. *)
+  (match p.channel_assignment with
+  | None -> ()
+  | Some a ->
+    Buffer.add_string b ";channels:";
+    i a.Channels.channels;
+    Array.iter i a.Channels.wt_load_channel;
+    Array.iter i a.Channels.wt_stream_channel;
+    Array.iter i a.Channels.if_channel;
+    Array.iter i a.Channels.of_channel;
+    Array.iter f a.Channels.channel_bytes);
   Buffer.contents b
 
 let latency p = p.predicted_latency

@@ -27,6 +27,11 @@ type options = {
           {!plan} itself — a fusion-off plan is byte-identical with the
           flag in either state — but carried on the plan so services,
           caches and fingerprints distinguish the two pipelines. *)
+  channels : int;
+      (** DDR channels to assign transfers over ({!Channels.assign}
+          runs as a post-allocation pass when > 1).  1 — the default —
+          skips the pass entirely: the plan, and its fingerprint, are
+          byte-identical to the pre-channel planner. *)
 }
 
 val default_options : options
@@ -42,6 +47,11 @@ type pass_times = {
   splitting_us : float;
   segmentation_us : float;
       (** The fusion segmentation pre-pass; 0 for base plans. *)
+  channel_assign_us : float;
+      (** The DDR channel-assignment pass; 0 at 1 channel. *)
+  schedule_us : float;
+      (** The runtime's DRAM schedule search; 0 for pure plans —
+          {!Lcmm_runtime} records it via {!record_pass_times}. *)
 }
 (** Per-pass wall-clock microseconds for one planner run. *)
 
@@ -71,21 +81,31 @@ type plan = {
   predicted_latency : float;       (** Eq. 1 total + unhidden prefetch stalls. *)
   pol : float;                     (** Fraction of memory-bound layers helped. *)
   tensor_sram_bytes : int;         (** SRAM granted to tensor buffers. *)
+  channel_assignment : Channels.assignment option;
+      (** DDR channel map for every stream, when [options.channels > 1]. *)
   pass_times : pass_times;         (** Wall-clock breakdown of this run. *)
 }
 
 val plan :
-  ?options:options -> ?pool:Pool.t -> Accel.Config.t -> Dnn_graph.Graph.t ->
-  plan
+  ?options:options -> ?stall_scale:float -> ?pool:Pool.t -> Accel.Config.t ->
+  Dnn_graph.Graph.t -> plan
 (** Run LCMM for a fixed design point.  [pool] parallelizes the
     liveness scan and DNNK's per-row compensation analysis across
     domains; the resulting plan is byte-identical to the sequential one
     (parallel pieces fill disjoint, position-addressed slots — see
-    {!fingerprint}). *)
+    {!fingerprint}).
+
+    [stall_scale] (default 1.0) multiplies every unhidden prefetch
+    stall in the post-DNNK prune and its UMM safety net — the
+    plan↔schedule co-iteration's re-cost hook: the runtime observes how
+    much DDR contention inflates a tenant's transfers and replans with
+    stalls scaled up accordingly.  At the default 1.0 the scaling is
+    skipped outright and the plan is bit-identical to one planned
+    without the argument. *)
 
 val plan_partitioned :
-  ?options:options -> ?pool:Pool.t -> capacity_bytes:int -> Accel.Config.t ->
-  Dnn_graph.Graph.t -> plan
+  ?options:options -> ?stall_scale:float -> ?pool:Pool.t ->
+  capacity_bytes:int -> Accel.Config.t -> Dnn_graph.Graph.t -> plan
 (** Run LCMM with the tensor-buffer budget capped at [capacity_bytes] —
     the multi-tenant runtime's entry point, compiling each tenant
     against its SRAM partition share rather than the whole board.

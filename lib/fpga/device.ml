@@ -37,6 +37,8 @@ let aggregate_bandwidth d = float_of_int d.ddr_banks *. d.ddr_bank_gbs *. 1e9
 
 let interface_bandwidth d = aggregate_bandwidth d /. 3.
 
+let ddr_channels d = max 1 d.ddr_banks
+
 let sram_bytes d = Resource.sram_bytes d.total
 
 let pp ppf d =

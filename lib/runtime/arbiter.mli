@@ -1,11 +1,18 @@
 (** DDR bandwidth arbitration between tenants.
 
-    The board has one DRAM interface set; when several tenants have a
-    transfer on the bus at once, the arbiter decides what fraction of
-    the full bandwidth each gets.  Rates are fractions of the isolated
-    bandwidth (the one every tenant's load times were computed against),
-    so a transfer running at rate [r] takes [1/r] times its isolated
-    duration. *)
+    The board exposes [Fpga.Device.ddr_channels] independently
+    schedulable DRAM channels, each an equal stripe of the aggregate
+    bandwidth; the engine arbitrates each channel separately.  When
+    several tenants have a transfer on the same channel at once, the
+    arbiter decides what fraction of that channel's stripe each gets.
+    Rates are fractions of the full isolated bandwidth (the one every
+    tenant's load times were computed against), so a transfer running at
+    rate [r] takes [1/r] times its isolated duration.
+
+    The pre-channel aggregate model is exactly the 1-channel special
+    case: with one channel the stripe is the whole bandwidth and the
+    engine makes a single arbitration call over all pending transfers,
+    so every 1-channel run is float-for-float the old fluid-bus run. *)
 
 type t =
   | Fair_share  (** Every active transfer gets an equal bandwidth share. *)

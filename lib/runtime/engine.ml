@@ -48,23 +48,46 @@ type tenant_run = {
 
 type segment = { seg_start : float; seg_end : float; utilization : float }
 
+(* --- transfers --- *)
+
+type kind = Prefetch_load | Demand_load | Weight_stream_x
+
+(* Final state of every transfer the run created — the schedule
+   optimizer's evaluation signal and the schedule-conserve oracle's
+   evidence (per-channel byte conservation, release-before-start). *)
+type xfer_log = {
+  log_owner : int;
+  log_target : int;
+  log_kind : kind;
+  log_channel : int;
+  log_bytes : float;
+  log_load : float;
+  log_deadline : float;
+  log_released : float;       (* queue-entry instant (PDG release) *)
+  log_started : float;        (* first instant granted bandwidth; -1 if never *)
+  log_finished : float;       (* finish instant; -1 if cancelled/aborted *)
+}
+
 type result = {
   tenants : tenant_run array;
   makespan : float;
   timeline : segment list;
+  channels : int;
+  channel_timelines : segment list array;
+  transfers : xfer_log list;
 }
-
-(* --- transfers --- *)
-
-type kind = Prefetch_load | Demand_load | Weight_stream_x
 
 type xfer = {
   key : int;
   owner : int;
   target : int;
   kind : kind;
+  channel : int;           (* DDR channel the transfer is bound to *)
+  xrank : float;           (* searched-order rank (Optimized); 0 otherwise *)
   load : float;            (* seconds at full bandwidth *)
   bytes : float;
+  released_at : float;
+  mutable started_at : float; (* first instant with positive rate; -1 = never *)
   deadline : float;
   stall : float;           (* injected head-of-channel stall; 0 = none *)
   fails : int;             (* planned transient failures before success *)
@@ -169,7 +192,23 @@ let init_tenant index (input : tenant_input) =
     surviving = None;
     aborted = None }
 
-let run ~arbitration ~scheduler ?faults inputs =
+let run ~arbitration ~scheduler ?(channels = 1) ?assign ?rank ?faults inputs =
+  let channels = max 1 channels in
+  (* Channel of a transfer: the assignment callback's pick, clamped;
+     everything lands on channel 0 when unassigned or single-channel —
+     the aggregate fluid-bus model. *)
+  let channel_of ~owner ~target kind =
+    if channels = 1 then 0
+    else
+      match assign with
+      | None -> 0
+      | Some f ->
+        let c = f ~owner ~target kind in
+        if c < 0 || c >= channels then 0 else c
+  in
+  let rank_of ~owner ~target kind =
+    match rank with None -> 0. | Some f -> f ~owner ~target kind
+  in
   let tenants = Array.mapi init_tenant inputs in
   (* Tenants whose wake-up candidates may have changed since the last
      heap flush.  Every mutation that can move a candidate time sets the
@@ -199,6 +238,8 @@ let run ~arbitration ~scheduler ?faults inputs =
   in
   let now = ref 0. in
   let segments = ref [] in
+  let channel_segments = Array.make channels [] in
+  let all_xfers = ref [] in
   let enqueue ts ~kind ~target ~load ~bytes ~deadline =
     let key = fresh_key () in
     let stall, fails =
@@ -209,11 +250,15 @@ let run ~arbitration ~scheduler ?faults inputs =
          Fault.Injector.planned_failures inj ~key)
     in
     let x =
-      { key; owner = ts.index; target; kind; load; bytes;
+      { key; owner = ts.index; target; kind;
+        channel = channel_of ~owner:ts.index ~target kind;
+        xrank = rank_of ~owner:ts.index ~target kind;
+        load; bytes; released_at = !now; started_at = -1.;
         deadline; stall; fails; attempt = 0; blocked_until = 0.;
         work = load; rate = 0.; settled = 0.; eta = infinity;
         finished = false; finished_at = 0. }
     in
+    all_xfers := x :: !all_xfers;
     Queue.add x ts.queue;
     (match kind with
     | Prefetch_load | Demand_load -> ts.pending_w.(target) <- ts.pending_w.(target) + 1
@@ -486,8 +531,11 @@ let run ~arbitration ~scheduler ?faults inputs =
            | Some x when not x.finished -> Some x
            | _ -> None)
   in
-  (* Scheduler picks the eligible subset, arbiter splits bandwidth over
-     it; everything else is preempted (rate 0, channel still held). *)
+  (* Scheduler picks the eligible subset per DDR channel, the arbiter
+     splits that channel's bandwidth stripe over it; everything else is
+     preempted (rate 0, channel still held).  With one channel the
+     grouping collapses to a single call over all pending transfers —
+     float for float the pre-channel aggregate bus. *)
   let assign_rates () =
     let jobs = on_chip_jobs () in
     (* Stalled / backing-off transfers hold their channel but are not
@@ -495,14 +543,31 @@ let run ~arbitration ~scheduler ?faults inputs =
     let eligible_jobs =
       List.filter (fun x -> x.blocked_until <= !now) jobs
     in
-    let pendings =
-      List.map
-        (fun x ->
-          { Scheduler.key = x.key; deadline = x.deadline;
-            priority = inputs.(x.owner).priority })
-        eligible_jobs
+    let pending_of x =
+      { Scheduler.key = x.key; deadline = x.deadline;
+        priority = inputs.(x.owner).priority; rank = x.xrank }
     in
-    let chosen = Scheduler.eligible scheduler pendings in
+    let chosen =
+      if channels = 1 then
+        Scheduler.eligible scheduler (List.map pending_of eligible_jobs)
+      else begin
+        (* Group by channel preserving arrival order, schedule each
+           channel independently. *)
+        let by_ch = Array.make channels [] in
+        List.iter
+          (fun x -> by_ch.(x.channel) <- x :: by_ch.(x.channel))
+          eligible_jobs;
+        let acc = ref [] in
+        for c = channels - 1 downto 0 do
+          match by_ch.(c) with
+          | [] -> ()
+          | js ->
+            let ps = List.rev_map pending_of js in
+            acc := Scheduler.eligible scheduler ps @ !acc
+        done;
+        !acc
+      end
+    in
     (* Membership and rate lookups go through key-indexed tables instead
        of [List.mem]/[List.assoc_opt]; entries are cleared again at the
        end of the round so stale keys always read as not-chosen/0. *)
@@ -516,7 +581,29 @@ let run ~arbitration ~scheduler ?faults inputs =
         eligible_jobs
     in
     let rtbl = !rate_tbl in
-    Arbiter.rates_into arbitration contenders rtbl;
+    (if channels = 1 then Arbiter.rates_into arbitration contenders rtbl
+     else begin
+       (* Arbitrate each channel's contenders separately, then scale by
+          the channel's 1/C bandwidth stripe: rates stay fractions of
+          the full aggregate bandwidth, so downstream ETA math is
+          untouched. *)
+       let by_ch = Array.make channels [] in
+       List.iter
+         (fun x -> if ctbl.(x.key) then by_ch.(x.channel) <- x :: by_ch.(x.channel))
+         eligible_jobs;
+       let stripe = 1. /. float_of_int channels in
+       Array.iter
+         (fun js ->
+           match js with
+           | [] -> ()
+           | _ ->
+             let cs =
+               List.rev_map (fun x -> (x.key, inputs.(x.owner).priority)) js
+             in
+             Arbiter.rates_into arbitration cs rtbl;
+             List.iter (fun (k, _) -> rtbl.(k) <- rtbl.(k) *. stripe) cs)
+         by_ch
+     end);
     (* A DDR droop window scales every granted rate; multiplying by the
        1.0 no-fault factor is skipped outright so the fault-free float
        path stays bit-identical. *)
@@ -538,6 +625,7 @@ let run ~arbitration ~scheduler ?faults inputs =
           if x.work < 0. then x.work <- 0.;
           x.settled <- !now;
           x.rate <- r;
+          if r > 0. && x.started_at < 0. then x.started_at <- !now;
           x.eta <-
             (if r > 0. then (if x.work <= 0. then !now else !now +. (x.work /. r))
              else infinity);
@@ -705,6 +793,16 @@ let run ~arbitration ~scheduler ?faults inputs =
   let utilization () =
     List.fold_left (fun acc x -> acc +. x.rate) 0. (on_chip_jobs ())
   in
+  (* Per-channel summed rates, in the same full-bandwidth units as the
+     aggregate timeline: the channel timelines always sum to it, and at
+     one channel [channel_utilization ().(0)] IS the aggregate value
+     (same left-to-right float fold over the same job list). *)
+  let channel_utilization () =
+    let u = Array.make channels 0. in
+    List.iter (fun x -> u.(x.channel) <- u.(x.channel) +. x.rate)
+      (on_chip_jobs ());
+    u
+  in
   let guard = ref 0 in
   settle_instant ();
   flush_dirty ();
@@ -715,8 +813,15 @@ let run ~arbitration ~scheduler ?faults inputs =
     if t = infinity then
       failwith "Runtime.Engine: no runnable event but tenants unfinished";
     let util = utilization () in
-    if t > !now then
+    if t > !now then begin
       segments := { seg_start = !now; seg_end = t; utilization = util } :: !segments;
+      let cu = channel_utilization () in
+      for c = 0 to channels - 1 do
+        channel_segments.(c) <-
+          { seg_start = !now; seg_end = t; utilization = cu.(c) }
+          :: channel_segments.(c)
+      done
+    end;
     now := t;
     settle_instant ();
     flush_dirty ()
@@ -745,7 +850,7 @@ let run ~arbitration ~scheduler ?faults inputs =
     Array.fold_left (fun acc r -> max acc r.finish) 0. runs
   in
   (* Merge adjacent segments with equal utilization. *)
-  let timeline =
+  let merge segs =
     List.fold_left
       (fun acc seg ->
         match acc with
@@ -754,8 +859,25 @@ let run ~arbitration ~scheduler ?faults inputs =
                && prev.seg_end = seg.seg_start ->
           { prev with seg_end = seg.seg_end } :: rest
         | _ -> seg :: acc)
-      []
-      (List.rev !segments)
+      [] (List.rev segs)
     |> List.rev
   in
-  { tenants = runs; makespan; timeline }
+  let timeline = merge !segments in
+  let channel_timelines = Array.map merge channel_segments in
+  let transfers =
+    List.rev_map
+      (fun x ->
+        { log_owner = x.owner;
+          log_target = x.target;
+          log_kind = x.kind;
+          log_channel = x.channel;
+          log_bytes = x.bytes;
+          log_load = x.load;
+          log_deadline = x.deadline;
+          log_released = x.released_at;
+          log_started = x.started_at;
+          log_finished = (if x.finished then x.finished_at else -1.) })
+      !all_xfers
+  in
+  { tenants = runs; makespan; timeline; channels; channel_timelines;
+    transfers }

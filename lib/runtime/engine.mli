@@ -4,17 +4,22 @@
     {!Sim.Engine.simulate} would — same release points, same Eq. 1
     component arithmetic, via {!Sim.Node_model} — but all DDR weight
     transfers (prefetches, demand loads, streamed weight tiles) go
-    through one shared bus: the {!Scheduler} picks which released
-    transfers may use it, the {!Arbiter} splits bandwidth among them,
-    and a transfer running at fraction [r] of the bandwidth takes [1/r]
-    times its isolated duration.  Prefetches that were fully hidden in
-    isolation can therefore become exposed stalls under contention —
-    the paper's data-transfer bottleneck reappearing between tenants.
+    through the board's DDR channels: each transfer is statically bound
+    to one of [channels] channels (the device's DDR bank count, each an
+    equal 1/C stripe of the aggregate bandwidth), the {!Scheduler} picks
+    which released transfers may use each channel, the {!Arbiter} splits
+    that channel's stripe among them, and a transfer running at fraction
+    [r] of the aggregate bandwidth takes [1/r] times its isolated
+    duration.  Prefetches that were fully hidden in isolation can
+    therefore become exposed stalls under contention — the paper's
+    data-transfer bottleneck reappearing between tenants.
 
-    With a single tenant there is never more than one transfer on the
-    bus, every rate is 1, and the co-simulation reproduces the isolated
-    engine bit for bit (pinned by test/test_runtime.ml across the model
-    zoo).
+    With [channels = 1] (the default) the grouping collapses to one
+    scheduler/arbiter call over all pending transfers: the pre-channel
+    aggregate fluid-bus model, float for float.  With a single tenant
+    there is additionally never more than one transfer on the bus, every
+    rate is 1, and the co-simulation reproduces the isolated engine bit
+    for bit (pinned by test/test_runtime.ml across the model zoo).
 
     An optional {!Fault.Injector.t} adds seeded board faults as discrete
     events: DDR droop windows scale every granted rate, transfers can
@@ -81,17 +86,54 @@ type segment = { seg_start : float; seg_end : float; utilization : float }
 (** One piece of the bus-utilization timeline: the summed bandwidth
     fraction in use over [seg_start, seg_end). *)
 
+type kind = Prefetch_load | Demand_load | Weight_stream_x
+(** DDR transfer kinds: PDG-scheduled weight prefetches, weight loads
+    demanded at node entry, and streamed tiles of unpinned weight
+    remainders. *)
+
+type xfer_log = {
+  log_owner : int;        (** Tenant index. *)
+  log_target : int;       (** Node the transfer feeds. *)
+  log_kind : kind;
+  log_channel : int;      (** DDR channel the transfer ran on. *)
+  log_bytes : float;
+  log_load : float;       (** Seconds at full aggregate bandwidth. *)
+  log_deadline : float;
+  log_released : float;   (** Queue-entry instant (its PDG release). *)
+  log_started : float;    (** First instant granted bandwidth; -1 = never. *)
+  log_finished : float;   (** Finish instant; -1 = cancelled/aborted. *)
+}
+(** Final state of one transfer — the run's communication schedule,
+    consumed by the schedule optimizer and the schedule-conserve
+    oracle. *)
+
 type result = {
   tenants : tenant_run array;
   makespan : float;        (** Max finish time over all tenants. *)
   timeline : segment list; (** Chronological, adjacent equal segments merged. *)
+  channels : int;          (** Channel count the run was scheduled over. *)
+  channel_timelines : segment list array;
+      (** Per-channel utilization timelines, in the same aggregate-
+          bandwidth units as [timeline] (they sum to it; a channel's
+          full stripe is utilization [1/channels]).  At one channel,
+          [channel_timelines.(0) = timeline] exactly. *)
+  transfers : xfer_log list;  (** Every transfer created, in key order. *)
 }
 
 val run :
-  arbitration:Arbiter.t -> scheduler:Scheduler.t ->
+  arbitration:Arbiter.t -> scheduler:Scheduler.t -> ?channels:int ->
+  ?assign:(owner:int -> target:int -> kind -> int) ->
+  ?rank:(owner:int -> target:int -> kind -> float) ->
   ?faults:Fault.Injector.t -> tenant_input array -> result
 (** Co-simulate the tenants to completion.  Deterministic: tenants are
     processed in index order, transfers carry creation-order keys, and
     every fault decision is a pure hash of the injector seed and the
     transfer key.  Omitting [faults] gives exactly the fault-free
+    engine.
+
+    [channels] (default 1) is the number of equal DDR bandwidth stripes;
+    [assign] maps each transfer onto one (out-of-range or missing
+    assignments land on channel 0).  [rank] supplies the [Optimized]
+    scheduler's searched-order ranks; without it [Optimized] behaves as
+    [Edf].  Omitting all three gives exactly the pre-channel aggregate
     engine. *)

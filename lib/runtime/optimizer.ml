@@ -1,0 +1,320 @@
+module NM = Sim.Node_model
+module Latency = Accel.Latency
+
+(* DRAM communication-schedule search (SoMa-style).
+
+   The space it explores is transfer *order*: which pending transfer
+   each DDR channel drains first.  A candidate order is encoded as a
+   static rank table — rank of (owner, target, kind) — and executed
+   exactly by the engine's [Optimized] scheduler, which always grants a
+   channel's lowest-ranked pending transfer.  Candidates come from two
+   sources:
+
+   - the exact [Greedy] and [Edf] baselines (so the chosen schedule can
+     never lose to either — the portfolio guarantee the ci gate and the
+     schedule-conserve oracle check), and
+   - a beam search over the tenants' static transfer profiles with
+     per-channel busy timelines, minimizing exposed stall (finish past
+     deadline), plus deterministic heuristic orders (priority-first,
+     least-laxity) that capture deliberate early/late placement.
+
+   Every candidate is then *evaluated exactly* by [Engine.run] — the
+   beam's timeline model is only used to propose orders, never to score
+   the winner — and the best (makespan, then high-priority slowdown,
+   then candidate index) wins.  Candidate evaluation fans out on the
+   domain pool. *)
+
+type transfer = {
+  t_owner : int;
+  t_target : int;
+  t_kind : Engine.kind;
+  t_release : float;   (* isolated-schedule release estimate *)
+  t_dur : float;       (* seconds at one channel's full stripe *)
+  t_deadline : float;
+}
+
+type candidate = {
+  cand_label : string;
+  cand_scheduler : Scheduler.t;
+  cand_rank : (owner:int -> target:int -> Engine.kind -> float) option;
+}
+
+type outcome = {
+  result : Engine.result;
+  chosen : string;
+  hp_slowdown : float;
+  candidates : (string * float) list;
+}
+
+let kind_int = function
+  | Engine.Prefetch_load -> 0
+  | Engine.Demand_load -> 1
+  | Engine.Weight_stream_x -> 2
+
+(* Static transfer profile of one tenant, mirroring the engine's
+   enqueue points with isolated-schedule times standing in for the
+   contended ones (the engine itself remains the ground truth). *)
+let profile_tenant ~channels index (input : Engine.tenant_input)
+    (iso : Sim.Engine.run) =
+  let metric = input.Engine.metric in
+  let on_chip = input.Engine.on_chip in
+  let profiles = metric.Lcmm.Metric.profiles in
+  let n = Array.length profiles in
+  let released =
+    NM.released_edges ?prefetch:input.Engine.prefetch metric ~on_chip n
+  in
+  let has_edge = NM.has_edge released n in
+  let stripe = float_of_int (max 1 channels) in
+  let acc = ref [] in
+  for id = 0 to n - 1 do
+    let entry = input.Engine.arrival +. iso.Sim.Engine.timings.(id).Sim.Engine.start in
+    List.iter
+      (fun e ->
+        let target = e.Lcmm.Prefetch.target in
+        let frac = NM.pinned_fraction metric ~on_chip target in
+        acc :=
+          { t_owner = index; t_target = target; t_kind = Engine.Prefetch_load;
+            t_release = entry;
+            t_dur = e.Lcmm.Prefetch.load_seconds *. frac *. stripe;
+            t_deadline = entry +. input.Engine.slack target }
+          :: !acc)
+      released.(id);
+    (match NM.demand_load metric ~on_chip ~has_edge profiles.(id) with
+    | None -> ()
+    | Some load ->
+      acc :=
+        { t_owner = index; t_target = id; t_kind = Engine.Demand_load;
+          t_release = entry; t_dur = load *. stripe; t_deadline = entry }
+        :: !acc);
+    let frac = NM.pinned_fraction metric ~on_chip id in
+    let streamed = profiles.(id).Latency.wt_term *. (1. -. frac) in
+    if streamed > 0. then
+      acc :=
+        { t_owner = index; t_target = id; t_kind = Engine.Weight_stream_x;
+          t_release = entry; t_dur = streamed *. stripe; t_deadline = entry }
+        :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Beam search over per-channel busy timelines: states hold each
+   tenant's next-transfer cursor and each channel's busy-until time;
+   expanding a state schedules one tenant's head transfer onto its
+   channel.  Scored by accumulated exposed stall, then summed finish
+   times.  Deterministic: expansion in state-then-tenant order, pruning
+   by stable sort. *)
+type beam_state = {
+  cursors : int array;
+  ch_free : float array;
+  ten_free : float array;
+  stall : float;
+  finish_sum : float;
+  order : (int * int * int) list;  (* reversed (owner, target, kind) *)
+}
+
+let beam_orders ~beam_width ~channels ~channel_of
+    (profiles : transfer array array) =
+  let tcount = Array.length profiles in
+  let total = Array.fold_left (fun a p -> a + Array.length p) 0 profiles in
+  if total = 0 then []
+  else begin
+    let init =
+      { cursors = Array.make tcount 0;
+        ch_free = Array.make (max 1 channels) 0.;
+        ten_free = Array.make tcount 0.;
+        stall = 0.;
+        finish_sum = 0.;
+        order = [] }
+    in
+    let states = ref [ init ] in
+    for _step = 1 to total do
+      let expanded = ref [] in
+      List.iter
+        (fun st ->
+          for t = tcount - 1 downto 0 do
+            let c = st.cursors.(t) in
+            if c < Array.length profiles.(t) then begin
+              let x = profiles.(t).(c) in
+              let ch = channel_of x in
+              let start =
+                Float.max x.t_release
+                  (Float.max st.ch_free.(ch) st.ten_free.(t))
+              in
+              let fin = start +. x.t_dur in
+              let cursors = Array.copy st.cursors in
+              cursors.(t) <- c + 1;
+              let ch_free = Array.copy st.ch_free in
+              ch_free.(ch) <- fin;
+              let ten_free = Array.copy st.ten_free in
+              ten_free.(t) <- fin;
+              expanded :=
+                { cursors;
+                  ch_free;
+                  ten_free;
+                  stall = st.stall +. Float.max 0. (fin -. x.t_deadline);
+                  finish_sum = st.finish_sum +. fin;
+                  order = (x.t_owner, x.t_target, kind_int x.t_kind) :: st.order }
+                :: !expanded
+            end
+          done)
+        !states;
+      let ranked =
+        List.stable_sort
+          (fun a b ->
+            match compare a.stall b.stall with
+            | 0 -> compare a.finish_sum b.finish_sum
+            | c -> c)
+          (List.rev !expanded)
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | s :: rest -> s :: take (k - 1) rest
+      in
+      states := take beam_width ranked
+    done;
+    List.map (fun st -> List.rev st.order) !states
+  end
+
+(* Deterministic heuristic orders over the flattened transfer list. *)
+let sorted_order cmp (profiles : transfer array array) =
+  Array.to_list profiles
+  |> List.concat_map Array.to_list
+  |> List.stable_sort cmp
+  |> List.map (fun x -> (x.t_owner, x.t_target, kind_int x.t_kind))
+
+let rank_of_order order =
+  let tbl = Hashtbl.create 64 in
+  List.iteri
+    (fun i key -> if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key (float_of_int i))
+    order;
+  fun ~owner ~target kind ->
+    match Hashtbl.find_opt tbl (owner, target, kind_int kind) with
+    | Some r -> r
+    | None -> infinity
+
+let search ?pool ?(beam_width = 4) ?(hp_first = false) ~arbitration ~channels
+    ?assign ?(make_faults = fun () -> None) ~isos
+    (inputs : Engine.tenant_input array) =
+  let channels = max 1 channels in
+  let profiles = Array.mapi (fun i input -> profile_tenant ~channels i input isos.(i)) inputs in
+  let channel_of (x : transfer) =
+    match assign with
+    | None -> 0
+    | Some f ->
+      let c = f ~owner:x.t_owner ~target:x.t_target x.t_kind in
+      if c < 0 || c >= channels then 0 else c
+  in
+  (* Candidate orders: beam results plus deterministic heuristics.
+     Deduped by order so identical proposals evaluate once. *)
+  let orders =
+    beam_orders ~beam_width ~channels ~channel_of profiles
+    @ [ (* High-priority tenants drain first; EDF inside a class.  The
+           candidate that targets contended-mix slowdown directly. *)
+        sorted_order
+          (fun a b ->
+            match
+              compare inputs.(a.t_owner).Engine.priority
+                inputs.(b.t_owner).Engine.priority
+            with
+            | 0 -> compare (a.t_deadline, a.t_release) (b.t_deadline, b.t_release)
+            | c -> c)
+          profiles;
+        (* Least laxity first: transfers with the least room to move
+           drain first — late placement for slack-rich prefetches. *)
+        sorted_order
+          (fun a b ->
+            compare (a.t_deadline -. a.t_dur, a.t_release)
+              (b.t_deadline -. b.t_dur, b.t_release))
+          profiles;
+        (* Shortest transfer first: clears channel heads quickly. *)
+        sorted_order
+          (fun a b -> compare (a.t_dur, a.t_release) (b.t_dur, b.t_release))
+          profiles ]
+  in
+  let seen = Hashtbl.create 8 in
+  let searched =
+    List.filteri
+      (fun _ order ->
+        if Hashtbl.mem seen order then false
+        else begin
+          Hashtbl.add seen order ();
+          true
+        end)
+      orders
+  in
+  let candidates =
+    { cand_label = "greedy"; cand_scheduler = Scheduler.Greedy; cand_rank = None }
+    :: { cand_label = "edf"; cand_scheduler = Scheduler.Edf; cand_rank = None }
+    :: List.mapi
+         (fun i order ->
+           { cand_label = Printf.sprintf "order%d" i;
+             cand_scheduler = Scheduler.Optimized;
+             cand_rank = Some (rank_of_order order) })
+         searched
+  in
+  let evaluate cand =
+    Engine.run ~arbitration ~scheduler:cand.cand_scheduler ~channels ?assign
+      ?rank:cand.cand_rank ?faults:(make_faults ()) inputs
+  in
+  let results =
+    match pool with
+    | None -> List.map evaluate candidates
+    | Some pool -> Lcmm.Pool.map_list pool evaluate candidates
+  in
+  let hp_slowdown_of (r : Engine.result) =
+    let hp =
+      Array.fold_left
+        (fun acc (i : Engine.tenant_input) -> min acc i.Engine.priority)
+        max_int inputs
+    in
+    let worst = ref 1. in
+    Array.iteri
+      (fun i (tr : Engine.tenant_run) ->
+        if inputs.(i).Engine.priority = hp then begin
+          let iso_total = isos.(i).Sim.Engine.total in
+          if iso_total > 0. then
+            worst := Float.max !worst (tr.Engine.latency /. iso_total)
+        end)
+      r.Engine.tenants;
+    !worst
+  in
+  let scored =
+    List.map2
+      (fun cand r -> (cand.cand_label, r, r.Engine.makespan, hp_slowdown_of r))
+      candidates results
+  in
+  (* Only candidates at or below the best baseline makespan are
+     eligible — the chosen schedule can never lose to greedy or edf no
+     matter the objective.  Within the eligible set, [hp_first]
+     (priority arbitration: the operator declared the high-priority
+     tenants matter most) minimizes their slowdown before makespan;
+     otherwise makespan first. *)
+  let baseline =
+    match scored with
+    | (_, _, gm, _) :: (_, _, em, _) :: _ -> Float.min gm em
+    | _ -> infinity
+  in
+  let better (m, h) (bm, bh) =
+    if hp_first then h < bh || (h = bh && m < bm)
+    else m < bm || (m = bm && h < bh)
+  in
+  let best =
+    List.fold_left
+      (fun acc ((_, _, m, h) as c) ->
+        if m > baseline then acc
+        else
+          match acc with
+          | None -> Some c
+          | Some (_, _, bm, bh) ->
+            if better (m, h) (bm, bh) then Some c else acc)
+      None scored
+  in
+  let label, result, _, hp =
+    match best with
+    | Some b -> b
+    | None -> invalid_arg "Optimizer.search: no candidates"
+  in
+  { result;
+    chosen = label;
+    hp_slowdown = hp;
+    candidates = List.map (fun (l, _, m, _) -> (l, m)) scored }

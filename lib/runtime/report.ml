@@ -28,6 +28,14 @@ let no_faults =
   { Engine.retries = 0; stalls = 0; degraded = 0; evicted_bytes = 0;
     pinned_after = None; surviving_bytes = None; aborted = None }
 
+type schedule_info = {
+  sched_rounds : int;
+  sched_history_ms : float list;
+  sched_converged : bool;
+  sched_chosen : string;
+  sched_candidates : (string * float) list;
+}
+
 type t = {
   device : string;
   dtype : string;
@@ -41,8 +49,25 @@ type t = {
   bus_busy_fraction : float;
   tenants : tenant_report list;
   timeline : Engine.segment list;
+  channels : int;
+  channel_timelines : Engine.segment list array;
+  schedule : schedule_info option;
   faults : Fault.Spec.t option;
 }
+
+(* Time-weighted busy fraction of one channel.  Utilizations are in
+   aggregate-bandwidth units, so a channel's full stripe is [1/channels]
+   — scale by [channels] before clamping to saturation. *)
+let channel_busy_fraction ~channels ~makespan_ms segments =
+  if makespan_ms <= 0. then 0.
+  else
+    List.fold_left
+      (fun acc (s : Engine.segment) ->
+        acc
+        +. ((s.Engine.seg_end -. s.Engine.seg_start)
+           *. Float.min 1. (s.Engine.utilization *. float_of_int channels)))
+      0. segments
+    *. 1e3 /. makespan_ms
 
 let status_string = function
   | Admitted -> "admitted"
@@ -129,7 +154,45 @@ let to_json t =
     @ [ ("makespan_ms", Json.Float t.makespan_ms);
         ("bus_busy_fraction", Json.Float t.bus_busy_fraction);
         ("tenants", Json.List (List.map (tenant_json ~faulty) t.tenants));
-        ("bandwidth_timeline", timeline_json t.timeline) ])
+        ("bandwidth_timeline", timeline_json t.timeline) ]
+    (* Per-channel fields only exist past one channel; a 1-channel run
+       renders byte-identically to the aggregate-bus report. *)
+    @ (if t.channels <= 1 then []
+       else
+         [ ("channels", Json.Int t.channels);
+           ( "channel_busy_fractions",
+             Json.List
+               (Array.to_list
+                  (Array.map
+                     (fun segs ->
+                       Json.Float
+                         (channel_busy_fraction ~channels:t.channels
+                            ~makespan_ms:t.makespan_ms segs))
+                     t.channel_timelines)) );
+           ( "channel_timelines",
+             Json.List
+               (Array.to_list (Array.map timeline_json t.channel_timelines)) )
+         ])
+    @
+    match t.schedule with
+    | None -> []
+    | Some s ->
+      [ ( "schedule",
+          Json.Obj
+            [ ("rounds", Json.Int s.sched_rounds);
+              ( "history_ms",
+                Json.List (List.map (fun m -> Json.Float m) s.sched_history_ms)
+              );
+              ("converged", Json.Bool s.sched_converged);
+              ("chosen", Json.String s.sched_chosen);
+              ( "candidates",
+                Json.List
+                  (List.map
+                     (fun (label, ms) ->
+                       Json.Obj
+                         [ ("label", Json.String label);
+                           ("makespan_ms", Json.Float ms) ])
+                     s.sched_candidates) ) ] ) ])
 
 let pp ppf t =
   Format.fprintf ppf
@@ -141,6 +204,27 @@ let pp ppf t =
     (Arbiter.to_string t.arbitration)
     (Scheduler.to_string t.scheduler)
     (Partition.to_string t.partition);
+  if t.channels > 1 then
+    Format.fprintf ppf "channels: %d | per-channel busy %s@." t.channels
+      (String.concat " / "
+         (Array.to_list
+            (Array.map
+               (fun segs ->
+                 Printf.sprintf "%.0f%%"
+                   (100.
+                   *. channel_busy_fraction ~channels:t.channels
+                        ~makespan_ms:t.makespan_ms segs))
+               t.channel_timelines)));
+  (match t.schedule with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf
+      "schedule: %s after %d round%s (%s) | history %s ms@." s.sched_chosen
+      s.sched_rounds
+      (if s.sched_rounds = 1 then "" else "s")
+      (if s.sched_converged then "converged" else "round limit")
+      (String.concat " -> "
+         (List.map (fun m -> Printf.sprintf "%.3f" m) s.sched_history_ms)));
   (match t.faults with
   | None -> ()
   | Some spec ->

@@ -33,6 +33,19 @@ type tenant_report = {
 val no_faults : Engine.fault_stats
 (** All-zero counters for tenants that never ran under faults. *)
 
+type schedule_info = {
+  sched_rounds : int;            (** Plan/schedule co-iteration rounds run. *)
+  sched_history_ms : float list; (** Per-round optimized makespan, in order. *)
+  sched_converged : bool;        (** A round stopped improving (or the
+                                     stall-scale fixpoint was reached)
+                                     before the round bound. *)
+  sched_chosen : string;         (** Winning candidate label. *)
+  sched_candidates : (string * float) list;
+      (** Every candidate of the winning round with its makespan (ms). *)
+}
+(** Telemetry of the [optimized] scheduler's search — [None] for
+    [greedy]/[edf] runs. *)
+
 type t = {
   device : string;
   dtype : string;
@@ -46,6 +59,13 @@ type t = {
   bus_busy_fraction : float; (** Time-weighted mean bus utilization. *)
   tenants : tenant_report list;
   timeline : Engine.segment list;
+  channels : int;            (** DDR channels the run was scheduled over. *)
+  channel_timelines : Engine.segment list array;
+      (** Per-channel utilization timelines (aggregate-bandwidth units).
+          JSON emits the per-channel fields — and [channels] itself —
+          only past one channel, so 1-channel reports stay byte-identical
+          to the aggregate-bus format. *)
+  schedule : schedule_info option;
   faults : Fault.Spec.t option;
       (** The (non-empty) fault spec the run executed under.  When
           [None], both renderings are byte-identical to the fault-free
@@ -53,6 +73,13 @@ type t = {
 }
 
 val status_string : status -> string
+
+val channel_busy_fraction :
+  channels:int -> makespan_ms:float -> Engine.segment list -> float
+(** Time-weighted busy fraction of one channel's timeline.  Segment
+    utilizations are in aggregate-bandwidth units, so a channel's full
+    stripe is [1/channels]; the helper rescales before clamping at
+    saturation.  Used by the JSON rendering and [lcmm bench runtime]. *)
 
 val to_json : t -> Dnn_serial.Json.t
 

@@ -14,6 +14,8 @@ type options = {
   device : Fpga.Device.t;
   arbitration : Arbiter.t;
   scheduler : Scheduler.t;
+  channels : int;
+  schedule_rounds : int;
   partition : Partition.policy;
   overcommit : float;
   min_grant_bytes : int;
@@ -27,6 +29,8 @@ let default_options =
     device = Fpga.Device.vu9p;
     arbitration = Arbiter.Fair_share;
     scheduler = Scheduler.Edf;
+    channels = 1;
+    schedule_rounds = 3;
     partition = Partition.Equal;
     overcommit = 4.0;
     min_grant_bytes = Admission.default_min_grant;
@@ -240,7 +244,45 @@ let run ?pool options specs =
       | _ -> ())
     decisions;
   let admitted = Array.of_list (List.rev !admitted) in
-  let inputs =
+  let channels = max 1 options.channels in
+  let channel_assign_us = ref 0. in
+  let schedule_us = ref 0. in
+  let timed cell f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    cell := !cell +. ((Unix.gettimeofday () -. t0) *. 1e6);
+    r
+  in
+  (* Static channel map per admitted tenant: the plan's own assignment
+     when the planner already ran the pass at this width, else computed
+     here.  [None] at one channel keeps the engine on the aggregate
+     fluid-bus path bit for bit. *)
+  let assign_of plans =
+    if channels <= 1 then None
+    else begin
+      let assignments =
+        timed channel_assign_us (fun () ->
+            Array.map
+              (fun (_, _, (plan : F.plan), _) ->
+                match plan.F.channel_assignment with
+                | Some a when a.Lcmm.Channels.channels = channels -> a
+                | _ ->
+                  Lcmm.Channels.assign ~channels plan.F.metric
+                    ~on_chip:plan.F.allocation.Lcmm.Dnnk.on_chip)
+              plans)
+      in
+      Some
+        (fun ~owner ~target kind ->
+          let cls =
+            match kind with
+            | Engine.Prefetch_load | Engine.Demand_load ->
+              Lcmm.Channels.Wt_load
+            | Engine.Weight_stream_x -> Lcmm.Channels.Wt_stream
+          in
+          Lcmm.Channels.channel_for assignments.(owner) cls target)
+    end
+  in
+  let inputs_of plans =
     Array.map
       (fun (i, grant, (plan : F.plan), iso) ->
         {
@@ -274,11 +316,154 @@ let run ?pool options specs =
                       deg_surviving_bytes = surviving;
                     }));
         })
-      admitted
+      plans
   in
-  let sim = Engine.run ~arbitration:options.arbitration
-      ~scheduler:options.scheduler ?faults:injector inputs
+  let make_faults () = Option.map Fault.Injector.create fault_spec in
+  let sim, admitted, schedule =
+    match options.scheduler with
+    | Scheduler.Greedy | Scheduler.Edf ->
+      let assign = assign_of admitted in
+      let sim =
+        Engine.run ~arbitration:options.arbitration
+          ~scheduler:options.scheduler ~channels ?assign ?faults:injector
+          (inputs_of admitted)
+      in
+      (sim, admitted, None)
+    | Scheduler.Optimized ->
+      (* Plan/schedule co-iteration: search a schedule for the current
+         plans, feed the observed per-tenant slowdowns back into the
+         planner as stall scales (contention makes unhidden stalls more
+         expensive, shifting the prune and the UMM safety net), replan,
+         and search again — bounded rounds, keeping the best round. *)
+      let search plans =
+        timed schedule_us (fun () ->
+            Optimizer.search ?pool
+              ~hp_first:(options.arbitration = Arbiter.Priority)
+              ~arbitration:options.arbitration ~channels
+              ?assign:(assign_of plans) ~make_faults
+              ~isos:(Array.map (fun (_, _, _, iso) -> iso) plans)
+              (inputs_of plans))
+      in
+      let scales_of plans (outcome : Optimizer.outcome) =
+        Array.mapi
+          (fun k (_, _, _, iso) ->
+            let iso_total = iso.Sim.Engine.total in
+            let tr = outcome.Optimizer.result.Engine.tenants.(k) in
+            if iso_total > 0. then
+              Float.max 1. (tr.Engine.latency /. iso_total)
+            else 1.)
+          plans
+      in
+      (* Replan a tenant only when contention actually scaled its
+         stalls; distinct (model, grant, scale) solves fan out once. *)
+      let replan_scaled plans scales =
+        let keyed =
+          let seen = Hashtbl.create 8 in
+          let acc = ref [] in
+          Array.iteri
+            (fun k (i, grant, _, _) ->
+              if scales.(k) > 1. +. 1e-9 then begin
+                let key = (specs.(i).model, grant, scales.(k)) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  acc := (key, (i, grant, scales.(k))) :: !acc
+                end
+              end)
+            plans;
+          List.rev !acc
+        in
+        let solved = Hashtbl.create 8 in
+        List.iter
+          (fun (key, pi) -> Hashtbl.add solved key pi)
+          (pool_map
+             (fun (key, (i, grant, scale)) ->
+               let c = compiled.(i) in
+               let p =
+                 maybe_fuse
+                   (F.plan_partitioned ~options:options.fw_options
+                      ~stall_scale:scale ~capacity_bytes:grant c.config
+                      specs.(i).graph)
+               in
+               (key, (p, isolated p)))
+             keyed);
+        Array.mapi
+          (fun k (i, grant, plan, iso) ->
+            if scales.(k) <= 1. +. 1e-9 then (i, grant, plan, iso)
+            else
+              let plan, iso =
+                Hashtbl.find solved (specs.(i).model, grant, scales.(k))
+              in
+              (i, grant, plan, iso))
+          plans
+      in
+      let rounds_bound = max 1 options.schedule_rounds in
+      let best = ref None in
+      let history = ref [] in
+      let converged = ref false in
+      let plans = ref admitted in
+      let prev_scales = ref (Array.map (fun _ -> 1.) admitted) in
+      let round = ref 0 in
+      while !round < rounds_bound && not !converged do
+        let outcome = search !plans in
+        history := outcome.Optimizer.result.Engine.makespan :: !history;
+        let improved =
+          match !best with
+          | None ->
+            best := Some (outcome, !plans);
+            true
+          | Some ((bo : Optimizer.outcome), _) ->
+            let bm = bo.Optimizer.result.Engine.makespan in
+            let m = outcome.Optimizer.result.Engine.makespan in
+            if
+              m < bm
+              || (m = bm && outcome.Optimizer.hp_slowdown < bo.Optimizer.hp_slowdown)
+            then begin
+              best := Some (outcome, !plans);
+              true
+            end
+            else false
+        in
+        if !round > 0 && not improved then converged := true
+        else begin
+          let scales = scales_of !plans outcome in
+          if
+            Array.for_all2
+              (fun s p -> Float.abs (s -. p) <= 1e-9)
+              scales !prev_scales
+          then converged := true
+          else begin
+            if !round + 1 < rounds_bound then
+              plans := replan_scaled !plans scales;
+            prev_scales := scales
+          end
+        end;
+        incr round
+      done;
+      let outcome, final_plans =
+        match !best with Some b -> b | None -> assert false
+      in
+      let schedule =
+        Some
+          {
+            Report.sched_rounds = !round;
+            sched_history_ms = List.rev_map (fun m -> m *. 1e3) !history;
+            sched_converged = !converged;
+            sched_chosen = outcome.Optimizer.chosen;
+            sched_candidates =
+              List.map
+                (fun (l, m) -> (l, m *. 1e3))
+                outcome.Optimizer.candidates;
+          }
+      in
+      (outcome.Optimizer.result, final_plans, schedule)
   in
+  if !schedule_us > 0. || !channel_assign_us > 0. then
+    F.record_pass_times
+      {
+        F.zero_pass_times with
+        F.schedule_us = !schedule_us;
+        channel_assign_us = !channel_assign_us;
+      };
   let run_of = Hashtbl.create 8 in
   Array.iteri
     (fun k (i, grant, plan, iso) ->
@@ -381,5 +566,8 @@ let run ?pool options specs =
     bus_busy_fraction;
     tenants;
     timeline = sim.Engine.timeline;
+    channels;
+    channel_timelines = sim.Engine.channel_timelines;
+    schedule;
     faults = fault_spec;
   }

@@ -1,19 +1,30 @@
-type t = Greedy | Edf
+type t = Greedy | Edf | Optimized
 
-let to_string = function Greedy -> "greedy" | Edf -> "edf"
+let to_string = function
+  | Greedy -> "greedy"
+  | Edf -> "edf"
+  | Optimized -> "optimized"
 
 let of_string = function
   | "greedy" -> Some Greedy
   | "edf" -> Some Edf
+  | "optimized" -> Some Optimized
   | _ -> None
 
-let all = [ Greedy; Edf ]
+let all = [ Greedy; Edf; Optimized ]
 
 type pending = {
   key : int;
   deadline : float;
   priority : int;
+  rank : float;
 }
+
+(* Lexicographic urgency fold shared by the single-winner policies. *)
+let most_urgent better ready =
+  List.fold_left
+    (fun best p -> if better p best then p else best)
+    (List.hd ready) (List.tl ready)
 
 let eligible t ready =
   match ready with
@@ -23,15 +34,29 @@ let eligible t ready =
     | Greedy -> List.map (fun p -> p.key) ready
     | Edf ->
       let urgent =
-        List.fold_left
-          (fun best p ->
-            if
-              p.deadline < best.deadline
-              || (p.deadline = best.deadline
-                 && (p.priority < best.priority
-                    || (p.priority = best.priority && p.key < best.key)))
-            then p
-            else best)
-          (List.hd ready) (List.tl ready)
+        most_urgent
+          (fun p best ->
+            p.deadline < best.deadline
+            || (p.deadline = best.deadline
+               && (p.priority < best.priority
+                  || (p.priority = best.priority && p.key < best.key))))
+          ready
+      in
+      [ urgent.key ]
+    | Optimized ->
+      (* A searched static order: ranks come from the schedule
+         optimizer's chosen transfer order; deadline/priority/key break
+         ties among equally-ranked transfers, so with all ranks 0 (no
+         rank table) Optimized degenerates to exactly Edf. *)
+      let urgent =
+        most_urgent
+          (fun p best ->
+            p.rank < best.rank
+            || (p.rank = best.rank
+               && (p.deadline < best.deadline
+                  || (p.deadline = best.deadline
+                     && (p.priority < best.priority
+                        || (p.priority = best.priority && p.key < best.key))))))
+          ready
       in
       [ urgent.key ])

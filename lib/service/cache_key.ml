@@ -20,7 +20,7 @@ let config_fingerprint (c : Config.t) =
 
 let options_fingerprint (o : F.options) =
   String.concat "|"
-    [ "fr:" ^ string_of_bool o.F.feature_reuse;
+    ([ "fr:" ^ string_of_bool o.F.feature_reuse;
       "wp:" ^ string_of_bool o.F.weight_prefetch;
       "bs:" ^ string_of_bool o.F.buffer_splitting;
       "sh:" ^ string_of_bool o.F.buffer_sharing;
@@ -39,6 +39,9 @@ let options_fingerprint (o : F.options) =
         | Some b -> string_of_int b);
       "slices:" ^ string_of_int o.F.weight_slices;
       "fusion:" ^ string_of_bool o.F.fusion ]
+     (* Folded only off-default so every pre-channel cache key — and
+        persisted disk cache entry — keeps its digest. *)
+     @ (if o.F.channels = 1 then [] else [ "ch:" ^ string_of_int o.F.channels ]))
 
 let hash parts =
   Digest.to_hex (Digest.string (String.concat "\x00" parts))

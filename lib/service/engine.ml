@@ -331,6 +331,8 @@ let run_payload (spec : P.run_spec) ~digest specs =
       device = spec.P.run_device;
       arbitration = spec.P.arbitration;
       scheduler = spec.P.scheduler;
+      channels = spec.P.run_channels;
+      schedule_rounds = Lcmm_runtime.Runtime.default_options.schedule_rounds;
       partition = spec.P.sram_partition;
       overcommit = spec.P.overcommit;
       min_grant_bytes = Lcmm_runtime.Admission.default_min_grant;
@@ -404,6 +406,10 @@ let run_request_digest (spec : P.run_spec) tagged_graphs =
       Lcmm_runtime.Scheduler.to_string spec.P.scheduler;
       Lcmm_runtime.Partition.to_string spec.P.sram_partition;
       Printf.sprintf "%.17g" spec.P.overcommit ]
+    (* Channel count folds in only past one channel, keeping every
+       pre-channel digest — and so every cached payload — valid. *)
+    @ (if spec.P.run_channels = 1 then []
+       else [ "channels:" ^ string_of_int spec.P.run_channels ])
     @
     (* The fault spec changes the payload, so it must change the
        digest; its absence keeps the fault-free digest as-is. *)

@@ -27,6 +27,9 @@ type run_spec = {
   scheduler : Lcmm_runtime.Scheduler.t;
   sram_partition : Lcmm_runtime.Partition.policy;
   overcommit : float;
+  run_channels : int;
+      (* DDR channels the runtime engine schedules over; 1 = the
+         aggregate fluid-bus model (and the pre-channel digest). *)
   run_options : F.options;
   faults : Fault.Spec.t option;
 }
@@ -119,6 +122,15 @@ let options_of_json v =
       | Error _ -> Error "field \"weight_slices\": expected an integer")
   in
   let* fusion = bool_field v "fusion" base.F.fusion in
+  let* channels =
+    match Json.member_opt "channels" v with
+    | None -> Ok base.F.channels
+    | Some field -> (
+      match Json.to_int field with
+      | Ok c when c >= 1 -> Ok c
+      | Ok _ -> Error "field \"channels\": expected a count >= 1"
+      | Error _ -> Error "field \"channels\": expected an integer")
+  in
   Ok
     { F.feature_reuse;
       weight_prefetch;
@@ -129,7 +141,8 @@ let options_of_json v =
       coloring;
       capacity_override;
       weight_slices;
-      fusion }
+      fusion;
+      channels }
 
 let target_of_json v =
   match Json.member_opt "model" v, Json.member_opt "graph" v with
@@ -249,7 +262,7 @@ let run_spec_of_json v =
   in
   let* scheduler =
     policy_field v "scheduler" Lcmm_runtime.Scheduler.of_string
-      Lcmm_runtime.Scheduler.Edf ~known:"greedy edf"
+      Lcmm_runtime.Scheduler.Edf ~known:"greedy edf optimized"
   in
   let* sram_partition =
     policy_field v "partition" Lcmm_runtime.Partition.of_string
@@ -282,9 +295,18 @@ let run_spec_of_json v =
           Ok (if Fault.Spec.has_board_faults spec then Some spec else None)
         | Error msg -> Error (Printf.sprintf "field \"faults\": %s" msg)))
   in
+  let* run_channels =
+    match Json.member_opt "channels" v with
+    | None -> Ok 1
+    | Some field -> (
+      match Json.to_int field with
+      | Ok c when c >= 1 -> Ok c
+      | Ok _ -> Error "field \"channels\": expected a count >= 1"
+      | Error _ -> Error "field \"channels\": expected an integer")
+  in
   Ok
     { tenants; run_dtype; run_device; arbitration; scheduler; sram_partition;
-      overcommit; run_options; faults }
+      overcommit; run_channels; run_options; faults }
 
 (* Digests name plan-cache entries (and, persisted, files): only the hex
    strings we mint are accepted, so nothing else ever reaches a lookup
@@ -380,7 +402,7 @@ let request_of_line line =
 
 let options_to_json (o : F.options) =
   Json.Obj
-    [ ("feature_reuse", Json.Bool o.F.feature_reuse);
+    ([ ("feature_reuse", Json.Bool o.F.feature_reuse);
       ("weight_prefetch", Json.Bool o.F.weight_prefetch);
       ("buffer_splitting", Json.Bool o.F.buffer_splitting);
       ("buffer_sharing", Json.Bool o.F.buffer_sharing);
@@ -401,6 +423,9 @@ let options_to_json (o : F.options) =
         | Some b -> Json.Int b );
       ("weight_slices", Json.Int o.F.weight_slices);
       ("fusion", Json.Bool o.F.fusion) ]
+    (* Emitted only off-default so pre-channel encodings round-trip
+       byte-identically. *)
+    @ (if o.F.channels = 1 then [] else [ ("channels", Json.Int o.F.channels) ]))
 
 (* The inverse of [request_of_json], used by the tier router to forward
    a parsed envelope to a backend shard.  The encoding must round-trip
@@ -436,6 +461,8 @@ let run_spec_fields (spec : run_spec) =
     ("scheduler", Json.String (Lcmm_runtime.Scheduler.to_string spec.scheduler));
     ("partition", Json.String (Lcmm_runtime.Partition.to_string spec.sram_partition));
     ("overcommit", Json.Float spec.overcommit) ]
+  @ (if spec.run_channels = 1 then []
+     else [ ("channels", Json.Int spec.run_channels) ])
   @
   match spec.faults with
   | None -> []

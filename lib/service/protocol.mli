@@ -61,6 +61,10 @@ type run_spec = {
   scheduler : Lcmm_runtime.Scheduler.t;
   sram_partition : Lcmm_runtime.Partition.policy;
   overcommit : float;
+  run_channels : int;
+      (** DDR channels the runtime engine schedules over (default 1 —
+          the aggregate fluid-bus model; only off-default values are
+          encoded or digested, keeping pre-channel digests intact). *)
   run_options : Lcmm.Framework.options;
   faults : Fault.Spec.t option;
       (** Seeded fault injection for the board run; [None] (or an

@@ -129,6 +129,42 @@ let prop_parallel_plan_deterministic =
             (fun () -> digest (F.plan ~pool cfg g) = baseline))
         [ 1; 2; 4; 8 ])
 
+(* The channel-assignment pass joins the fingerprint when channels > 1,
+   so the same determinism bar applies: byte-identical digests at every
+   domain count, and a stall-free plan at 1 channel must digest exactly
+   as before the pass existed (the assignment is [None]). *)
+let prop_channel_assignment_deterministic =
+  let gen = QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 8 48)) in
+  Helpers.qtest ~count:25 "channel assignment is byte-identical at 1/2/4/8 domains"
+    gen (fun (seed, nodes) ->
+      let g =
+        Check.Gen.sized_graph ~family:Check.Gen.Mixed
+          (Random.State.make [| 13; seed; nodes |])
+          ~nodes
+      in
+      let cfg = Helpers.default_config () in
+      let options = { F.default_options with F.channels = 4 } in
+      let digest p = Dnn_serial.Codec.digest_string (F.fingerprint p) in
+      let baseline_plan = F.plan ~options cfg g in
+      (match baseline_plan.F.channel_assignment with
+      | Some a ->
+        assert (a.Lcmm.Channels.channels = 4);
+        assert (Lcmm.Channels.balance a >= 0. && Lcmm.Channels.balance a <= 1.)
+      | None -> assert false);
+      let baseline = digest baseline_plan in
+      let unchanged =
+        digest (F.plan cfg g)
+        = digest (F.plan ~options:{ options with F.channels = 1 } cfg g)
+      in
+      unchanged
+      && List.for_all
+           (fun domains ->
+             let pool = Lcmm.Pool.create ~domains () in
+             Fun.protect
+               ~finally:(fun () -> Lcmm.Pool.shutdown pool)
+               (fun () -> digest (F.plan ~options ~pool cfg g) = baseline))
+           [ 1; 2; 4; 8 ])
+
 let prop_on_chip_items_are_eligible =
   Helpers.qtest ~count:20 "pinned items come from the eligible set"
     Helpers.random_graph_gen (fun g ->
@@ -148,4 +184,5 @@ let suite =
     Alcotest.test_case "helped layers" `Quick test_helped_layers_consistent;
     prop_plan_never_worse_than_umm;
     prop_parallel_plan_deterministic;
+    prop_channel_assignment_deterministic;
     prop_on_chip_items_are_eligible ]

@@ -42,9 +42,9 @@ let replicas model n =
   List.init n (fun k -> spec model k g)
 
 let run_mix ?(scheduler = Rt.Scheduler.Edf)
-    ?(arbitration = Rt.Arbiter.Fair_share) specs =
+    ?(arbitration = Rt.Arbiter.Fair_share) ?(channels = 1) specs =
   Rt.Runtime.run
-    { Rt.Runtime.default_options with scheduler; arbitration }
+    { Rt.Runtime.default_options with scheduler; arbitration; channels }
     specs
 
 let admitted report =
@@ -284,9 +284,9 @@ let test_admission_never_overcommits () =
 
 let test_scheduler_eligibility () =
   let pending =
-    [ { Rt.Scheduler.key = 0; deadline = 3.; priority = 0 };
-      { Rt.Scheduler.key = 1; deadline = 1.; priority = 5 };
-      { Rt.Scheduler.key = 2; deadline = 1.; priority = 2 } ]
+    [ { Rt.Scheduler.key = 0; deadline = 3.; priority = 0; rank = 0. };
+      { Rt.Scheduler.key = 1; deadline = 1.; priority = 5; rank = 0. };
+      { Rt.Scheduler.key = 2; deadline = 1.; priority = 2; rank = 0. } ]
   in
   Alcotest.(check (list int)) "greedy admits all" [ 0; 1; 2 ]
     (List.sort compare (Rt.Scheduler.eligible Rt.Scheduler.Greedy pending));
@@ -294,7 +294,19 @@ let test_scheduler_eligibility () =
   Alcotest.(check (list int)) "edf picks most urgent" [ 2 ]
     (Rt.Scheduler.eligible Rt.Scheduler.Edf pending);
   Alcotest.(check (list int)) "edf of nothing" []
-    (Rt.Scheduler.eligible Rt.Scheduler.Edf [])
+    (Rt.Scheduler.eligible Rt.Scheduler.Edf []);
+  (* Optimized: lowest rank wins regardless of deadline; all-zero ranks
+     degenerate to EDF. *)
+  Alcotest.(check (list int)) "optimized without ranks = edf" [ 2 ]
+    (Rt.Scheduler.eligible Rt.Scheduler.Optimized pending);
+  let ranked =
+    List.map
+      (fun p ->
+        { p with Rt.Scheduler.rank = (if p.Rt.Scheduler.key = 0 then 1. else 2.) })
+      pending
+  in
+  Alcotest.(check (list int)) "optimized follows ranks" [ 0 ]
+    (Rt.Scheduler.eligible Rt.Scheduler.Optimized ranked)
 
 let test_arbiter_rates () =
   let jobs = [ (10, 1); (11, 0); (12, 1) ] in
@@ -311,6 +323,160 @@ let test_arbiter_rates () =
     prio;
   Alcotest.(check (list (pair int (float 0.)))) "empty" []
     (Rt.Arbiter.rates Rt.Arbiter.Fair_share [])
+
+(* --- per-channel timelines and the schedule optimizer --- *)
+
+let integral segs =
+  List.fold_left
+    (fun acc (s : Rt.Engine.segment) ->
+      acc
+      +. ((s.Rt.Engine.seg_end -. s.Rt.Engine.seg_start)
+         *. s.Rt.Engine.utilization))
+    0. segs
+
+(* One channel is the aggregate model, structurally: the single channel
+   timeline IS the aggregate timeline, and the report omits every
+   channel field. *)
+let test_single_channel_is_aggregate () =
+  let report = run_mix (replicas "googlenet" 2) in
+  Alcotest.(check int) "one channel" 1 report.Rt.Report.channels;
+  Alcotest.(check int) "one channel timeline" 1
+    (Array.length report.Rt.Report.channel_timelines);
+  Alcotest.(check bool) "channel 0 timeline = aggregate" true
+    (report.Rt.Report.channel_timelines.(0) = report.Rt.Report.timeline);
+  let json = Dnn_serial.Json.to_string (Rt.Report.to_json report) in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no channel fields in 1-channel json" false
+    (contains json "channel_timelines")
+
+(* Striping conserves work: the per-channel utilization integrals sum
+   to the aggregate timeline's integral (same transfers, same rates,
+   just bucketed per channel). *)
+let test_channel_busy_conservation () =
+  List.iter
+    (fun scheduler ->
+      let report = run_mix ~scheduler ~channels:2 (replicas "googlenet" 2) in
+      Alcotest.(check int) "two channels" 2 report.Rt.Report.channels;
+      let agg = integral report.Rt.Report.timeline in
+      let per =
+        Array.fold_left
+          (fun acc segs -> acc +. integral segs)
+          0. report.Rt.Report.channel_timelines
+      in
+      Alcotest.(check (float 1e-9)) "channel integrals sum to aggregate" agg
+        per)
+    [ Rt.Scheduler.Greedy; Rt.Scheduler.Edf ]
+
+(* The optimizer's portfolio guarantee: on contended mixes, under both
+   arbiters and channel widths, optimized never loses to greedy or edf,
+   and its telemetry is well-formed (bounded rounds, history matching,
+   convergence on these mixes). *)
+let test_optimized_never_worse () =
+  List.iter
+    (fun (mix, arbitration, channels) ->
+      let specs =
+        List.concat_map
+          (fun (model, count, priority) ->
+            List.init count (fun k ->
+                spec ~priority model k (Models.Zoo.build model)))
+          mix
+      in
+      let label =
+        String.concat "+" (List.map (fun (m, _, _) -> m) mix)
+      in
+      let greedy =
+        run_mix ~scheduler:Rt.Scheduler.Greedy ~arbitration ~channels specs
+      in
+      let edf =
+        run_mix ~scheduler:Rt.Scheduler.Edf ~arbitration ~channels specs
+      in
+      let opt =
+        run_mix ~scheduler:Rt.Scheduler.Optimized ~arbitration ~channels specs
+      in
+      let baseline =
+        Float.min greedy.Rt.Report.makespan_ms edf.Rt.Report.makespan_ms
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "optimized <= min(greedy, edf) on %s" label)
+        true
+        (opt.Rt.Report.makespan_ms <= baseline +. 1e-9);
+      match opt.Rt.Report.schedule with
+      | None -> Alcotest.failf "%s: optimized run has no schedule info" label
+      | Some s ->
+        Alcotest.(check bool) (label ^ " rounds within bound") true
+          (s.Rt.Report.sched_rounds >= 1
+          && s.Rt.Report.sched_rounds
+             <= Rt.Runtime.default_options.Rt.Runtime.schedule_rounds);
+        Alcotest.(check int) (label ^ " history per round")
+          s.Rt.Report.sched_rounds
+          (List.length s.Rt.Report.sched_history_ms);
+        Alcotest.(check bool) (label ^ " converged") true
+          s.Rt.Report.sched_converged;
+        Alcotest.(check bool) (label ^ " baselines in candidate list") true
+          (List.mem_assoc "greedy" s.Rt.Report.sched_candidates
+          && List.mem_assoc "edf" s.Rt.Report.sched_candidates))
+    [ ([ ("googlenet", 2, 0) ], Rt.Arbiter.Fair_share, 1);
+      ([ ("alexnet", 2, 0) ], Rt.Arbiter.Fair_share, 2);
+      ([ ("googlenet", 2, 0); ("alexnet", 1, 1) ], Rt.Arbiter.Priority, 1);
+      ([ ("squeezenet", 2, 0); ("alexnet", 1, 1) ], Rt.Arbiter.Priority, 2) ]
+
+(* Under priority arbitration the optimizer minimizes high-priority
+   slowdown within the portfolio guarantee, so it can never report a
+   worse high-priority slowdown than EDF. *)
+let hp_slowdown report =
+  let ts = admitted report in
+  let hp =
+    List.fold_left
+      (fun acc (t : Rt.Report.tenant_report) -> min acc t.Rt.Report.priority)
+      max_int ts
+  in
+  List.fold_left
+    (fun acc (t : Rt.Report.tenant_report) ->
+      if t.Rt.Report.priority = hp then Float.max acc t.Rt.Report.slowdown
+      else acc)
+    1. ts
+
+let test_optimized_hp_slowdown () =
+  let specs =
+    List.concat_map
+      (fun (model, count, priority) ->
+        List.init count (fun k ->
+            spec ~priority model k (Models.Zoo.build model)))
+      [ ("googlenet", 2, 0); ("alexnet", 2, 1) ]
+  in
+  let edf =
+    run_mix ~scheduler:Rt.Scheduler.Edf ~arbitration:Rt.Arbiter.Priority specs
+  in
+  let opt =
+    run_mix ~scheduler:Rt.Scheduler.Optimized ~arbitration:Rt.Arbiter.Priority
+      specs
+  in
+  Alcotest.(check bool) "hp slowdown <= edf's" true
+    (hp_slowdown opt <= hp_slowdown edf +. 1e-9);
+  Alcotest.(check bool) "makespan still <= edf's" true
+    (opt.Rt.Report.makespan_ms <= edf.Rt.Report.makespan_ms +. 1e-9)
+
+(* The whole search is deterministic: same mix, same channel count,
+   same chosen candidate and byte-identical report JSON. *)
+let test_optimizer_deterministic () =
+  let once () =
+    let report =
+      run_mix ~scheduler:Rt.Scheduler.Optimized ~channels:2
+        (replicas "googlenet" 2)
+    in
+    (Dnn_serial.Json.to_string (Rt.Report.to_json report),
+     match report.Rt.Report.schedule with
+     | Some s -> s.Rt.Report.sched_chosen
+     | None -> "")
+  in
+  let j1, c1 = once () in
+  let j2, c2 = once () in
+  Alcotest.(check string) "chosen candidate stable" c1 c2;
+  Alcotest.(check string) "report json byte-identical" j1 j2
 
 (* --- report plumbing --- *)
 
@@ -359,4 +525,14 @@ let suite =
     Alcotest.test_case "scheduler eligibility" `Quick
       test_scheduler_eligibility;
     Alcotest.test_case "arbiter rates" `Quick test_arbiter_rates;
+    Alcotest.test_case "one channel = aggregate timeline" `Quick
+      test_single_channel_is_aggregate;
+    Alcotest.test_case "channel busy integrals conserved" `Quick
+      test_channel_busy_conservation;
+    Alcotest.test_case "optimized <= min(greedy, edf)" `Slow
+      test_optimized_never_worse;
+    Alcotest.test_case "optimized hp slowdown <= edf" `Slow
+      test_optimized_hp_slowdown;
+    Alcotest.test_case "optimizer deterministic" `Slow
+      test_optimizer_deterministic;
     Alcotest.test_case "report json shape" `Quick test_report_json_shape ]

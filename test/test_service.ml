@@ -82,7 +82,8 @@ let test_cache_key_stability () =
       ("compensation", { o with F.compensation = Lcmm.Dnnk.Exact_iterative });
       ("coloring", { o with F.coloring = Lcmm.Coloring.First_fit });
       ("capacity_override", { o with F.capacity_override = Some 1024 });
-      ("weight_slices", { o with F.weight_slices = 4 }) ]
+      ("weight_slices", { o with F.weight_slices = 4 });
+      ("channels", { o with F.channels = 4 }) ]
   in
   List.iter
     (fun (name, opts) ->
@@ -196,6 +197,7 @@ let test_options_roundtrip () =
       compensation = Lcmm.Dnnk.Exact_iterative;
       capacity_override = Some 123_456;
       weight_slices = 3;
+      channels = 4;
       buffer_sharing = false }
   in
   let line =
